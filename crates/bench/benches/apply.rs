@@ -1,0 +1,54 @@
+//! Criterion bench: reconstruction — scratch-space apply vs in-place
+//! apply vs device-style bounce-buffered apply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_core::{
+    apply_in_place, apply_in_place_buffered, convert_to_in_place, required_capacity,
+    ConversionConfig,
+};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_apply(c: &mut Criterion) {
+    let size = 512 * 1024;
+    let mut rng = StdRng::seed_from_u64(99);
+    let reference = ipr_workloads::content::generate(
+        &mut rng,
+        ipr_workloads::content::ContentKind::BinaryLike,
+        size,
+    );
+    let version = mutate(&mut rng, &reference, &MutationProfile::default());
+    let script = GreedyDiffer::default().diff(&reference, &version);
+    let inplace = convert_to_in_place(&script, &reference, &ConversionConfig::default())
+        .expect("conversion cannot fail")
+        .script;
+    let capacity = required_capacity(&inplace) as usize;
+
+    let mut group = c.benchmark_group("apply");
+    group.throughput(Throughput::Bytes(version.len() as u64));
+    group.bench_function("scratch", |b| {
+        b.iter(|| ipr_delta::apply(&script, &reference).expect("lengths match"));
+    });
+    group.bench_function("in-place", |b| {
+        let mut buf = vec![0u8; capacity];
+        b.iter(|| {
+            buf[..reference.len()].copy_from_slice(&reference);
+            apply_in_place(&inplace, &mut buf).expect("capacity checked");
+        });
+    });
+    for chunk in [64usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("buffered", chunk), &chunk, |b, &chunk| {
+            let mut buf = vec![0u8; capacity];
+            b.iter(|| {
+                buf[..reference.len()].copy_from_slice(&reference);
+                apply_in_place_buffered(&inplace, &mut buf, chunk).expect("capacity checked");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

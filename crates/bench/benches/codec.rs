@@ -1,0 +1,40 @@
+//! Criterion bench: codeword encode/decode across all five formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_delta::codec::{decode, encode, Format};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_codec(c: &mut Criterion) {
+    let size = 256 * 1024;
+    let mut rng = StdRng::seed_from_u64(5);
+    let reference = ipr_workloads::content::generate(
+        &mut rng,
+        ipr_workloads::content::ContentKind::SourceLike,
+        size,
+    );
+    let version = mutate(&mut rng, &reference, &MutationProfile::default());
+    let script = GreedyDiffer::default().diff(&reference, &version);
+
+    let mut group = c.benchmark_group("codec");
+    for format in Format::ALL {
+        let encoded = encode(&script, format).expect("write-ordered script encodes everywhere");
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format.to_string()),
+            &format,
+            |b, &format| b.iter(|| encode(&script, format).expect("encodable")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", format.to_string()),
+            &format,
+            |b, _| b.iter(|| decode(&encoded).expect("well-formed")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

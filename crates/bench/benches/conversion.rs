@@ -1,0 +1,42 @@
+//! Criterion bench: in-place conversion per cycle-breaking policy — the
+//! cost of the paper's algorithm itself (§7 claims it is cheaper than
+//! differencing; see also the `timing` harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_core::{convert_to_in_place, ConversionConfig, CyclePolicy};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversion");
+    for size in [16 * 1024, 128 * 1024, 512 * 1024] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let reference = ipr_workloads::content::generate(
+            &mut rng,
+            ipr_workloads::content::ContentKind::BinaryLike,
+            size,
+        );
+        let version = mutate(&mut rng, &reference, &MutationProfile::heavy());
+        let script = GreedyDiffer::default().diff(&reference, &version);
+        group.throughput(Throughput::Elements(script.copy_count() as u64));
+        for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.to_string(), size),
+                &size,
+                |b, _| {
+                    let config = ConversionConfig::with_policy(policy);
+                    b.iter(|| {
+                        convert_to_in_place(&script, &reference, &config)
+                            .expect("conversion cannot fail")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

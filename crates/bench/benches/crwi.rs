@@ -1,0 +1,61 @@
+//! Criterion bench: CRWI digraph construction and the cycle-breaking
+//! topological sort, including the adversarial quadratic-edge input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_core::{sort_breaking_cycles, CrwiGraph, CyclePolicy};
+use ipr_delta::codec::Format;
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_workloads::adversarial::quadratic_edges;
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crwi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crwi");
+
+    // Realistic copies from a differenced pair.
+    let mut rng = StdRng::seed_from_u64(17);
+    let reference = ipr_workloads::content::generate(
+        &mut rng,
+        ipr_workloads::content::ContentKind::BinaryLike,
+        512 * 1024,
+    );
+    let version = mutate(&mut rng, &reference, &MutationProfile::heavy());
+    let script = GreedyDiffer::default().diff(&reference, &version);
+    let copies = script.copies();
+    group.throughput(Throughput::Elements(copies.len() as u64));
+    group.bench_function("build/corpus", |b| {
+        b.iter(|| CrwiGraph::build(copies.clone()));
+    });
+
+    // Adversarial quadratic edges.
+    let case = quadratic_edges(256);
+    let adv_copies = case.script.copies();
+    group.bench_function("build/quadratic-256", |b| {
+        b.iter(|| CrwiGraph::build(adv_copies.clone()));
+    });
+
+    // Sorting with each policy over the realistic graph.
+    let crwi = CrwiGraph::build(copies);
+    let costs: Vec<u64> = crwi
+        .copies()
+        .iter()
+        .map(|c| Format::InPlace.conversion_cost(c))
+        .collect();
+    for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
+        group.bench_with_input(
+            BenchmarkId::new("sort", policy.to_string()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    sort_breaking_cycles(crwi.graph(), &costs, policy)
+                        .expect("heuristics cannot fail")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crwi);
+criterion_main!(benches);

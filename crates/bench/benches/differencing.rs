@@ -1,0 +1,43 @@
+//! Criterion bench: differencing throughput (greedy vs one-pass), the
+//! producer side of the paper's timing comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_delta::diff::{CorrectingDiffer, Differ, GreedyDiffer, OnePassDiffer};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pair(len: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let reference = ipr_workloads::content::generate(
+        &mut rng,
+        ipr_workloads::content::ContentKind::BinaryLike,
+        len,
+    );
+    let version = mutate(&mut rng, &reference, &MutationProfile::default());
+    (reference, version)
+}
+
+fn bench_differs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("differencing");
+    for size in [16 * 1024, 128 * 1024, 512 * 1024] {
+        let (reference, version) = pair(size);
+        group.throughput(Throughput::Bytes((reference.len() + version.len()) as u64));
+        group.bench_with_input(BenchmarkId::new("greedy", size), &size, |b, _| {
+            let differ = GreedyDiffer::default();
+            b.iter(|| differ.diff(&reference, &version));
+        });
+        group.bench_with_input(BenchmarkId::new("one-pass", size), &size, |b, _| {
+            let differ = OnePassDiffer::default();
+            b.iter(|| differ.diff(&reference, &version));
+        });
+        group.bench_with_input(BenchmarkId::new("correcting", size), &size, |b, _| {
+            let differ = CorrectingDiffer::default();
+            b.iter(|| differ.diff(&reference, &version));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_differs);
+criterion_main!(benches);

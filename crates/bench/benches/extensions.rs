@@ -1,0 +1,85 @@
+//! Criterion bench: the extension features — delta composition, streaming
+//! decode, resumable (journaled) application and spilled conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_core::resumable::{resume_in_place, Journal};
+use ipr_core::spill::{convert_with_spill, SpillConfig};
+use ipr_core::{convert_to_in_place, required_capacity, ConversionConfig};
+use ipr_delta::codec::stream::StreamDecoder;
+use ipr_delta::codec::{encode, Format};
+use ipr_delta::compose;
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_extensions(c: &mut Criterion) {
+    let size = 256 * 1024;
+    let mut rng = StdRng::seed_from_u64(3);
+    let v1 = ipr_workloads::content::generate(
+        &mut rng,
+        ipr_workloads::content::ContentKind::BinaryLike,
+        size,
+    );
+    let v2 = mutate(&mut rng, &v1, &MutationProfile::default());
+    let v3 = mutate(&mut rng, &v2, &MutationProfile::default());
+    let differ = GreedyDiffer::default();
+    let d12 = differ.diff(&v1, &v2);
+    let d23 = differ.diff(&v2, &v3);
+
+    let mut group = c.benchmark_group("extensions");
+
+    group.throughput(Throughput::Elements((d12.len() + d23.len()) as u64));
+    group.bench_function("compose", |b| {
+        b.iter(|| compose(&d12, &d23).expect("consecutive"));
+    });
+
+    let converted = convert_to_in_place(&d12, &v1, &ConversionConfig::default())
+        .expect("conversion cannot fail")
+        .script;
+    let wire = encode(&converted, Format::InPlace).expect("encodable");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("stream-decode", |b| {
+        b.iter(|| {
+            let mut d = StreamDecoder::new();
+            let mut n = 0usize;
+            for chunk in wire.chunks(1400) {
+                d.push(chunk);
+                while d.next_command().expect("well-formed").is_some() {
+                    n += 1;
+                }
+            }
+            n
+        });
+    });
+
+    let capacity = required_capacity(&converted) as usize;
+    group.throughput(Throughput::Bytes(v2.len() as u64));
+    group.bench_function("resumable-apply", |b| {
+        let mut buf = vec![0u8; capacity];
+        b.iter(|| {
+            buf[..v1.len()].copy_from_slice(&v1);
+            let mut journal = Journal::new();
+            resume_in_place(&converted, &mut buf, &mut journal, 4096, u64::MAX)
+                .expect("capacity checked")
+        });
+    });
+
+    for budget in [0u64, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("spilled-convert", budget),
+            &budget,
+            |b, &budget| {
+                let config = SpillConfig {
+                    conversion: ConversionConfig::default(),
+                    scratch_budget: budget,
+                };
+                b.iter(|| convert_with_spill(&d12, &v1, &config).expect("cannot fail"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

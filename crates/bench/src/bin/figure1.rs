@@ -1,0 +1,40 @@
+//! Figure 1 — how a delta file encodes a version: matching strings become
+//! copy commands, new strings become add commands.
+//!
+//! Run: `cargo run -p ipr-bench --bin figure1`
+
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_delta::Command;
+
+fn main() {
+    let reference = b"The common string moves; the deleted part goes away; and the tail stays.";
+    let version = b"NEW HEADER! The common string moves; and the tail stays. NEW TRAILER!";
+
+    println!("reference ({} B): {:?}", reference.len(), String::from_utf8_lossy(reference));
+    println!("version   ({} B): {:?}\n", version.len(), String::from_utf8_lossy(version));
+
+    let script = GreedyDiffer::new(8).diff(reference, version);
+    println!("delta script ({} commands):", script.len());
+    for cmd in script.commands() {
+        match cmd {
+            Command::Copy(c) => {
+                let text = String::from_utf8_lossy(
+                    &reference[c.from as usize..(c.from + c.len) as usize],
+                );
+                println!("  {cmd}   -- {text:?}");
+            }
+            Command::Add(a) => {
+                println!("  {cmd}   -- {:?}", String::from_utf8_lossy(&a.data));
+            }
+        }
+    }
+
+    let rebuilt = ipr_delta::apply(&script, reference).expect("lengths match");
+    assert_eq!(rebuilt, version);
+    println!(
+        "\nrebuilt {} B from {} copied + {} added; delta carries only the new strings.",
+        rebuilt.len(),
+        script.copied_bytes(),
+        script.added_bytes()
+    );
+}

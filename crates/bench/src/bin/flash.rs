@@ -1,0 +1,123 @@
+//! Flash-wear experiment (ours, beyond the paper): in-place delta updates
+//! vs full reflashes on NOR flash.
+//!
+//! The paper's in-place reconstruction eliminates the *space* for a
+//! second image; on flash it can also eliminate most of the *wear* — but
+//! only when the revision leaves most blocks untouched. This experiment
+//! quantifies that: erase savings by revision severity, and the effect of
+//! the updater's RAM budget (pending blocks evicted early get erased
+//! twice).
+//!
+//! Run: `cargo run -p ipr-bench --release --bin flash`
+
+use ipr_bench::Table;
+use ipr_core::{convert_to_in_place, ConversionConfig};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_device::flash::{FlashStorage, FlashUpdater};
+use ipr_workloads::content::{generate, ContentKind};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BLOCK_SIZE: usize = 4 * 1024;
+const IMAGE_LEN: usize = 256 * 1024;
+const PAIRS: usize = 12;
+
+fn severity_corpus(profile: &MutationProfile, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..PAIRS)
+        .map(|_| {
+            let reference = generate(&mut rng, ContentKind::BinaryLike, IMAGE_LEN);
+            let version = mutate(&mut rng, &reference, profile);
+            (reference, version)
+        })
+        .collect()
+}
+
+fn run_update(
+    reference: &[u8],
+    version: &[u8],
+    ram_blocks: usize,
+) -> (u64, u64) {
+    let capacity = reference.len().max(version.len());
+    let blocks = capacity.div_ceil(BLOCK_SIZE) + 1;
+    let mut flash = FlashStorage::new(blocks, BLOCK_SIZE);
+    let mut updater = FlashUpdater::new(&mut flash, 0).with_ram_blocks(ram_blocks);
+    updater.reflash(reference).expect("image fits");
+    let script = GreedyDiffer::default().diff(reference, version);
+    let converted = convert_to_in_place(&script, reference, &ConversionConfig::default())
+        .expect("conversion cannot fail");
+    let stats = updater.apply_update(&converted.script).expect("update fits");
+    assert_eq!(updater.image(), version, "flash update corrupted the image");
+    (stats.erases, stats.programmed_bytes)
+}
+
+fn main() {
+    println!(
+        "Flash wear: in-place delta vs full reflash ({PAIRS} images of {} KiB, {} KiB blocks)\n",
+        IMAGE_LEN / 1024,
+        BLOCK_SIZE / 1024
+    );
+
+    println!("By revision severity (RAM budget: 8 blocks):\n");
+    let mut t = Table::new(vec![
+        "revision",
+        "reflash erases",
+        "delta erases",
+        "erase savings",
+    ]);
+    let reflash_erases = (PAIRS * IMAGE_LEN.div_ceil(BLOCK_SIZE)) as u64;
+    for (label, profile, seed) in [
+        ("aligned (fixed-layout patch)", MutationProfile::aligned(), 40),
+        ("light (patch w/ shifts)", MutationProfile::light(), 41),
+        ("moderate (minor release)", MutationProfile::default(), 42),
+        ("heavy (major release)", MutationProfile::heavy(), 43),
+    ] {
+        let mut delta_erases = 0u64;
+        for (reference, version) in severity_corpus(&profile, seed) {
+            let (erases, _) = run_update(&reference, &version, 8);
+            delta_erases += erases;
+        }
+        t.row(vec![
+            label.into(),
+            reflash_erases.to_string(),
+            delta_erases.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - delta_erases as f64 / reflash_erases as f64)
+            ),
+        ]);
+    }
+    t.print();
+
+    println!("\nRAM budget vs repeated erases (moderate revisions):\n");
+    let corpus = severity_corpus(&MutationProfile::default(), 42);
+    let total_for = |ram: usize| -> u64 {
+        corpus
+            .iter()
+            .map(|(reference, version)| run_update(reference, version, ram).0)
+            .sum()
+    };
+    // With effectively unbounded RAM, every touched block is erased
+    // exactly once: the minimum.
+    let touched = total_for(1 << 20);
+    let mut t = Table::new(vec!["RAM blocks", "delta erases", "erases per touched block"]);
+    for ram in [1usize, 4, 8, 32, 1 << 20] {
+        let erases = total_for(ram);
+        t.row(vec![
+            if ram == 1 << 20 { "unbounded".into() } else { ram.to_string() },
+            erases.to_string(),
+            format!("{:.2}", erases as f64 / touched as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nLayout-preserving patches keep almost every block intact: in-place\n\
+         delta updates erase a small fraction of what a reflash would. Any\n\
+         insertion or deletion shifts all downstream bytes and physically\n\
+         rewrites their blocks — no update scheme avoids that (which is why\n\
+         real firmware images pin their section layout). Small RAM budgets\n\
+         evict incomplete blocks and pay double erases; a few dozen blocks\n\
+         of RAM recover the one-erase-per-touched-block minimum."
+    );
+}

@@ -1,0 +1,71 @@
+//! Lemma 1 — the CRWI digraph of any delta encoding a version of length
+//! `L_V` has at most `L_V` edges.
+//!
+//! Verified here over the whole experiment corpus (both differs) and the
+//! adversarial constructions; the binary reports the largest observed
+//! `|E| / L_V` and fails loudly if the bound is ever exceeded.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin lemma1`
+
+use ipr_bench::{experiment_corpus, Table};
+use ipr_core::CrwiGraph;
+use ipr_delta::diff::{Differ, GreedyDiffer, OnePassDiffer};
+use ipr_workloads::adversarial::{quadratic_edges, tree_digraph};
+
+fn main() {
+    println!("Lemma 1: CRWI edges <= L_V for every delta\n");
+    let corpus = experiment_corpus();
+    let differs: [&dyn Differ; 2] = [&GreedyDiffer::default(), &OnePassDiffer::default()];
+
+    let mut t = Table::new(vec!["workload", "inputs", "max |E|/L_V", "violations"]);
+    for differ in differs {
+        let mut max_ratio = 0.0f64;
+        let mut violations = 0usize;
+        for pair in &corpus {
+            let script = differ.diff(&pair.reference, &pair.version);
+            // Also the read-length bound from the proof: each copy may
+            // produce at most `l_i` edges.
+            let total_read: u64 = script.copies().iter().map(|c| c.len).sum();
+            let crwi = CrwiGraph::build(script.copies());
+            let e = crwi.edge_count() as u64;
+            if e > script.target_len() || e > total_read {
+                violations += 1;
+            }
+            if script.target_len() > 0 {
+                max_ratio = max_ratio.max(e as f64 / script.target_len() as f64);
+            }
+        }
+        t.row(vec![
+            format!("corpus / {}", differ.name()),
+            corpus.len().to_string(),
+            format!("{max_ratio:.4}"),
+            violations.to_string(),
+        ]);
+        assert_eq!(violations, 0, "Lemma 1 violated by {}", differ.name());
+    }
+
+    let mut adv_max = 0.0f64;
+    let mut adv_violations = 0usize;
+    let mut adv_count = 0usize;
+    for case in (1..=6)
+        .map(tree_digraph)
+        .chain([16u64, 64, 256].into_iter().map(quadratic_edges))
+    {
+        let crwi = CrwiGraph::build(case.script.copies());
+        let e = crwi.edge_count() as u64;
+        if e > case.script.target_len() {
+            adv_violations += 1;
+        }
+        adv_max = adv_max.max(e as f64 / case.script.target_len() as f64);
+        adv_count += 1;
+    }
+    t.row(vec![
+        "adversarial (fig. 2 + fig. 3)".into(),
+        adv_count.to_string(),
+        format!("{adv_max:.4}"),
+        adv_violations.to_string(),
+    ]);
+    assert_eq!(adv_violations, 0);
+    t.print();
+    println!("\n  [ok] no input exceeded the Lemma 1 bound");
+}

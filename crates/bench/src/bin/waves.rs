@@ -1,0 +1,77 @@
+//! Parallel application waves (ours): how much concurrency the CRWI DAG
+//! exposes once a delta is converted.
+//!
+//! §4.1 applies commands serially, "appropriate for limited capability
+//! network devices". A host-side patcher (or a DMA-queue device) can do
+//! better: commands with no conflict path between them may run
+//! concurrently. The longest path of the conflict DAG is the critical
+//! path; `commands / waves` is the available speedup.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin waves`
+
+use ipr_bench::{experiment_corpus, Table};
+use ipr_core::{convert_to_in_place, ConversionConfig, ParallelSchedule};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_workloads::adversarial::{quadratic_edges, tree_digraph};
+
+fn main() {
+    let corpus = experiment_corpus();
+    let differ = GreedyDiffer::default();
+
+    let mut total_commands = 0u64;
+    let mut total_waves = 0u64;
+    let mut max_waves = 0usize;
+    let mut serial_pairs = 0usize;
+    for pair in &corpus {
+        let script = differ.diff(&pair.reference, &pair.version);
+        let out = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default())
+            .expect("conversion cannot fail");
+        let plan = ParallelSchedule::plan(&out.script).expect("converted script is safe");
+        total_commands += out.script.len() as u64;
+        total_waves += plan.wave_count() as u64;
+        max_waves = max_waves.max(plan.wave_count());
+        if plan.wave_count() == out.script.len() {
+            serial_pairs += 1;
+        }
+    }
+
+    println!("Parallel application waves over {} corpus pairs\n", corpus.len());
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec![
+        "mean commands per delta".into(),
+        format!("{:.1}", total_commands as f64 / corpus.len() as f64),
+    ]);
+    t.row(vec![
+        "mean waves (critical path)".into(),
+        format!("{:.1}", total_waves as f64 / corpus.len() as f64),
+    ]);
+    t.row(vec![
+        "mean available parallelism".into(),
+        format!("{:.1}x", total_commands as f64 / total_waves as f64),
+    ]);
+    t.row(vec!["deepest critical path".into(), max_waves.to_string()]);
+    t.row(vec![
+        "fully serial deltas".into(),
+        format!("{serial_pairs}/{}", corpus.len()),
+    ]);
+    t.print();
+
+    println!("\nAdversarial inputs:\n");
+    let mut t = Table::new(vec!["input", "commands", "waves", "parallelism"]);
+    for case in [tree_digraph(5), quadratic_edges(64)] {
+        let out = convert_to_in_place(&case.script, &case.reference, &ConversionConfig::default())
+            .expect("conversion cannot fail");
+        let plan = ParallelSchedule::plan(&out.script).expect("safe");
+        t.row(vec![
+            case.label.clone(),
+            out.script.len().to_string(),
+            plan.wave_count().to_string(),
+            format!("{:.1}x", plan.parallelism()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nRealistic deltas expose substantial wave parallelism: the conflict\n\
+         structure is shallow even when it is wide."
+    );
+}

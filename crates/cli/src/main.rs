@@ -1,0 +1,535 @@
+//! `ipr` — create, convert, inspect and apply in-place reconstructible
+//! delta files.
+//!
+//! ```text
+//! ipr diff <reference> <version> <delta>      create a delta file
+//! ipr convert <reference> <delta> <out>       post-process for in-place
+//! ipr apply <reference> <delta> <out>         scratch-space apply
+//! ipr apply-in-place <file> <delta>           rebuild <file> in place
+//! ipr info <delta>                            print header and statistics
+//! ipr verify <delta>                          check Equation 2 safety
+//! ```
+
+use ipr_core::{check_in_place_safe, convert_to_in_place, ConversionConfig, CyclePolicy};
+use ipr_delta::codec::{self, Format};
+use ipr_delta::diff::{CorrectingDiffer, Differ, GreedyDiffer, OnePassDiffer};
+use ipr_delta::stats::ScriptStats;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ipr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn run(args: &[String]) -> CliResult {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "diff" => cmd_diff(rest),
+        "convert" => cmd_convert(rest),
+        "apply" => cmd_apply(rest),
+        "apply-in-place" => cmd_apply_in_place(rest),
+        "info" => cmd_info(rest),
+        "compose" => cmd_compose(rest),
+        "stats" => cmd_stats(rest),
+        "dump" => cmd_dump(rest),
+        "verify" => cmd_verify(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `ipr help`)").into()),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: ipr <subcommand> [...]\n\
+         \n\
+         subcommands:\n\
+         \x20 diff <reference> <version> <delta>  [--differ greedy|one-pass|correcting] [--format F]\n\
+         \x20 convert <reference> <delta> <out>   [--policy constant|local-min] [--format F]\n\
+         \x20 apply <reference> <delta> <out>\n\
+         \x20 apply-in-place <file> <delta>\n\
+         \x20 info <delta>\n\
+         \x20 compose <delta-1-2> <delta-2-3> <out>  [--format F]\n\
+         \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
+         \x20 dump <delta>           (list every command)\n\
+         \x20 verify <delta>\n\
+         \n\
+         formats F: ordered | in-place | paper-ordered | paper-in-place | improved"
+    );
+}
+
+/// Splits positional arguments from `--key value` options.
+fn parse_opts(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("option --{key} requires a value"))?;
+            options.push((key, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok((positional, options))
+}
+
+fn parse_format(name: &str) -> Result<Format, String> {
+    Ok(match name {
+        "ordered" => Format::Ordered,
+        "in-place" => Format::InPlace,
+        "paper-ordered" => Format::PaperOrdered,
+        "paper-in-place" => Format::PaperInPlace,
+        "improved" => Format::Improved,
+        _ => return Err(format!("unknown format `{name}`")),
+    })
+}
+
+fn parse_policy(name: &str) -> Result<CyclePolicy, String> {
+    Ok(match name {
+        "constant" | "constant-time" => CyclePolicy::ConstantTime,
+        "local-min" | "locally-minimum" => CyclePolicy::LocallyMinimum,
+        _ => return Err(format!("unknown policy `{name}`")),
+    })
+}
+
+fn cmd_diff(args: &[String]) -> CliResult {
+    let (pos, opts) = parse_opts(args)?;
+    let [reference_path, version_path, delta_path] = pos[..] else {
+        return Err("usage: ipr diff <reference> <version> <delta>".into());
+    };
+    let mut format = Format::Ordered;
+    let mut differ: Box<dyn Differ> = Box::new(GreedyDiffer::default());
+    for (k, v) in opts {
+        match k {
+            "format" => format = parse_format(v)?,
+            "differ" => {
+                differ = match v {
+                    "greedy" => Box::new(GreedyDiffer::default()),
+                    "one-pass" => Box::new(OnePassDiffer::default()),
+                    "correcting" => Box::new(CorrectingDiffer::default()),
+                    _ => return Err(format!("unknown differ `{v}`").into()),
+                }
+            }
+            _ => return Err(format!("unknown option --{k}").into()),
+        }
+    }
+    let reference = std::fs::read(reference_path)?;
+    let version = std::fs::read(version_path)?;
+    let script = differ.diff(&reference, &version);
+    let bytes = codec::encode_checked(&script, format, &version)?;
+    std::fs::write(delta_path, &bytes)?;
+    println!(
+        "{} -> {}: {} B delta for {} B version ({:.1}%), {}",
+        reference_path,
+        version_path,
+        bytes.len(),
+        version.len(),
+        100.0 * bytes.len() as f64 / version.len().max(1) as f64,
+        ScriptStats::of(&script)
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> CliResult {
+    let (pos, opts) = parse_opts(args)?;
+    let [reference_path, delta_path, out_path] = pos[..] else {
+        return Err("usage: ipr convert <reference> <delta> <out>".into());
+    };
+    let mut config = ConversionConfig::default();
+    let mut format = Format::InPlace;
+    for (k, v) in opts {
+        match k {
+            "policy" => config.policy = parse_policy(v)?,
+            "format" => {
+                format = parse_format(v)?;
+                if !format.supports_out_of_order() {
+                    return Err(format!("format `{v}` cannot carry in-place deltas").into());
+                }
+                config.cost_format = format;
+            }
+            _ => return Err(format!("unknown option --{k}").into()),
+        }
+    }
+    let reference = std::fs::read(reference_path)?;
+    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let outcome = convert_to_in_place(&decoded.script, &reference, &config)?;
+    let bytes = match decoded.target_crc {
+        Some(_) => {
+            // Re-apply to regenerate the target for the checked encoding.
+            let target = ipr_delta::apply(&decoded.script, &reference)?;
+            codec::encode_checked(&outcome.script, format, &target)?
+        }
+        None => codec::encode(&outcome.script, format)?,
+    };
+    std::fs::write(out_path, &bytes)?;
+    let r = &outcome.report;
+    println!(
+        "converted: {} copies, {} adds, {} edges, {} cycles broken, {} copies converted (+{} B)",
+        r.input_copies, r.input_adds, r.edges, r.cycles_broken, r.copies_converted,
+        r.conversion_cost
+    );
+    Ok(())
+}
+
+fn cmd_apply(args: &[String]) -> CliResult {
+    let (pos, _) = parse_opts(args)?;
+    let [reference_path, delta_path, out_path] = pos[..] else {
+        return Err("usage: ipr apply <reference> <delta> <out>".into());
+    };
+    let reference = std::fs::read(reference_path)?;
+    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let target = match decoded.target_crc {
+        Some(crc) => ipr_delta::apply_verified(&decoded.script, &reference, crc)?,
+        None => ipr_delta::apply(&decoded.script, &reference)?,
+    };
+    std::fs::write(out_path, &target)?;
+    println!("rebuilt {} B into {}", target.len(), out_path);
+    Ok(())
+}
+
+fn cmd_apply_in_place(args: &[String]) -> CliResult {
+    let (pos, _) = parse_opts(args)?;
+    let [file_path, delta_path] = pos[..] else {
+        return Err("usage: ipr apply-in-place <file> <delta>".into());
+    };
+    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    check_in_place_safe(&decoded.script)?;
+    let mut buf = std::fs::read(file_path)?;
+    let needed = ipr_core::required_capacity(&decoded.script) as usize;
+    buf.resize(buf.len().max(needed), 0);
+    ipr_core::apply_in_place(&decoded.script, &mut buf)?;
+    buf.truncate(decoded.script.target_len() as usize);
+    if let Some(crc) = decoded.target_crc {
+        let actual = ipr_delta::checksum::crc32(&buf);
+        if actual != crc {
+            return Err(format!("crc mismatch: {actual:#010x} != {crc:#010x}").into());
+        }
+    }
+    std::fs::write(file_path, &buf)?;
+    println!("rebuilt {} in place ({} B)", file_path, buf.len());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let (pos, _) = parse_opts(args)?;
+    let [delta_path] = pos[..] else {
+        return Err("usage: ipr info <delta>".into());
+    };
+    let raw = std::fs::read(delta_path)?;
+    let decoded = codec::decode(&raw)?;
+    let s = &decoded.script;
+    println!("format:       {}", decoded.format);
+    println!("source bytes: {}", s.source_len());
+    println!("target bytes: {}", s.target_len());
+    println!("delta bytes:  {}", raw.len());
+    println!("commands:     {}", ScriptStats::of(s));
+    println!(
+        "target crc32: {}",
+        decoded
+            .target_crc
+            .map_or("absent".to_string(), |c| format!("{c:#010x}"))
+    );
+    println!(
+        "in-place safe: {}",
+        if ipr_core::is_in_place_safe(s) { "yes" } else { "no" }
+    );
+    Ok(())
+}
+
+fn cmd_compose(args: &[String]) -> CliResult {
+    let (pos, opts) = parse_opts(args)?;
+    let [first_path, second_path, out_path] = pos[..] else {
+        return Err("usage: ipr compose <delta-1-2> <delta-2-3> <out>".into());
+    };
+    let mut format = Format::Ordered;
+    for (k, v) in opts {
+        match k {
+            "format" => format = parse_format(v)?,
+            _ => return Err(format!("unknown option --{k}").into()),
+        }
+    }
+    let first = codec::decode(&std::fs::read(first_path)?)?;
+    let second = codec::decode(&std::fs::read(second_path)?)?;
+    let composed = ipr_delta::compose(&first.script, &second.script)?;
+    // The composed delta produces the second delta's target: its CRC
+    // carries over verbatim.
+    let bytes = match second.target_crc {
+        Some(crc) => codec::encode_with_crc(&composed, format, crc)?,
+        None => codec::encode(&composed, format)?,
+    };
+    std::fs::write(out_path, &bytes)?;
+    println!(
+        "composed {} ({} cmds) ∘ {} ({} cmds) -> {} ({} cmds, {} B)",
+        first_path,
+        first.script.len(),
+        second_path,
+        second.script.len(),
+        out_path,
+        composed.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let (pos, opts) = parse_opts(args)?;
+    let [delta_path] = pos[..] else {
+        return Err("usage: ipr stats <delta> [--dot <file>]".into());
+    };
+    let mut dot_path = None;
+    for (k, v) in opts {
+        match k {
+            "dot" => dot_path = Some(v.to_string()),
+            _ => return Err(format!("unknown option --{k}").into()),
+        }
+    }
+    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let crwi = ipr_core::CrwiGraph::build(decoded.script.copies());
+    if let Some(path) = dot_path {
+        let copies = crwi.copies().to_vec();
+        let dot = crwi
+            .graph()
+            .to_dot(|v| format!("{}", copies[v as usize]));
+        std::fs::write(&path, dot)?;
+        println!("wrote conflict digraph to {path} (Graphviz DOT)");
+    }
+    let stats = ipr_core::CrwiStats::analyze(&crwi);
+    println!("CRWI conflict digraph of {delta_path}:");
+    println!("{stats}");
+    if stats.acyclic {
+        println!("=> reordering alone yields an in-place reconstructible delta");
+    } else {
+        println!(
+            "=> cycle breaking will convert at most {} copies ({} B)",
+            stats.vertices_on_cycles, stats.bytes_at_risk
+        );
+    }
+    if let Some(plan) = ipr_core::ParallelSchedule::plan(&decoded.script) {
+        println!(
+            "parallel waves: {} (critical path) over {} commands, {:.1}x parallelism",
+            plan.wave_count(),
+            decoded.script.len(),
+            plan.parallelism()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> CliResult {
+    let (pos, _) = parse_opts(args)?;
+    let [delta_path] = pos[..] else {
+        return Err("usage: ipr dump <delta>".into());
+    };
+    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    println!(
+        "# {} format, {} -> {} bytes, {} commands",
+        decoded.format,
+        decoded.script.source_len(),
+        decoded.script.target_len(),
+        decoded.script.len()
+    );
+    for (i, cmd) in decoded.script.commands().iter().enumerate() {
+        println!("{i:6}  {cmd}");
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> CliResult {
+    let (pos, _) = parse_opts(args)?;
+    let [delta_path] = pos[..] else {
+        return Err("usage: ipr verify <delta>".into());
+    };
+    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    match check_in_place_safe(&decoded.script) {
+        Ok(()) => {
+            println!("ok: delta satisfies Equation 2 (in-place reconstructible)");
+            Ok(())
+        }
+        Err(v) => {
+            let conflicts = ipr_core::list_wr_conflicts(&decoded.script, 5);
+            for c in &conflicts {
+                eprintln!("  conflict: {c}");
+            }
+            let total = ipr_core::count_wr_conflicts(&decoded.script);
+            if total > conflicts.len() {
+                eprintln!("  … and {} more", total - conflicts.len());
+            }
+            Err(format!("NOT in-place safe: {v}").into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_opts_splits_positional_and_options() {
+        let args = s(&["a", "--format", "ordered", "b", "--policy", "constant"]);
+        let (pos, opts) = parse_opts(&args).unwrap();
+        assert_eq!(pos, vec!["a", "b"]);
+        assert_eq!(opts, vec![("format", "ordered"), ("policy", "constant")]);
+    }
+
+    #[test]
+    fn parse_opts_rejects_dangling_option() {
+        let args = s(&["a", "--format"]);
+        assert!(parse_opts(&args).is_err());
+    }
+
+    #[test]
+    fn parse_format_all_names() {
+        for (name, f) in [
+            ("ordered", Format::Ordered),
+            ("in-place", Format::InPlace),
+            ("paper-ordered", Format::PaperOrdered),
+            ("paper-in-place", Format::PaperInPlace),
+            ("improved", Format::Improved),
+        ] {
+            assert_eq!(parse_format(name).unwrap(), f);
+        }
+        assert!(parse_format("bogus").is_err());
+    }
+
+    #[test]
+    fn parse_policy_names() {
+        assert_eq!(parse_policy("constant").unwrap(), CyclePolicy::ConstantTime);
+        assert_eq!(parse_policy("local-min").unwrap(), CyclePolicy::LocallyMinimum);
+        assert!(parse_policy("optimal").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_through_tempdir() {
+        let dir = std::env::temp_dir().join(format!("ipr-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let reference: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 251) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(512);
+        std::fs::write(p("old"), &reference).unwrap();
+        std::fs::write(p("new"), &version).unwrap();
+
+        // diff -> convert -> info/verify -> apply and apply-in-place.
+        run(&s(&["diff", &p("old"), &p("new"), &p("delta")])).unwrap();
+        run(&s(&["convert", &p("old"), &p("delta"), &p("delta-ip")])).unwrap();
+        run(&s(&["info", &p("delta-ip")])).unwrap();
+        run(&s(&["stats", &p("delta-ip"), "--dot", &p("graph.dot")])).unwrap();
+        let dot = std::fs::read_to_string(p("graph.dot")).unwrap();
+        assert!(dot.starts_with("digraph"));
+        run(&s(&["dump", &p("delta-ip")])).unwrap();
+        run(&s(&["verify", &p("delta-ip")])).unwrap();
+        run(&s(&["apply", &p("old"), &p("delta-ip"), &p("rebuilt")])).unwrap();
+        assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
+
+        // Compose: old -> new -> newer collapsed into old -> newer.
+        let mut newer = version.clone();
+        newer.rotate_right(100);
+        std::fs::write(p("newer"), &newer).unwrap();
+        run(&s(&["diff", &p("new"), &p("newer"), &p("delta2")])).unwrap();
+        run(&s(&["compose", &p("delta"), &p("delta2"), &p("composed")])).unwrap();
+        run(&s(&["apply", &p("old"), &p("composed"), &p("rebuilt2")])).unwrap();
+        assert_eq!(std::fs::read(p("rebuilt2")).unwrap(), newer);
+        std::fs::copy(p("old"), p("inplace")).unwrap();
+        run(&s(&["apply-in-place", &p("inplace"), &p("delta-ip")])).unwrap();
+        assert_eq!(std::fs::read(p("inplace")).unwrap(), version);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_paths_reported_not_panicked() {
+        let dir = std::env::temp_dir().join(format!("ipr-cli-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let old: Vec<u8> = (0..256u32).map(|i| (i * 7 % 251) as u8).collect();
+        let mut new = old.clone();
+        new[128] ^= 0xff; // the delta copies most of the reference
+        std::fs::write(p("old"), &old).unwrap();
+        std::fs::write(p("new"), &new).unwrap();
+        std::fs::write(p("junk"), b"this is not a delta file").unwrap();
+
+        // Missing files.
+        assert!(run(&s(&["diff", &p("nope"), &p("new"), &p("d")])).is_err());
+        assert!(run(&s(&["apply", &p("old"), &p("nope"), &p("out")])).is_err());
+        // Junk delta.
+        assert!(run(&s(&["info", &p("junk")])).is_err());
+        assert!(run(&s(&["verify", &p("junk")])).is_err());
+        assert!(run(&s(&["stats", &p("junk")])).is_err());
+        // Wrong arity.
+        assert!(run(&s(&["diff", &p("old")])).is_err());
+        assert!(run(&s(&["convert", &p("old")])).is_err());
+        assert!(run(&s(&["compose", &p("old")])).is_err());
+        // Unknown options/values.
+        run(&s(&["diff", &p("old"), &p("new"), &p("d")])).unwrap();
+        assert!(run(&s(&["diff", &p("old"), &p("new"), &p("d"), "--format", "bogus"])).is_err());
+        assert!(run(&s(&["diff", &p("old"), &p("new"), &p("d"), "--bogus", "x"])).is_err());
+        assert!(run(&s(&["convert", &p("old"), &p("d"), &p("o"), "--policy", "magic"])).is_err());
+        // Ordered format cannot carry in-place deltas.
+        assert!(run(&s(&["convert", &p("old"), &p("d"), &p("o"), "--format", "ordered"])).is_err());
+        // Applying against the wrong reference fails the CRC.
+        std::fs::write(p("wrong"), vec![0x55u8; old.len()]).unwrap();
+        assert!(run(&s(&["apply", &p("wrong"), &p("d"), &p("out")])).is_err());
+        // Composing non-consecutive deltas fails (d: 256 -> 256 bytes,
+        // d2: 28 -> 256 bytes: d's target is not d2's source).
+        std::fs::write(p("other"), b"completely unrelated bytes!!").unwrap();
+        run(&s(&["diff", &p("other"), &p("old"), &p("d2")])).unwrap();
+        assert!(run(&s(&["compose", &p("d"), &p("d2"), &p("dc")])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn one_pass_differ_and_policies_selectable() {
+        let dir = std::env::temp_dir().join(format!("ipr-cli-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let reference = vec![3u8; 4096];
+        let mut version = reference.clone();
+        version[17] = 4;
+        std::fs::write(p("old"), &reference).unwrap();
+        std::fs::write(p("new"), &version).unwrap();
+        run(&s(&[
+            "diff", &p("old"), &p("new"), &p("d"), "--differ", "one-pass",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "convert", &p("old"), &p("d"), &p("d-ip"), "--policy", "constant", "--format",
+            "improved",
+        ]))
+        .unwrap();
+        run(&s(&["verify", &p("d-ip")])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,160 @@
+//! Structural analysis of CRWI digraphs.
+//!
+//! §5–§6 of the paper reason about the *shape* of conflict digraphs —
+//! sparsity, cycle frequency, component structure. This module computes
+//! those statistics for a concrete graph, powering the `ipr stats` CLI
+//! command and the experiment reports.
+
+use crate::crwi::CrwiGraph;
+use ipr_digraph::{scc, topo};
+use std::fmt;
+
+/// Structural statistics of one CRWI digraph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CrwiStats {
+    /// Vertices (copy commands).
+    pub nodes: usize,
+    /// Edges (potential write-before-read conflicts).
+    pub edges: usize,
+    /// Edge density relative to the quadratic worst case
+    /// (`edges / nodes²`; §6 shows it can approach 1/4).
+    pub density: f64,
+    /// Whether the graph is acyclic (reordering alone suffices).
+    pub acyclic: bool,
+    /// Strongly connected components.
+    pub components: usize,
+    /// Components that can carry a cycle (size > 1 or self-loop).
+    pub cyclic_components: usize,
+    /// Vertices in the largest cyclic component (0 if acyclic).
+    pub largest_cyclic_component: usize,
+    /// Vertices involved in any cycle (sum of cyclic component sizes):
+    /// an upper bound on how many copies cycle breaking may convert.
+    pub vertices_on_cycles: usize,
+    /// Total bytes written by copies on cycles: an upper bound on the
+    /// literal bytes conversion can add.
+    pub bytes_at_risk: u64,
+}
+
+impl CrwiStats {
+    /// Analyzes a built CRWI graph.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ipr_delta::Copy;
+    /// use ipr_core::{CrwiGraph, CrwiStats};
+    ///
+    /// // A two-command swap: one 2-cycle.
+    /// let crwi = CrwiGraph::build(vec![
+    ///     Copy { from: 8, to: 0, len: 8 },
+    ///     Copy { from: 0, to: 8, len: 8 },
+    /// ]);
+    /// let stats = CrwiStats::analyze(&crwi);
+    /// assert!(!stats.acyclic);
+    /// assert_eq!(stats.vertices_on_cycles, 2);
+    /// assert_eq!(stats.bytes_at_risk, 16);
+    /// ```
+    #[must_use]
+    pub fn analyze(crwi: &CrwiGraph) -> Self {
+        let graph = crwi.graph();
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let sccs = scc::tarjan(graph);
+        let cyclic = sccs.cyclic_components(graph);
+        let largest = cyclic.iter().map(|c| c.len()).max().unwrap_or(0);
+        let on_cycles: usize = cyclic.iter().map(|c| c.len()).sum();
+        let bytes_at_risk: u64 = cyclic
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&v| crwi.copies()[v as usize].len)
+            .sum();
+        Self {
+            nodes,
+            edges,
+            density: if nodes == 0 {
+                0.0
+            } else {
+                edges as f64 / (nodes as f64 * nodes as f64)
+            },
+            acyclic: topo::is_acyclic(graph),
+            components: sccs.count(),
+            cyclic_components: cyclic.len(),
+            largest_cyclic_component: largest,
+            vertices_on_cycles: on_cycles,
+            bytes_at_risk,
+        }
+    }
+}
+
+impl fmt::Display for CrwiStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "vertices:                 {}", self.nodes)?;
+        writeln!(f, "edges:                    {}", self.edges)?;
+        writeln!(f, "density (|E|/|V|^2):      {:.4}", self.density)?;
+        writeln!(f, "acyclic:                  {}", if self.acyclic { "yes" } else { "no" })?;
+        writeln!(f, "components:               {}", self.components)?;
+        writeln!(f, "cyclic components:        {}", self.cyclic_components)?;
+        writeln!(f, "largest cyclic component: {}", self.largest_cyclic_component)?;
+        writeln!(f, "vertices on cycles:       {}", self.vertices_on_cycles)?;
+        write!(f, "bytes at risk:            {}", self.bytes_at_risk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_delta::Copy;
+
+    #[test]
+    fn acyclic_graph_stats() {
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 4, to: 0, len: 4 },
+            Copy { from: 8, to: 4, len: 4 },
+        ]);
+        let s = CrwiStats::analyze(&crwi);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.edges, 1);
+        assert!(s.acyclic);
+        assert_eq!(s.cyclic_components, 0);
+        assert_eq!(s.vertices_on_cycles, 0);
+        assert_eq!(s.bytes_at_risk, 0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn swap_stats() {
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 8, to: 0, len: 8 },
+            Copy { from: 0, to: 8, len: 8 },
+        ]);
+        let s = CrwiStats::analyze(&crwi);
+        assert!(!s.acyclic);
+        assert_eq!(s.cyclic_components, 1);
+        assert_eq!(s.largest_cyclic_component, 2);
+        assert_eq!(s.bytes_at_risk, 16);
+        assert!((s.density - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_graph_counts_only_cyclic_bytes() {
+        // A swap plus an unrelated safe copy.
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 8, to: 0, len: 8 },
+            Copy { from: 0, to: 8, len: 8 },
+            Copy { from: 100, to: 50, len: 10 },
+        ]);
+        let s = CrwiStats::analyze(&crwi);
+        assert_eq!(s.vertices_on_cycles, 2);
+        assert_eq!(s.bytes_at_risk, 16);
+        assert_eq!(s.nodes, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let crwi = CrwiGraph::build(vec![]);
+        let s = CrwiStats::analyze(&crwi);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.density, 0.0);
+        assert!(s.acyclic);
+    }
+}

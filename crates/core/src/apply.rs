@@ -1,0 +1,316 @@
+//! In-place application: rebuild the version file in the buffer that holds
+//! the reference file, with no scratch space.
+//!
+//! Copy commands whose read and write intervals overlap are performed
+//! directionally (§4.1): left-to-right when `from >= to`, right-to-left
+//! when `from < to`, so no byte is read after the command itself has
+//! overwritten it. The paper notes the rule applies to "moving a
+//! read/write buffer of any size"; [`apply_in_place_buffered`] implements
+//! exactly that, modelling a device that stages copies through a small
+//! RAM buffer while the file lives in storage.
+
+use ipr_delta::{Command, DeltaScript};
+use std::fmt;
+
+/// Error returned by the in-place appliers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InPlaceApplyError {
+    /// The buffer must hold `max(source_len, target_len)` bytes.
+    BufferTooSmall {
+        /// Required capacity.
+        needed: u64,
+        /// Supplied capacity.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for InPlaceApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InPlaceApplyError::BufferTooSmall { needed, actual } => {
+                write!(f, "in-place buffer holds {actual} bytes, need {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InPlaceApplyError {}
+
+/// Applies `script` to `buf` in place, serially, in command order.
+///
+/// `buf` must contain the reference file in its first `source_len` bytes
+/// and be at least `max(source_len, target_len)` bytes long; afterwards
+/// its first `target_len` bytes hold the version file.
+///
+/// **This function trusts the command order.** Applying a script that
+/// violates Equation 2 (see
+/// [`check_in_place_safe`](crate::check_in_place_safe)) silently produces
+/// corrupt output — that is precisely the failure mode the paper's
+/// conversion algorithm exists to prevent. Scripts produced by
+/// [`convert_to_in_place`](crate::convert_to_in_place) are always safe.
+///
+/// # Errors
+///
+/// Returns [`InPlaceApplyError::BufferTooSmall`] if `buf` cannot hold both
+/// file versions.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::{Command, DeltaScript};
+/// use ipr_core::apply_in_place;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let script = DeltaScript::new(4, 4, vec![
+///     Command::copy(2, 0, 2),
+///     Command::add(2, b"!!".to_vec()),
+/// ])?;
+/// let mut buf = b"abcd".to_vec();
+/// apply_in_place(&script, &mut buf)?;
+/// assert_eq!(&buf, b"cd!!");
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply_in_place(script: &DeltaScript, buf: &mut [u8]) -> Result<(), InPlaceApplyError> {
+    check_capacity(script, buf)?;
+    for cmd in script.commands() {
+        match cmd {
+            Command::Copy(c) => {
+                let src = c.read_interval().as_usize_range();
+                let dst = usize::try_from(c.to).expect("offset fits usize");
+                // `copy_within` has memmove semantics: it behaves as the
+                // paper's left-to-right / right-to-left rule for
+                // self-overlapping copies.
+                buf.copy_within(src, dst);
+            }
+            Command::Add(a) => {
+                let dst = a.write_interval().as_usize_range();
+                buf[dst].copy_from_slice(&a.data);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Like [`apply_in_place`], but stages every copy through a bounce buffer
+/// of `chunk_size` bytes, moving left-to-right when `from >= to` and
+/// right-to-left otherwise — the paper's directional rule at arbitrary
+/// buffer granularity, as a storage-constrained device would implement it.
+///
+/// Produces byte-identical results to [`apply_in_place`] for every
+/// `chunk_size >= 1` (invariant I8 of DESIGN.md).
+///
+/// # Errors
+///
+/// Returns [`InPlaceApplyError::BufferTooSmall`] if `buf` cannot hold both
+/// file versions.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn apply_in_place_buffered(
+    script: &DeltaScript,
+    buf: &mut [u8],
+    chunk_size: usize,
+) -> Result<(), InPlaceApplyError> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    check_capacity(script, buf)?;
+    let mut bounce = vec![0u8; chunk_size];
+    for cmd in script.commands() {
+        match cmd {
+            Command::Copy(c) => {
+                let from = usize::try_from(c.from).expect("offset fits usize");
+                let to = usize::try_from(c.to).expect("offset fits usize");
+                let len = usize::try_from(c.len).expect("length fits usize");
+                if from >= to {
+                    // Left-to-right: the read cursor stays ahead of the
+                    // write cursor, so already-written bytes are never read.
+                    let mut done = 0;
+                    while done < len {
+                        let n = chunk_size.min(len - done);
+                        bounce[..n].copy_from_slice(&buf[from + done..from + done + n]);
+                        buf[to + done..to + done + n].copy_from_slice(&bounce[..n]);
+                        done += n;
+                    }
+                } else {
+                    // Right-to-left: symmetric argument.
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let n = chunk_size.min(remaining);
+                        let off = remaining - n;
+                        bounce[..n].copy_from_slice(&buf[from + off..from + off + n]);
+                        buf[to + off..to + off + n].copy_from_slice(&bounce[..n]);
+                        remaining -= n;
+                    }
+                }
+            }
+            Command::Add(a) => {
+                let dst = a.write_interval().as_usize_range();
+                buf[dst].copy_from_slice(&a.data);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The buffer capacity in bytes that in-place application of `script`
+/// requires: `max(source_len, target_len)`.
+#[must_use]
+pub fn required_capacity(script: &DeltaScript) -> u64 {
+    script.source_len().max(script.target_len())
+}
+
+fn check_capacity(script: &DeltaScript, buf: &[u8]) -> Result<(), InPlaceApplyError> {
+    let needed = required_capacity(script);
+    if (buf.len() as u64) < needed {
+        return Err(InPlaceApplyError::BufferTooSmall {
+            needed,
+            actual: buf.len() as u64,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_delta::apply;
+
+    fn rotation_script() -> (DeltaScript, Vec<u8>) {
+        // Rotate a 16-byte file left by 4 with overlapping copies.
+        let script = DeltaScript::new(
+            16,
+            16,
+            vec![
+                Command::copy(4, 0, 12), // self-overlapping, left-to-right
+                Command::copy(0, 12, 4),
+            ],
+        )
+        .unwrap();
+        let reference: Vec<u8> = (0u8..16).collect();
+        (script, reference)
+    }
+
+    #[test]
+    fn overlapping_forward_copy_left_to_right() {
+        let (script, reference) = rotation_script();
+        // This order is NOT safe (command 1 reads [0,4) which command 0
+        // wrote), so convert first — here we just exercise the
+        // self-overlap handling of command 0 in isolation.
+        let solo = DeltaScript::new(16, 12, vec![Command::copy(4, 0, 12)]).unwrap();
+        let mut buf = reference.clone();
+        apply_in_place(&solo, &mut buf).unwrap();
+        assert_eq!(&buf[..12], &reference[4..16]);
+        let _ = script;
+    }
+
+    #[test]
+    fn overlapping_backward_copy_right_to_left() {
+        // from < to: shift right by 4 within the buffer.
+        let solo = DeltaScript::new(12, 16, vec![
+            Command::copy(0, 4, 12),
+            Command::add(0, vec![0xAA; 4]),
+        ])
+        .unwrap();
+        let reference: Vec<u8> = (0u8..12).collect();
+        let mut buf = reference.clone();
+        buf.resize(16, 0);
+        apply_in_place(&solo, &mut buf).unwrap();
+        assert_eq!(&buf[4..16], &reference[..]);
+        assert_eq!(&buf[..4], &[0xAA; 4]);
+    }
+
+    #[test]
+    fn buffered_matches_unbuffered_at_all_granularities() {
+        let solo = DeltaScript::new(64, 64, vec![
+            Command::copy(8, 0, 40),  // forward self-overlap
+            Command::copy(40, 48, 16), // backward overlap (from < to)
+            Command::add(40, vec![7; 8]),
+        ])
+        .unwrap();
+        let reference: Vec<u8> = (0u8..64).collect();
+        let mut expected = reference.clone();
+        apply_in_place(&solo, &mut expected).unwrap();
+        for chunk in [1usize, 2, 3, 5, 7, 16, 64, 1024] {
+            let mut buf = reference.clone();
+            apply_in_place_buffered(&solo, &mut buf, chunk).unwrap();
+            assert_eq!(buf, expected, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn safe_script_matches_scratch_apply() {
+        // A safe order rebuilt in place equals the scratch-space rebuild.
+        let script = DeltaScript::new(
+            16,
+            16,
+            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
+        )
+        .unwrap();
+        let reference: Vec<u8> = (0u8..16).collect();
+        // Order [copy(8->0), copy(0->8)] is unsafe; the safe order reads
+        // [8,16) first. Actually copy(8,0,8) reads [8,16) and writes [0,8):
+        // safe first. Then copy(0,8,8) reads [0,8) — clobbered! This 2-cycle
+        // has no safe order; use the verified converter in convert.rs tests.
+        // Here, apply a genuinely safe script: a single rotation via
+        // non-conflicting regions.
+        let safe = DeltaScript::new(
+            16,
+            16,
+            vec![
+                Command::copy(12, 0, 4),
+                Command::add(4, vec![9; 8]),
+                Command::copy(12, 12, 4),
+            ],
+        )
+        .unwrap();
+        assert!(crate::verify::is_in_place_safe(&safe));
+        let expected = apply(&safe, &reference).unwrap();
+        let mut buf = reference.clone();
+        apply_in_place(&safe, &mut buf).unwrap();
+        assert_eq!(&buf[..16], &expected[..]);
+        let _ = script;
+    }
+
+    #[test]
+    fn unsafe_script_corrupts_demonstrably() {
+        // The motivating failure: apply an unconverted delta in place and
+        // watch it corrupt.
+        let unsafe_script = DeltaScript::new(
+            16,
+            16,
+            vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)],
+        )
+        .unwrap();
+        let reference: Vec<u8> = (0u8..16).collect();
+        let expected = apply(&unsafe_script, &reference).unwrap();
+        let mut buf = reference.clone();
+        apply_in_place(&unsafe_script, &mut buf).unwrap();
+        assert_ne!(&buf[..16], &expected[..], "in-place naive apply corrupts");
+    }
+
+    #[test]
+    fn buffer_too_small_rejected() {
+        let script = DeltaScript::new(8, 8, vec![Command::copy(0, 0, 8)]).unwrap();
+        let mut buf = vec![0u8; 4];
+        let err = apply_in_place(&script, &mut buf).unwrap_err();
+        assert_eq!(err, InPlaceApplyError::BufferTooSmall { needed: 8, actual: 4 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn required_capacity_is_max_of_lengths() {
+        let grow = DeltaScript::new(4, 10, vec![Command::add(0, vec![1; 10])]).unwrap();
+        assert_eq!(required_capacity(&grow), 10);
+        let shrink = DeltaScript::new(10, 4, vec![Command::copy(0, 0, 4)]).unwrap();
+        assert_eq!(required_capacity(&shrink), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        let script = DeltaScript::new(1, 1, vec![Command::copy(0, 0, 1)]).unwrap();
+        let mut buf = vec![0u8; 1];
+        let _ = apply_in_place_buffered(&script, &mut buf, 0);
+    }
+}

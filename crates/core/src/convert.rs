@@ -1,0 +1,505 @@
+//! The in-place conversion algorithm (§4 of the paper).
+//!
+//! Takes an arbitrary delta script and produces an equivalent script that
+//! reconstructs the version file correctly when applied serially to the
+//! buffer holding the reference file:
+//!
+//! 1. partition commands into copies and adds (adds go last — they never
+//!    read the reference, §4.1);
+//! 2. sort the copies by write offset;
+//! 3. build the CRWI conflict digraph;
+//! 4. topologically sort it, breaking cycles by deleting vertices per the
+//!    configured [`CyclePolicy`];
+//! 5. emit retained copies in topological order;
+//! 6. emit all adds — the original ones plus the deleted copies converted
+//!    to adds (their data materialized from the reference file).
+
+use crate::crwi::CrwiGraph;
+use crate::policy::CyclePolicy;
+use crate::toposort::{sort_breaking_cycles, SortOutcome};
+use ipr_delta::codec::Format;
+use ipr_delta::{Add, Command, DeltaScript};
+use ipr_digraph::fvs::ComponentTooLarge;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`convert_to_in_place`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConversionConfig {
+    /// Cycle-breaking policy (step 4).
+    pub policy: CyclePolicy,
+    /// Codeword format used as the *cost model*: deleting vertex `v`
+    /// costs `format.conversion_cost(copy_v)` encoded bytes.
+    pub cost_format: Format,
+}
+
+impl Default for ConversionConfig {
+    /// Locally-minimum cycle breaking costed against the in-place varint
+    /// format.
+    fn default() -> Self {
+        Self {
+            policy: CyclePolicy::LocallyMinimum,
+            cost_format: Format::InPlace,
+        }
+    }
+}
+
+impl ConversionConfig {
+    /// Convenience constructor for a policy with the default cost format.
+    #[must_use]
+    pub fn with_policy(policy: CyclePolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+}
+
+/// Error returned by [`convert_to_in_place`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The reference buffer does not match the script's source length; the
+    /// converter needs the reference to materialize converted adds.
+    SourceLenMismatch {
+        /// Length the script declares.
+        expected: u64,
+        /// Length of the buffer supplied.
+        actual: u64,
+    },
+    /// The exhaustive policy met a strongly connected component larger
+    /// than its limit.
+    ComponentTooLarge(ComponentTooLarge),
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::SourceLenMismatch { expected, actual } => {
+                write!(f, "reference is {actual} bytes, script expects {expected}")
+            }
+            ConvertError::ComponentTooLarge(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvertError::ComponentTooLarge(e) => Some(e),
+            ConvertError::SourceLenMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<ComponentTooLarge> for ConvertError {
+    fn from(e: ComponentTooLarge) -> Self {
+        ConvertError::ComponentTooLarge(e)
+    }
+}
+
+/// Measurements from one conversion, the raw material of the paper's
+/// Table 1 and timing results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConversionReport {
+    /// Copy commands in the input script.
+    pub input_copies: usize,
+    /// Add commands in the input script.
+    pub input_adds: usize,
+    /// Edges in the CRWI digraph (potential WR conflicts).
+    pub edges: usize,
+    /// Cycles broken during the topological sort.
+    pub cycles_broken: usize,
+    /// Copy commands converted to adds.
+    pub copies_converted: usize,
+    /// Version bytes carried by converted commands (now literal in the
+    /// delta).
+    pub bytes_converted: u64,
+    /// Delta growth in encoded bytes under the configured cost format
+    /// (the "loss from cycles" of Table 1).
+    pub conversion_cost: u64,
+    /// Vertices examined while scanning cycles (locally-minimum work).
+    pub cycle_nodes_examined: usize,
+    /// Time spent building the CRWI digraph.
+    pub graph_build_time: Duration,
+    /// Time spent sorting and breaking cycles.
+    pub sort_time: Duration,
+}
+
+impl ConversionReport {
+    /// Total conversion time (graph construction + sort).
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.graph_build_time + self.sort_time
+    }
+}
+
+impl fmt::Display for ConversionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} copies + {} adds; {} conflict edges; {} cycles broken; \
+             {} copies converted ({} B payload, +{} B encoded) in {:?}",
+            self.input_copies,
+            self.input_adds,
+            self.edges,
+            self.cycles_broken,
+            self.copies_converted,
+            self.bytes_converted,
+            self.conversion_cost,
+            self.total_time(),
+        )
+    }
+}
+
+/// A converted, in-place reconstructible delta.
+#[derive(Clone, Debug)]
+pub struct InPlaceOutcome {
+    /// The permuted and converted script; satisfies Equation 2 and is safe
+    /// for [`apply_in_place`](crate::apply_in_place).
+    pub script: DeltaScript,
+    /// Conversion measurements.
+    pub report: ConversionReport,
+}
+
+/// Post-processes `script` so it can reconstruct the version file in the
+/// space the reference file occupies.
+///
+/// `reference` must be the reference file: deleted copy commands are
+/// re-encoded as add commands whose literal data is read from it.
+///
+/// The output script applies its retained copies in conflict-free
+/// topological order followed by every add command (sorted by write
+/// offset), and always satisfies Equation 2.
+///
+/// # Errors
+///
+/// * [`ConvertError::SourceLenMismatch`] — `reference` length differs from
+///   `script.source_len()`.
+/// * [`ConvertError::ComponentTooLarge`] — only with
+///   [`CyclePolicy::Exhaustive`].
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::{Command, DeltaScript};
+/// use ipr_core::{convert_to_in_place, check_in_place_safe, ConversionConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A block swap: naively ordered, it corrupts in place.
+/// let script = DeltaScript::new(16, 16, vec![
+///     Command::copy(8, 0, 8),
+///     Command::copy(0, 8, 8),
+/// ])?;
+/// let reference = (0u8..16).collect::<Vec<_>>();
+/// let outcome = convert_to_in_place(&script, &reference, &ConversionConfig::default())?;
+/// assert!(check_in_place_safe(&outcome.script).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn convert_to_in_place(
+    script: &DeltaScript,
+    reference: &[u8],
+    config: &ConversionConfig,
+) -> Result<InPlaceOutcome, ConvertError> {
+    if reference.len() as u64 != script.source_len() {
+        return Err(ConvertError::SourceLenMismatch {
+            expected: script.source_len(),
+            actual: reference.len() as u64,
+        });
+    }
+
+    // Steps 1-3: partition, sort by write offset, build the digraph.
+    let build_start = Instant::now();
+    let copies = script.copies();
+    let input_copies = copies.len();
+    let input_adds = script.add_count();
+    let crwi = CrwiGraph::build(copies);
+    let graph_build_time = build_start.elapsed();
+
+    // Step 4: cycle-breaking topological sort.
+    let sort_start = Instant::now();
+    let costs: Vec<u64> = crwi
+        .copies()
+        .iter()
+        .map(|c| config.cost_format.conversion_cost(c))
+        .collect();
+    let SortOutcome {
+        order,
+        removed,
+        cycles_broken,
+        cycle_nodes_examined,
+    } = sort_breaking_cycles(crwi.graph(), &costs, config.policy)?;
+    let sort_time = sort_start.elapsed();
+
+    // Steps 5-6: emit copies in topological order, then adds.
+    let mut commands: Vec<Command> =
+        Vec::with_capacity(order.len() + removed.len() + input_adds);
+    for &v in &order {
+        commands.push(Command::Copy(crwi.copies()[v as usize]));
+    }
+    let mut adds: Vec<Add> = script.adds();
+    let mut bytes_converted = 0u64;
+    let mut conversion_cost = 0u64;
+    for &v in &removed {
+        let c = crwi.copies()[v as usize];
+        bytes_converted += c.len;
+        conversion_cost += config.cost_format.conversion_cost(&c);
+        let start = usize::try_from(c.from).expect("offset fits usize");
+        let end = usize::try_from(c.from + c.len).expect("offset fits usize");
+        adds.push(Add::new(c.to, reference[start..end].to_vec()));
+    }
+    adds.sort_by_key(|a| a.to);
+    let copies_converted = removed.len();
+    commands.extend(adds.into_iter().map(Command::Add));
+
+    let script = DeltaScript::new(script.source_len(), script.target_len(), commands)
+        .expect("conversion preserves script validity");
+    debug_assert!(crate::verify::is_in_place_safe(&script));
+
+    Ok(InPlaceOutcome {
+        script,
+        report: ConversionReport {
+            input_copies,
+            input_adds,
+            edges: crwi.edge_count(),
+            cycles_broken,
+            copies_converted,
+            bytes_converted,
+            conversion_cost,
+            cycle_nodes_examined,
+            graph_build_time,
+            sort_time,
+        },
+    })
+}
+
+/// One-step pipeline: difference `version` against `reference` and convert
+/// the result for in-place reconstruction.
+///
+/// The paper notes the conversion "integrates easily into a compression
+/// algorithm so that an in-place reconstructible file may be output
+/// directly"; this is that integration point.
+///
+/// # Errors
+///
+/// Propagates [`ConvertError`] (the differ itself cannot fail).
+pub fn diff_in_place(
+    differ: &dyn ipr_delta::diff::Differ,
+    reference: &[u8],
+    version: &[u8],
+    config: &ConversionConfig,
+) -> Result<InPlaceOutcome, ConvertError> {
+    let script = differ.diff(reference, version);
+    convert_to_in_place(&script, reference, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_in_place;
+    use crate::verify::{count_wr_conflicts, is_in_place_safe};
+    use ipr_delta::apply;
+
+    fn reference16() -> Vec<u8> {
+        (0u8..16).collect()
+    }
+
+    fn convert(script: &DeltaScript, reference: &[u8]) -> InPlaceOutcome {
+        convert_to_in_place(script, reference, &ConversionConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn acyclic_swap_reordered_without_conversion() {
+        // Swap of two blocks where only one direction conflicts is just a
+        // 2-cycle... use a rotation instead: copy [8,16) -> [0,8) and
+        // [0,8) -> [8,16) form a 2-cycle, so one conversion is needed.
+        let script = DeltaScript::new(
+            16,
+            16,
+            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
+        )
+        .unwrap();
+        let reference = reference16();
+        let out = convert(&script, &reference);
+        assert_eq!(out.report.cycles_broken, 1);
+        assert_eq!(out.report.copies_converted, 1);
+        assert!(is_in_place_safe(&out.script));
+        // Equivalence with scratch-space application.
+        let expected = apply(&script, &reference).unwrap();
+        let mut buf = reference.clone();
+        apply_in_place(&out.script, &mut buf).unwrap();
+        assert_eq!(&buf[..16], &expected[..]);
+    }
+
+    #[test]
+    fn pure_reorder_when_no_cycles() {
+        // Shift data toward lower offsets: command i reads block i+1 and
+        // writes block i. Conflicts form a path; reordering suffices.
+        let cmds: Vec<Command> = (0..7u64).map(|i| Command::copy(2 * (i + 1), 2 * i, 2)).collect();
+        let script = DeltaScript::new(
+            16,
+            14,
+            cmds,
+        )
+        .unwrap();
+        let reference = reference16();
+        let naive_conflicts = count_wr_conflicts(&script);
+        assert_eq!(naive_conflicts, 0, "ascending order already safe here");
+        // Reverse it so the naive order is maximally conflicting.
+        let reversed = script.permuted(&[6, 5, 4, 3, 2, 1, 0]);
+        assert!(count_wr_conflicts(&reversed) > 0);
+        assert!(!is_in_place_safe(&reversed));
+        let out = convert(&reversed, &reference);
+        assert_eq!(out.report.copies_converted, 0, "no cycles: reorder only");
+        assert_eq!(out.report.cycles_broken, 0);
+        assert!(is_in_place_safe(&out.script));
+    }
+
+    #[test]
+    fn adds_moved_to_end() {
+        let script = DeltaScript::new(
+            8,
+            12,
+            vec![
+                Command::add(0, vec![9; 4]),
+                Command::copy(0, 4, 8),
+            ],
+        )
+        .unwrap();
+        let reference: Vec<u8> = (0u8..8).collect();
+        assert!(!is_in_place_safe(&script), "add clobbers the copy's read");
+        let out = convert(&script, &reference);
+        assert!(out.script.commands().last().unwrap().is_add());
+        assert!(is_in_place_safe(&out.script));
+        assert_eq!(out.report.copies_converted, 0);
+    }
+
+    #[test]
+    fn converted_add_carries_reference_bytes() {
+        let script = DeltaScript::new(
+            16,
+            16,
+            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
+        )
+        .unwrap();
+        let reference = reference16();
+        let out = convert(&script, &reference);
+        let adds = out.script.adds();
+        assert_eq!(adds.len(), 1);
+        // Whichever copy was converted, its data must equal the reference
+        // bytes it would have copied.
+        let add = &adds[0];
+        let expected: Vec<u8> = if add.to == 0 {
+            (8u8..16).collect()
+        } else {
+            (0u8..8).collect()
+        };
+        assert_eq!(add.data, expected);
+    }
+
+    #[test]
+    fn equivalence_on_scrambled_script() {
+        // A deliberately nasty permutation: interleaved moves.
+        let script = DeltaScript::new(
+            32,
+            32,
+            vec![
+                Command::copy(16, 0, 8),
+                Command::copy(24, 8, 4),
+                Command::add(12, vec![0xEE; 4]),
+                Command::copy(0, 16, 8),
+                Command::copy(8, 24, 8),
+            ],
+        )
+        .unwrap();
+        let reference: Vec<u8> = (0u8..32).collect();
+        let expected = apply(&script, &reference).unwrap();
+        for policy in [
+            CyclePolicy::ConstantTime,
+            CyclePolicy::LocallyMinimum,
+            CyclePolicy::Exhaustive { limit: 16 },
+        ] {
+            let out =
+                convert_to_in_place(&script, &reference, &ConversionConfig::with_policy(policy))
+                    .unwrap();
+            assert!(is_in_place_safe(&out.script), "{policy}");
+            let mut buf = reference.clone();
+            apply_in_place(&out.script, &mut buf).unwrap();
+            assert_eq!(&buf[..32], &expected[..], "{policy}");
+        }
+    }
+
+    #[test]
+    fn source_len_mismatch_rejected() {
+        let script = DeltaScript::new(16, 16, vec![Command::copy(0, 0, 16)]).unwrap();
+        let err = convert_to_in_place(&script, &[0u8; 4], &ConversionConfig::default())
+            .unwrap_err();
+        assert_eq!(err, ConvertError::SourceLenMismatch { expected: 16, actual: 4 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn exhaustive_limit_error_propagates() {
+        // A large rotation creates one big cycle.
+        let n = 32u64;
+        let cmds: Vec<Command> = (0..n)
+            .map(|i| Command::copy(((i + 1) % n) * 2, i * 2, 2))
+            .collect();
+        let script = DeltaScript::new(n * 2, n * 2, cmds).unwrap();
+        let reference = vec![7u8; (n * 2) as usize];
+        let config = ConversionConfig::with_policy(CyclePolicy::Exhaustive { limit: 4 });
+        let err = convert_to_in_place(&script, &reference, &config).unwrap_err();
+        assert!(matches!(err, ConvertError::ComponentTooLarge(_)));
+    }
+
+    #[test]
+    fn diff_in_place_end_to_end() {
+        use ipr_delta::diff::GreedyDiffer;
+        let reference: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(512); // block move: guaranteed read/write crossings
+        let out = diff_in_place(
+            &GreedyDiffer::default(),
+            &reference,
+            &version,
+            &ConversionConfig::default(),
+        )
+        .unwrap();
+        assert!(is_in_place_safe(&out.script));
+        let mut buf = reference.clone();
+        apply_in_place(&out.script, &mut buf).unwrap();
+        assert_eq!(buf, version);
+    }
+
+    #[test]
+    fn report_times_accumulate() {
+        let script = DeltaScript::new(16, 16, vec![Command::copy(0, 0, 16)]).unwrap();
+        let out = convert(&script, &reference16());
+        assert_eq!(
+            out.report.total_time(),
+            out.report.graph_build_time + out.report.sort_time
+        );
+    }
+
+    #[test]
+    fn growing_file_conversion() {
+        // Version larger than reference: writes extend past source length.
+        let reference: Vec<u8> = (0u8..8).collect();
+        let script = DeltaScript::new(
+            8,
+            20,
+            vec![
+                Command::copy(0, 12, 8),
+                Command::add(0, vec![1; 12]),
+            ],
+        )
+        .unwrap();
+        let out = convert(&script, &reference);
+        assert!(is_in_place_safe(&out.script));
+        let expected = apply(&script, &reference).unwrap();
+        let mut buf = reference.clone();
+        buf.resize(20, 0);
+        apply_in_place(&out.script, &mut buf).unwrap();
+        assert_eq!(buf, expected);
+    }
+}

@@ -1,0 +1,201 @@
+//! CRWI digraph construction (§4.2 of the paper).
+//!
+//! Each copy command becomes a vertex; a directed edge `u -> v` is added
+//! when command `u`'s *read* interval intersects command `v`'s *write*
+//! interval — performing `u` before `v` then avoids a write-before-read
+//! conflict. The paper names the resulting digraph class CRWI
+//! ("conflicting read/write intervals").
+//!
+//! Construction sorts the copy commands by write offset and finds, for
+//! each read interval, the contiguous run of write intervals it touches
+//! with two binary searches: `O(|C| log |C| + |E|)` overall. Lemma 1
+//! guarantees `|E| <= L_V`.
+
+use ipr_delta::Copy;
+use ipr_digraph::{Digraph, IntervalIndex, NodeId};
+
+/// The CRWI digraph of a set of copy commands.
+///
+/// Vertices are indices into [`CrwiGraph::copies`], which holds the copy
+/// commands *sorted by write offset* (the paper's step 2); the graph is
+/// built on that ordering.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::Copy;
+/// use ipr_core::CrwiGraph;
+///
+/// // Two commands that swap adjacent blocks: each reads what the other
+/// // writes, so the digraph is a 2-cycle.
+/// let crwi = CrwiGraph::build(vec![
+///     Copy { from: 8, to: 0, len: 8 },
+///     Copy { from: 0, to: 8, len: 8 },
+/// ]);
+/// assert_eq!(crwi.graph().edge_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CrwiGraph {
+    copies: Vec<Copy>,
+    graph: Digraph,
+}
+
+impl CrwiGraph {
+    /// Builds the CRWI digraph for `copies`.
+    ///
+    /// The commands are sorted by write offset internally; vertex `i` of
+    /// the graph corresponds to `self.copies()[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two write intervals overlap or a command has zero length —
+    /// commands coming from a validated
+    /// [`DeltaScript`](ipr_delta::DeltaScript) can never trigger this.
+    #[must_use]
+    pub fn build(mut copies: Vec<Copy>) -> Self {
+        copies.sort_by_key(|c| c.to);
+        let index = IntervalIndex::new(copies.iter().map(Copy::write_interval).collect())
+            .expect("copy write intervals must be disjoint and non-empty");
+        let mut graph = Digraph::new(copies.len());
+        for (u, copy) in copies.iter().enumerate() {
+            for v in index.overlapping(copy.read_interval()) {
+                if v != u {
+                    graph.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+        }
+        Self { copies, graph }
+    }
+
+    /// The copy commands in write order; vertex `i` is `copies()[i]`.
+    #[must_use]
+    pub fn copies(&self) -> &[Copy] {
+        &self.copies
+    }
+
+    /// The conflict digraph.
+    #[must_use]
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// Number of vertices (= copy commands).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of potential write-before-read conflicts (edges).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Decomposes into the sorted copies and the digraph.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<Copy>, Digraph) {
+        (self.copies, self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_digraph::topo;
+
+    #[test]
+    fn no_conflicts_no_edges() {
+        // Straight copy of disjoint regions, reads and writes never cross.
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 0, to: 0, len: 10 },
+            Copy { from: 10, to: 10, len: 10 },
+        ]);
+        // Each command reads exactly its own write interval: self-conflicts
+        // are excluded, and neither reads the other's write interval.
+        assert_eq!(crwi.edge_count(), 0);
+    }
+
+    #[test]
+    fn swap_produces_two_cycle() {
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 8, to: 0, len: 8 },
+            Copy { from: 0, to: 8, len: 8 },
+        ]);
+        assert_eq!(crwi.node_count(), 2);
+        assert_eq!(crwi.edge_count(), 2);
+        assert!(topo::find_cycle(crwi.graph()).is_some());
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        // Shift left by 4: command i reads where command i-1 writes... no,
+        // reads [4(i+1), 4(i+2)) and writes [4i, 4i+4): command i reads what
+        // command i+1 writes, giving edges i -> i+1, a path.
+        let copies: Vec<Copy> = (0..10u64)
+            .map(|i| Copy { from: 4 * (i + 1), to: 4 * i, len: 4 })
+            .collect();
+        let crwi = CrwiGraph::build(copies);
+        assert_eq!(crwi.edge_count(), 9);
+        assert!(topo::find_cycle(crwi.graph()).is_none());
+    }
+
+    #[test]
+    fn vertices_sorted_by_write_offset() {
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 0, to: 100, len: 5 },
+            Copy { from: 50, to: 0, len: 5 },
+        ]);
+        assert_eq!(crwi.copies()[0].to, 0);
+        assert_eq!(crwi.copies()[1].to, 100);
+    }
+
+    #[test]
+    fn self_overlapping_copy_no_self_edge() {
+        // Reads [0, 10), writes [5, 15): intersects itself but a command
+        // cannot conflict with itself (§4.1).
+        let crwi = CrwiGraph::build(vec![Copy { from: 0, to: 5, len: 10 }]);
+        assert_eq!(crwi.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_direction_reader_first() {
+        // Command A (writes [0,4)) reads [10, 14), which command B writes.
+        // Edge must be A -> B: apply A before B.
+        let crwi = CrwiGraph::build(vec![
+            Copy { from: 10, to: 0, len: 4 },  // A: vertex 0 (to = 0)
+            Copy { from: 20, to: 10, len: 4 }, // B: vertex 1 (to = 10)
+        ]);
+        assert_eq!(crwi.edge_count(), 1);
+        assert!(crwi.graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn lemma1_bound_holds() {
+        // Random-ish commands; edges <= sum of read lengths <= L_V.
+        let copies: Vec<Copy> = (0..100u64)
+            .map(|i| Copy { from: (i * 37) % 900, to: i * 10, len: 10 })
+            .collect();
+        let total_read: u64 = copies.iter().map(|c| c.len).sum();
+        let crwi = CrwiGraph::build(copies);
+        assert!(crwi.edge_count() as u64 <= total_read);
+    }
+
+    #[test]
+    fn quadratic_example_figure3() {
+        // Paper Fig. 3 in miniature: L = 64, sqrt(L) = 8 blocks of 8.
+        // Blocks 1..8 of the version each copy reference block 0; block 0 of
+        // the version is 8 single-byte copies from arbitrary locations.
+        let b = 8u64;
+        let mut copies = Vec::new();
+        for i in 0..b {
+            copies.push(Copy { from: i * 3 % (b * b), to: i, len: 1 });
+        }
+        for blk in 1..b {
+            copies.push(Copy { from: 0, to: blk * b, len: b });
+        }
+        let crwi = CrwiGraph::build(copies);
+        // Every length-b block reads [0, 8), which every 1-byte command
+        // writes: (b-1) * b edges from the big copies, at least.
+        assert!(crwi.edge_count() >= ((b - 1) * b) as usize);
+    }
+}

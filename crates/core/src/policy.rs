@@ -1,0 +1,79 @@
+//! Cycle-breaking policies (§5 of the paper).
+
+use std::fmt;
+
+/// How the enhanced topological sort chooses the vertex to delete when it
+/// finds a cycle.
+///
+/// Deleting a vertex converts its copy command into an add command, which
+/// costs compression; picking the globally cheapest set is NP-hard
+/// (feedback vertex set), so the paper evaluates two heuristics and we add
+/// an exact solver for ablation on small inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CyclePolicy {
+    /// Delete the vertex at which the cycle was detected — "the last node
+    /// in sort order before the cycle was found". O(1) per cycle.
+    ConstantTime,
+    /// Walk the detected cycle and delete its minimum-cost vertex. Costs
+    /// time proportional to the total length of cycles found, but recovers
+    /// nearly all the compression the constant-time policy loses (§7).
+    LocallyMinimum,
+    /// Solve minimum-cost feedback vertex set exactly before sorting.
+    /// Exponential in the largest strongly connected component; usable
+    /// only when every cyclic component has at most `limit` vertices.
+    /// This is the NP-hard global optimum the paper compares against
+    /// analytically (§5).
+    Exhaustive {
+        /// Largest cyclic strongly-connected-component size to attempt.
+        limit: usize,
+    },
+}
+
+impl CyclePolicy {
+    /// The policies the paper evaluates experimentally.
+    pub const PAPER: [CyclePolicy; 2] = [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum];
+}
+
+impl Default for CyclePolicy {
+    /// [`CyclePolicy::LocallyMinimum`], the paper's recommendation
+    /// ("superior … for every performance metric we have considered").
+    fn default() -> Self {
+        CyclePolicy::LocallyMinimum
+    }
+}
+
+impl fmt::Display for CyclePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CyclePolicy::ConstantTime => f.write_str("constant-time"),
+            CyclePolicy::LocallyMinimum => f.write_str("locally-minimum"),
+            CyclePolicy::Exhaustive { limit } => write!(f, "exhaustive(limit={limit})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_locally_minimum() {
+        assert_eq!(CyclePolicy::default(), CyclePolicy::LocallyMinimum);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for p in [
+            CyclePolicy::ConstantTime,
+            CyclePolicy::LocallyMinimum,
+            CyclePolicy::Exhaustive { limit: 12 },
+        ] {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_policies() {
+        assert_eq!(CyclePolicy::PAPER.len(), 2);
+    }
+}

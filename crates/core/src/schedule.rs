@@ -1,0 +1,248 @@
+//! Parallel application scheduling.
+//!
+//! §4.1 of the paper restricts itself to applying commands *serially*,
+//! "appropriate for limited capability network devices". The CRWI digraph
+//! supports more: any two retained copies without a path between them can
+//! run concurrently (their reads and writes cannot conflict), so a device
+//! with DMA queues — or a host-side patcher with threads — can apply the
+//! delta in *waves*. This module computes the longest-path layering of
+//! the conflict DAG: the number of waves is the critical path of the
+//! update, and `commands / waves` is the available parallelism.
+
+use crate::crwi::CrwiGraph;
+use crate::verify::check_in_place_safe;
+use ipr_delta::DeltaScript;
+use ipr_digraph::topo;
+
+/// A wave-parallel application plan for a converted (Equation 2) script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelSchedule {
+    /// Command indices per wave; all commands of a wave may be applied
+    /// concurrently, waves strictly in order. The final wave holds the
+    /// add commands (and any copies nothing depends on).
+    waves: Vec<Vec<usize>>,
+    /// Total commands scheduled.
+    commands: usize,
+}
+
+impl ParallelSchedule {
+    /// Builds the schedule for a converted, in-place-safe script.
+    ///
+    /// Returns `None` if the script violates Equation 2 (a serial-unsafe
+    /// script cannot be parallelized either).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ipr_delta::{Command, DeltaScript};
+    /// use ipr_core::ParallelSchedule;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // Two independent copies + one add: two waves (copies together,
+    /// // then the add).
+    /// let script = DeltaScript::new(16, 16, vec![
+    ///     Command::copy(8, 0, 4),
+    ///     Command::copy(12, 4, 4),
+    ///     Command::add(8, vec![0; 8]),
+    /// ])?;
+    /// let plan = ParallelSchedule::plan(&script).expect("safe script");
+    /// assert_eq!(plan.wave_count(), 2);
+    /// assert_eq!(plan.waves()[0].len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn plan(script: &DeltaScript) -> Option<Self> {
+        if check_in_place_safe(script).is_err() {
+            return None;
+        }
+        // Map the script's copies onto CRWI vertices. CrwiGraph sorts by
+        // write offset; recover each command's vertex through its unique
+        // write offset.
+        let copies = script.copies();
+        let crwi = CrwiGraph::build(copies);
+        let graph = crwi.graph();
+        // Longest-path layering over the DAG: wave(v) = 1 + max over
+        // predecessors. Process in topological order.
+        let order = topo::kahn(graph).expect("a safe script's conflict graph is acyclic");
+        let mut level = vec![0usize; graph.node_count()];
+        for &u in &order {
+            for &v in graph.successors(u) {
+                level[v as usize] = level[v as usize].max(level[u as usize] + 1);
+            }
+        }
+        let copy_waves = level.iter().copied().max().map_or(0, |m| m + 1);
+
+        // Vertex index by write offset for command -> vertex lookup.
+        let mut vertex_of_to: std::collections::HashMap<u64, usize> = crwi
+            .copies()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.to, i))
+            .collect();
+
+        // Adds (and nothing-depends-on-copies already at the last level)
+        // go in a final wave after every copy read has happened.
+        let add_wave = if script.add_count() > 0 { copy_waves } else { 0 };
+        let total_waves = copy_waves.max(add_wave + usize::from(script.add_count() > 0));
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); total_waves.max(1)];
+        if script.is_empty() {
+            return Some(Self {
+                waves: Vec::new(),
+                commands: 0,
+            });
+        }
+        for (i, cmd) in script.commands().iter().enumerate() {
+            match cmd.read_interval() {
+                Some(_) => {
+                    let v = vertex_of_to
+                        .remove(&cmd.to())
+                        .expect("every copy has a unique write offset");
+                    waves[level[v]].push(i);
+                }
+                None => waves[total_waves - 1].push(i),
+            }
+        }
+        waves.retain(|w| !w.is_empty());
+        Some(Self {
+            commands: script.len(),
+            waves,
+        })
+    }
+
+    /// The waves, each a list of command indices.
+    #[must_use]
+    pub fn waves(&self) -> &[Vec<usize>] {
+        &self.waves
+    }
+
+    /// Number of waves — the critical path of the update.
+    #[must_use]
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Average commands per wave (1.0 = fully serial).
+    #[must_use]
+    pub fn parallelism(&self) -> f64 {
+        if self.waves.is_empty() {
+            0.0
+        } else {
+            self.commands as f64 / self.waves.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{convert_to_in_place, ConversionConfig};
+    use ipr_delta::diff::{Differ, GreedyDiffer};
+    use ipr_delta::Command;
+
+    /// Applies a schedule wave by wave (commands within a wave in an
+    /// adversarial order) and checks the result.
+    fn apply_waves(script: &DeltaScript, plan: &ParallelSchedule, reference: &[u8]) -> Vec<u8> {
+        let mut buf = reference.to_vec();
+        buf.resize(crate::apply::required_capacity(script) as usize, 0);
+        for wave in plan.waves() {
+            // Simulate concurrency: snapshot reads first (all reads in a
+            // wave see the pre-wave buffer), then perform writes.
+            let mut writes: Vec<(usize, Vec<u8>)> = Vec::new();
+            for &i in wave.iter().rev() {
+                match &script.commands()[i] {
+                    Command::Copy(c) => {
+                        writes.push((c.to as usize, buf[c.read_interval().as_usize_range()].to_vec()));
+                    }
+                    Command::Add(a) => writes.push((a.to as usize, a.data.clone())),
+                }
+            }
+            for (to, data) in writes {
+                buf[to..to + data.len()].copy_from_slice(&data);
+            }
+        }
+        buf.truncate(script.target_len() as usize);
+        buf
+    }
+
+    #[test]
+    fn unsafe_script_not_schedulable() {
+        let script = DeltaScript::new(
+            16,
+            16,
+            vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)],
+        )
+        .unwrap();
+        assert!(ParallelSchedule::plan(&script).is_none());
+    }
+
+    #[test]
+    fn independent_copies_share_a_wave() {
+        let script = DeltaScript::new(
+            32,
+            16,
+            vec![
+                Command::copy(16, 0, 4),
+                Command::copy(20, 4, 4),
+                Command::copy(24, 8, 4),
+                Command::copy(28, 12, 4),
+            ],
+        )
+        .unwrap();
+        let plan = ParallelSchedule::plan(&script).unwrap();
+        assert_eq!(plan.wave_count(), 1);
+        assert!((plan.parallelism() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chains_serialize() {
+        // A dependency chain: shift left. Command i reads what i+1 writes,
+        // so each must precede the next: n waves.
+        let cmds: Vec<Command> = (0..5u64).map(|i| Command::copy(4 * (i + 1), 4 * i, 4)).collect();
+        let script = DeltaScript::new(24, 20, cmds).unwrap();
+        let plan = ParallelSchedule::plan(&script).unwrap();
+        assert_eq!(plan.wave_count(), 5);
+    }
+
+    #[test]
+    fn wave_application_matches_serial_on_corpus_pair() {
+        let reference: Vec<u8> = (0..20_000u32).map(|i| (i * 17 % 251) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(4_321);
+        version.extend_from_slice(&[7u8; 500]);
+        let script = GreedyDiffer::default().diff(&reference, &version);
+        let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+        let plan = ParallelSchedule::plan(&out.script).expect("converted script is safe");
+        assert_eq!(apply_waves(&out.script, &plan, &reference), version);
+        // Every command scheduled exactly once.
+        let mut seen = vec![false; out.script.len()];
+        for wave in plan.waves() {
+            for &i in wave {
+                assert!(!seen[i], "command {i} scheduled twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn adds_go_last() {
+        let script = DeltaScript::new(
+            8,
+            12,
+            vec![Command::copy(0, 4, 8), Command::add(0, vec![1; 4])],
+        )
+        .unwrap();
+        let plan = ParallelSchedule::plan(&script).unwrap();
+        let last = plan.waves().last().unwrap();
+        assert!(last.contains(&1));
+    }
+
+    #[test]
+    fn empty_script_plans_empty() {
+        let script = DeltaScript::new(4, 0, vec![]).unwrap();
+        let plan = ParallelSchedule::plan(&script).unwrap();
+        assert_eq!(plan.wave_count(), 0);
+        assert_eq!(plan.parallelism(), 0.0);
+    }
+}

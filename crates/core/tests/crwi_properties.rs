@@ -1,0 +1,135 @@
+//! Property tests for the CRWI construction and conversion invariants,
+//! checked against naive quadratic reference implementations.
+
+use ipr_core::{
+    convert_to_in_place, sort_breaking_cycles, ConversionConfig, CrwiGraph, CrwiStats,
+    CyclePolicy,
+};
+use ipr_delta::codec::Format;
+use ipr_delta::{Command, Copy, DeltaScript};
+use proptest::prelude::*;
+
+/// Random set of copy commands with disjoint write intervals.
+fn copies_strategy() -> impl Strategy<Value = Vec<Copy>> {
+    proptest::collection::vec((0u64..40, 1u64..24, 0u64..480), 0..24).prop_map(|segs| {
+        let mut copies = Vec::new();
+        let mut to = 0u64;
+        for (gap, len, from) in segs {
+            to += gap;
+            let from = from.min(500 - len);
+            copies.push(Copy { from, to, len });
+            to += len;
+        }
+        copies
+    })
+}
+
+/// Naive O(n²) edge relation: u -> v iff read(u) ∩ write(v) ≠ ∅, u ≠ v.
+fn naive_edges(copies: &[Copy]) -> std::collections::BTreeSet<(usize, usize)> {
+    let mut edges = std::collections::BTreeSet::new();
+    for (u, a) in copies.iter().enumerate() {
+        for (v, b) in copies.iter().enumerate() {
+            if u != v && a.read_interval().intersects(b.write_interval()) {
+                edges.insert((u, v));
+            }
+        }
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The binary-search construction matches the naive edge relation.
+    #[test]
+    fn crwi_matches_naive(copies in copies_strategy()) {
+        let crwi = CrwiGraph::build(copies);
+        let sorted = crwi.copies().to_vec();
+        let expected = naive_edges(&sorted);
+        let mut got = std::collections::BTreeSet::new();
+        for (u, v) in crwi.graph().edges() {
+            got.insert((u as usize, v as usize));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Lemma 1 on arbitrary command sets: edges ≤ Σ read lengths.
+    #[test]
+    fn lemma1_on_arbitrary_copies(copies in copies_strategy()) {
+        let total_read: u64 = copies.iter().map(|c| c.len).sum();
+        let crwi = CrwiGraph::build(copies);
+        prop_assert!(crwi.edge_count() as u64 <= total_read);
+    }
+
+    /// Stats are internally consistent.
+    #[test]
+    fn stats_consistent(copies in copies_strategy()) {
+        let crwi = CrwiGraph::build(copies);
+        let stats = CrwiStats::analyze(&crwi);
+        prop_assert_eq!(stats.nodes, crwi.node_count());
+        prop_assert_eq!(stats.edges, crwi.edge_count());
+        prop_assert_eq!(stats.acyclic, stats.cyclic_components == 0);
+        prop_assert!(stats.vertices_on_cycles <= stats.nodes);
+        prop_assert!(stats.largest_cyclic_component <= stats.vertices_on_cycles);
+        // Conversion never converts more than the at-risk set.
+        let target_len = crwi
+            .copies()
+            .iter()
+            .map(|c| c.write_interval().end())
+            .max()
+            .unwrap_or(0);
+        let commands: Vec<Command> = crwi.copies().iter().map(|&c| Command::Copy(c)).collect();
+        // Fill gaps so the script validates.
+        let mut full = Vec::new();
+        let mut cursor = 0u64;
+        let mut sorted = commands.clone();
+        sorted.sort_by_key(Command::to);
+        for cmd in sorted {
+            if cmd.to() > cursor {
+                full.push(Command::add(cursor, vec![0; (cmd.to() - cursor) as usize]));
+            }
+            cursor = cmd.write_interval().end();
+            full.push(cmd);
+        }
+        let script = DeltaScript::new(500, target_len, full).unwrap();
+        let reference = vec![7u8; 500];
+        for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
+            let out = convert_to_in_place(
+                &script,
+                &reference,
+                &ConversionConfig { policy, cost_format: Format::InPlace },
+            )
+            .unwrap();
+            prop_assert!(out.report.copies_converted <= stats.vertices_on_cycles,
+                "{policy}: converted {} > at-risk {}",
+                out.report.copies_converted, stats.vertices_on_cycles);
+            prop_assert!(out.report.bytes_converted <= stats.bytes_at_risk);
+            prop_assert!(ipr_core::is_in_place_safe(&out.script));
+        }
+    }
+
+    /// The sort's retained order plus removals is consistent with the
+    /// exhaustive solver's feasibility (both leave an acyclic remainder),
+    /// and the heuristic removal count is at least the optimum's.
+    #[test]
+    fn heuristics_remove_at_least_optimal_count(copies in copies_strategy()) {
+        let crwi = CrwiGraph::build(copies);
+        if crwi.node_count() > 16 {
+            return Ok(()); // keep the exact solver cheap
+        }
+        let costs: Vec<u64> = crwi
+            .copies()
+            .iter()
+            .map(|c| Format::InPlace.conversion_cost(c).max(1))
+            .collect();
+        let exact =
+            sort_breaking_cycles(crwi.graph(), &costs, CyclePolicy::Exhaustive { limit: 16 })
+                .unwrap();
+        let exact_cost: u64 = exact.removed.iter().map(|&v| costs[v as usize]).sum();
+        for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
+            let h = sort_breaking_cycles(crwi.graph(), &costs, policy).unwrap();
+            let h_cost: u64 = h.removed.iter().map(|&v| costs[v as usize]).sum();
+            prop_assert!(h_cost >= exact_cost, "{policy} beat the optimum");
+        }
+    }
+}

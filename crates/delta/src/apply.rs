@@ -1,0 +1,172 @@
+//! Scratch-space reconstruction: the traditional way to apply a delta,
+//! requiring both the reference file and a separate target buffer.
+
+use crate::command::Command;
+use crate::script::DeltaScript;
+use std::fmt;
+
+/// Error returned when a script cannot be applied to a reference buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The reference buffer's length differs from the script's declared
+    /// source length.
+    SourceLenMismatch {
+        /// Length the script declares.
+        expected: u64,
+        /// Length of the buffer supplied.
+        actual: u64,
+    },
+    /// The reconstructed target failed its checksum (see
+    /// [`apply_verified`]).
+    ChecksumMismatch {
+        /// CRC carried in the delta header.
+        expected: u32,
+        /// CRC of the reconstructed bytes.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::SourceLenMismatch { expected, actual } => {
+                write!(f, "reference is {actual} bytes, script expects {expected}")
+            }
+            ApplyError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "reconstructed target crc32 {actual:#010x} != expected {expected:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Materializes the version file from `reference` using scratch space.
+///
+/// Because a [`DeltaScript`]'s write intervals are disjoint and complete,
+/// the command order is irrelevant here; this is the baseline the in-place
+/// algorithm removes the scratch buffer from.
+///
+/// # Errors
+///
+/// Returns [`ApplyError::SourceLenMismatch`] if `reference` has the wrong
+/// length.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::{apply, Command, DeltaScript};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let script = DeltaScript::new(5, 8, vec![
+///     Command::copy(0, 0, 5),
+///     Command::add(5, b"!!!".to_vec()),
+/// ])?;
+/// assert_eq!(apply(&script, b"hello")?, b"hello!!!");
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply(script: &DeltaScript, reference: &[u8]) -> Result<Vec<u8>, ApplyError> {
+    if reference.len() as u64 != script.source_len() {
+        return Err(ApplyError::SourceLenMismatch {
+            expected: script.source_len(),
+            actual: reference.len() as u64,
+        });
+    }
+    let mut target = vec![0u8; script.target_len() as usize];
+    for cmd in script.commands() {
+        match cmd {
+            Command::Copy(c) => {
+                let src = c.read_interval().as_usize_range();
+                let dst = c.write_interval().as_usize_range();
+                target[dst].copy_from_slice(&reference[src]);
+            }
+            Command::Add(a) => {
+                let dst = a.write_interval().as_usize_range();
+                target[dst].copy_from_slice(&a.data);
+            }
+        }
+    }
+    Ok(target)
+}
+
+/// Like [`apply`], additionally verifying the reconstruction against a
+/// CRC-32 carried in the delta header.
+///
+/// # Errors
+///
+/// All failures of [`apply`], plus [`ApplyError::ChecksumMismatch`] when
+/// the rebuilt bytes do not hash to `expected_crc`.
+pub fn apply_verified(
+    script: &DeltaScript,
+    reference: &[u8],
+    expected_crc: u32,
+) -> Result<Vec<u8>, ApplyError> {
+    let target = apply(script, reference)?;
+    let actual = crate::checksum::crc32(&target);
+    if actual != expected_crc {
+        return Err(ApplyError::ChecksumMismatch {
+            expected: expected_crc,
+            actual,
+        });
+    }
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::crc32;
+
+    fn script() -> DeltaScript {
+        DeltaScript::new(
+            10,
+            12,
+            vec![
+                Command::copy(5, 0, 5),
+                Command::add(5, b"-+-".to_vec()),
+                Command::copy(0, 8, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstructs_target() {
+        let reference = b"0123456789";
+        let out = apply(&script(), reference).unwrap();
+        assert_eq!(out, b"56789-+-0123");
+    }
+
+    #[test]
+    fn order_does_not_matter_with_scratch_space() {
+        let reference = b"0123456789";
+        let s = script();
+        let p = s.permuted(&[2, 1, 0]);
+        assert_eq!(apply(&s, reference).unwrap(), apply(&p, reference).unwrap());
+    }
+
+    #[test]
+    fn wrong_reference_length_rejected() {
+        let err = apply(&script(), b"0123").unwrap_err();
+        assert_eq!(err, ApplyError::SourceLenMismatch { expected: 10, actual: 4 });
+    }
+
+    #[test]
+    fn verified_apply_checks_crc() {
+        let reference = b"0123456789";
+        let expected = crc32(b"56789-+-0123");
+        assert!(apply_verified(&script(), reference, expected).is_ok());
+        let err = apply_verified(&script(), reference, expected ^ 1).unwrap_err();
+        assert!(matches!(err, ApplyError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_target() {
+        let s = DeltaScript::new(3, 0, vec![]).unwrap();
+        assert_eq!(apply(&s, b"abc").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,120 @@
+//! CRC-32 (IEEE 802.3) checksums, implemented in-tree to keep the
+//! dependency set minimal.
+//!
+//! Delta-file headers carry the CRC of the version file so an applier can
+//! detect a corrupted reconstruction — particularly valuable for in-place
+//! application, where a wrongly ordered delta silently corrupts the target.
+
+/// Streaming CRC-32 (IEEE polynomial, reflected).
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::checksum::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xcbf4_3926); // the canonical check value
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, generated at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+impl Crc32 {
+    /// Creates a fresh checksum state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 0xffff_ffff }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut state = self.state;
+        for &byte in data {
+            let idx = ((state ^ u32::from(byte)) & 0xff) as usize;
+            state = (state >> 8) ^ TABLE[idx];
+        }
+        self.state = state;
+    }
+
+    /// Returns the final checksum value.
+    #[must_use]
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ipr_delta::checksum::crc32(b""), 0);
+/// ```
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_eq!(crc32(b"abc"), 0x3524_41c2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut crc = Crc32::new();
+        for chunk in data.chunks(37) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(crc32(b"abcd"), crc32(b"abce"));
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(Crc32::default(), Crc32::new());
+    }
+}

@@ -1,0 +1,100 @@
+//! A bounds-checked byte cursor shared by the codec decoders.
+
+use super::DecodeError;
+use crate::varint;
+
+/// Sequential reader over an encoded delta payload.
+#[derive(Clone, Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn read_u16_be(&mut self) -> Result<u16, DecodeError> {
+        let bytes = self.read_bytes(2)?;
+        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    }
+
+    pub(crate) fn read_u32_be(&mut self) -> Result<u32, DecodeError> {
+        let bytes = self.read_bytes(4)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    pub(crate) fn read_u32_le(&mut self) -> Result<u32, DecodeError> {
+        let bytes = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    pub(crate) fn read_varint(&mut self) -> Result<u64, DecodeError> {
+        let (value, used) = varint::decode(&self.buf[self.pos..])?;
+        self.pos += used;
+        Ok(value)
+    }
+
+    pub(crate) fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_sequence() {
+        let mut buf = vec![0x2a];
+        buf.extend_from_slice(&0x0102u16.to_be_bytes());
+        buf.extend_from_slice(&0xdead_beefu32.to_be_bytes());
+        buf.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        varint::encode(300, &mut buf);
+        buf.extend_from_slice(b"xyz");
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.read_u8().unwrap(), 0x2a);
+        assert_eq!(r.read_u16_be().unwrap(), 0x0102);
+        assert_eq!(r.read_u32_be().unwrap(), 0xdead_beef);
+        assert_eq!(r.read_u32_le().unwrap(), 0xdead_beef);
+        assert_eq!(r.read_varint().unwrap(), 300);
+        assert_eq!(r.read_bytes(3).unwrap(), b"xyz");
+        assert!(r.is_exhausted());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let mut r = ByteReader::new(&[0x01]);
+        assert!(r.read_u32_be().is_err());
+        assert_eq!(r.read_u8().unwrap(), 0x01);
+        assert!(r.read_u8().is_err());
+        let mut r2 = ByteReader::new(&[0x80]);
+        assert!(matches!(r2.read_varint(), Err(DecodeError::Varint(_))));
+    }
+}

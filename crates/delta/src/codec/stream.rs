@@ -1,0 +1,642 @@
+//! Incremental delta-file decoding.
+//!
+//! A device installing an update over a slow link need not buffer the
+//! whole delta: [`StreamDecoder`] consumes bytes as they arrive and
+//! yields commands as soon as they are complete, so application can
+//! overlap the transfer with memory bounded by one command plus the
+//! network chunk.
+//!
+//! ```
+//! use ipr_delta::codec::stream::StreamDecoder;
+//! use ipr_delta::codec::{encode, Format};
+//! use ipr_delta::{Command, DeltaScript};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let script = DeltaScript::new(4, 4, vec![Command::copy(0, 0, 4)])?;
+//! let wire = encode(&script, Format::InPlace)?;
+//!
+//! let mut decoder = StreamDecoder::new();
+//! let mut commands = Vec::new();
+//! for byte in wire {
+//!     decoder.push(&[byte]); // bytes dribble in one at a time
+//!     while let Some(cmd) = decoder.next_command()? {
+//!         commands.push(cmd);
+//!     }
+//! }
+//! assert_eq!(commands, script.commands());
+//! decoder.finish()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use super::reader::ByteReader;
+use super::{improved, inplace, ordered, paper, DecodeError, Format, FLAG_TARGET_CRC, MAGIC};
+use crate::command::Command;
+use crate::varint::VarintError;
+
+/// The fixed information at the head of a delta file, available from a
+/// [`StreamDecoder`] once enough bytes have arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Codeword format of the command stream.
+    pub format: Format,
+    /// Length of the reference (old) file.
+    pub source_len: u64,
+    /// Length of the version (new) file.
+    pub target_len: u64,
+    /// Number of encoded commands that will follow.
+    pub command_count: u64,
+    /// CRC-32 of the target file, if embedded.
+    pub target_crc: Option<u32>,
+}
+
+/// Incremental decoder: push bytes, pull commands.
+///
+/// Memory use is bounded by the largest single command (an add carries
+/// its literal data) plus unconsumed input.
+#[derive(Clone, Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    consumed: usize,
+    header: Option<StreamHeader>,
+    decoded: u64,
+    /// Implicit write cursor / chain state, depending on the format.
+    next_write: u64,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder expecting a delta file from its first byte.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds more wire bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so long streams don't grow the buffer forever.
+        if self.consumed > 4096 && self.consumed * 2 > self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The header, once decodable.
+    #[must_use]
+    pub fn header(&self) -> Option<&StreamHeader> {
+        self.header.as_ref()
+    }
+
+    /// Commands decoded so far.
+    #[must_use]
+    pub fn commands_decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Whether every declared command has been decoded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.header
+            .map(|h| self.decoded == h.command_count)
+            .unwrap_or(false)
+    }
+
+    /// Attempts to decode the next command.
+    ///
+    /// Returns `Ok(None)` when more input is needed *or* when all
+    /// declared commands have been decoded (check [`is_complete`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] other than truncation is a real wire error;
+    /// truncation is reported as `Ok(None)` (feed more bytes).
+    ///
+    /// [`is_complete`]: StreamDecoder::is_complete
+    pub fn next_command(&mut self) -> Result<Option<Command>, DecodeError> {
+        if self.header.is_none() {
+            match self.try_parse_header() {
+                Ok(true) => {}
+                Ok(false) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        let header = self.header.expect("parsed above");
+        if self.decoded == header.command_count {
+            return Ok(None);
+        }
+        let mut r = ByteReader::new(&self.buf[self.consumed..]);
+        let mut next_write = self.next_write;
+        let result = match header.format {
+            Format::Ordered => ordered::decode_one(&mut r, &mut next_write),
+            Format::InPlace => inplace::decode_one(&mut r),
+            Format::PaperOrdered => paper::decode_one(&mut r, false, &mut next_write),
+            Format::PaperInPlace => paper::decode_one(&mut r, true, &mut next_write),
+            Format::Improved => improved::decode_one(&mut r, &mut next_write),
+        };
+        match result {
+            Ok(cmd) => {
+                self.consumed += r.consumed();
+                self.next_write = next_write;
+                self.decoded += 1;
+                Ok(Some(cmd))
+            }
+            Err(DecodeError::Truncated) | Err(DecodeError::Varint(VarintError::Truncated)) => {
+                Ok(None) // incomplete command: wait for more bytes
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Declares end of input: every command must have been decoded and no
+    /// payload bytes may remain.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if the stream ended mid-file,
+    /// [`DecodeError::TrailingBytes`] if bytes follow the last command.
+    pub fn finish(self) -> Result<StreamHeader, DecodeError> {
+        let Some(header) = self.header else {
+            return Err(DecodeError::Truncated);
+        };
+        if self.decoded != header.command_count {
+            return Err(DecodeError::Truncated);
+        }
+        let remaining = self.buf.len() - self.consumed;
+        if remaining != 0 {
+            return Err(DecodeError::TrailingBytes { remaining });
+        }
+        Ok(header)
+    }
+
+    /// Tries to parse the header from buffered bytes; `Ok(false)` means
+    /// more input is needed.
+    fn try_parse_header(&mut self) -> Result<bool, DecodeError> {
+        let mut r = ByteReader::new(&self.buf[self.consumed..]);
+        let magic = match r.read_bytes(4) {
+            Ok(m) => m,
+            Err(_) => {
+                // Reject obviously wrong magic as early as possible.
+                let have = &self.buf[self.consumed..];
+                if !MAGIC.starts_with(have) && !have.is_empty() {
+                    return Err(DecodeError::BadMagic);
+                }
+                return Ok(false);
+            }
+        };
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let parse = |r: &mut ByteReader<'_>| -> Result<StreamHeader, DecodeError> {
+            let format_byte = r.read_u8()?;
+            let format = Format::from_wire_byte(format_byte)
+                .ok_or(DecodeError::UnknownFormat(format_byte))?;
+            let flags = r.read_u8()?;
+            let source_len = r.read_varint()?;
+            let target_len = r.read_varint()?;
+            let command_count = r.read_varint()?;
+            let target_crc = if flags & FLAG_TARGET_CRC != 0 {
+                Some(r.read_u32_le()?)
+            } else {
+                None
+            };
+            Ok(StreamHeader {
+                format,
+                source_len,
+                target_len,
+                command_count,
+                target_crc,
+            })
+        };
+        match parse(&mut r) {
+            Ok(header) => {
+                self.consumed += r.consumed();
+                self.header = Some(header);
+                Ok(true)
+            }
+            Err(DecodeError::Truncated) | Err(DecodeError::Varint(VarintError::Truncated)) => {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Incremental encoder: the server-side counterpart of [`StreamDecoder`].
+///
+/// Commands are encoded as they are produced (e.g. while composing or
+/// converting on the fly) and the wire bytes drained in chunks, so the
+/// whole delta never needs to sit in memory. Limited to the non-splitting
+/// formats ([`Format::Ordered`], [`Format::InPlace`],
+/// [`Format::Improved`]); the fixed-width paper formats re-split commands
+/// and are batch-only.
+///
+/// ```
+/// use ipr_delta::codec::stream::{StreamDecoder, StreamEncoder};
+/// use ipr_delta::codec::Format;
+/// use ipr_delta::Command;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut enc = StreamEncoder::new(Format::InPlace, 8, 8, 1, None)?;
+/// enc.push_command(&Command::copy(0, 0, 8))?;
+/// let wire = enc.finish()?;
+/// let mut dec = StreamDecoder::new();
+/// dec.push(&wire);
+/// assert_eq!(dec.next_command()?, Some(Command::copy(0, 0, 8)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamEncoder {
+    format: Format,
+    buf: Vec<u8>,
+    declared: u64,
+    encoded: u64,
+    /// Implicit write cursor (ordered) / chain state (improved).
+    next_write: u64,
+}
+
+impl StreamEncoder {
+    /// Starts a delta file of the declared dimensions.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::UnsupportedStreaming`] for the fixed-width paper
+    /// formats, whose command splitting requires batch encoding.
+    ///
+    /// [`EncodeError::UnsupportedStreaming`]: super::EncodeError::UnsupportedStreaming
+    pub fn new(
+        format: Format,
+        source_len: u64,
+        target_len: u64,
+        command_count: u64,
+        target_crc: Option<u32>,
+    ) -> Result<Self, super::EncodeError> {
+        if matches!(format, Format::PaperOrdered | Format::PaperInPlace) {
+            return Err(super::EncodeError::UnsupportedStreaming);
+        }
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(format.wire_byte());
+        buf.push(if target_crc.is_some() { super::FLAG_TARGET_CRC } else { 0 });
+        crate::varint::encode(source_len, &mut buf);
+        crate::varint::encode(target_len, &mut buf);
+        crate::varint::encode(command_count, &mut buf);
+        if let Some(crc) = target_crc {
+            buf.extend_from_slice(&crc.to_le_bytes());
+        }
+        Ok(Self {
+            format,
+            buf,
+            declared: command_count,
+            encoded: 0,
+            next_write: 0,
+        })
+    }
+
+    /// Appends one command.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::NotWriteOrdered`] if an offset-implicit format
+    /// receives a command out of write order, or
+    /// [`EncodeError::CommandCountMismatch`] past the declared count.
+    ///
+    /// [`EncodeError::NotWriteOrdered`]: super::EncodeError::NotWriteOrdered
+    /// [`EncodeError::CommandCountMismatch`]: super::EncodeError::CommandCountMismatch
+    pub fn push_command(&mut self, cmd: &Command) -> Result<(), super::EncodeError> {
+        use crate::command::Command as C;
+        if self.encoded == self.declared {
+            return Err(super::EncodeError::CommandCountMismatch {
+                declared: self.declared,
+            });
+        }
+        match self.format {
+            Format::Ordered => {
+                if cmd.to() != self.next_write {
+                    return Err(super::EncodeError::NotWriteOrdered);
+                }
+                match cmd {
+                    C::Copy(c) => {
+                        self.buf.push(super::TAG_COPY);
+                        crate::varint::encode(c.from, &mut self.buf);
+                        crate::varint::encode(c.len, &mut self.buf);
+                    }
+                    C::Add(a) => {
+                        self.buf.push(super::TAG_ADD);
+                        crate::varint::encode(a.len(), &mut self.buf);
+                        self.buf.extend_from_slice(&a.data);
+                    }
+                }
+            }
+            Format::InPlace => match cmd {
+                C::Copy(c) => {
+                    self.buf.push(super::TAG_COPY);
+                    crate::varint::encode(c.from, &mut self.buf);
+                    crate::varint::encode(c.to, &mut self.buf);
+                    crate::varint::encode(c.len, &mut self.buf);
+                }
+                C::Add(a) => {
+                    self.buf.push(super::TAG_ADD);
+                    crate::varint::encode(a.to, &mut self.buf);
+                    crate::varint::encode(a.len(), &mut self.buf);
+                    self.buf.extend_from_slice(&a.data);
+                }
+            },
+            Format::Improved => {
+                let chained = cmd.to() == self.next_write;
+                let mut tag = 0u8;
+                if cmd.is_add() {
+                    tag |= 0x01;
+                }
+                if chained {
+                    tag |= 0x02;
+                }
+                self.buf.push(tag);
+                match cmd {
+                    C::Copy(c) => {
+                        crate::varint::encode(c.from, &mut self.buf);
+                        if !chained {
+                            crate::varint::encode(c.to, &mut self.buf);
+                        }
+                        crate::varint::encode(c.len, &mut self.buf);
+                    }
+                    C::Add(a) => {
+                        if !chained {
+                            crate::varint::encode(a.to, &mut self.buf);
+                        }
+                        crate::varint::encode(a.len(), &mut self.buf);
+                        self.buf.extend_from_slice(&a.data);
+                    }
+                }
+            }
+            Format::PaperOrdered | Format::PaperInPlace => {
+                unreachable!("rejected at construction")
+            }
+        }
+        self.next_write = cmd.to().saturating_add(cmd.len());
+        self.encoded += 1;
+        Ok(())
+    }
+
+    /// Drains the bytes encoded so far (callable repeatedly; each call
+    /// returns only new bytes).
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Finishes the stream, returning any remaining bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::CommandCountMismatch`] if fewer commands were
+    /// pushed than declared.
+    ///
+    /// [`EncodeError::CommandCountMismatch`]: super::EncodeError::CommandCountMismatch
+    pub fn finish(mut self) -> Result<Vec<u8>, super::EncodeError> {
+        if self.encoded != self.declared {
+            return Err(super::EncodeError::CommandCountMismatch {
+                declared: self.declared,
+            });
+        }
+        Ok(self.take_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode, encode_checked};
+    use crate::script::DeltaScript;
+
+    fn sample() -> (DeltaScript, Vec<u8>) {
+        let script = DeltaScript::new(
+            100,
+            50,
+            vec![
+                Command::copy(10, 0, 20),
+                Command::add(20, vec![0xAA; 10]),
+                Command::copy(90, 30, 10),
+                Command::add(40, vec![0xBB; 10]),
+            ],
+        )
+        .unwrap();
+        let target = crate::apply(&script, &vec![3u8; 100]).unwrap();
+        (script, target)
+    }
+
+    #[test]
+    fn whole_buffer_at_once() {
+        let (script, _) = sample();
+        for format in Format::ALL {
+            let wire = encode(&script, format).unwrap();
+            let mut d = StreamDecoder::new();
+            d.push(&wire);
+            let mut commands = Vec::new();
+            while let Some(c) = d.next_command().unwrap() {
+                commands.push(c);
+            }
+            assert!(d.is_complete(), "{format}");
+            let header = d.finish().unwrap();
+            assert_eq!(header.format, format);
+            assert_eq!(header.target_len, 50);
+            // Semantic equivalence (paper formats split commands).
+            let rebuilt = DeltaScript::new(100, 50, commands).unwrap();
+            assert_eq!(
+                crate::apply(&rebuilt, &vec![3u8; 100]).unwrap(),
+                crate::apply(&script, &vec![3u8; 100]).unwrap(),
+                "{format}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_by_byte_dribble() {
+        let (script, target) = sample();
+        let wire = encode_checked(&script, Format::Improved, &target).unwrap();
+        let mut d = StreamDecoder::new();
+        let mut commands = Vec::new();
+        for &b in &wire {
+            d.push(&[b]);
+            while let Some(c) = d.next_command().unwrap() {
+                commands.push(c);
+            }
+        }
+        assert_eq!(commands, script.commands());
+        let header = d.finish().unwrap();
+        assert_eq!(header.target_crc, Some(crate::checksum::crc32(&target)));
+    }
+
+    #[test]
+    fn arbitrary_chunking_matches_batch() {
+        let (script, _) = sample();
+        let wire = encode(&script, Format::InPlace).unwrap();
+        for chunk in [1usize, 2, 3, 7, 11, 100] {
+            let mut d = StreamDecoder::new();
+            let mut commands = Vec::new();
+            for part in wire.chunks(chunk) {
+                d.push(part);
+                while let Some(c) = d.next_command().unwrap() {
+                    commands.push(c);
+                }
+            }
+            assert_eq!(commands, script.commands(), "chunk {chunk}");
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn early_bad_magic() {
+        let mut d = StreamDecoder::new();
+        d.push(b"IP");
+        assert!(d.next_command().is_ok(), "prefix of magic: undecided");
+        d.push(b"XX");
+        assert_eq!(d.next_command(), Err(DecodeError::BadMagic));
+
+        let mut d = StreamDecoder::new();
+        d.push(b"Z");
+        assert_eq!(d.next_command(), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn finish_rejects_truncation_and_trailing() {
+        let (script, _) = sample();
+        let wire = encode(&script, Format::InPlace).unwrap();
+
+        // Truncated: stop before the end.
+        let mut d = StreamDecoder::new();
+        d.push(&wire[..wire.len() - 1]);
+        while let Some(_) = d.next_command().unwrap() {}
+        assert!(matches!(d.finish(), Err(DecodeError::Truncated)));
+
+        // Trailing garbage after the last command.
+        let mut d = StreamDecoder::new();
+        d.push(&wire);
+        d.push(&[0xFF, 0xFF]);
+        while let Some(_) = d.next_command().unwrap() {}
+        assert!(matches!(d.finish(), Err(DecodeError::TrailingBytes { remaining: 2 })));
+    }
+
+    #[test]
+    fn header_available_before_commands() {
+        let (script, _) = sample();
+        let wire = encode(&script, Format::PaperInPlace).unwrap();
+        let mut d = StreamDecoder::new();
+        d.push(&wire[..12]); // header only
+        let _ = d.next_command().unwrap();
+        let h = d.header().expect("header parsed");
+        assert_eq!(h.source_len, 100);
+        assert_eq!(h.format, Format::PaperInPlace);
+        assert_eq!(d.commands_decoded(), 0);
+    }
+
+    #[test]
+    fn empty_stream_finish_fails() {
+        assert!(matches!(StreamDecoder::new().finish(), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn encoder_matches_batch_encoding() {
+        let (script, _) = sample();
+        for format in [Format::Ordered, Format::InPlace, Format::Improved] {
+            let batch = encode(&script, format).unwrap();
+            let mut enc = StreamEncoder::new(
+                format,
+                script.source_len(),
+                script.target_len(),
+                script.len() as u64,
+                None,
+            )
+            .unwrap();
+            let mut streamed = Vec::new();
+            for cmd in script.commands() {
+                enc.push_command(cmd).unwrap();
+                streamed.extend(enc.take_bytes()); // drain incrementally
+            }
+            streamed.extend(enc.finish().unwrap());
+            assert_eq!(streamed, batch, "{format}");
+        }
+    }
+
+    #[test]
+    fn encoder_rejects_paper_formats() {
+        for format in [Format::PaperOrdered, Format::PaperInPlace] {
+            assert!(matches!(
+                StreamEncoder::new(format, 0, 0, 0, None),
+                Err(crate::codec::EncodeError::UnsupportedStreaming)
+            ));
+        }
+    }
+
+    #[test]
+    fn encoder_enforces_count_and_order() {
+        use crate::codec::EncodeError;
+        // Too many commands.
+        let mut enc = StreamEncoder::new(Format::InPlace, 8, 8, 1, None).unwrap();
+        enc.push_command(&Command::copy(0, 0, 8)).unwrap();
+        assert!(matches!(
+            enc.push_command(&Command::copy(0, 0, 8)),
+            Err(EncodeError::CommandCountMismatch { declared: 1 })
+        ));
+        // Too few commands.
+        let enc = StreamEncoder::new(Format::InPlace, 8, 8, 2, None).unwrap();
+        assert!(matches!(
+            enc.finish(),
+            Err(EncodeError::CommandCountMismatch { declared: 2 })
+        ));
+        // Out-of-order command in the offset-free format.
+        let mut enc = StreamEncoder::new(Format::Ordered, 16, 16, 2, None).unwrap();
+        assert!(matches!(
+            enc.push_command(&Command::copy(0, 8, 8)),
+            Err(EncodeError::NotWriteOrdered)
+        ));
+    }
+
+    #[test]
+    fn encoder_decoder_pipeline_with_crc() {
+        let (script, target) = sample();
+        let crc = crate::checksum::crc32(&target);
+        let mut enc = StreamEncoder::new(
+            Format::Improved,
+            script.source_len(),
+            script.target_len(),
+            script.len() as u64,
+            Some(crc),
+        )
+        .unwrap();
+        let mut dec = StreamDecoder::new();
+        let mut decoded = Vec::new();
+        for cmd in script.commands() {
+            enc.push_command(cmd).unwrap();
+            dec.push(&enc.take_bytes());
+            while let Some(c) = dec.next_command().unwrap() {
+                decoded.push(c);
+            }
+        }
+        dec.push(&enc.finish().unwrap());
+        while let Some(c) = dec.next_command().unwrap() {
+            decoded.push(c);
+        }
+        assert_eq!(decoded, script.commands());
+        assert_eq!(dec.finish().unwrap().target_crc, Some(crc));
+    }
+
+    #[test]
+    fn compaction_keeps_decoding_correct() {
+        // A long script forces buffer compaction mid-stream.
+        let n = 2000u64;
+        let cmds: Vec<Command> = (0..n).map(|i| Command::copy(i, i, 1)).collect();
+        let script = DeltaScript::new(n, n, cmds).unwrap();
+        let wire = encode(&script, Format::InPlace).unwrap();
+        let mut d = StreamDecoder::new();
+        let mut count = 0u64;
+        for part in wire.chunks(13) {
+            d.push(part);
+            while let Some(c) = d.next_command().unwrap() {
+                assert_eq!(c, Command::copy(count, count, 1));
+                count += 1;
+            }
+        }
+        assert_eq!(count, n);
+        d.finish().unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! Correcting one-pass differencing (after the Ajtai–Burns–Fagin–Long–
+//! Stockmeyer "correcting" family — the algorithm the paper pairs with
+//! in-place conversion).
+//!
+//! Keeps the linear-time, constant-space profile of
+//! [`OnePassDiffer`](super::OnePassDiffer) but recovers much of the
+//! compression the single-candidate table loses, two ways:
+//!
+//! * **two candidates per footprint slot** — the *first* and the *most
+//!   recent* reference offset with that footprint; both are verified and
+//!   the longer match wins (first-seen catches stable prefixes, last-seen
+//!   catches locality);
+//! * **backward extension** — a verified match is grown leftwards into
+//!   the pending literal run, *correcting* bytes that were provisionally
+//!   classified as adds before the match was discovered.
+
+use super::rolling::RollingHash;
+use super::{Differ, ScriptBuilder};
+use crate::script::DeltaScript;
+
+/// Linear-time differencing with match correction.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::{CorrectingDiffer, Differ};
+/// use ipr_delta::apply;
+///
+/// let r = b"a long stable prefix | moving part | a long stable suffix".to_vec();
+/// let v = b"a long stable prefix | CHANGED! | a long stable suffix".to_vec();
+/// let script = CorrectingDiffer::default().diff(&r, &v);
+/// assert_eq!(apply(&script, &r).unwrap(), v);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CorrectingDiffer {
+    seed_len: usize,
+    table_bits: u32,
+}
+
+impl Default for CorrectingDiffer {
+    /// 16-byte seeds and a 2^16-slot footprint table.
+    fn default() -> Self {
+        Self {
+            seed_len: 16,
+            table_bits: 16,
+        }
+    }
+}
+
+impl CorrectingDiffer {
+    /// Creates a differ with the given seed length and footprint-table
+    /// size (in bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed_len == 0` or `table_bits` is 0 or exceeds 30.
+    #[must_use]
+    pub fn new(seed_len: usize, table_bits: u32) -> Self {
+        assert!(seed_len > 0, "seed length must be positive");
+        assert!(
+            (1..=30).contains(&table_bits),
+            "table bits must be in 1..=30"
+        );
+        Self { seed_len, table_bits }
+    }
+
+    /// The configured seed length.
+    #[must_use]
+    pub fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// First-seen and last-seen reference offsets per footprint slot.
+#[derive(Clone, Copy)]
+struct Slot {
+    first: u32,
+    last: u32,
+}
+
+impl Differ for CorrectingDiffer {
+    fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
+        let source_len = reference.len() as u64;
+        let mut builder = ScriptBuilder::new();
+        if version.len() < self.seed_len || reference.len() < self.seed_len {
+            builder.push_literal(version);
+            return builder.finish(source_len);
+        }
+
+        let mask = (1u64 << self.table_bits) - 1;
+        let mut table = vec![Slot { first: EMPTY, last: EMPTY }; 1 << self.table_bits];
+        {
+            let mut h = RollingHash::new(&reference[..self.seed_len]);
+            let last = reference.len() - self.seed_len;
+            for i in 0..=last {
+                if i > 0 {
+                    h.roll(reference[i - 1], reference[i + self.seed_len - 1]);
+                }
+                let slot = &mut table[(h.hash() & mask) as usize];
+                if slot.first == EMPTY {
+                    slot.first = i as u32;
+                }
+                slot.last = i as u32;
+            }
+        }
+
+        let last_window = version.len() - self.seed_len;
+        let mut v = 0usize;
+        let mut h = RollingHash::new(&version[..self.seed_len]);
+        let mut hash_pos = 0usize;
+
+        while v <= last_window {
+            while hash_pos < v {
+                h.roll(version[hash_pos], version[hash_pos + self.seed_len]);
+                hash_pos += 1;
+            }
+            let slot = table[(h.hash() & mask) as usize];
+            let mut best_from = 0usize;
+            let mut best_len = 0usize;
+            for cand in [slot.first, slot.last] {
+                if cand == EMPTY {
+                    continue;
+                }
+                let c = cand as usize;
+                if c == best_from && best_len > 0 {
+                    continue; // first == last
+                }
+                if reference[c..c + self.seed_len] != version[v..v + self.seed_len] {
+                    continue;
+                }
+                let mut len = self.seed_len;
+                let max = (reference.len() - c).min(version.len() - v);
+                while len < max && reference[c + len] == version[v + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_from = c;
+                }
+            }
+            if best_len >= self.seed_len {
+                // Correction: extend the match backwards over pending
+                // literals.
+                let mut back = 0usize;
+                let reclaimable = builder.pending_len().min(best_from).min(v);
+                while back < reclaimable
+                    && reference[best_from - 1 - back] == version[v - 1 - back]
+                {
+                    back += 1;
+                }
+                builder.reclaim_pending(back);
+                builder.push_copy((best_from - back) as u64, (best_len + back) as u64);
+                v += best_len;
+            } else {
+                builder.push_byte(version[v]);
+                v += 1;
+            }
+        }
+        if v < version.len() {
+            builder.push_literal(&version[v..]);
+        }
+        builder.finish(source_len)
+    }
+
+    fn name(&self) -> &'static str {
+        "correcting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply;
+    use crate::diff::OnePassDiffer;
+
+    fn check(reference: &[u8], version: &[u8]) -> DeltaScript {
+        let script = CorrectingDiffer::default().diff(reference, version);
+        assert_eq!(apply(&script, reference).unwrap(), version);
+        script
+    }
+
+    #[test]
+    fn identical_files_fully_copied() {
+        let data: Vec<u8> = (0..8_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let script = check(&data, &data);
+        assert_eq!(script.added_bytes(), 0);
+    }
+
+    #[test]
+    fn backward_extension_reclaims_unaligned_match_start() {
+        // The version prefixes a match with bytes that also match, but the
+        // footprint only fires `seed_len` bytes in; backward extension
+        // must reclaim the reclaimable prefix.
+        let differ = CorrectingDiffer::new(8, 12);
+        let reference = b"0123456789abcdefghijklmnop".to_vec();
+        // New head, then a copy of reference[4..] — the first 4 bytes of
+        // that copy are covered only via backward extension.
+        let version = [b"XY".to_vec(), reference[4..].to_vec()].concat();
+        let script = differ.diff(&reference, &version);
+        assert_eq!(apply(&script, &reference).unwrap(), version);
+        assert_eq!(script.added_bytes(), 2, "only the genuinely new bytes are literal");
+    }
+
+    #[test]
+    fn never_worse_than_one_pass_on_locality_workload() {
+        // Repetition defeats the first-wins single-slot table; the
+        // last-seen candidate restores locality.
+        let block: Vec<u8> = (0..199u32).map(|i| (i * 3 % 251) as u8).collect();
+        let reference: Vec<u8> = block.repeat(40);
+        let mut version = reference.clone();
+        version.rotate_left(3_333);
+        let one = OnePassDiffer::default().diff(&reference, &version);
+        let cor = check(&reference, &version);
+        assert!(
+            cor.added_bytes() <= one.added_bytes(),
+            "correcting {} vs one-pass {}",
+            cor.added_bytes(),
+            one.added_bytes()
+        );
+    }
+
+    #[test]
+    fn corrects_point_edits_tightly() {
+        let reference: Vec<u8> = (0..10_000u32).map(|i| (i * 11 % 251) as u8).collect();
+        let mut version = reference.clone();
+        version[5_000] ^= 0x80;
+        let script = check(&reference, &version);
+        // One flipped byte: literal bytes must stay tiny thanks to
+        // backward extension on the resynchronized match.
+        assert!(script.added_bytes() <= 2, "{}", script.added_bytes());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check(b"", b"");
+        check(b"", b"everything is new here......");
+        check(b"all gone", b"");
+        check(b"short", b"short");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length")]
+    fn zero_seed_rejected() {
+        let _ = CorrectingDiffer::new(0, 10);
+    }
+}

@@ -1,0 +1,263 @@
+//! Greedy differencing: index every reference offset, take the longest
+//! match at each version position.
+
+use super::rolling::RollingHash;
+use super::{Differ, ScriptBuilder};
+use crate::script::DeltaScript;
+use std::collections::HashMap;
+
+/// Greedy byte-granularity differencing (after Reichenberger '91).
+///
+/// Builds a hash index of the `seed_len`-byte window at *every* reference
+/// offset, then scans the version file byte by byte, extending the longest
+/// verified match at each position. Compression is strong; time and memory
+/// are proportional to the reference size with worst cases quadratic in
+/// pathological self-similar inputs (bounded by `max_probes`).
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::{Differ, GreedyDiffer};
+/// use ipr_delta::apply;
+///
+/// let r = b"the quick brown fox jumps over the lazy dog".to_vec();
+/// let v = b"the quick red fox jumps over the lazy dog".to_vec();
+/// let script = GreedyDiffer::default().diff(&r, &v);
+/// assert_eq!(apply(&script, &r).unwrap(), v);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GreedyDiffer {
+    seed_len: usize,
+    max_probes: usize,
+}
+
+impl Default for GreedyDiffer {
+    /// 16-byte seeds, at most 64 probed candidates per position.
+    fn default() -> Self {
+        Self {
+            seed_len: 16,
+            max_probes: 64,
+        }
+    }
+}
+
+impl GreedyDiffer {
+    /// Creates a differ with a custom seed (minimum match) length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed_len == 0`.
+    #[must_use]
+    pub fn new(seed_len: usize) -> Self {
+        assert!(seed_len > 0, "seed length must be positive");
+        Self {
+            seed_len,
+            ..Self::default()
+        }
+    }
+
+    /// Limits how many candidate offsets are verified per position.
+    #[must_use]
+    pub fn with_max_probes(mut self, max_probes: usize) -> Self {
+        self.max_probes = max_probes.max(1);
+        self
+    }
+
+    /// The configured seed length.
+    #[must_use]
+    pub fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+
+    /// Index of every reference seed hash to its offsets.
+    fn index(&self, reference: &[u8]) -> SeedIndex {
+        SeedIndex::build(reference, self.seed_len)
+    }
+}
+
+const NO_OFFSET: u32 = u32::MAX;
+
+/// Hash index over every reference offset, stored as intrusive chains in
+/// one flat array (`chain[i]` links offset `i` to the previous offset with
+/// the same seed hash). A single backing allocation — per-bucket `Vec`s
+/// would mean one heap allocation per reference offset, which both bloats
+/// memory and leaves the allocator with hundreds of thousands of free
+/// chunks to consolidate on the next allocation.
+struct SeedIndex {
+    heads: HashMap<u64, u32>,
+    chain: Vec<u32>,
+}
+
+impl SeedIndex {
+    fn build(reference: &[u8], seed_len: usize) -> Self {
+        if reference.len() < seed_len {
+            return Self {
+                heads: HashMap::new(),
+                chain: Vec::new(),
+            };
+        }
+        let last = reference.len() - seed_len;
+        let mut heads: HashMap<u64, u32> = HashMap::with_capacity(last + 1);
+        let mut chain = vec![NO_OFFSET; last + 1];
+        let mut h = RollingHash::new(&reference[..seed_len]);
+        for i in 0..=last {
+            if i > 0 {
+                h.roll(reference[i - 1], reference[i + seed_len - 1]);
+            }
+            let head = heads.entry(h.hash()).or_insert(NO_OFFSET);
+            chain[i] = *head;
+            *head = i as u32;
+        }
+        Self { heads, chain }
+    }
+
+    /// Iterates candidate offsets for `hash`, most recent first.
+    fn candidates(&self, hash: u64) -> impl Iterator<Item = usize> + '_ {
+        let mut cursor = self.heads.get(&hash).copied().unwrap_or(NO_OFFSET);
+        std::iter::from_fn(move || {
+            if cursor == NO_OFFSET {
+                return None;
+            }
+            let current = cursor as usize;
+            cursor = self.chain[current];
+            Some(current)
+        })
+    }
+}
+
+impl Differ for GreedyDiffer {
+    fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
+        let source_len = reference.len() as u64;
+        let mut builder = ScriptBuilder::new();
+        if version.len() < self.seed_len || reference.len() < self.seed_len {
+            builder.push_literal(version);
+            return builder.finish(source_len);
+        }
+
+        let index = self.index(reference);
+        let last_window = version.len() - self.seed_len;
+        let mut v = 0usize;
+        let mut h = RollingHash::new(&version[..self.seed_len]);
+        let mut hash_pos = 0usize; // position the rolling hash currently covers
+
+        while v <= last_window {
+            // Advance the rolling hash to position v.
+            while hash_pos < v {
+                h.roll(version[hash_pos], version[hash_pos + self.seed_len]);
+                hash_pos += 1;
+            }
+            let mut best_from = 0usize;
+            let mut best_len = 0usize;
+            for c in index.candidates(h.hash()).take(self.max_probes) {
+                if reference[c..c + self.seed_len] != version[v..v + self.seed_len] {
+                    continue; // hash collision
+                }
+                let mut len = self.seed_len;
+                let max = (reference.len() - c).min(version.len() - v);
+                while len < max && reference[c + len] == version[v + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_from = c;
+                }
+            }
+            if best_len >= self.seed_len {
+                builder.push_copy(best_from as u64, best_len as u64);
+                v += best_len;
+            } else {
+                builder.push_byte(version[v]);
+                v += 1;
+            }
+            if v > last_window {
+                break;
+            }
+        }
+        // Tail shorter than a seed: emit literally.
+        if v < version.len() {
+            builder.push_literal(&version[v..]);
+        }
+        builder.finish(source_len)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply;
+
+    fn check(reference: &[u8], version: &[u8]) -> DeltaScript {
+        let script = GreedyDiffer::default().diff(reference, version);
+        assert_eq!(apply(&script, reference).unwrap(), version);
+        script
+    }
+
+    #[test]
+    fn identical_files_one_copy() {
+        let data = b"0123456789abcdef0123456789abcdef".repeat(8);
+        let script = check(&data, &data);
+        assert_eq!(script.copy_count(), 1);
+        assert_eq!(script.add_count(), 0);
+        assert_eq!(script.copied_bytes(), data.len() as u64);
+    }
+
+    #[test]
+    fn point_edit_three_commands() {
+        let reference: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let mut version = reference.clone();
+        version[100] ^= 0xff;
+        let script = check(&reference, &version);
+        // copy, small add (1 byte), copy
+        assert!(script.copy_count() >= 2, "{script:?}");
+        assert!(script.added_bytes() <= 2);
+    }
+
+    #[test]
+    fn insertion_detected() {
+        let reference = b"A common prefix string here. And a common suffix string too!".to_vec();
+        let mut version = reference.clone();
+        version.splice(29..29, b"<<<INSERTED MATERIAL>>>".iter().copied());
+        let script = check(&reference, &version);
+        assert!(script.copied_bytes() > 40);
+    }
+
+    #[test]
+    fn block_move_found() {
+        let a: Vec<u8> = (0..100u32).map(|i| (i % 251) as u8).collect();
+        let b: Vec<u8> = (0..100u32).map(|i| ((i * 7 + 3) % 251) as u8).collect();
+        let reference = [a.clone(), b.clone()].concat();
+        let version = [b, a].concat();
+        let script = check(&reference, &version);
+        // Both halves should be found as copies, nearly nothing literal.
+        assert!(script.added_bytes() < 20, "{}", script.added_bytes());
+    }
+
+    #[test]
+    fn unrelated_files_mostly_adds() {
+        let reference = vec![0u8; 500];
+        let version: Vec<u8> = (0..500u32).map(|i| (i * 37 % 251) as u8).collect();
+        let script = check(&reference, &version);
+        assert!(script.added_bytes() > 400);
+    }
+
+    #[test]
+    fn custom_seed_len() {
+        let d = GreedyDiffer::new(4);
+        assert_eq!(d.seed_len(), 4);
+        let reference = b"abcdefgh".to_vec();
+        let version = b"xxabcdefghxx".to_vec();
+        let script = d.diff(&reference, &version);
+        assert_eq!(apply(&script, &reference).unwrap(), version);
+        assert!(script.copied_bytes() >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_seed_rejected() {
+        let _ = GreedyDiffer::new(0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Differencing engines: produce a [`DeltaScript`] encoding a version file
+//! against a reference file.
+//!
+//! Two engines cover the trade-off the paper's lineage explores:
+//!
+//! * [`GreedyDiffer`] — indexes every reference offset and picks the
+//!   longest match at each version position. Better compression, more
+//!   time and memory (after Reichenberger '91).
+//! * [`OnePassDiffer`] — a fixed-size footprint table and a single forward
+//!   scan: linear time, constant space (after Burns & Long '97, the
+//!   algorithm the paper pairs with in-place conversion).
+//!
+//! Both emit scripts in write order whose commands exactly tile the
+//! version file, so `apply(diff(r, v), r) == v` always holds.
+
+mod correcting;
+mod greedy;
+mod onepass;
+mod rolling;
+mod windowed;
+
+pub use correcting::CorrectingDiffer;
+pub use greedy::GreedyDiffer;
+pub use onepass::OnePassDiffer;
+pub use rolling::{hash_of, RollingHash};
+pub use windowed::WindowedDiffer;
+
+use crate::command::Command;
+use crate::script::DeltaScript;
+
+/// A differencing algorithm.
+///
+/// Implementations must produce a write-ordered script that reconstructs
+/// `version` from `reference` (invariant I2 of DESIGN.md).
+pub trait Differ {
+    /// Computes a delta script encoding `version` against `reference`.
+    fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Incrementally builds a write-ordered, exactly-tiling [`DeltaScript`].
+///
+/// Literal bytes pushed back-to-back coalesce into a single add command;
+/// back-to-back copies from contiguous reference ranges coalesce into a
+/// single copy.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::ScriptBuilder;
+///
+/// let mut b = ScriptBuilder::new();
+/// b.push_copy(10, 4);
+/// b.push_literal(b"ab");
+/// b.push_literal(b"cd"); // coalesces with the previous literal
+/// let script = b.finish(100);
+/// assert_eq!(script.len(), 2);
+/// assert_eq!(script.target_len(), 8);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ScriptBuilder {
+    commands: Vec<Command>,
+    pending: Vec<u8>,
+    cursor: u64,
+}
+
+impl ScriptBuilder {
+    /// Creates an empty builder positioned at version offset 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current version-file offset (total bytes emitted so far).
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.cursor + self.pending.len() as u64
+    }
+
+    /// Appends literal bytes at the cursor.
+    pub fn push_literal(&mut self, data: &[u8]) {
+        self.pending.extend_from_slice(data);
+    }
+
+    /// Appends one literal byte at the cursor.
+    pub fn push_byte(&mut self, byte: u8) {
+        self.pending.push(byte);
+    }
+
+    /// Number of literal bytes pending (not yet flushed into an add
+    /// command). These are the bytes a backward-extending matcher may
+    /// still reclaim.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Discards the last `n` pending literal bytes, handing the cursor
+    /// back so a copy command can cover them instead (backward match
+    /// extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`ScriptBuilder::pending_len`] — only
+    /// uncommitted literals can be reclaimed.
+    pub fn reclaim_pending(&mut self, n: usize) {
+        assert!(
+            n <= self.pending.len(),
+            "cannot reclaim {n} bytes, only {} pending",
+            self.pending.len()
+        );
+        self.pending.truncate(self.pending.len() - n);
+    }
+
+    /// Appends a copy of `len` reference bytes starting at `from`.
+    ///
+    /// Zero-length copies are ignored.
+    pub fn push_copy(&mut self, from: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.flush_pending();
+        // Coalesce with a directly preceding contiguous copy.
+        if let Some(Command::Copy(prev)) = self.commands.last_mut() {
+            if prev.from + prev.len == from && prev.to + prev.len == self.cursor {
+                prev.len += len;
+                self.cursor += len;
+                return;
+            }
+        }
+        self.commands.push(Command::copy(from, self.cursor, len));
+        self.cursor += len;
+    }
+
+    fn flush_pending(&mut self) {
+        if !self.pending.is_empty() {
+            let data = std::mem::take(&mut self.pending);
+            let len = data.len() as u64;
+            self.commands.push(Command::add(self.cursor, data));
+            self.cursor += len;
+        }
+    }
+
+    /// Finishes the script against a `source_len`-byte reference.
+    ///
+    /// The target length is the number of bytes pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pushed commands do not validate (impossible unless a
+    /// copy read out of the reference bounds).
+    #[must_use]
+    pub fn finish(mut self, source_len: u64) -> DeltaScript {
+        self.flush_pending();
+        let target_len = self.cursor;
+        DeltaScript::new(source_len, target_len, self.commands)
+            .expect("builder emits tiling write-ordered commands")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply;
+
+    #[test]
+    fn builder_coalesces_literals() {
+        let mut b = ScriptBuilder::new();
+        b.push_byte(1);
+        b.push_byte(2);
+        b.push_literal(&[3, 4]);
+        let s = b.finish(0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.added_bytes(), 4);
+    }
+
+    #[test]
+    fn builder_coalesces_contiguous_copies() {
+        let mut b = ScriptBuilder::new();
+        b.push_copy(10, 4);
+        b.push_copy(14, 4);
+        b.push_copy(30, 4); // not contiguous
+        let s = b.finish(100);
+        assert_eq!(s.copy_count(), 2);
+        assert_eq!(s.commands()[0], Command::copy(10, 0, 8));
+    }
+
+    #[test]
+    fn builder_interleaves() {
+        let mut b = ScriptBuilder::new();
+        b.push_copy(0, 2);
+        b.push_literal(b"xy");
+        b.push_copy(2, 2);
+        let s = b.finish(4);
+        assert_eq!(s.len(), 3);
+        assert!(s.is_write_ordered());
+        assert_eq!(apply(&s, b"abcd").unwrap(), b"abxycd");
+    }
+
+    #[test]
+    fn builder_ignores_zero_len_copy() {
+        let mut b = ScriptBuilder::new();
+        b.push_copy(5, 0);
+        let s = b.finish(10);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cursor_tracks_pending() {
+        let mut b = ScriptBuilder::new();
+        assert_eq!(b.cursor(), 0);
+        b.push_literal(b"abc");
+        assert_eq!(b.cursor(), 3);
+        b.push_copy(0, 2);
+        assert_eq!(b.cursor(), 5);
+    }
+
+    /// Differs must be behaviourally interchangeable.
+    fn check_differ(d: &dyn Differ, reference: &[u8], version: &[u8]) {
+        let script = d.diff(reference, version);
+        assert_eq!(
+            apply(&script, reference).unwrap(),
+            version,
+            "{} failed on {} -> {} bytes",
+            d.name(),
+            reference.len(),
+            version.len()
+        );
+        assert!(script.is_write_ordered());
+    }
+
+    #[test]
+    fn differs_handle_degenerate_inputs() {
+        let differs: [&dyn Differ; 3] = [
+            &GreedyDiffer::default(),
+            &OnePassDiffer::default(),
+            &CorrectingDiffer::default(),
+        ];
+        for d in differs {
+            check_differ(d, b"", b"");
+            check_differ(d, b"", b"hello world, entirely new data");
+            check_differ(d, b"all of this disappears", b"");
+            check_differ(d, b"tiny", b"tiny");
+            check_differ(d, b"abc", b"xyz");
+            let same = vec![7u8; 10_000];
+            check_differ(d, &same, &same);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Karp–Rabin rolling hash over fixed-size byte windows ("footprints" in
+//! the differencing literature).
+
+/// Multiplier for the polynomial hash; an arbitrary odd 64-bit constant
+/// with good bit dispersion (the FNV-1a prime).
+const BASE: u64 = 0x0000_0100_0000_01b3;
+
+/// A Karp–Rabin hash of a sliding window of fixed width.
+///
+/// The hash of window bytes `b_0 … b_{w-1}` is
+/// `Σ b_i · BASE^(w-1-i) (mod 2^64)`; sliding one byte right updates it in
+/// O(1).
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::RollingHash;
+///
+/// let data = b"abcdefgh";
+/// let mut h = RollingHash::new(&data[0..4]);
+/// h.roll(data[0], data[4]);
+/// assert_eq!(h.hash(), RollingHash::new(&data[1..5]).hash());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RollingHash {
+    hash: u64,
+    /// BASE^(w-1), used to remove the outgoing byte.
+    msb_weight: u64,
+}
+
+impl RollingHash {
+    /// Hashes the initial window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is empty.
+    #[must_use]
+    pub fn new(window: &[u8]) -> Self {
+        assert!(!window.is_empty(), "rolling hash window must be non-empty");
+        let mut hash = 0u64;
+        for &b in window {
+            hash = hash.wrapping_mul(BASE).wrapping_add(u64::from(b));
+        }
+        let mut msb_weight = 1u64;
+        for _ in 1..window.len() {
+            msb_weight = msb_weight.wrapping_mul(BASE);
+        }
+        Self { hash, msb_weight }
+    }
+
+    /// Current hash value.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Slides the window one byte: removes `outgoing` (the leftmost byte)
+    /// and appends `incoming`.
+    pub fn roll(&mut self, outgoing: u8, incoming: u8) {
+        self.hash = self
+            .hash
+            .wrapping_sub(u64::from(outgoing).wrapping_mul(self.msb_weight))
+            .wrapping_mul(BASE)
+            .wrapping_add(u64::from(incoming));
+    }
+}
+
+/// One-shot hash of `window`, equal to `RollingHash::new(window).hash()`.
+///
+/// # Panics
+///
+/// Panics if `window` is empty.
+#[must_use]
+pub fn hash_of(window: &[u8]) -> u64 {
+    RollingHash::new(window).hash()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_direct_everywhere() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 31 % 251) as u8).collect();
+        let w = 16;
+        let mut h = RollingHash::new(&data[0..w]);
+        for i in 1..=data.len() - w {
+            h.roll(data[i - 1], data[i + w - 1]);
+            assert_eq!(h.hash(), hash_of(&data[i..i + w]), "window {i}");
+        }
+    }
+
+    #[test]
+    fn window_of_one() {
+        let mut h = RollingHash::new(b"a");
+        assert_eq!(h.hash(), u64::from(b'a'));
+        h.roll(b'a', b'z');
+        assert_eq!(h.hash(), u64::from(b'z'));
+    }
+
+    #[test]
+    fn distinct_windows_usually_differ() {
+        assert_ne!(hash_of(b"abcdabcd"), hash_of(b"abcdabce"));
+        assert_ne!(hash_of(b"aaaaaaab"), hash_of(b"baaaaaaa"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_panics() {
+        let _ = hash_of(b"");
+    }
+}

@@ -1,0 +1,215 @@
+//! Windowed differencing: bounded-memory deltas for large files.
+//!
+//! A full-index differ holds state proportional to the reference size.
+//! [`WindowedDiffer`] caps that: the version file is processed in
+//! fixed-size windows, each differenced against the *corresponding*
+//! reference region plus a configurable margin on both sides. Memory is
+//! bounded by `window + 2·margin` regardless of file size, at the cost of
+//! missing matches that moved farther than the margin — the standard
+//! trade of windowed delta compressors.
+
+use super::{Differ, ScriptBuilder};
+use crate::command::Command;
+use crate::script::DeltaScript;
+
+/// Bounded-memory differencing by fixed windows.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::{Differ, GreedyDiffer, WindowedDiffer};
+/// use ipr_delta::apply;
+///
+/// let differ = WindowedDiffer::new(GreedyDiffer::default(), 64 * 1024, 16 * 1024);
+/// let reference = vec![7u8; 500_000];
+/// let mut version = reference.clone();
+/// version[250_000] = 8;
+/// let script = differ.diff(&reference, &version);
+/// assert_eq!(apply(&script, &reference).unwrap(), version);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowedDiffer<D> {
+    inner: D,
+    window: usize,
+    margin: usize,
+}
+
+impl<D: Differ> WindowedDiffer<D> {
+    /// Wraps `inner`, processing `window` version bytes at a time against
+    /// the aligned reference region widened by `margin` bytes on each
+    /// side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(inner: D, window: usize, margin: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            inner,
+            window,
+            margin,
+        }
+    }
+
+    /// The configured window size in bytes.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The configured margin in bytes.
+    #[must_use]
+    pub fn margin(&self) -> usize {
+        self.margin
+    }
+}
+
+impl<D: Differ> Differ for WindowedDiffer<D> {
+    fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
+        let mut out = ScriptBuilder::new();
+        let mut start = 0usize;
+        while start < version.len() {
+            let end = (start + self.window).min(version.len());
+            // The aligned reference region, widened by the margin. When
+            // the files have different lengths, scale the alignment so the
+            // last version window still sees the reference tail.
+            let (ref_start, ref_end) = if reference.is_empty() {
+                (0, 0)
+            } else {
+                let scale = reference.len() as f64 / version.len() as f64;
+                let mid = ((start as f64) * scale) as usize;
+                let ref_start = mid.saturating_sub(self.margin);
+                let ref_end = (((end as f64) * scale) as usize + self.margin).min(reference.len());
+                (ref_start.min(reference.len()), ref_end)
+            };
+            let window_script = self
+                .inner
+                .diff(&reference[ref_start..ref_end], &version[start..end]);
+            for cmd in window_script.commands() {
+                match cmd {
+                    Command::Copy(c) => out.push_copy(c.from + ref_start as u64, c.len),
+                    Command::Add(a) => out.push_literal(&a.data),
+                }
+            }
+            start = end;
+        }
+        out.finish(reference.len() as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "windowed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply;
+    use crate::diff::{GreedyDiffer, OnePassDiffer};
+
+    fn differ() -> WindowedDiffer<GreedyDiffer> {
+        WindowedDiffer::new(GreedyDiffer::default(), 16 * 1024, 4 * 1024)
+    }
+
+    fn check(reference: &[u8], version: &[u8]) -> DeltaScript {
+        let script = differ().diff(reference, version);
+        assert_eq!(apply(&script, reference).unwrap(), version);
+        script
+    }
+
+    #[test]
+    fn identical_large_files() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Aperiodic data, so matches land at their aligned positions and
+        // window copies coalesce.
+        let data: Vec<u8> = (0..200_000).map(|_| rng.random()).collect();
+        let script = check(&data, &data);
+        assert_eq!(script.added_bytes(), 0);
+        // One copy per window at most, coalesced where contiguous.
+        assert!(
+            script.copy_count() <= data.len() / (16 * 1024) + 1,
+            "{} copies",
+            script.copy_count()
+        );
+    }
+
+    #[test]
+    fn point_edits_stay_local() {
+        let reference: Vec<u8> = (0..150_000u32).map(|i| (i * 13 % 251) as u8).collect();
+        let mut version = reference.clone();
+        for pos in [5_000usize, 70_000, 140_000] {
+            version[pos] ^= 0xff;
+        }
+        let script = check(&reference, &version);
+        assert!(script.added_bytes() < 64, "{}", script.added_bytes());
+    }
+
+    #[test]
+    fn moves_within_margin_found() {
+        let reference: Vec<u8> = (0..100_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(2_000); // shift well inside the 4 KiB margin
+        let script = check(&reference, &version);
+        assert!(
+            (script.added_bytes() as f64) < 0.1 * version.len() as f64,
+            "{}",
+            script.added_bytes()
+        );
+    }
+
+    #[test]
+    fn moves_beyond_margin_still_correct_but_larger() {
+        let reference: Vec<u8> = (0..100_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(50_000); // far beyond the margin
+        let windowed = differ().diff(&reference, &version);
+        assert_eq!(apply(&windowed, &reference).unwrap(), version);
+        let full = GreedyDiffer::default().diff(&reference, &version);
+        assert!(
+            windowed.added_bytes() >= full.added_bytes(),
+            "windowed cannot beat the full-index differ"
+        );
+    }
+
+    #[test]
+    fn shrinking_and_growing_files() {
+        let reference: Vec<u8> = (0..80_000u32).map(|i| (i * 3 % 251) as u8).collect();
+        let mut grown = reference.clone();
+        grown.extend((0..30_000u32).map(|i| (i * 91 % 256) as u8));
+        check(&reference, &grown);
+        let shrunk = reference[..40_000].to_vec();
+        check(&reference, &shrunk);
+        check(&[], &reference);
+        check(&reference, &[]);
+    }
+
+    #[test]
+    fn wraps_any_inner_differ() {
+        let d = WindowedDiffer::new(OnePassDiffer::default(), 8 * 1024, 1024);
+        assert_eq!(d.window(), 8 * 1024);
+        assert_eq!(d.margin(), 1024);
+        assert_eq!(d.name(), "windowed");
+        let reference = vec![5u8; 50_000];
+        let mut version = reference.clone();
+        version[25_000] = 6;
+        let script = d.diff(&reference, &version);
+        assert_eq!(apply(&script, &reference).unwrap(), version);
+    }
+
+    #[test]
+    fn window_smaller_than_seed_degrades_gracefully() {
+        let d = WindowedDiffer::new(GreedyDiffer::default(), 4, 2);
+        let reference = b"abcdefghijklmnop".to_vec();
+        let version = b"abcdefghijklmnopqrst".to_vec();
+        let script = d.diff(&reference, &version);
+        assert_eq!(apply(&script, &reference).unwrap(), version);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = WindowedDiffer::new(GreedyDiffer::default(), 0, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! LEB128 variable-length integer encoding used by the codecs.
+
+use std::fmt;
+
+/// Error returned when decoding a malformed varint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarintError {
+    /// Input ended before the terminating byte.
+    Truncated,
+    /// The encoding exceeds 10 bytes or overflows 64 bits.
+    Overflow,
+}
+
+impl fmt::Display for VarintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "varint truncated"),
+            VarintError::Overflow => write!(f, "varint overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends the LEB128 encoding of `value` to `out`.
+///
+/// # Example
+///
+/// ```
+/// let mut buf = Vec::new();
+/// ipr_delta::varint::encode(300, &mut buf);
+/// assert_eq!(buf, [0xac, 0x02]);
+/// ```
+pub fn encode(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`encode`] emits for `value`.
+#[must_use]
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Decodes a LEB128 value from the front of `input`, returning the value
+/// and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`VarintError::Truncated`] if `input` ends mid-varint and
+/// [`VarintError::Overflow`] if the value does not fit in a `u64`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ipr_delta::varint::VarintError> {
+/// let (value, used) = ipr_delta::varint::decode(&[0xac, 0x02, 0xff])?;
+/// assert_eq!((value, used), (300, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(input: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate().take(10) {
+        let chunk = u64::from(byte & 0x7f);
+        if i == 9 && byte > 0x01 {
+            return Err(VarintError::Overflow);
+        }
+        value |= chunk << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    if input.len() >= 10 {
+        Err(VarintError::Overflow)
+    } else {
+        Err(VarintError::Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len(v), "len mismatch for {v}");
+            let (decoded, used) = decode(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn encoded_len_boundaries() {
+        assert_eq!(encoded_len(0), 1);
+        assert_eq!(encoded_len(0x7f), 1);
+        assert_eq!(encoded_len(0x80), 2);
+        assert_eq!(encoded_len(0x3fff), 2);
+        assert_eq!(encoded_len(0x4000), 3);
+        assert_eq!(encoded_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let (v, used) = decode(&[0x05, 0xaa, 0xbb]).unwrap();
+        assert_eq!((v, used), (5, 1));
+    }
+
+    #[test]
+    fn truncated_input() {
+        assert_eq!(decode(&[]), Err(VarintError::Truncated));
+        assert_eq!(decode(&[0x80]), Err(VarintError::Truncated));
+        assert_eq!(decode(&[0xff, 0xff]), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 11 continuation bytes can never be a valid u64.
+        let bad = [0xff; 11];
+        assert_eq!(decode(&bad), Err(VarintError::Overflow));
+        // 10 bytes with too-large final byte.
+        let mut too_big = [0xff; 10];
+        too_big[9] = 0x02;
+        assert_eq!(decode(&too_big), Err(VarintError::Overflow));
+        // u64::MAX itself is fine.
+        let mut max = [0xff; 10];
+        max[9] = 0x01;
+        assert_eq!(decode(&max), Ok((u64::MAX, 10)));
+    }
+}

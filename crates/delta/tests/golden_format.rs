@@ -1,0 +1,145 @@
+//! Golden vectors freezing the wire format.
+//!
+//! Deltas are durable artifacts: a device flashed today must accept a
+//! delta encoded by next year's server. These tests pin the exact bytes
+//! of every codeword format for a small reference script; any encoder
+//! change that breaks them is a wire-format break and must bump the
+//! format version instead.
+
+use ipr_delta::codec::{decode, encode, encode_checked, Format};
+use ipr_delta::{Command, DeltaScript};
+
+fn golden_script() -> DeltaScript {
+    DeltaScript::new(
+        300,
+        20,
+        vec![
+            Command::copy(200, 0, 10),
+            Command::add(10, vec![0xDE, 0xAD]),
+            Command::copy(5, 12, 8),
+        ],
+    )
+    .unwrap()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn golden_ordered() {
+    let wire = encode(&golden_script(), Format::Ordered).unwrap();
+    assert_eq!(
+        hex(&wire),
+        concat!(
+            "49505201", // magic "IPR\x01"
+            "00",       // format: ordered
+            "00",       // flags: no crc
+            "ac02",     // source_len = 300
+            "14",       // target_len = 20
+            "03",       // 3 commands
+            "00c8010a", // copy from=200 len=10
+            "0102dead", // add len=2 + data
+            "000508"    // copy from=5 len=8
+        )
+    );
+}
+
+#[test]
+fn golden_in_place() {
+    let wire = encode(&golden_script(), Format::InPlace).unwrap();
+    assert_eq!(
+        hex(&wire),
+        concat!(
+            "49505201",
+            "01", // format: in-place
+            "00",
+            "ac02",
+            "14",
+            "03",
+            "00c801000a", // copy from=200 to=0 len=10
+            "010a02dead", // add to=10 len=2 + data
+            "00050c08"    // copy from=5 to=12 len=8
+        )
+    );
+}
+
+#[test]
+fn golden_paper_ordered() {
+    let wire = encode(&golden_script(), Format::PaperOrdered).unwrap();
+    assert_eq!(
+        hex(&wire),
+        concat!(
+            "49505201",
+            "02",
+            "00",
+            "ac02",
+            "14",
+            "03",
+            "02000000c8000a", // copy: tag, u32 from=200, u16 len=10
+            "0302dead",       // add: tag, u8 len=2, data
+            "02000000050008"  // copy: tag, u32 from=5, u16 len=8
+        )
+    );
+}
+
+#[test]
+fn golden_paper_in_place() {
+    let wire = encode(&golden_script(), Format::PaperInPlace).unwrap();
+    assert_eq!(
+        hex(&wire),
+        concat!(
+            "49505201",
+            "03",
+            "00",
+            "ac02",
+            "14",
+            "03",
+            "02000000c800000000000a", // copy: u32 from, u32 to, u16 len
+            "030000000a02dead",       // add: u32 to, u8 len, data
+            "02000000050000000c0008"
+        )
+    );
+}
+
+#[test]
+fn golden_improved() {
+    let wire = encode(&golden_script(), Format::Improved).unwrap();
+    assert_eq!(
+        hex(&wire),
+        concat!(
+            "49505201",
+            "04",
+            "00",
+            "ac02",
+            "14",
+            "03",
+            "02c8010a", // copy, chained (to = 0 = write end): from=200 len=10
+            "0302dead", // add, chained (to = 10): len=2, data
+            "020508"    // copy, chained (to = 12): from=5 len=8
+        )
+    );
+}
+
+#[test]
+fn golden_checked_crc() {
+    // CRC of the 20-byte target this script produces from a fixed
+    // reference.
+    let reference: Vec<u8> = (0..300u32).map(|i| (i % 256) as u8).collect();
+    let target = ipr_delta::apply(&golden_script(), &reference).unwrap();
+    let wire = encode_checked(&golden_script(), Format::Ordered, &target).unwrap();
+    // Flags byte set; 4 CRC bytes after the command count.
+    assert_eq!(wire[5], 0x01);
+    let decoded = decode(&wire).unwrap();
+    assert_eq!(decoded.target_crc, Some(ipr_delta::checksum::crc32(&target)));
+}
+
+#[test]
+fn golden_vectors_decode_back() {
+    for format in Format::ALL {
+        let wire = encode(&golden_script(), format).unwrap();
+        let decoded = decode(&wire).unwrap();
+        assert_eq!(decoded.format, format);
+        assert_eq!(decoded.script.target_len(), 20);
+    }
+}

@@ -1,0 +1,47 @@
+//! Constrained-device substrate: the environment the paper's algorithm
+//! targets.
+//!
+//! * [`Device`] — fixed-capacity storage with no scratch space and a
+//!   run-time write-before-read fault detector;
+//! * [`Channel`] — deterministic bandwidth/latency model for
+//!   transfer-time results;
+//! * [`update`] — end-to-end OTA sessions: server-side preparation
+//!   ([`update::prepare_update`]) and device-side installation
+//!   ([`update::install_update`]) with CRC verification.
+//!
+//! # Example
+//!
+//! ```
+//! use ipr_delta::diff::GreedyDiffer;
+//! use ipr_delta::codec::Format;
+//! use ipr_core::ConversionConfig;
+//! use ipr_device::{update, Channel, Device};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let v1 = vec![0u8; 2048];
+//! let mut v2 = v1.clone(); v2[100] = 1;
+//!
+//! let upd = update::prepare_update(
+//!     &GreedyDiffer::default(), &v1, &v2,
+//!     &ConversionConfig::default(), Format::InPlace,
+//! )?;
+//!
+//! let mut dev = Device::new(2048);
+//! dev.flash(&v1)?;
+//! update::install_update(&mut dev, &upd.payload, Channel::dialup())?;
+//! assert_eq!(dev.image(), &v2[..]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod device;
+
+pub mod flash;
+pub mod update;
+
+pub use channel::{Channel, LossyChannel, TransferReport};
+pub use device::{Device, DeviceError, UpdateSession, UpdateStats};

@@ -1,0 +1,46 @@
+//! Graph and interval substrate for in-place reconstruction of delta
+//! compressed files.
+//!
+//! This crate provides the combinatorial building blocks used by
+//! [`ipr-core`](https://example.invalid/ipr) to implement the Burns & Long
+//! (PODC '98) algorithm:
+//!
+//! * [`Interval`] — half-open byte intervals with intersection arithmetic,
+//!   plus [`IntervalIndex`] (contiguous-range intersection queries against a
+//!   sorted, disjoint interval sequence — the core of CRWI edge construction)
+//!   and [`IntervalSet`] (a coalescing union of intervals — the core of the
+//!   write-before-read verifier).
+//! * [`Digraph`] — a compact adjacency-list digraph.
+//! * [`topo`] — Kahn and DFS topological sorts; the DFS variant reports a
+//!   witness cycle on failure, which the in-place conversion algorithm uses
+//!   to drive its cycle-breaking policies.
+//! * [`scc`] — Tarjan's strongly connected components.
+//! * [`fvs`] — exact (exponential) minimum feedback vertex set for small
+//!   digraphs, used as an ablation baseline against the paper's heuristic
+//!   cycle-breaking policies.
+//!
+//! # Example
+//!
+//! ```
+//! use ipr_digraph::{Digraph, topo};
+//!
+//! let mut g = Digraph::new(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! let order = topo::kahn(&g).expect("acyclic");
+//! assert_eq!(order, vec![0, 1, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod interval;
+
+pub mod fvs;
+pub mod scc;
+pub mod topo;
+
+pub use graph::{Digraph, EdgeIter, NodeId};
+pub use interval::{Interval, IntervalIndex, IntervalSet, OverlapError};
+pub use topo::CycleError;

@@ -1,0 +1,218 @@
+//! Tarjan's strongly connected components.
+//!
+//! Used to localize cycle-breaking work: every directed cycle lies entirely
+//! inside one strongly connected component, so exact feedback-vertex-set
+//! search ([`crate::fvs`]) and cycle statistics can be computed per
+//! component.
+
+use crate::{Digraph, NodeId};
+
+/// The strongly connected components of a digraph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sccs {
+    /// `component[v]` is the id of the SCC containing node `v`.
+    component: Vec<u32>,
+    /// Members of each component, in discovery order.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Sccs {
+    /// Number of components.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The component id of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.component[v as usize]
+    }
+
+    /// The members of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[must_use]
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        &self.members[c as usize]
+    }
+
+    /// Iterates the components, largest first.
+    #[must_use]
+    pub fn by_size_desc(&self) -> Vec<&[NodeId]> {
+        let mut v: Vec<&[NodeId]> = self.members.iter().map(Vec::as_slice).collect();
+        v.sort_by_key(|m| std::cmp::Reverse(m.len()));
+        v
+    }
+
+    /// Components that can contain a cycle: size > 1, or a single node with a
+    /// self-loop in `g`.
+    #[must_use]
+    pub fn cyclic_components<'a>(&'a self, g: &'a Digraph) -> Vec<&'a [NodeId]> {
+        self.members
+            .iter()
+            .map(Vec::as_slice)
+            .filter(|m| m.len() > 1 || (m.len() == 1 && g.has_edge(m[0], m[0])))
+            .collect()
+    }
+}
+
+/// Computes the strongly connected components with an iterative Tarjan
+/// algorithm in `O(V + E)`.
+///
+/// Component ids are assigned in reverse topological order of the
+/// condensation (a Tarjan property): if component `a` has an edge into
+/// component `b` (`a != b`), then `a`'s id is greater than `b`'s.
+///
+/// # Example
+///
+/// ```
+/// use ipr_digraph::{Digraph, scc};
+///
+/// let g = Digraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3)]);
+/// let sccs = scc::tarjan(&g);
+/// assert_eq!(sccs.count(), 3);
+/// assert_eq!(sccs.component_of(0), sccs.component_of(1));
+/// ```
+#[must_use]
+pub fn tarjan(g: &Digraph) -> Sccs {
+    let n = g.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut component = vec![UNVISITED; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Iterative DFS frame: (node, next successor position).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (u, ref mut pos)) = call.last_mut() {
+            let succs = g.successors(u);
+            if *pos < succs.len() {
+                let v = succs[*pos];
+                *pos += 1;
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    call.push((v, 0));
+                } else if on_stack[v as usize] {
+                    lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[u as usize]);
+                }
+                if lowlink[u as usize] == index[u as usize] {
+                    let id = members.len() as u32;
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = id;
+                        comp.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    Sccs { component, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_on_dag() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let s = tarjan(&g);
+        assert_eq!(s.count(), 3);
+        assert_ne!(s.component_of(0), s.component_of(1));
+    }
+
+    #[test]
+    fn one_big_cycle() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = tarjan(&g);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.members(0).len(), 4);
+    }
+
+    #[test]
+    fn two_cycles_and_bridge() {
+        let g = Digraph::from_edges(6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3), (4, 5)]);
+        let s = tarjan(&g);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.component_of(0), s.component_of(1));
+        assert_eq!(s.component_of(3), s.component_of(4));
+        assert_ne!(s.component_of(0), s.component_of(3));
+        let cyclic = s.cyclic_components(&g);
+        assert_eq!(cyclic.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_counts_as_cyclic() {
+        let g = Digraph::from_edges(2, [(0, 0)]);
+        let s = tarjan(&g);
+        assert_eq!(s.count(), 2);
+        let cyclic = s.cyclic_components(&g);
+        assert_eq!(cyclic.len(), 1);
+        assert_eq!(cyclic[0], &[0]);
+    }
+
+    #[test]
+    fn condensation_order_property() {
+        // Edge between different components implies source id > target id.
+        let g = Digraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (3, 2), (3, 4), (4, 3)]);
+        let s = tarjan(&g);
+        for (u, v) in g.edges() {
+            let (cu, cv) = (s.component_of(u), s.component_of(v));
+            if cu != cv {
+                assert!(cu > cv, "edge {u}->{v} violates condensation order");
+            }
+        }
+    }
+
+    #[test]
+    fn by_size_desc_sorted() {
+        let g = Digraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]);
+        let s = tarjan(&g);
+        let sizes: Vec<usize> = s.by_size_desc().iter().map(|m| m.len()).collect();
+        assert_eq!(sizes, vec![3, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = tarjan(&Digraph::new(0));
+        assert_eq!(s.count(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Model-based property tests for the graph/interval substrate.
+
+use ipr_digraph::{fvs, scc, topo, Digraph, Interval, IntervalIndex, IntervalSet};
+use proptest::prelude::*;
+
+/// A random digraph as (node count, edge list).
+fn digraph_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Digraph> {
+    (1..=max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |edges| Digraph::from_edges(n, edges))
+    })
+}
+
+/// Naive transitive reachability by repeated squaring of a boolean matrix.
+fn reachable(g: &Digraph) -> Vec<Vec<bool>> {
+    let n = g.node_count();
+    let mut m = vec![vec![false; n]; n];
+    for (u, v) in g.edges() {
+        m[u as usize][v as usize] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if m[i][k] {
+                for j in 0..n {
+                    if m[k][j] {
+                        m[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Kahn and DFS agree on acyclicity, and their orders are valid.
+    #[test]
+    fn topo_sorts_agree(g in digraph_strategy(16, 40)) {
+        let kahn = topo::kahn(&g);
+        let dfs = topo::dfs(&g);
+        prop_assert_eq!(kahn.is_ok(), dfs.is_ok());
+        if let Ok(order) = &kahn {
+            prop_assert!(topo::is_topological_order(&g, order));
+        }
+        if let Ok(order) = &dfs {
+            prop_assert!(topo::is_topological_order(&g, order));
+        }
+        // A DFS-reported cycle really is one.
+        if let Err(e) = dfs {
+            let c = &e.cycle;
+            prop_assert!(!c.is_empty());
+            for w in c.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+            prop_assert!(g.has_edge(*c.last().unwrap(), c[0]));
+        }
+    }
+
+    /// Tarjan components match naive mutual reachability.
+    #[test]
+    fn tarjan_matches_reachability(g in digraph_strategy(14, 36)) {
+        let sccs = scc::tarjan(&g);
+        let m = reachable(&g);
+        let n = g.node_count();
+        for u in 0..n {
+            for v in 0..n {
+                let same = sccs.component_of(u as u32) == sccs.component_of(v as u32);
+                let mutual = u == v || (m[u][v] && m[v][u]);
+                prop_assert_eq!(same, mutual, "nodes {} and {}", u, v);
+            }
+        }
+    }
+
+    /// The exact FVS result is a feedback vertex set and no single vertex
+    /// can be dropped from it (local minimality).
+    #[test]
+    fn fvs_is_minimal_feedback_set(
+        g in digraph_strategy(8, 20),
+        costs in proptest::collection::vec(1u64..50, 8),
+    ) {
+        let cost = &costs[..g.node_count()];
+        let set = fvs::minimum_feedback_vertex_set(&g, cost, 10).unwrap();
+        prop_assert!(fvs::is_feedback_vertex_set(&g, &set));
+        for skip in 0..set.len() {
+            let smaller: Vec<u32> = set
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &v)| v)
+                .collect();
+            prop_assert!(
+                !fvs::is_feedback_vertex_set(&g, &smaller),
+                "dropping {} still breaks all cycles",
+                set[skip]
+            );
+        }
+    }
+
+    /// IntervalIndex range queries match a naive scan.
+    #[test]
+    fn interval_index_matches_naive(
+        gaps in proptest::collection::vec((0u64..20, 1u64..30), 1..12),
+        query in (0u64..500, 0u64..80),
+    ) {
+        // Build sorted disjoint intervals from gap/length pairs.
+        let mut intervals = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, len) in gaps {
+            cursor += gap;
+            intervals.push(Interval::from_offset_len(cursor, len));
+            cursor += len;
+        }
+        let idx = IntervalIndex::new(intervals.clone()).unwrap();
+        let q = Interval::from_offset_len(query.0, query.1);
+        let expected: Vec<usize> = intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.intersects(q))
+            .map(|(i, _)| i)
+            .collect();
+        let got: Vec<usize> = idx.overlapping(q).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// IntervalSet::covered_bytes equals the measure of the union.
+    #[test]
+    fn interval_set_measure(
+        ivs in proptest::collection::vec((0u64..300, 0u64..50), 0..25),
+    ) {
+        let mut set = IntervalSet::new();
+        let mut model = vec![false; 400];
+        for (start, len) in ivs {
+            set.insert(Interval::from_offset_len(start, len));
+            for i in start..start + len {
+                model[i as usize] = true;
+            }
+        }
+        let expected = model.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(set.covered_bytes(), expected);
+        // Span count equals the number of maximal runs in the model.
+        let mut runs = 0;
+        let mut inside = false;
+        for &b in &model {
+            if b && !inside {
+                runs += 1;
+            }
+            inside = b;
+        }
+        prop_assert_eq!(set.span_count(), runs);
+    }
+
+    /// Reversing a graph preserves SCC structure.
+    #[test]
+    fn reversal_preserves_sccs(g in digraph_strategy(12, 30)) {
+        let a = scc::tarjan(&g);
+        let b = scc::tarjan(&g.reversed());
+        prop_assert_eq!(a.count(), b.count());
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                prop_assert_eq!(
+                    a.component_of(u) == a.component_of(v),
+                    b.component_of(u) == b.component_of(v)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The paper's adversarial constructions, realized as genuine delta
+//! scripts over genuine file pairs.
+//!
+//! * [`tree_digraph`] — Figure 2: a binary-tree CRWI digraph with an edge
+//!   from every leaf back to the root. Every root-to-leaf path closes a
+//!   cycle, and the locally-minimum policy deletes the (cheap) leaf of
+//!   each cycle where deleting the (single) root is globally optimal, so
+//!   its cost exceeds the optimum by a factor that grows with the leaf
+//!   count.
+//! * [`quadratic_edges`] — Figure 3: a file pair of length `L = b²` whose
+//!   CRWI digraph has `(b-1)·b = L - √L` edges, realizing the `Ω(|C|²)`
+//!   edge bound (§6) while Lemma 1 caps edges at `L_V`.
+
+use ipr_delta::{apply, Command, DeltaScript};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An adversarial workload: a delta script together with a consistent
+/// reference/version file pair (`version == apply(script, reference)`).
+#[derive(Clone, Debug)]
+pub struct AdversarialCase {
+    /// Human-readable description of the construction.
+    pub label: String,
+    /// The delta script whose CRWI digraph has the adversarial shape.
+    pub script: DeltaScript,
+    /// A reference file the script applies to.
+    pub reference: Vec<u8>,
+    /// The version file the script materializes.
+    pub version: Vec<u8>,
+}
+
+/// Leaf copy length of [`tree_digraph`]; the cheapest vertices.
+pub const TREE_LEAF_LEN: u64 = 64;
+/// Internal (and root) copy length of [`tree_digraph`].
+pub const TREE_INTERNAL_LEN: u64 = 128;
+/// Gap between sibling groups so reads never spill into cousins.
+const TREE_GAP: u64 = 256;
+
+/// Builds the Figure 2 construction for a complete binary tree of the
+/// given depth (`depth >= 1`; the tree has `2^depth` leaves and
+/// `2^(depth+1) - 1` copy commands).
+///
+/// The CRWI digraph of the returned script is exactly the tree plus one
+/// back edge per leaf:
+///
+/// * each internal node's read interval straddles the boundary between
+///   its two children's (adjacent) write intervals;
+/// * each leaf reads from inside the root's write interval.
+///
+/// Leaf copies are [`TREE_LEAF_LEN`] bytes and internal copies
+/// [`TREE_INTERNAL_LEN`], so leaves are always the cheapest vertex on a
+/// cycle and the locally-minimum policy deletes all `2^depth` of them,
+/// while deleting the root alone is optimal.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ipr_workloads::adversarial::tree_digraph;
+/// use ipr_core::CrwiGraph;
+///
+/// let case = tree_digraph(3);
+/// let crwi = CrwiGraph::build(case.script.copies());
+/// assert_eq!(crwi.node_count(), 15);        // 2^4 - 1 vertices
+/// assert_eq!(crwi.edge_count(), 14 + 8);    // tree edges + leaf back edges
+/// ```
+#[must_use]
+pub fn tree_digraph(depth: usize) -> AdversarialCase {
+    assert!(depth >= 1, "tree depth must be at least 1");
+    let half_straddle = TREE_LEAF_LEN; // 64 bytes into each child
+
+    // Lay out per-level rows; siblings adjacent, sibling pairs separated by
+    // a gap, rows separated by a gap.
+    let mut offsets: Vec<Vec<u64>> = Vec::with_capacity(depth + 1);
+    let mut cursor = 0u64;
+    for level in 0..=depth {
+        let node_len = if level == depth { TREE_LEAF_LEN } else { TREE_INTERNAL_LEN };
+        let nodes = 1usize << level;
+        let mut row = Vec::with_capacity(nodes);
+        if level == 0 {
+            row.push(cursor);
+            cursor += node_len;
+        } else {
+            for pair in 0..nodes / 2 {
+                if pair > 0 {
+                    cursor += TREE_GAP;
+                }
+                row.push(cursor);
+                cursor += node_len;
+                row.push(cursor);
+                cursor += node_len;
+            }
+        }
+        offsets.push(row);
+        cursor += TREE_GAP;
+    }
+    let total = cursor;
+
+    // Copy commands.
+    let mut copies = Vec::new();
+    for level in 0..depth {
+        let child_level = level + 1;
+        for (i, &to) in offsets[level].iter().enumerate() {
+            // Children 2i and 2i+1 are adjacent; read straddles their
+            // boundary by `half_straddle` bytes on each side.
+            let boundary = offsets[child_level][2 * i + 1];
+            copies.push(Command::copy(boundary - half_straddle, to, TREE_INTERNAL_LEN));
+        }
+    }
+    let root = offsets[0][0];
+    for &to in &offsets[depth] {
+        // Leaves read from inside the root's write interval.
+        copies.push(Command::copy(root + 32, to, TREE_LEAF_LEN));
+    }
+
+    finish_case(format!("figure-2 tree, depth {depth}"), copies, total, 0xF16_2)
+}
+
+/// Builds the Figure 3 construction: a version file of `block * block`
+/// bytes split into `block` blocks of `block` bytes. Block 0 is written
+/// by `block` one-byte copies; every other block copies reference block 0
+/// wholesale, so each of those `block - 1` copies conflicts with each of
+/// the `block` one-byte writers: `(block - 1) * block` CRWI edges from
+/// `2 * block - 1` commands.
+///
+/// # Panics
+///
+/// Panics if `block < 2`.
+///
+/// # Example
+///
+/// ```
+/// use ipr_workloads::adversarial::quadratic_edges;
+/// use ipr_core::CrwiGraph;
+///
+/// let case = quadratic_edges(16);
+/// let crwi = CrwiGraph::build(case.script.copies());
+/// assert_eq!(crwi.edge_count(), 15 * 16);
+/// ```
+#[must_use]
+pub fn quadratic_edges(block: u64) -> AdversarialCase {
+    assert!(block >= 2, "block size must be at least 2");
+    let total = block * block;
+    let mut copies = Vec::new();
+    // Version block 0: one-byte identity copies (self-conflicts excluded).
+    for i in 0..block {
+        copies.push(Command::copy(i, i, 1));
+    }
+    // Version blocks 1..block: copies of reference block 0.
+    for blk in 1..block {
+        copies.push(Command::copy(0, blk * block, block));
+    }
+    finish_case(
+        format!("figure-3 quadratic edges, {block} blocks of {block} bytes"),
+        copies,
+        total,
+        0xF16_3,
+    )
+}
+
+/// Fills uncovered target bytes with add commands, materializes a seeded
+/// reference and derives the version by scratch application.
+fn finish_case(label: String, mut commands: Vec<Command>, total: u64, seed: u64) -> AdversarialCase {
+    // Find coverage gaps (commands currently all copies, disjoint writes).
+    commands.sort_by_key(Command::to);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fillers = Vec::new();
+    let mut cursor = 0u64;
+    for cmd in &commands {
+        let start = cmd.to();
+        if start > cursor {
+            let fill: Vec<u8> = (cursor..start).map(|_| rng.random()).collect();
+            fillers.push(Command::add(cursor, fill));
+        }
+        cursor = cmd.write_interval().end();
+    }
+    if cursor < total {
+        let fill: Vec<u8> = (cursor..total).map(|_| rng.random()).collect();
+        fillers.push(Command::add(cursor, fill));
+    }
+    commands.extend(fillers);
+    commands.sort_by_key(Command::to);
+
+    let reference: Vec<u8> = (0..total).map(|_| rng.random()).collect();
+    let script = DeltaScript::new(total, total, commands)
+        .expect("adversarial construction tiles the target");
+    let version = apply(&script, &reference).expect("reference length matches");
+    AdversarialCase {
+        label,
+        script,
+        reference,
+        version,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_core::{
+        apply_in_place, convert_to_in_place, is_in_place_safe, ConversionConfig, CrwiGraph,
+        CyclePolicy,
+    };
+
+    #[test]
+    fn tree_edge_structure() {
+        for depth in 1..=4usize {
+            let case = tree_digraph(depth);
+            let crwi = CrwiGraph::build(case.script.copies());
+            let nodes = (1 << (depth + 1)) - 1;
+            let leaves = 1 << depth;
+            assert_eq!(crwi.node_count(), nodes, "depth {depth}");
+            assert_eq!(crwi.edge_count(), (nodes - 1) + leaves, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn tree_locally_minimum_deletes_every_leaf() {
+        let depth = 4;
+        let case = tree_digraph(depth);
+        let reference = case.reference.clone();
+        let out = convert_to_in_place(
+            &case.script,
+            &reference,
+            &ConversionConfig::with_policy(CyclePolicy::LocallyMinimum),
+        )
+        .unwrap();
+        assert_eq!(out.report.copies_converted, 1 << depth);
+        // Each converted copy is a leaf: TREE_LEAF_LEN bytes.
+        assert_eq!(out.report.bytes_converted, (1u64 << depth) * TREE_LEAF_LEN);
+    }
+
+    #[test]
+    fn tree_exhaustive_deletes_only_root() {
+        let depth = 3; // 15 vertices: exhaustive is feasible
+        let case = tree_digraph(depth);
+        let out = convert_to_in_place(
+            &case.script,
+            &case.reference,
+            &ConversionConfig::with_policy(CyclePolicy::Exhaustive { limit: 20 }),
+        )
+        .unwrap();
+        assert_eq!(out.report.copies_converted, 1);
+        assert_eq!(out.report.bytes_converted, TREE_INTERNAL_LEN);
+    }
+
+    #[test]
+    fn tree_case_round_trips_in_place() {
+        let case = tree_digraph(3);
+        for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
+            let out = convert_to_in_place(
+                &case.script,
+                &case.reference,
+                &ConversionConfig::with_policy(policy),
+            )
+            .unwrap();
+            assert!(is_in_place_safe(&out.script));
+            let mut buf = case.reference.clone();
+            apply_in_place(&out.script, &mut buf).unwrap();
+            assert_eq!(buf, case.version, "{policy}");
+        }
+    }
+
+    #[test]
+    fn quadratic_edge_count_exact() {
+        for block in [2u64, 4, 8, 32] {
+            let case = quadratic_edges(block);
+            let crwi = CrwiGraph::build(case.script.copies());
+            assert_eq!(crwi.edge_count() as u64, (block - 1) * block, "block {block}");
+            assert_eq!(crwi.node_count() as u64, 2 * block - 1);
+        }
+    }
+
+    #[test]
+    fn quadratic_graph_is_acyclic_reorder_suffices() {
+        let case = quadratic_edges(16);
+        let out = convert_to_in_place(&case.script, &case.reference, &ConversionConfig::default())
+            .unwrap();
+        assert_eq!(out.report.copies_converted, 0);
+        assert_eq!(out.report.cycles_broken, 0);
+        let mut buf = case.reference.clone();
+        apply_in_place(&out.script, &mut buf).unwrap();
+        assert_eq!(buf, case.version);
+    }
+
+    #[test]
+    fn lemma1_bound_respected_by_adversarial_cases() {
+        for case in [tree_digraph(4), quadratic_edges(32)] {
+            let crwi = CrwiGraph::build(case.script.copies());
+            assert!(
+                (crwi.edge_count() as u64) <= case.script.target_len(),
+                "{}",
+                case.label
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        let _ = tree_digraph(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn tiny_block_rejected() {
+        let _ = quadratic_edges(1);
+    }
+}

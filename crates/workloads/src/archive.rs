@@ -1,0 +1,238 @@
+//! Distribution archives: tar-like containers of member files.
+//!
+//! The paper's corpus is *packaged distributions* (GNU tools, BSD
+//! releases) — single large artifacts concatenating many member files.
+//! Their versions have a distinctive delta structure: most members are
+//! untouched but *shifted* whenever an earlier member changes size, some
+//! members are edited, and members appear and disappear. These generators
+//! produce container pairs with exactly that structure.
+
+use crate::content::{generate, ContentKind};
+use crate::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Magic bytes of the toy container format.
+const MAGIC: &[u8; 4] = b"IPAR";
+
+/// Serializes members into a single container image.
+///
+/// Layout: magic, member count (u32 LE), then per member a name length
+/// (u16 LE), the name bytes, a data length (u32 LE) and the data.
+///
+/// # Panics
+///
+/// Panics if a name exceeds `u16::MAX` bytes or a member exceeds
+/// `u32::MAX` bytes.
+#[must_use]
+pub fn build_archive(members: &[(String, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&u32::try_from(members.len()).expect("member count").to_le_bytes());
+    for (name, data) in members {
+        let name_len = u16::try_from(name.len()).expect("name length fits u16");
+        out.extend_from_slice(&name_len.to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        let data_len = u32::try_from(data.len()).expect("member length fits u32");
+        out.extend_from_slice(&data_len.to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Parses a container image back into members.
+///
+/// Returns `None` on any structural error (wrong magic, truncation,
+/// invalid UTF-8 names).
+#[must_use]
+pub fn parse_archive(image: &[u8]) -> Option<Vec<(String, Vec<u8>)>> {
+    let rest = image.strip_prefix(MAGIC.as_slice())?;
+    let (count_bytes, mut rest) = rest.split_at_checked(4)?;
+    let count = u32::from_le_bytes(count_bytes.try_into().ok()?) as usize;
+    let mut members = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let (len_bytes, r) = rest.split_at_checked(2)?;
+        let name_len = u16::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        let (name_bytes, r) = r.split_at_checked(name_len)?;
+        let name = std::str::from_utf8(name_bytes).ok()?.to_string();
+        let (len_bytes, r) = r.split_at_checked(4)?;
+        let data_len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        let (data, r) = r.split_at_checked(data_len)?;
+        members.push((name, data.to_vec()));
+        rest = r;
+    }
+    rest.is_empty().then_some(members)
+}
+
+/// A pair of distribution images: consecutive releases of the same
+/// packaged software.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistributionPair {
+    /// The old release image.
+    pub old: Vec<u8>,
+    /// The new release image.
+    pub new: Vec<u8>,
+    /// Members edited between the releases.
+    pub edited_members: usize,
+    /// Members added in the new release.
+    pub added_members: usize,
+    /// Members removed from the old release.
+    pub removed_members: usize,
+}
+
+/// Generates a release pair of a `members`-file distribution with member
+/// sizes in `member_len` (bytes). Roughly one in four members is edited,
+/// one member is added and one removed per release — so most members
+/// survive byte-identical but *shifted*, the structure that makes
+/// distribution deltas compress so well (§2's "factor of 4 to 10").
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `members == 0` or `member_len` is empty.
+///
+/// # Example
+///
+/// ```
+/// use ipr_workloads::archive::distribution_pair;
+///
+/// let pair = distribution_pair(7, 20, 1024..4096);
+/// assert_ne!(pair.old, pair.new);
+/// assert!(pair.edited_members > 0);
+/// ```
+#[must_use]
+pub fn distribution_pair(
+    seed: u64,
+    members: usize,
+    member_len: std::ops::Range<usize>,
+) -> DistributionPair {
+    assert!(members > 0, "a distribution needs at least one member");
+    assert!(!member_len.is_empty(), "member length range must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut files: Vec<(String, Vec<u8>)> = (0..members)
+        .map(|i| {
+            let kind = if rng.random_bool(0.5) {
+                ContentKind::SourceLike
+            } else {
+                ContentKind::BinaryLike
+            };
+            let len = rng.random_range(member_len.clone());
+            let ext = match kind {
+                ContentKind::SourceLike => "c",
+                ContentKind::BinaryLike => "o",
+            };
+            (format!("pkg/src/file-{i:03}.{ext}"), generate(&mut rng, kind, len))
+        })
+        .collect();
+    let old = build_archive(&files);
+
+    // Next release: edit ~1/4 of members, drop one, add one.
+    let mut edited = 0;
+    for (_, data) in &mut files {
+        if rng.random_bool(0.25) {
+            *data = mutate(&mut rng, data, &MutationProfile::light());
+            edited += 1;
+        }
+    }
+    let removed = if files.len() > 1 {
+        let victim = rng.random_range(0..files.len());
+        files.remove(victim);
+        1
+    } else {
+        0
+    };
+    let len = rng.random_range(member_len.clone());
+    let insert_at = rng.random_range(0..=files.len());
+    files.insert(
+        insert_at,
+        (
+            "pkg/src/new-module.c".to_string(),
+            generate(&mut rng, ContentKind::SourceLike, len),
+        ),
+    );
+    let new = build_archive(&files);
+
+    DistributionPair {
+        old,
+        new,
+        edited_members: edited,
+        added_members: 1,
+        removed_members: removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_delta::diff::{Differ, GreedyDiffer};
+
+    #[test]
+    fn container_round_trips() {
+        let members = vec![
+            ("a/b.txt".to_string(), b"hello".to_vec()),
+            ("empty".to_string(), Vec::new()),
+            ("c".to_string(), vec![0xff; 1000]),
+        ];
+        let image = build_archive(&members);
+        assert_eq!(parse_archive(&image), Some(members));
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let members = vec![("x".to_string(), vec![1, 2, 3])];
+        let image = build_archive(&members);
+        assert!(parse_archive(&image[..image.len() - 1]).is_none()); // truncated
+        assert!(parse_archive(b"NOPE").is_none());
+        let mut extra = image.clone();
+        extra.push(0);
+        assert!(parse_archive(&extra).is_none()); // trailing bytes
+    }
+
+    #[test]
+    fn distribution_pair_deterministic() {
+        let a = distribution_pair(3, 12, 500..2000);
+        let b = distribution_pair(3, 12, 500..2000);
+        assert_eq!(a, b);
+        assert_ne!(a, distribution_pair(4, 12, 500..2000));
+    }
+
+    #[test]
+    fn releases_are_valid_archives_with_expected_membership() {
+        let pair = distribution_pair(9, 16, 500..2000);
+        let old = parse_archive(&pair.old).expect("old parses");
+        let new = parse_archive(&pair.new).expect("new parses");
+        assert_eq!(old.len(), 16);
+        assert_eq!(
+            new.len(),
+            16 - pair.removed_members + pair.added_members
+        );
+        assert!(new.iter().any(|(n, _)| n == "pkg/src/new-module.c"));
+    }
+
+    #[test]
+    fn distribution_deltas_compress_despite_member_shifts() {
+        // Removing an early member shifts every later byte, yet the delta
+        // must stay small: unchanged members are found at their new
+        // offsets.
+        let pair = distribution_pair(11, 24, 1000..4000);
+        let script = GreedyDiffer::default().diff(&pair.old, &pair.new);
+        assert_eq!(ipr_delta::apply(&script, &pair.old).unwrap(), pair.new);
+        let literal = script.added_bytes() as f64 / pair.new.len() as f64;
+        assert!(literal < 0.35, "literal fraction {literal}");
+    }
+
+    #[test]
+    fn distribution_delta_round_trips_in_place() {
+        use ipr_core::{apply_in_place, convert_to_in_place, required_capacity, ConversionConfig};
+        let pair = distribution_pair(13, 10, 1000..3000);
+        let script = GreedyDiffer::default().diff(&pair.old, &pair.new);
+        let out = convert_to_in_place(&script, &pair.old, &ConversionConfig::default()).unwrap();
+        let mut buf = pair.old.clone();
+        buf.resize(required_capacity(&out.script) as usize, 0);
+        apply_in_place(&out.script, &mut buf).unwrap();
+        assert_eq!(&buf[..pair.new.len()], &pair.new[..]);
+        // The rebuilt image is still a valid archive.
+        assert!(parse_archive(&buf[..pair.new.len()]).is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-version release chains: `v1 → v2 → … → vn`.
+//!
+//! Software distribution is rarely a single hop — a device several
+//! releases behind applies a *chain* of deltas, and every hop must be
+//! in-place reconstructible on its own. These generators produce seeded
+//! release histories with per-hop severity patterns.
+
+use crate::content::{generate, ContentKind};
+use crate::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A linear release history of one artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionChain {
+    /// The releases, oldest first; `releases[0]` is the initial version.
+    releases: Vec<Vec<u8>>,
+}
+
+/// How severities vary along a chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainPattern {
+    /// Every hop is a light patch release.
+    Patches,
+    /// Light hops with a heavy (major) release every `major_every` hops.
+    MajorEvery(
+        /// Period of major releases (≥ 1).
+        usize,
+    ),
+    /// Severity cycles light → moderate → heavy.
+    Escalating,
+}
+
+impl VersionChain {
+    /// Generates a chain of `releases` versions starting from a
+    /// `base_len`-byte initial release of `kind` content.
+    ///
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `releases == 0` or `MajorEvery(0)` is requested.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ipr_workloads::chain::{ChainPattern, VersionChain};
+    /// use ipr_workloads::content::ContentKind;
+    ///
+    /// let chain = VersionChain::generate(7, ContentKind::BinaryLike, 16 * 1024,
+    ///                                    5, ChainPattern::Patches);
+    /// assert_eq!(chain.len(), 5);
+    /// ```
+    #[must_use]
+    pub fn generate(
+        seed: u64,
+        kind: ContentKind,
+        base_len: usize,
+        releases: usize,
+        pattern: ChainPattern,
+    ) -> Self {
+        assert!(releases > 0, "a chain needs at least one release");
+        if let ChainPattern::MajorEvery(0) = pattern {
+            panic!("major release period must be at least 1");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(releases);
+        out.push(generate(&mut rng, kind, base_len));
+        for hop in 1..releases {
+            let profile = match pattern {
+                ChainPattern::Patches => MutationProfile::light(),
+                ChainPattern::MajorEvery(n) => {
+                    if hop % n == 0 {
+                        MutationProfile::heavy()
+                    } else {
+                        MutationProfile::light()
+                    }
+                }
+                ChainPattern::Escalating => match hop % 3 {
+                    1 => MutationProfile::light(),
+                    2 => MutationProfile::default(),
+                    _ => MutationProfile::heavy(),
+                },
+            };
+            let next = mutate(&mut rng, out.last().expect("non-empty"), &profile);
+            out.push(next);
+        }
+        Self { releases: out }
+    }
+
+    /// Number of releases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Whether the chain is empty (never true for generated chains).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// The releases, oldest first.
+    #[must_use]
+    pub fn releases(&self) -> &[Vec<u8>] {
+        &self.releases
+    }
+
+    /// Release `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn release(&self, i: usize) -> &[u8] {
+        &self.releases[i]
+    }
+
+    /// Iterates the consecutive `(old, new)` hops.
+    pub fn hops(&self) -> impl Iterator<Item = (&[u8], &[u8])> + '_ {
+        self.releases
+            .windows(2)
+            .map(|w| (w[0].as_slice(), w[1].as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = VersionChain::generate(1, ContentKind::SourceLike, 8192, 4, ChainPattern::Patches);
+        let b = VersionChain::generate(1, ContentKind::SourceLike, 8192, 4, ChainPattern::Patches);
+        assert_eq!(a, b);
+        let c = VersionChain::generate(2, ContentKind::SourceLike, 8192, 4, ChainPattern::Patches);
+        assert_ne!(a, c);
+        // Consecutive releases differ.
+        for (old, new) in a.hops() {
+            assert_ne!(old, new);
+        }
+    }
+
+    #[test]
+    fn hop_count() {
+        let chain =
+            VersionChain::generate(3, ContentKind::BinaryLike, 4096, 6, ChainPattern::Escalating);
+        assert_eq!(chain.len(), 6);
+        assert_eq!(chain.hops().count(), 5);
+    }
+
+    #[test]
+    fn major_hops_change_more() {
+        use ipr_delta::diff::{Differ, OnePassDiffer};
+        let chain = VersionChain::generate(
+            5,
+            ContentKind::BinaryLike,
+            64 * 1024,
+            5,
+            ChainPattern::MajorEvery(4),
+        );
+        let differ = OnePassDiffer::default();
+        let literal: Vec<u64> = chain
+            .hops()
+            .map(|(old, new)| differ.diff(old, new).added_bytes())
+            .collect();
+        // Hop 3→4 (index 3) is the major one.
+        assert!(
+            literal[3] > literal[0] * 2,
+            "major hop {} vs patch hop {}",
+            literal[3],
+            literal[0]
+        );
+    }
+
+    #[test]
+    fn patch_chain_stays_compressible() {
+        use ipr_delta::diff::{Differ, GreedyDiffer};
+        let chain =
+            VersionChain::generate(9, ContentKind::SourceLike, 32 * 1024, 8, ChainPattern::Patches);
+        let differ = GreedyDiffer::default();
+        for (old, new) in chain.hops() {
+            let script = differ.diff(old, new);
+            assert!(
+                (script.added_bytes() as f64) < 0.3 * new.len() as f64,
+                "patch hop too large"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one release")]
+    fn empty_chain_rejected() {
+        let _ = VersionChain::generate(1, ContentKind::SourceLike, 100, 0, ChainPattern::Patches);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload generators for the in-place reconstruction experiments.
+//!
+//! The paper evaluates on multi-version GNU/BSD software distributions,
+//! which we cannot ship; this crate synthesizes seeded equivalents
+//! (DESIGN.md §3 documents the substitution):
+//!
+//! * [`content`] — source-like and binary-like file content;
+//! * [`mutate`] — revision mutators (point edits, block
+//!   insert/delete/move/duplicate) whose block moves are what create CRWI
+//!   cycles;
+//! * [`corpus`] — deterministic corpora of (reference, version) pairs;
+//! * [`adversarial`] — the paper's Figure 2 (tree digraph defeating the
+//!   locally-minimum policy) and Figure 3 (quadratic edge count)
+//!   constructions, realized as real file pairs.
+//!
+//! # Example
+//!
+//! ```
+//! use ipr_workloads::corpus::CorpusSpec;
+//!
+//! let corpus = CorpusSpec::small().build();
+//! assert_eq!(corpus.len(), 10);
+//! // Same spec, same corpus: every experiment is reproducible.
+//! assert_eq!(corpus, CorpusSpec::small().build());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod archive;
+pub mod chain;
+pub mod content;
+pub mod corpus;
+pub mod mutate;
+pub mod reduction;
+
+pub use adversarial::AdversarialCase;
+pub use corpus::{CorpusSpec, FilePair};
+pub use mutate::MutationProfile;

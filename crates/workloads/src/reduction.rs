@@ -1,0 +1,399 @@
+//! Realizing arbitrary digraphs as CRWI digraphs — the gadget
+//! construction behind the paper's NP-hardness claim.
+//!
+//! §5 of the paper states that minimum-cost cycle breaking is NP-hard "by
+//! reduction from Karp's well known problem" (feedback vertex set), via
+//! "a construction that encodes the input general digraph … into a
+//! digraph with membership in class CRWI" — and then omits the
+//! construction. This module supplies one and verifies it executably.
+//!
+//! The difficulty is that a copy command has a *single contiguous* read
+//! interval, so a CRWI vertex cannot point at arbitrarily many scattered
+//! write intervals. The gadget for a node `u` of the input digraph
+//! therefore fans out through a chain of routers, each straddling one
+//! port and the next router:
+//!
+//! ```text
+//!           ┌────────┐     ┌────────┐
+//!  (in) ──▶ │ neck_u │ ──▶ │ router │ ──▶ … ──▶ port_u,i ──▶ neck_{v_i} (out)
+//!           └────────┘     └────────┘
+//! ```
+//!
+//! * the **neck** (32-byte copy) is the only command whose write interval
+//!   external ports read: every path through the gadget enters at the
+//!   neck;
+//! * **routers** (96-byte copies) straddle the adjacent write intervals
+//!   of their two children, exactly like the paper's Figure 2 tree;
+//! * **ports** (48-byte copies, one per out-edge) read a region covering
+//!   the target node's neck write interval: the only cross-gadget edges.
+//!
+//! Every cycle of the realized CRWI digraph traverses necks in exact
+//! correspondence with a cycle of the input digraph, and necks are
+//! strictly the cheapest vertices (32 < 48 < 96 bytes), so a minimum-cost
+//! vertex deletion of the realization deletes exactly the necks of a
+//! minimum feedback vertex set of the input — which the tests confirm
+//! with the exact solver.
+
+use ipr_delta::{apply, Command, Copy, DeltaScript};
+use ipr_digraph::{Digraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Copy length of a neck vertex (the cheap, representative command).
+pub const NECK_LEN: u64 = 32;
+/// Copy length of a port vertex (one per out-edge).
+pub const PORT_LEN: u64 = 48;
+/// Copy length of a router vertex (binary fan-out).
+pub const ROUTER_LEN: u64 = 96;
+/// Unwritten guard gap placed around gadget pieces.
+const GAP: u64 = 64;
+
+/// A digraph realized as a delta script whose CRWI digraph embeds it.
+#[derive(Clone, Debug)]
+pub struct CrwiRealization {
+    /// The realized script (copies + filler adds, tiling the target).
+    pub script: DeltaScript,
+    /// A consistent reference file.
+    pub reference: Vec<u8>,
+    /// The version the script materializes.
+    pub version: Vec<u8>,
+    /// For each input node, the write offset (`to`) of its neck command —
+    /// the stable identity of the node inside the realization.
+    pub neck_to: Vec<u64>,
+}
+
+impl CrwiRealization {
+    /// Maps a set of copy commands (e.g. the converted ones reported by
+    /// the in-place algorithm) back to input-digraph nodes via their
+    /// write offsets; non-neck commands map to `None`.
+    #[must_use]
+    pub fn node_of_write_offset(&self, to: u64) -> Option<NodeId> {
+        self.neck_to
+            .iter()
+            .position(|&t| t == to)
+            .map(|i| i as NodeId)
+    }
+}
+
+/// Realizes `g` as a CRWI digraph (see the module docs).
+///
+/// The realization has one neck per node, one port per edge and
+/// `out-degree - 1` routers per node of out-degree ≥ 2. Self-loops in
+/// `g` are realized too: the node's port reads its own neck.
+///
+/// # Panics
+///
+/// Panics if `g` has no nodes.
+///
+/// # Example
+///
+/// ```
+/// use ipr_digraph::Digraph;
+/// use ipr_workloads::reduction::realize_digraph;
+/// use ipr_core::CrwiGraph;
+/// use ipr_digraph::topo;
+///
+/// // A 2-cycle realizes to a cyclic CRWI digraph.
+/// let g = Digraph::from_edges(2, [(0, 1), (1, 0)]);
+/// let realized = realize_digraph(&g, 7);
+/// let crwi = CrwiGraph::build(realized.script.copies());
+/// assert!(topo::find_cycle(crwi.graph()).is_some());
+/// ```
+#[must_use]
+pub fn realize_digraph(g: &Digraph, seed: u64) -> CrwiRealization {
+    let n = g.node_count();
+    assert!(n > 0, "cannot realize an empty digraph");
+
+    // ---- Layout pass: assign write intervals. --------------------------
+    let mut cursor = GAP;
+    let alloc = |len: u64, cursor: &mut u64| -> u64 {
+        let at = *cursor;
+        *cursor += len + GAP;
+        at
+    };
+
+    // Necks first, so ports can target them regardless of node order.
+    let mut neck_to = Vec::with_capacity(n);
+    for _ in 0..n {
+        neck_to.push(alloc(NECK_LEN, &mut cursor));
+    }
+
+    // Per node: the fan-out *caterpillar*. For out-degree k >= 2 the
+    // routers form a chain r_1 … r_{k-1}; router r_i's read straddles the
+    // adjacent pair [port_i][r_{i+1}] (the last router straddles
+    // [port_{k-1}][port_k]). The neck reads the head of r_1. Chains make
+    // the required adjacencies trivial: each straddled pair is allocated
+    // as one contiguous block.
+    struct NodePlan {
+        /// Write offset of the chain head (read by the neck), if any.
+        root: Option<u64>,
+        /// Port write offsets in successor order.
+        ports: Vec<u64>,
+        /// Router placements: (write offset, straddle read start).
+        routers: Vec<(u64, u64)>,
+    }
+
+    let mut plans = Vec::with_capacity(n);
+    for u in 0..n as NodeId {
+        let k = g.out_degree(u);
+        if k == 0 {
+            plans.push(NodePlan {
+                root: None,
+                ports: Vec::new(),
+                routers: Vec::new(),
+            });
+            continue;
+        }
+        if k == 1 {
+            // The lone port is the chain head itself.
+            let at = alloc(PORT_LEN, &mut cursor);
+            plans.push(NodePlan {
+                root: Some(at),
+                ports: vec![at],
+                routers: Vec::new(),
+            });
+            continue;
+        }
+        // Router write offsets; r_1 stands alone, r_{i+1} shares a block
+        // with port_i so r_i can straddle their boundary.
+        let mut routers: Vec<(u64, u64)> = Vec::with_capacity(k - 1);
+        let mut ports: Vec<u64> = Vec::with_capacity(k);
+        let r1 = alloc(ROUTER_LEN, &mut cursor);
+        let mut pending_router = r1; // router whose read is not yet placed
+        for i in 0..k - 2 {
+            // Block [port_{i+1} (PORT_LEN)][r_{i+2} (ROUTER_LEN)].
+            let block = alloc(PORT_LEN + ROUTER_LEN, &mut cursor);
+            let port = block;
+            let next_router = block + PORT_LEN;
+            ports.push(port);
+            // pending router straddles the boundary at `next_router`.
+            routers.push((pending_router, next_router - ROUTER_LEN / 2));
+            pending_router = next_router;
+            let _ = i;
+        }
+        // Tail block [port_{k-1}][port_k].
+        let block = alloc(2 * PORT_LEN, &mut cursor);
+        ports.push(block);
+        ports.push(block + PORT_LEN);
+        routers.push((pending_router, block + PORT_LEN - ROUTER_LEN / 2));
+        plans.push(NodePlan {
+            root: Some(r1),
+            ports,
+            routers,
+        });
+    }
+
+    let total = cursor + GAP;
+
+    // ---- Command pass: emit copies with the planned reads. -------------
+    let mut copies: Vec<Copy> = Vec::new();
+    let mut dead_zone = total; // sinks read from a growing dead region
+    let mut extra = 0u64;
+    for u in 0..n {
+        let plan = &plans[u];
+        match plan.root {
+            Some(root_at) => {
+                // Neck reads the first NECK_LEN bytes of the chain head
+                // (a router or the lone port — both longer than a neck).
+                copies.push(Copy { from: root_at, to: neck_to[u], len: NECK_LEN });
+            }
+            None => {
+                // Sink: read from a dedicated unwritten region.
+                copies.push(Copy { from: dead_zone, to: neck_to[u], len: NECK_LEN });
+                dead_zone += NECK_LEN + GAP;
+                extra += NECK_LEN + GAP;
+            }
+        }
+        for &(at, read_start) in &plan.routers {
+            copies.push(Copy { from: read_start, to: at, len: ROUTER_LEN });
+        }
+        for (i, &at) in plan.ports.iter().enumerate() {
+            let v = g.successors(u as NodeId)[i] as usize;
+            // Port reads PORT_LEN bytes ending exactly at the end of the
+            // target neck's write interval: (PORT_LEN - NECK_LEN) guard
+            // bytes from the gap before the neck, then the whole neck.
+            let read_start = neck_to[v] + NECK_LEN - PORT_LEN;
+            copies.push(Copy { from: read_start, to: at, len: PORT_LEN });
+        }
+    }
+    let address_space = total + extra;
+
+    // ---- Materialize a consistent file pair. ---------------------------
+    let mut commands: Vec<Command> = copies.iter().map(|&c| Command::Copy(c)).collect();
+    commands.sort_by_key(Command::to);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut filled = Vec::new();
+    let mut at = 0u64;
+    for cmd in &commands {
+        if cmd.to() > at {
+            let data: Vec<u8> = (at..cmd.to()).map(|_| rng.random()).collect();
+            filled.push(Command::add(at, data));
+        }
+        at = cmd.write_interval().end();
+    }
+    if at < address_space {
+        let data: Vec<u8> = (at..address_space).map(|_| rng.random()).collect();
+        filled.push(Command::add(at, data));
+    }
+    commands.extend(filled);
+    commands.sort_by_key(Command::to);
+    let reference: Vec<u8> = (0..address_space).map(|_| rng.random()).collect();
+    let script = DeltaScript::new(address_space, address_space, commands)
+        .expect("gadget layout tiles the target");
+    let version = apply(&script, &reference).expect("consistent lengths");
+
+    CrwiRealization {
+        script,
+        reference,
+        version,
+        neck_to,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_core::CrwiGraph;
+    use ipr_digraph::{fvs, topo};
+    use std::collections::HashMap;
+
+    /// Extracts the neck-to-neck digraph embedded in the realization's
+    /// CRWI graph: an edge u -> v iff some path of gadget vertices leads
+    /// from neck_u to neck_v without passing another neck.
+    fn embedded_digraph(realized: &CrwiRealization, nodes: usize) -> Digraph {
+        let crwi = CrwiGraph::build(realized.script.copies());
+        let copies = crwi.copies();
+        let neck_of: HashMap<u64, usize> = realized
+            .neck_to
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        let mut g = Digraph::new(nodes);
+        // BFS from each neck through non-neck vertices.
+        for (start, copy) in copies.iter().enumerate() {
+            let Some(&u) = neck_of.get(&copy.to) else { continue };
+            let mut queue = vec![start as NodeId];
+            let mut seen = vec![false; copies.len()];
+            seen[start] = true;
+            let mut found = std::collections::BTreeSet::new();
+            while let Some(x) = queue.pop() {
+                for &y in crwi.graph().successors(x) {
+                    // Necks terminate a path (and may be the start itself,
+                    // for self-loops); only non-necks are traversed.
+                    if let Some(&v) = neck_of.get(&copies[y as usize].to) {
+                        found.insert(v);
+                        continue;
+                    }
+                    if seen[y as usize] {
+                        continue;
+                    }
+                    seen[y as usize] = true;
+                    queue.push(y);
+                }
+            }
+            for v in found {
+                g.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+        g
+    }
+
+    fn assert_embeds(edges: &[(NodeId, NodeId)], nodes: usize) {
+        let g = Digraph::from_edges(nodes, edges.iter().copied());
+        let realized = realize_digraph(&g, 5);
+        let embedded = embedded_digraph(&realized, nodes);
+        let mut want: Vec<(NodeId, NodeId)> = edges.to_vec();
+        want.sort_unstable();
+        want.dedup();
+        let mut got: Vec<(NodeId, NodeId)> = embedded.edges().collect();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn realizes_assorted_shapes() {
+        assert_embeds(&[], 1);
+        assert_embeds(&[(0, 1)], 2);
+        assert_embeds(&[(0, 1), (1, 0)], 2);
+        assert_embeds(&[(0, 1), (1, 2), (2, 0)], 3);
+        assert_embeds(&[(0, 1), (0, 2), (0, 3)], 4); // fan-out 3: routers
+        assert_embeds(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)], 6); // fan-out 5
+        assert_embeds(&[(0, 0)], 1); // self-loop
+        assert_embeds(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 3)], 4);
+    }
+
+    #[test]
+    fn acyclicity_preserved_both_ways() {
+        let dag = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let realized = realize_digraph(&dag, 1);
+        let crwi = CrwiGraph::build(realized.script.copies());
+        assert!(topo::find_cycle(crwi.graph()).is_none());
+
+        let cyclic = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let realized = realize_digraph(&cyclic, 1);
+        let crwi = CrwiGraph::build(realized.script.copies());
+        assert!(topo::find_cycle(crwi.graph()).is_some());
+    }
+
+    #[test]
+    fn minimum_fvs_of_realization_picks_necks_of_minimum_fvs() {
+        // Two cycles sharing node 1: min FVS of G = {1}. The realization's
+        // min-cost FVS must delete exactly neck_1.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)]);
+        let g_fvs = fvs::minimum_feedback_vertex_set(&g, &[1, 1, 1, 1], 10).unwrap();
+        assert_eq!(g_fvs, vec![1]);
+
+        let realized = realize_digraph(&g, 3);
+        let crwi = CrwiGraph::build(realized.script.copies());
+        let costs: Vec<u64> = crwi.copies().iter().map(|c| c.len).collect();
+        let set = fvs::minimum_feedback_vertex_set(crwi.graph(), &costs, 24).unwrap();
+        let removed_nodes: Vec<Option<NodeId>> = set
+            .iter()
+            .map(|&v| realized.node_of_write_offset(crwi.copies()[v as usize].to))
+            .collect();
+        assert_eq!(removed_nodes, vec![Some(1)], "only neck_1 is deleted");
+    }
+
+    #[test]
+    fn conversion_of_realization_round_trips() {
+        use ipr_core::{apply_in_place, convert_to_in_place, ConversionConfig};
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let realized = realize_digraph(&g, 9);
+        let out = convert_to_in_place(
+            &realized.script,
+            &realized.reference,
+            &ConversionConfig::default(),
+        )
+        .unwrap();
+        assert!(out.report.cycles_broken > 0);
+        let mut buf = realized.reference.clone();
+        apply_in_place(&out.script, &mut buf).unwrap();
+        assert_eq!(buf, realized.version);
+    }
+
+    #[test]
+    fn locally_minimum_deletes_only_necks() {
+        use ipr_core::{convert_to_in_place, ConversionConfig, CyclePolicy};
+        // A ring: every node is on the single cycle; LM should delete one
+        // neck (the cheapest vertices on the cycle are necks).
+        let n = 5;
+        let edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Digraph::from_edges(n as usize, edges);
+        let realized = realize_digraph(&g, 4);
+        let out = convert_to_in_place(
+            &realized.script,
+            &realized.reference,
+            &ConversionConfig::with_policy(CyclePolicy::LocallyMinimum),
+        )
+        .unwrap();
+        assert_eq!(out.report.copies_converted, 1);
+        assert_eq!(out.report.bytes_converted, NECK_LEN);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty digraph")]
+    fn empty_digraph_rejected() {
+        let _ = realize_digraph(&Digraph::new(0), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Executable versions of the paper's qualitative claims: each test pins
+//! a *shape* the evaluation section reports, on a reduced corpus so the
+//! suite stays fast (the full-scale numbers live in the `ipr-bench`
+//! binaries and EXPERIMENTS.md).
+
+use ipr::core::{convert_to_in_place, ConversionConfig, CrwiGraph, CyclePolicy};
+use ipr::delta::codec::{encoded_size, Format};
+use ipr::delta::diff::{Differ, GreedyDiffer};
+use ipr::workloads::adversarial::tree_digraph;
+use ipr::workloads::corpus::CorpusSpec;
+use std::time::Instant;
+
+fn corpus() -> Vec<ipr::workloads::FilePair> {
+    CorpusSpec {
+        pairs: 24,
+        min_len: 4 * 1024,
+        max_len: 64 * 1024,
+        ..CorpusSpec::default()
+    }
+    .build()
+}
+
+/// Table 1, column order: explicit write offsets cost compression, and
+/// the in-place conversions cost a little more on top.
+#[test]
+fn compression_ordering_matches_table1() {
+    let differ = GreedyDiffer::default();
+    let mut version = 0u64;
+    let mut ordered = 0u64;
+    let mut offsets = 0u64;
+    let mut lm = 0u64;
+    let mut ct = 0u64;
+    for pair in &corpus() {
+        let script = differ.diff(&pair.reference, &pair.version);
+        version += pair.version.len() as u64;
+        ordered += encoded_size(&script, Format::Ordered).unwrap();
+        offsets += encoded_size(&script, Format::InPlace).unwrap();
+        for (policy, slot) in [
+            (CyclePolicy::LocallyMinimum, &mut lm),
+            (CyclePolicy::ConstantTime, &mut ct),
+        ] {
+            let out = convert_to_in_place(
+                &script,
+                &pair.reference,
+                &ConversionConfig::with_policy(policy),
+            )
+            .unwrap();
+            *slot += encoded_size(&out.script, Format::InPlace).unwrap();
+        }
+    }
+    // Column ordering of Table 1 (prose orientation).
+    assert!(ordered <= offsets, "write offsets must cost bytes");
+    assert!(offsets <= lm, "conversion must cost bytes");
+    assert!(lm <= ct, "local-min must lose no more than constant-time");
+    // The whole corpus still compresses: in-place delta far below 100%.
+    assert!((ct as f64) < 0.6 * version as f64);
+    // Total loss of the best policy stays small (paper: 2.4% of original
+    // size; allow slack for the synthetic corpus).
+    assert!(((lm - ordered) as f64) < 0.08 * version as f64);
+}
+
+/// §7: in-place conversion takes less time than differencing.
+#[test]
+fn conversion_cheaper_than_differencing() {
+    let differ = GreedyDiffer::default();
+    let corpus = corpus();
+    // Warm-up pass so allocator effects don't skew either side.
+    for pair in &corpus {
+        let script = differ.diff(&pair.reference, &pair.version);
+        let _ = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default());
+    }
+    let mut diff_time = std::time::Duration::ZERO;
+    let mut convert_time = std::time::Duration::ZERO;
+    for pair in &corpus {
+        let t = Instant::now();
+        let script = differ.diff(&pair.reference, &pair.version);
+        diff_time += t.elapsed();
+        let t = Instant::now();
+        let _ = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default())
+            .unwrap();
+        convert_time += t.elapsed();
+    }
+    assert!(
+        convert_time < diff_time,
+        "conversion ({convert_time:?}) should be cheaper than differencing ({diff_time:?})"
+    );
+}
+
+/// §5: the locally-minimum policy can be beaten arbitrarily by the global
+/// optimum (Figure 2), yet on realistic inputs it tracks the optimum
+/// closely (the ablation binary quantifies this; here we pin Figure 2).
+#[test]
+fn figure2_gap_grows_with_depth() {
+    let mut previous_ratio = 0.0;
+    for depth in 2..=5usize {
+        let case = tree_digraph(depth);
+        let lm = convert_to_in_place(
+            &case.script,
+            &case.reference,
+            &ConversionConfig::with_policy(CyclePolicy::LocallyMinimum),
+        )
+        .unwrap();
+        let root = case.script.copies().iter().copied().find(|c| c.to == 0).unwrap();
+        let optimal = Format::InPlace.conversion_cost(&root);
+        let ratio = lm.report.conversion_cost as f64 / optimal as f64;
+        assert!(ratio > previous_ratio, "depth {depth}: {ratio} !> {previous_ratio}");
+        previous_ratio = ratio;
+    }
+    assert!(previous_ratio >= 8.0, "gap should be unbounded in depth");
+}
+
+/// §4.1: adds are placed at the end of converted deltas.
+#[test]
+fn adds_are_last_in_converted_deltas() {
+    let differ = GreedyDiffer::default();
+    for pair in corpus().iter().take(8) {
+        let script = differ.diff(&pair.reference, &pair.version);
+        let out = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default())
+            .unwrap();
+        let first_add = out
+            .script
+            .commands()
+            .iter()
+            .position(|c| c.is_add())
+            .unwrap_or(out.script.len());
+        assert!(
+            out.script.commands()[first_add..].iter().all(|c| c.is_add()),
+            "copies found after the first add in {}",
+            pair.name
+        );
+    }
+}
+
+/// Lemma 1 on the corpus, and the §6 observation that realistic deltas
+/// have sparse conflict graphs ("on delta files whose digraphs have
+/// sparse edge relations, cycles are infrequent").
+#[test]
+fn corpus_graphs_are_sparse_and_bounded() {
+    let differ = GreedyDiffer::default();
+    for pair in &corpus() {
+        let script = differ.diff(&pair.reference, &pair.version);
+        let crwi = CrwiGraph::build(script.copies());
+        assert!(crwi.edge_count() as u64 <= script.target_len(), "{}", pair.name);
+        // Sparse: edges well below the quadratic bound.
+        let n = crwi.node_count();
+        if n > 10 {
+            assert!(crwi.edge_count() < n * n / 4, "{}: dense conflict graph", pair.name);
+        }
+    }
+}

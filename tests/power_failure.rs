@@ -1,0 +1,149 @@
+//! Exhaustive crash-injection over the resumable in-place applier: the
+//! application is snapshotted at *every* durable point (journal persist),
+//! then restarted from each snapshot — including with torn, partially
+//! written chunks — and must always converge to the correct version.
+
+use ipr::core::resumable::{resume_in_place, resume_in_place_observed, Journal, Progress};
+use ipr::core::{convert_to_in_place, required_capacity, ConversionConfig};
+use ipr::delta::diff::{Differ, GreedyDiffer};
+use ipr::delta::{Command, DeltaScript};
+
+/// Runs the applier to completion one chunk per call, capturing
+/// `(journal, buffer)` at every durable point. Durable point A stages a
+/// chunk (buffer not yet written); durable point B records completion
+/// (buffer written).
+fn snapshot_run(
+    script: &DeltaScript,
+    start: &[u8],
+    chunk: usize,
+) -> (Vec<(Journal, Vec<u8>)>, Vec<u8>) {
+    let mut buf = start.to_vec();
+    let mut journal = Journal::new();
+    let mut snapshots: Vec<(Journal, Vec<u8>)> = Vec::new();
+    loop {
+        let before = buf.clone();
+        let mut seen: Vec<Journal> = Vec::new();
+        let progress =
+            resume_in_place_observed(script, &mut buf, &mut journal, chunk, 1, &mut |j| {
+                seen.push(j.clone());
+            })
+            .expect("capacity checked by caller");
+        for j in &seen {
+            let buffer = if j.has_pending_chunk() { &before } else { &buf };
+            snapshots.push((j.clone(), buffer.clone()));
+        }
+        if progress == Progress::Complete {
+            break;
+        }
+    }
+    (snapshots, buf)
+}
+
+fn finish(script: &DeltaScript, buf: &mut [u8], journal: &mut Journal, chunk: usize) {
+    while resume_in_place(script, buf, journal, chunk, u64::MAX).unwrap() == Progress::Suspended {}
+}
+
+fn crash_matrix(script: &DeltaScript, reference: &[u8], version: &[u8], chunk: usize) {
+    let capacity = required_capacity(script) as usize;
+    let mut start = reference.to_vec();
+    start.resize(capacity, 0);
+    let (snapshots, final_buf) = snapshot_run(script, &start, chunk);
+    assert_eq!(&final_buf[..version.len()], version, "baseline run wrong");
+    assert!(!snapshots.is_empty());
+
+    for (i, (journal, buf_at_persist)) in snapshots.iter().enumerate() {
+        // Crash exactly at the persist point: resume from the snapshot.
+        let mut buf = buf_at_persist.clone();
+        let mut j = journal.clone();
+        finish(script, &mut buf, &mut j, chunk);
+        assert_eq!(&buf[..version.len()], version, "snapshot {i} (clean crash)");
+
+        // Crash after a *torn* write of the staged chunk: every possible
+        // prefix of the chunk reached storage, the rest is garbage.
+        if let Some((to, data)) = journal.pending_chunk() {
+            for torn_len in [0, data.len() / 2, data.len()] {
+                let mut buf = buf_at_persist.clone();
+                let start = to as usize;
+                buf[start..start + torn_len].copy_from_slice(&data[..torn_len]);
+                for b in &mut buf[start + torn_len..start + data.len()] {
+                    *b = 0xEE; // garbage from the interrupted write
+                }
+                let mut j = journal.clone();
+                finish(script, &mut buf, &mut j, chunk);
+                assert_eq!(
+                    &buf[..version.len()],
+                    version,
+                    "snapshot {i}, torn at {torn_len}/{}",
+                    data.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_at_every_durable_point_small_pair() {
+    // Small but adversarial: a rotation plus growth, with self-overlapping
+    // copies after conversion.
+    let reference: Vec<u8> = (0..600u32).map(|i| (i * 7 % 251) as u8).collect();
+    let mut version = reference.clone();
+    version.rotate_left(123);
+    version.extend_from_slice(&[0xAB; 40]);
+    let script = GreedyDiffer::new(8).diff(&reference, &version);
+    let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+    for chunk in [3usize, 64] {
+        crash_matrix(&out.script, &reference, &version, chunk);
+    }
+}
+
+#[test]
+fn crash_matrix_on_hand_built_overlaps() {
+    // Dense self-overlap: shift-by-one in both directions plus adds.
+    let script = DeltaScript::new(
+        32,
+        32,
+        vec![
+            Command::copy(1, 0, 15),   // from > to: left-to-right
+            Command::copy(15, 16, 15), // from < to: right-to-left
+            Command::add(15, vec![0x5A]),
+            Command::add(31, vec![0xA5]),
+        ],
+    )
+    .unwrap();
+    assert!(ipr::core::is_in_place_safe(&script));
+    let reference: Vec<u8> = (0u8..32).collect();
+    let version = ipr::delta::apply(&script, &reference).unwrap();
+    for chunk in [1usize, 2, 5] {
+        crash_matrix(&script, &reference, &version, chunk);
+    }
+}
+
+#[test]
+fn journal_chain_through_repeated_reboots() {
+    // End-to-end: a persisted journal drives the update across reboots
+    // where each boot applies a random-ish amount of work.
+    let reference: Vec<u8> = (0..5000u32).map(|i| (i * 13 % 251) as u8).collect();
+    let mut version = reference.clone();
+    version.rotate_left(1111);
+    let script = GreedyDiffer::default().diff(&reference, &version);
+    let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+    let capacity = required_capacity(&out.script) as usize;
+
+    let mut buf = reference.clone();
+    buf.resize(capacity, 0);
+    let mut journal = Journal::new();
+    let mut fuel = 17u64;
+    let mut boots = 0;
+    loop {
+        match resume_in_place(&out.script, &mut buf, &mut journal, 32, fuel).unwrap() {
+            Progress::Complete => break,
+            Progress::Suspended => {
+                boots += 1;
+                fuel = fuel.wrapping_mul(31).wrapping_add(7) % 997 + 1;
+            }
+        }
+        assert!(boots < 100_000);
+    }
+    assert!(boots > 5);
+    assert_eq!(&buf[..version.len()], &version[..]);
+}
