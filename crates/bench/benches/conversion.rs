@@ -22,17 +22,13 @@ fn bench_conversion(c: &mut Criterion) {
         let script = GreedyDiffer::default().diff(&reference, &version);
         group.throughput(Throughput::Elements(script.copy_count() as u64));
         for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.to_string(), size),
-                &size,
-                |b, _| {
-                    let config = ConversionConfig::with_policy(policy);
-                    b.iter(|| {
-                        convert_to_in_place(&script, &reference, &config)
-                            .expect("conversion cannot fail")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy.to_string(), size), &size, |b, _| {
+                let config = ConversionConfig::with_policy(policy);
+                b.iter(|| {
+                    convert_to_in_place(&script, &reference, &config)
+                        .expect("conversion cannot fail")
+                });
+            });
         }
     }
     group.finish();

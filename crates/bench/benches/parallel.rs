@@ -1,0 +1,74 @@
+//! Criterion bench: wave-parallel in-place apply vs the serial applier.
+//!
+//! The schedule is planned once outside the timed region — the point of
+//! [`apply_schedule_parallel`] is that a plan is reusable — so the numbers
+//! isolate the apply phase itself. Each iteration restores the reference
+//! bytes into the buffer first; that memcpy is identical across variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipr_core::{
+    apply_in_place, apply_schedule_parallel, convert_to_in_place, required_capacity,
+    ConversionConfig, ParallelConfig, ParallelSchedule, ReadMode,
+};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_delta::DeltaScript;
+use ipr_workloads::content::{generate, ContentKind};
+use ipr_workloads::mutate::{mutate, MutationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(len: usize) -> (DeltaScript, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let reference = generate(&mut rng, ContentKind::BinaryLike, len);
+    let version = mutate(&mut rng, &reference, &MutationProfile::default());
+    let script = GreedyDiffer::default().diff(&reference, &version);
+    let out = convert_to_in_place(&script, &reference, &ConversionConfig::default())
+        .expect("conversion cannot fail");
+    (out.script, reference)
+}
+
+fn bench_parallel_apply(c: &mut Criterion) {
+    let len = 2 * 1024 * 1024;
+    let (script, reference) = workload(len);
+    let plan = ParallelSchedule::plan(&script).expect("converted script is safe");
+    let cap = usize::try_from(required_capacity(&script)).expect("fits usize");
+    let mut buf = vec![0u8; cap];
+
+    let mut group = c.benchmark_group("parallel_apply");
+    group.throughput(Throughput::Bytes(script.target_len()));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            buf[..reference.len()].copy_from_slice(&reference);
+            apply_in_place(&script, &mut buf).expect("apply");
+        });
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("zero-copy", threads),
+            &threads,
+            |b, &threads| {
+                let config = ParallelConfig::with_threads(threads);
+                b.iter(|| {
+                    buf[..reference.len()].copy_from_slice(&reference);
+                    apply_schedule_parallel(&script, &plan, &mut buf, &config).expect("apply");
+                });
+            },
+        );
+    }
+    group.bench_with_input(BenchmarkId::new("snapshot", 4), &4usize, |b, &threads| {
+        let config = ParallelConfig {
+            threads,
+            read_mode: ReadMode::Snapshot,
+            ..ParallelConfig::default()
+        };
+        b.iter(|| {
+            buf[..reference.len()].copy_from_slice(&reference);
+            apply_schedule_parallel(&script, &plan, &mut buf, &config).expect("apply");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_apply);
+criterion_main!(benches);

@@ -72,7 +72,11 @@ fn spill_curve() {
             loss += out.conversion_cost;
         }
         t.row(vec![
-            if budget == u64::MAX { "unbounded".into() } else { bytes(budget) },
+            if budget == u64::MAX {
+                "unbounded".into()
+            } else {
+                bytes(budget)
+            },
             stashed.to_string(),
             converted.to_string(),
             bytes(loss),
@@ -181,13 +185,20 @@ fn policy_gap() {
         bytes(totals[1]),
         format!("{:.2}x", totals[1] as f64 / opt),
     ]);
-    t.row(vec!["exhaustive optimum".into(), bytes(totals[2]), "1.00x".into()]);
+    t.row(vec![
+        "exhaustive optimum".into(),
+        bytes(totals[2]),
+        "1.00x".into(),
+    ]);
     t.print();
     println!(
         "\n  {solved} pairs exactly solvable, {cyclic} of them cyclic; local-min\n\
          captures most of the gap between constant-time and the NP-hard optimum.\n"
     );
-    assert!(totals[1] <= totals[0], "local-min must not lose more than constant-time");
+    assert!(
+        totals[1] <= totals[0],
+        "local-min must not lose more than constant-time"
+    );
     assert!(totals[2] <= totals[1], "optimum must be at least as good");
 }
 
@@ -201,8 +212,8 @@ fn codec_redesign() {
     let mut sizes = [0u64; 3]; // paper-in-place, in-place, improved
     for pair in &corpus {
         let script = differ.diff(&pair.reference, &pair.version);
-        let out = convert_to_in_place(&script, &pair.reference, &config)
-            .expect("conversion cannot fail");
+        let out =
+            convert_to_in_place(&script, &pair.reference, &config).expect("conversion cannot fail");
         version_total += pair.version.len() as u64;
         for (i, format) in [Format::PaperInPlace, Format::InPlace, Format::Improved]
             .into_iter()
@@ -229,7 +240,10 @@ fn codec_redesign() {
          paper codewords on the same converted scripts.\n",
         pct((sizes[0] - sizes[2]) as f64 / sizes[0] as f64)
     );
-    assert!(sizes[2] <= sizes[1], "improved codec must not lose to plain varint");
+    assert!(
+        sizes[2] <= sizes[1],
+        "improved codec must not lose to plain varint"
+    );
 }
 
 fn buffer_granularity() {
@@ -262,7 +276,7 @@ fn buffer_granularity() {
             let mut buf = pair.reference.clone();
             buf.resize(required_capacity(script) as usize, 0);
             apply_in_place(script, &mut buf).expect("capacity checked");
-            &buf[..pair.version.len()] == &pair.version[..]
+            buf[..pair.version.len()] == pair.version[..]
         })
     });
     t.row(vec![
@@ -276,7 +290,7 @@ fn buffer_granularity() {
                 let mut buf = pair.reference.clone();
                 buf.resize(required_capacity(script) as usize, 0);
                 apply_in_place_buffered(script, &mut buf, chunk).expect("capacity checked");
-                &buf[..pair.version.len()] == &pair.version[..]
+                buf[..pair.version.len()] == pair.version[..]
             })
         });
         assert!(ok, "chunk {chunk} produced wrong bytes");

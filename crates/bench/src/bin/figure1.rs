@@ -10,17 +10,24 @@ fn main() {
     let reference = b"The common string moves; the deleted part goes away; and the tail stays.";
     let version = b"NEW HEADER! The common string moves; and the tail stays. NEW TRAILER!";
 
-    println!("reference ({} B): {:?}", reference.len(), String::from_utf8_lossy(reference));
-    println!("version   ({} B): {:?}\n", version.len(), String::from_utf8_lossy(version));
+    println!(
+        "reference ({} B): {:?}",
+        reference.len(),
+        String::from_utf8_lossy(reference)
+    );
+    println!(
+        "version   ({} B): {:?}\n",
+        version.len(),
+        String::from_utf8_lossy(version)
+    );
 
     let script = GreedyDiffer::new(8).diff(reference, version);
     println!("delta script ({} commands):", script.len());
     for cmd in script.commands() {
         match cmd {
             Command::Copy(c) => {
-                let text = String::from_utf8_lossy(
-                    &reference[c.from as usize..(c.from + c.len) as usize],
-                );
+                let text =
+                    String::from_utf8_lossy(&reference[c.from as usize..(c.from + c.len) as usize]);
                 println!("  {cmd}   -- {text:?}");
             }
             Command::Add(a) => {

@@ -11,7 +11,7 @@
 //! Run: `cargo run -p ipr-bench --release --bin figure2`
 
 use ipr_bench::Table;
-use ipr_core::{convert_to_in_place, ConversionConfig, CyclePolicy, CrwiGraph};
+use ipr_core::{convert_to_in_place, ConversionConfig, CrwiGraph, CyclePolicy};
 use ipr_delta::codec::Format;
 use ipr_workloads::adversarial::{tree_digraph, TREE_INTERNAL_LEN};
 

@@ -34,11 +34,7 @@ fn severity_corpus(profile: &MutationProfile, seed: u64) -> Vec<(Vec<u8>, Vec<u8
         .collect()
 }
 
-fn run_update(
-    reference: &[u8],
-    version: &[u8],
-    ram_blocks: usize,
-) -> (u64, u64) {
+fn run_update(reference: &[u8], version: &[u8], ram_blocks: usize) -> (u64, u64) {
     let capacity = reference.len().max(version.len());
     let blocks = capacity.div_ceil(BLOCK_SIZE) + 1;
     let mut flash = FlashStorage::new(blocks, BLOCK_SIZE);
@@ -47,7 +43,9 @@ fn run_update(
     let script = GreedyDiffer::default().diff(reference, version);
     let converted = convert_to_in_place(&script, reference, &ConversionConfig::default())
         .expect("conversion cannot fail");
-    let stats = updater.apply_update(&converted.script).expect("update fits");
+    let stats = updater
+        .apply_update(&converted.script)
+        .expect("update fits");
     assert_eq!(updater.image(), version, "flash update corrupted the image");
     (stats.erases, stats.programmed_bytes)
 }
@@ -68,7 +66,11 @@ fn main() {
     ]);
     let reflash_erases = (PAIRS * IMAGE_LEN.div_ceil(BLOCK_SIZE)) as u64;
     for (label, profile, seed) in [
-        ("aligned (fixed-layout patch)", MutationProfile::aligned(), 40),
+        (
+            "aligned (fixed-layout patch)",
+            MutationProfile::aligned(),
+            40,
+        ),
         ("light (patch w/ shifts)", MutationProfile::light(), 41),
         ("moderate (minor release)", MutationProfile::default(), 42),
         ("heavy (major release)", MutationProfile::heavy(), 43),
@@ -101,11 +103,19 @@ fn main() {
     // With effectively unbounded RAM, every touched block is erased
     // exactly once: the minimum.
     let touched = total_for(1 << 20);
-    let mut t = Table::new(vec!["RAM blocks", "delta erases", "erases per touched block"]);
+    let mut t = Table::new(vec![
+        "RAM blocks",
+        "delta erases",
+        "erases per touched block",
+    ]);
     for ram in [1usize, 4, 8, 32, 1 << 20] {
         let erases = total_for(ram);
         t.row(vec![
-            if ram == 1 << 20 { "unbounded".into() } else { ram.to_string() },
+            if ram == 1 << 20 {
+                "unbounded".into()
+            } else {
+                ram.to_string()
+            },
             erases.to_string(),
             format!("{:.2}", erases as f64 / touched as f64),
         ]);

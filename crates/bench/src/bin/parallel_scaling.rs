@@ -1,0 +1,178 @@
+//! Parallel apply scaling (ours): serial vs 2/4/8-thread wave-parallel
+//! application over the experiment corpus, emitted as JSON for tracking.
+//!
+//! Every pair is diffed, converted, and planned up front; the timed region
+//! is the apply phase only (plans are reusable, and that is what scales).
+//! The corpus pass is repeated `IPR_BENCH_REPS` times (default 3) per
+//! configuration and the fastest pass is reported.
+//!
+//! Results land in `results/BENCH_parallel_apply.json`. `host_parallelism`
+//! records how many cores the numbers were taken on: speedups above it
+//! are not physically possible on that host.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin parallel_scaling`
+
+use ipr_bench::experiment_corpus;
+use ipr_core::{
+    apply_in_place, apply_schedule_parallel, convert_to_in_place, required_capacity,
+    ConversionConfig, ParallelConfig, ParallelSchedule,
+};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_delta::DeltaScript;
+use std::time::Instant;
+
+struct Prepared {
+    script: DeltaScript,
+    plan: ParallelSchedule,
+    reference: Vec<u8>,
+    buf: Vec<u8>,
+}
+
+struct Row {
+    config: &'static str,
+    threads: usize,
+    total_ns: u128,
+    mib_per_s: f64,
+    speedup: f64,
+}
+
+fn corpus_pass(prepared: &mut [Prepared], mut apply: impl FnMut(&mut Prepared)) -> u128 {
+    let mut total = 0u128;
+    for p in prepared.iter_mut() {
+        let n = p.reference.len();
+        p.buf[..n].copy_from_slice(&p.reference);
+        let t = Instant::now();
+        apply(p);
+        total += t.elapsed().as_nanos();
+    }
+    total
+}
+
+fn best_of<R: Copy>(reps: usize, mut f: impl FnMut() -> R, better: impl Fn(R, R) -> bool) -> R {
+    let mut best = f();
+    for _ in 1..reps {
+        let r = f();
+        if better(r, best) {
+            best = r;
+        }
+    }
+    best
+}
+
+fn main() {
+    let corpus = experiment_corpus();
+    let reps: usize = std::env::var("IPR_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let differ = GreedyDiffer::default();
+
+    let plan_start = Instant::now();
+    let mut prepared: Vec<Prepared> = corpus
+        .iter()
+        .map(|pair| {
+            let script = differ.diff(&pair.reference, &pair.version);
+            let out = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default())
+                .expect("conversion cannot fail");
+            let plan = ParallelSchedule::plan(&out.script).expect("converted script is safe");
+            let cap = usize::try_from(required_capacity(&out.script)).expect("fits usize");
+            Prepared {
+                script: out.script,
+                plan,
+                reference: pair.reference.clone(),
+                buf: vec![0u8; cap],
+            }
+        })
+        .collect();
+    let plan_ns = plan_start.elapsed().as_nanos();
+
+    let payload_bytes: u64 = prepared.iter().map(|p| p.script.target_len()).sum();
+    let mib = payload_bytes as f64 / (1024.0 * 1024.0);
+    let throughput = |ns: u128| mib / (ns as f64 / 1e9);
+
+    let serial_ns = best_of(
+        reps,
+        || {
+            corpus_pass(&mut prepared, |p| {
+                apply_in_place(&p.script, &mut p.buf).expect("apply");
+            })
+        },
+        |a, b| a < b,
+    );
+    let mut rows = vec![Row {
+        config: "serial",
+        threads: 1,
+        total_ns: serial_ns,
+        mib_per_s: throughput(serial_ns),
+        speedup: 1.0,
+    }];
+    for threads in [2usize, 4, 8] {
+        let config = ParallelConfig::with_threads(threads);
+        let ns = best_of(
+            reps,
+            || {
+                corpus_pass(&mut prepared, |p| {
+                    apply_schedule_parallel(&p.script, &p.plan, &mut p.buf, &config)
+                        .expect("apply");
+                })
+            },
+            |a, b| a < b,
+        );
+        rows.push(Row {
+            config: "zero-copy",
+            threads,
+            total_ns: ns,
+            mib_per_s: throughput(ns),
+            speedup: serial_ns as f64 / ns as f64,
+        });
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "Parallel apply scaling: {} pairs, {:.1} MiB payload, {} reps, host has {} core(s)\n",
+        corpus.len(),
+        mib,
+        reps,
+        host
+    );
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>9}",
+        "config", "threads", "total ms", "MiB/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>8} {:>12.2} {:>12.1} {:>8.2}x",
+            r.config,
+            r.threads,
+            r.total_ns as f64 / 1e6,
+            r.mib_per_s,
+            r.speedup
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"parallel_apply\",\n");
+    json.push_str("  \"command\": \"cargo run -p ipr-bench --release --bin parallel_scaling\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"pairs\": {},\n", corpus.len()));
+    json.push_str(&format!("  \"payload_bytes\": {payload_bytes},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"plan_ns\": {plan_ns},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"threads\": {}, \"total_ns\": {}, \"mib_per_s\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.config,
+            r.threads,
+            r.total_ns,
+            r.mib_per_s,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_parallel_apply.json", &json).expect("write results");
+    println!("\nwrote results/BENCH_parallel_apply.json");
+}

@@ -15,12 +15,22 @@ use ipr_core::CrwiGraph;
 use ipr_digraph::{fvs, Digraph, NodeId};
 use ipr_workloads::reduction::realize_digraph;
 
+type Case = (&'static str, usize, Vec<(NodeId, NodeId)>);
+
 fn main() {
     println!("§5 NP-hardness: feedback vertex set embeds into CRWI digraphs\n");
-    let cases: Vec<(&str, usize, Vec<(NodeId, NodeId)>)> = vec![
+    let cases: Vec<Case> = vec![
         ("3-cycle", 3, vec![(0, 1), (1, 2), (2, 0)]),
-        ("two cycles sharing node 1", 4, vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)]),
-        ("figure-8 through node 0", 5, vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]),
+        (
+            "two cycles sharing node 1",
+            4,
+            vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)],
+        ),
+        (
+            "figure-8 through node 0",
+            5,
+            vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
+        ),
         ("5-ring", 5, (0..5).map(|i| (i, (i + 1) % 5)).collect()),
         ("DAG (no cycles)", 4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
         ("self-loop + tail", 3, vec![(0, 0), (0, 1), (1, 2)]),
@@ -36,8 +46,8 @@ fn main() {
     ]);
     for (name, nodes, edges) in cases {
         let g = Digraph::from_edges(nodes, edges.iter().copied());
-        let g_fvs = fvs::minimum_feedback_vertex_set(&g, &vec![1; nodes], 16)
-            .expect("small inputs");
+        let g_fvs =
+            fvs::minimum_feedback_vertex_set(&g, &vec![1; nodes], 16).expect("small inputs");
 
         let realized = realize_digraph(&g, 1);
         let crwi = CrwiGraph::build(realized.script.copies());
@@ -62,7 +72,11 @@ fn main() {
             crwi.node_count().to_string(),
             crwi.edge_count().to_string(),
             format!("{deleted_nodes:?}"),
-            if matches { "ok".into() } else { "MISMATCH".to_string() },
+            if matches {
+                "ok".into()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
         assert!(matches, "{name}: reduction correspondence failed");
     }

@@ -58,16 +58,21 @@ fn main() {
     t.print();
 
     println!("\nAdversarial quadratic-edge input (|E| = Θ(L_V) dominates):\n");
-    let mut t = Table::new(vec!["L_V", "commands", "edges", "build+sort time", "time ratio"]);
+    let mut t = Table::new(vec![
+        "L_V",
+        "commands",
+        "edges",
+        "build+sort time",
+        "time ratio",
+    ]);
     let mut prev: Option<f64> = None;
     for b in [64u64, 128, 256, 512, 1024] {
         let case = quadratic_edges(b);
         let copies = case.script.copies();
         let crwi = CrwiGraph::build(copies.clone());
         let config = ConversionConfig::default();
-        let time = best_of(|| {
-            convert_to_in_place(&case.script, &case.reference, &config).expect("ok")
-        });
+        let time =
+            best_of(|| convert_to_in_place(&case.script, &case.reference, &config).expect("ok"));
         let secs = time.as_secs_f64();
         t.row(vec![
             bytes(case.script.target_len()),

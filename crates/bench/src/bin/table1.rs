@@ -121,7 +121,10 @@ fn print_table(title: &str, paper_row: Option<[f64; 4]>, t: &Totals) {
 
     // Shape checks the paper's conclusions rest on.
     let shape = [
-        ("write offsets cost compression", compression[1] > compression[0]),
+        (
+            "write offsets cost compression",
+            compression[1] > compression[0],
+        ),
         (
             "local-min loses less than constant-time",
             t.local_min <= t.constant,

@@ -108,7 +108,10 @@ fn run(differ: &dyn Differ) {
 
     println!();
     let shape = [
-        ("conversion faster than differencing overall", agg_ratio < 1.0),
+        (
+            "conversion faster than differencing overall",
+            agg_ratio < 1.0,
+        ),
         (
             "local-min run time comparable to constant-time (within 25%)",
             ct_vs_lm < 1.25,

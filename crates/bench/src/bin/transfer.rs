@@ -62,8 +62,11 @@ fn main() {
         in_band, n
     );
 
-    println!("\nTransfer time: full image vs in-place delta ({} B vs {} B total)\n",
-        bytes(total_full), bytes(total_delta));
+    println!(
+        "\nTransfer time: full image vs in-place delta ({} B vs {} B total)\n",
+        bytes(total_full),
+        bytes(total_delta)
+    );
     let mut t = Table::new(vec!["channel", "full image", "in-place delta", "saved"]);
     for channel in [Channel::dialup(), Channel::isdn(), Channel::cellular()] {
         let full = channel.transfer_time(total_full);
@@ -108,10 +111,13 @@ fn distribution_images(differ: &GreedyDiffer, config: &ConversionConfig) {
         "delta size",
         "factor",
     ]);
-    for (i, (members, lo, hi)) in
-        [(30usize, 2_000usize, 8_000usize), (80, 4_000, 16_000), (150, 8_000, 32_000)]
-            .iter()
-            .enumerate()
+    for (i, (members, lo, hi)) in [
+        (30usize, 2_000usize, 8_000usize),
+        (80, 4_000, 16_000),
+        (150, 8_000, 32_000),
+    ]
+    .iter()
+    .enumerate()
     {
         let pair = distribution_pair(100 + i as u64, *members, *lo..*hi);
         let update = prepare_update(differ, &pair.old, &pair.new, config, Format::InPlace)
@@ -121,7 +127,10 @@ fn distribution_images(differ: &GreedyDiffer, config: &ConversionConfig) {
             bytes(pair.new.len() as u64),
             pair.edited_members.to_string(),
             bytes(update.payload.len() as u64),
-            format!("{:.1}x", pair.new.len() as f64 / update.payload.len() as f64),
+            format!(
+                "{:.1}x",
+                pair.new.len() as f64 / update.payload.len() as f64
+            ),
         ]);
     }
     t.print();

@@ -35,7 +35,10 @@ fn main() {
         }
     }
 
-    println!("Parallel application waves over {} corpus pairs\n", corpus.len());
+    println!(
+        "Parallel application waves over {} corpus pairs\n",
+        corpus.len()
+    );
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec![
         "mean commands per delta".into(),

@@ -30,11 +30,16 @@ use std::time::{Duration, Instant};
 /// real data, as the paper did with GNU/BSD distributions.
 #[must_use]
 pub fn experiment_corpus() -> Vec<FilePair> {
-    if let (Ok(old), Ok(new)) = (std::env::var("IPR_CORPUS_OLD"), std::env::var("IPR_CORPUS_NEW"))
-    {
+    if let (Ok(old), Ok(new)) = (
+        std::env::var("IPR_CORPUS_OLD"),
+        std::env::var("IPR_CORPUS_NEW"),
+    ) {
         let pairs = ipr_workloads::corpus::from_dirs(old.as_ref(), new.as_ref())
             .expect("IPR_CORPUS_OLD/IPR_CORPUS_NEW must be readable directory trees");
-        assert!(!pairs.is_empty(), "real corpus directories share no file paths");
+        assert!(
+            !pairs.is_empty(),
+            "real corpus directories share no file paths"
+        );
         return pairs;
     }
     let pairs = std::env::var("IPR_BENCH_PAIRS")
@@ -73,7 +78,7 @@ pub fn bytes(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

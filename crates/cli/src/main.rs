@@ -6,6 +6,7 @@
 //! ipr convert <reference> <delta> <out>       post-process for in-place
 //! ipr apply <reference> <delta> <out>         scratch-space apply
 //! ipr apply-in-place <file> <delta>           rebuild <file> in place
+//!                    [--threads N] [--read-mode snapshot|zero-copy]
 //! ipr info <delta>                            print header and statistics
 //! ipr verify <delta>                          check Equation 2 safety
 //! ```
@@ -61,7 +62,7 @@ fn print_usage() {
          \x20 diff <reference> <version> <delta>  [--differ greedy|one-pass|correcting] [--format F]\n\
          \x20 convert <reference> <delta> <out>   [--policy constant|local-min] [--format F]\n\
          \x20 apply <reference> <delta> <out>\n\
-         \x20 apply-in-place <file> <delta>\n\
+         \x20 apply-in-place <file> <delta>  [--threads N] [--read-mode snapshot|zero-copy]\n\
          \x20 info <delta>\n\
          \x20 compose <delta-1-2> <delta-2-3> <out>  [--format F]\n\
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
@@ -72,8 +73,11 @@ fn print_usage() {
     );
 }
 
+/// Positional arguments plus `--key value` option pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
 /// Splits positional arguments from `--key value` options.
-fn parse_opts(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), String> {
+fn parse_opts(args: &[String]) -> Result<ParsedArgs<'_>, String> {
     let mut positional = Vec::new();
     let mut options = Vec::new();
     let mut i = 0;
@@ -185,7 +189,11 @@ fn cmd_convert(args: &[String]) -> CliResult {
     let r = &outcome.report;
     println!(
         "converted: {} copies, {} adds, {} edges, {} cycles broken, {} copies converted (+{} B)",
-        r.input_copies, r.input_adds, r.edges, r.cycles_broken, r.copies_converted,
+        r.input_copies,
+        r.input_adds,
+        r.edges,
+        r.cycles_broken,
+        r.copies_converted,
         r.conversion_cost
     );
     Ok(())
@@ -208,16 +216,54 @@ fn cmd_apply(args: &[String]) -> CliResult {
 }
 
 fn cmd_apply_in_place(args: &[String]) -> CliResult {
-    let (pos, _) = parse_opts(args)?;
+    let (pos, opts) = parse_opts(args)?;
     let [file_path, delta_path] = pos[..] else {
-        return Err("usage: ipr apply-in-place <file> <delta>".into());
+        return Err(
+            "usage: ipr apply-in-place <file> <delta> [--threads N] [--read-mode M]".into(),
+        );
     };
+    let mut threads: Option<usize> = None;
+    let mut read_mode = ipr_core::ReadMode::default();
+    for (k, v) in opts {
+        match k {
+            "threads" => {
+                threads = Some(
+                    v.parse()
+                        .map_err(|_| format!("--threads needs a number, got `{v}`"))?,
+                );
+            }
+            "read-mode" => {
+                read_mode = match v {
+                    "snapshot" => ipr_core::ReadMode::Snapshot,
+                    "zero-copy" => ipr_core::ReadMode::ZeroCopy,
+                    _ => return Err(format!("unknown read mode `{v}` (snapshot|zero-copy)").into()),
+                };
+            }
+            _ => return Err(format!("unknown option --{k}").into()),
+        }
+    }
     let decoded = codec::decode(&std::fs::read(delta_path)?)?;
     check_in_place_safe(&decoded.script)?;
     let mut buf = std::fs::read(file_path)?;
     let needed = ipr_core::required_capacity(&decoded.script) as usize;
     buf.resize(buf.len().max(needed), 0);
-    ipr_core::apply_in_place(&decoded.script, &mut buf)?;
+    match threads {
+        // Serial applier stays the default: a single thread needs none of
+        // the wave planning.
+        None | Some(1) => ipr_core::apply_in_place(&decoded.script, &mut buf)?,
+        Some(n) => {
+            let config = ipr_core::ParallelConfig {
+                threads: n,
+                read_mode,
+                ..ipr_core::ParallelConfig::default()
+            };
+            let report = ipr_core::apply_in_place_parallel(&decoded.script, &mut buf, &config)?;
+            eprintln!(
+                "parallel apply: {} waves ({} fanned out), {} threads, {} B snapshotted",
+                report.waves, report.parallel_waves, report.threads, report.snapshot_bytes
+            );
+        }
+    }
     buf.truncate(decoded.script.target_len() as usize);
     if let Some(crc) = decoded.target_crc {
         let actual = ipr_delta::checksum::crc32(&buf);
@@ -251,7 +297,11 @@ fn cmd_info(args: &[String]) -> CliResult {
     );
     println!(
         "in-place safe: {}",
-        if ipr_core::is_in_place_safe(s) { "yes" } else { "no" }
+        if ipr_core::is_in_place_safe(s) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     Ok(())
 }
@@ -307,9 +357,7 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let crwi = ipr_core::CrwiGraph::build(decoded.script.copies());
     if let Some(path) = dot_path {
         let copies = crwi.copies().to_vec();
-        let dot = crwi
-            .graph()
-            .to_dot(|v| format!("{}", copies[v as usize]));
+        let dot = crwi.graph().to_dot(|v| format!("{}", copies[v as usize]));
         std::fs::write(&path, dot)?;
         println!("wrote conflict digraph to {path} (Graphviz DOT)");
     }
@@ -418,7 +466,10 @@ mod tests {
     #[test]
     fn parse_policy_names() {
         assert_eq!(parse_policy("constant").unwrap(), CyclePolicy::ConstantTime);
-        assert_eq!(parse_policy("local-min").unwrap(), CyclePolicy::LocallyMinimum);
+        assert_eq!(
+            parse_policy("local-min").unwrap(),
+            CyclePolicy::LocallyMinimum
+        );
         assert!(parse_policy("optimal").is_err());
     }
 
@@ -465,6 +516,47 @@ mod tests {
         run(&s(&["apply-in-place", &p("inplace"), &p("delta-ip")])).unwrap();
         assert_eq!(std::fs::read(p("inplace")).unwrap(), version);
 
+        // Parallel apply path, both read modes.
+        std::fs::copy(p("old"), p("inplace-par")).unwrap();
+        run(&s(&[
+            "apply-in-place",
+            &p("inplace-par"),
+            &p("delta-ip"),
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(p("inplace-par")).unwrap(), version);
+        std::fs::copy(p("old"), p("inplace-snap")).unwrap();
+        run(&s(&[
+            "apply-in-place",
+            &p("inplace-snap"),
+            &p("delta-ip"),
+            "--threads",
+            "2",
+            "--read-mode",
+            "snapshot",
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(p("inplace-snap")).unwrap(), version);
+        // Bad option values are reported, not panicked.
+        assert!(run(&s(&[
+            "apply-in-place",
+            &p("inplace-snap"),
+            &p("delta-ip"),
+            "--threads",
+            "lots",
+        ]))
+        .is_err());
+        assert!(run(&s(&[
+            "apply-in-place",
+            &p("inplace-snap"),
+            &p("delta-ip"),
+            "--read-mode",
+            "psychic",
+        ]))
+        .is_err());
+
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -493,11 +585,35 @@ mod tests {
         assert!(run(&s(&["compose", &p("old")])).is_err());
         // Unknown options/values.
         run(&s(&["diff", &p("old"), &p("new"), &p("d")])).unwrap();
-        assert!(run(&s(&["diff", &p("old"), &p("new"), &p("d"), "--format", "bogus"])).is_err());
+        assert!(run(&s(&[
+            "diff",
+            &p("old"),
+            &p("new"),
+            &p("d"),
+            "--format",
+            "bogus"
+        ]))
+        .is_err());
         assert!(run(&s(&["diff", &p("old"), &p("new"), &p("d"), "--bogus", "x"])).is_err());
-        assert!(run(&s(&["convert", &p("old"), &p("d"), &p("o"), "--policy", "magic"])).is_err());
+        assert!(run(&s(&[
+            "convert",
+            &p("old"),
+            &p("d"),
+            &p("o"),
+            "--policy",
+            "magic"
+        ]))
+        .is_err());
         // Ordered format cannot carry in-place deltas.
-        assert!(run(&s(&["convert", &p("old"), &p("d"), &p("o"), "--format", "ordered"])).is_err());
+        assert!(run(&s(&[
+            "convert",
+            &p("old"),
+            &p("d"),
+            &p("o"),
+            "--format",
+            "ordered"
+        ]))
+        .is_err());
         // Applying against the wrong reference fails the CRC.
         std::fs::write(p("wrong"), vec![0x55u8; old.len()]).unwrap();
         assert!(run(&s(&["apply", &p("wrong"), &p("d"), &p("out")])).is_err());
@@ -521,11 +637,22 @@ mod tests {
         std::fs::write(p("old"), &reference).unwrap();
         std::fs::write(p("new"), &version).unwrap();
         run(&s(&[
-            "diff", &p("old"), &p("new"), &p("d"), "--differ", "one-pass",
+            "diff",
+            &p("old"),
+            &p("new"),
+            &p("d"),
+            "--differ",
+            "one-pass",
         ]))
         .unwrap();
         run(&s(&[
-            "convert", &p("old"), &p("d"), &p("d-ip"), "--policy", "constant", "--format",
+            "convert",
+            &p("old"),
+            &p("d"),
+            &p("d-ip"),
+            "--policy",
+            "constant",
+            "--format",
             "improved",
         ]))
         .unwrap();

@@ -91,10 +91,18 @@ impl fmt::Display for CrwiStats {
         writeln!(f, "vertices:                 {}", self.nodes)?;
         writeln!(f, "edges:                    {}", self.edges)?;
         writeln!(f, "density (|E|/|V|^2):      {:.4}", self.density)?;
-        writeln!(f, "acyclic:                  {}", if self.acyclic { "yes" } else { "no" })?;
+        writeln!(
+            f,
+            "acyclic:                  {}",
+            if self.acyclic { "yes" } else { "no" }
+        )?;
         writeln!(f, "components:               {}", self.components)?;
         writeln!(f, "cyclic components:        {}", self.cyclic_components)?;
-        writeln!(f, "largest cyclic component: {}", self.largest_cyclic_component)?;
+        writeln!(
+            f,
+            "largest cyclic component: {}",
+            self.largest_cyclic_component
+        )?;
         writeln!(f, "vertices on cycles:       {}", self.vertices_on_cycles)?;
         write!(f, "bytes at risk:            {}", self.bytes_at_risk)
     }
@@ -108,8 +116,16 @@ mod tests {
     #[test]
     fn acyclic_graph_stats() {
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 4, to: 0, len: 4 },
-            Copy { from: 8, to: 4, len: 4 },
+            Copy {
+                from: 4,
+                to: 0,
+                len: 4,
+            },
+            Copy {
+                from: 8,
+                to: 4,
+                len: 4,
+            },
         ]);
         let s = CrwiStats::analyze(&crwi);
         assert_eq!(s.nodes, 2);
@@ -124,8 +140,16 @@ mod tests {
     #[test]
     fn swap_stats() {
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 8, to: 0, len: 8 },
-            Copy { from: 0, to: 8, len: 8 },
+            Copy {
+                from: 8,
+                to: 0,
+                len: 8,
+            },
+            Copy {
+                from: 0,
+                to: 8,
+                len: 8,
+            },
         ]);
         let s = CrwiStats::analyze(&crwi);
         assert!(!s.acyclic);
@@ -139,9 +163,21 @@ mod tests {
     fn mixed_graph_counts_only_cyclic_bytes() {
         // A swap plus an unrelated safe copy.
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 8, to: 0, len: 8 },
-            Copy { from: 0, to: 8, len: 8 },
-            Copy { from: 100, to: 50, len: 10 },
+            Copy {
+                from: 8,
+                to: 0,
+                len: 8,
+            },
+            Copy {
+                from: 0,
+                to: 8,
+                len: 8,
+            },
+            Copy {
+                from: 100,
+                to: 50,
+                len: 10,
+            },
         ]);
         let s = CrwiStats::analyze(&crwi);
         assert_eq!(s.vertices_on_cycles, 2);

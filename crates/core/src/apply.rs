@@ -207,10 +207,11 @@ mod tests {
     #[test]
     fn overlapping_backward_copy_right_to_left() {
         // from < to: shift right by 4 within the buffer.
-        let solo = DeltaScript::new(12, 16, vec![
-            Command::copy(0, 4, 12),
-            Command::add(0, vec![0xAA; 4]),
-        ])
+        let solo = DeltaScript::new(
+            12,
+            16,
+            vec![Command::copy(0, 4, 12), Command::add(0, vec![0xAA; 4])],
+        )
         .unwrap();
         let reference: Vec<u8> = (0u8..12).collect();
         let mut buf = reference.clone();
@@ -222,11 +223,15 @@ mod tests {
 
     #[test]
     fn buffered_matches_unbuffered_at_all_granularities() {
-        let solo = DeltaScript::new(64, 64, vec![
-            Command::copy(8, 0, 40),  // forward self-overlap
-            Command::copy(40, 48, 16), // backward overlap (from < to)
-            Command::add(40, vec![7; 8]),
-        ])
+        let solo = DeltaScript::new(
+            64,
+            64,
+            vec![
+                Command::copy(8, 0, 40),   // forward self-overlap
+                Command::copy(40, 48, 16), // backward overlap (from < to)
+                Command::add(40, vec![7; 8]),
+            ],
+        )
         .unwrap();
         let reference: Vec<u8> = (0u8..64).collect();
         let mut expected = reference.clone();
@@ -241,12 +246,8 @@ mod tests {
     #[test]
     fn safe_script_matches_scratch_apply() {
         // A safe order rebuilt in place equals the scratch-space rebuild.
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         let reference: Vec<u8> = (0u8..16).collect();
         // Order [copy(8->0), copy(0->8)] is unsafe; the safe order reads
         // [8,16) first. Actually copy(8,0,8) reads [8,16) and writes [0,8):
@@ -276,12 +277,8 @@ mod tests {
     fn unsafe_script_corrupts_demonstrably() {
         // The motivating failure: apply an unconverted delta in place and
         // watch it corrupt.
-        let unsafe_script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)],
-        )
-        .unwrap();
+        let unsafe_script =
+            DeltaScript::new(16, 16, vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)]).unwrap();
         let reference: Vec<u8> = (0u8..16).collect();
         let expected = apply(&unsafe_script, &reference).unwrap();
         let mut buf = reference.clone();
@@ -294,7 +291,13 @@ mod tests {
         let script = DeltaScript::new(8, 8, vec![Command::copy(0, 0, 8)]).unwrap();
         let mut buf = vec![0u8; 4];
         let err = apply_in_place(&script, &mut buf).unwrap_err();
-        assert_eq!(err, InPlaceApplyError::BufferTooSmall { needed: 8, actual: 4 });
+        assert_eq!(
+            err,
+            InPlaceApplyError::BufferTooSmall {
+                needed: 8,
+                actual: 4
+            }
+        );
         assert!(!err.to_string().is_empty());
     }
 

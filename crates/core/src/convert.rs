@@ -232,8 +232,7 @@ pub fn convert_to_in_place(
     let sort_time = sort_start.elapsed();
 
     // Steps 5-6: emit copies in topological order, then adds.
-    let mut commands: Vec<Command> =
-        Vec::with_capacity(order.len() + removed.len() + input_adds);
+    let mut commands: Vec<Command> = Vec::with_capacity(order.len() + removed.len() + input_adds);
     for &v in &order {
         commands.push(Command::Copy(crwi.copies()[v as usize]));
     }
@@ -313,12 +312,8 @@ mod tests {
         // Swap of two blocks where only one direction conflicts is just a
         // 2-cycle... use a rotation instead: copy [8,16) -> [0,8) and
         // [0,8) -> [8,16) form a 2-cycle, so one conversion is needed.
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         let reference = reference16();
         let out = convert(&script, &reference);
         assert_eq!(out.report.cycles_broken, 1);
@@ -335,13 +330,10 @@ mod tests {
     fn pure_reorder_when_no_cycles() {
         // Shift data toward lower offsets: command i reads block i+1 and
         // writes block i. Conflicts form a path; reordering suffices.
-        let cmds: Vec<Command> = (0..7u64).map(|i| Command::copy(2 * (i + 1), 2 * i, 2)).collect();
-        let script = DeltaScript::new(
-            16,
-            14,
-            cmds,
-        )
-        .unwrap();
+        let cmds: Vec<Command> = (0..7u64)
+            .map(|i| Command::copy(2 * (i + 1), 2 * i, 2))
+            .collect();
+        let script = DeltaScript::new(16, 14, cmds).unwrap();
         let reference = reference16();
         let naive_conflicts = count_wr_conflicts(&script);
         assert_eq!(naive_conflicts, 0, "ascending order already safe here");
@@ -360,10 +352,7 @@ mod tests {
         let script = DeltaScript::new(
             8,
             12,
-            vec![
-                Command::add(0, vec![9; 4]),
-                Command::copy(0, 4, 8),
-            ],
+            vec![Command::add(0, vec![9; 4]), Command::copy(0, 4, 8)],
         )
         .unwrap();
         let reference: Vec<u8> = (0u8..8).collect();
@@ -376,12 +365,8 @@ mod tests {
 
     #[test]
     fn converted_add_carries_reference_bytes() {
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         let reference = reference16();
         let out = convert(&script, &reference);
         let adds = out.script.adds();
@@ -432,9 +417,15 @@ mod tests {
     #[test]
     fn source_len_mismatch_rejected() {
         let script = DeltaScript::new(16, 16, vec![Command::copy(0, 0, 16)]).unwrap();
-        let err = convert_to_in_place(&script, &[0u8; 4], &ConversionConfig::default())
-            .unwrap_err();
-        assert_eq!(err, ConvertError::SourceLenMismatch { expected: 16, actual: 4 });
+        let err =
+            convert_to_in_place(&script, &[0u8; 4], &ConversionConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            ConvertError::SourceLenMismatch {
+                expected: 16,
+                actual: 4
+            }
+        );
         assert!(!err.to_string().is_empty());
     }
 
@@ -488,10 +479,7 @@ mod tests {
         let script = DeltaScript::new(
             8,
             20,
-            vec![
-                Command::copy(0, 12, 8),
-                Command::add(0, vec![1; 12]),
-            ],
+            vec![Command::copy(0, 12, 8), Command::add(0, vec![1; 12])],
         )
         .unwrap();
         let out = convert(&script, &reference);

@@ -107,8 +107,16 @@ mod tests {
     fn no_conflicts_no_edges() {
         // Straight copy of disjoint regions, reads and writes never cross.
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 0, to: 0, len: 10 },
-            Copy { from: 10, to: 10, len: 10 },
+            Copy {
+                from: 0,
+                to: 0,
+                len: 10,
+            },
+            Copy {
+                from: 10,
+                to: 10,
+                len: 10,
+            },
         ]);
         // Each command reads exactly its own write interval: self-conflicts
         // are excluded, and neither reads the other's write interval.
@@ -118,8 +126,16 @@ mod tests {
     #[test]
     fn swap_produces_two_cycle() {
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 8, to: 0, len: 8 },
-            Copy { from: 0, to: 8, len: 8 },
+            Copy {
+                from: 8,
+                to: 0,
+                len: 8,
+            },
+            Copy {
+                from: 0,
+                to: 8,
+                len: 8,
+            },
         ]);
         assert_eq!(crwi.node_count(), 2);
         assert_eq!(crwi.edge_count(), 2);
@@ -132,7 +148,11 @@ mod tests {
         // reads [4(i+1), 4(i+2)) and writes [4i, 4i+4): command i reads what
         // command i+1 writes, giving edges i -> i+1, a path.
         let copies: Vec<Copy> = (0..10u64)
-            .map(|i| Copy { from: 4 * (i + 1), to: 4 * i, len: 4 })
+            .map(|i| Copy {
+                from: 4 * (i + 1),
+                to: 4 * i,
+                len: 4,
+            })
             .collect();
         let crwi = CrwiGraph::build(copies);
         assert_eq!(crwi.edge_count(), 9);
@@ -142,8 +162,16 @@ mod tests {
     #[test]
     fn vertices_sorted_by_write_offset() {
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 0, to: 100, len: 5 },
-            Copy { from: 50, to: 0, len: 5 },
+            Copy {
+                from: 0,
+                to: 100,
+                len: 5,
+            },
+            Copy {
+                from: 50,
+                to: 0,
+                len: 5,
+            },
         ]);
         assert_eq!(crwi.copies()[0].to, 0);
         assert_eq!(crwi.copies()[1].to, 100);
@@ -153,7 +181,11 @@ mod tests {
     fn self_overlapping_copy_no_self_edge() {
         // Reads [0, 10), writes [5, 15): intersects itself but a command
         // cannot conflict with itself (§4.1).
-        let crwi = CrwiGraph::build(vec![Copy { from: 0, to: 5, len: 10 }]);
+        let crwi = CrwiGraph::build(vec![Copy {
+            from: 0,
+            to: 5,
+            len: 10,
+        }]);
         assert_eq!(crwi.edge_count(), 0);
     }
 
@@ -162,8 +194,16 @@ mod tests {
         // Command A (writes [0,4)) reads [10, 14), which command B writes.
         // Edge must be A -> B: apply A before B.
         let crwi = CrwiGraph::build(vec![
-            Copy { from: 10, to: 0, len: 4 },  // A: vertex 0 (to = 0)
-            Copy { from: 20, to: 10, len: 4 }, // B: vertex 1 (to = 10)
+            Copy {
+                from: 10,
+                to: 0,
+                len: 4,
+            }, // A: vertex 0 (to = 0)
+            Copy {
+                from: 20,
+                to: 10,
+                len: 4,
+            }, // B: vertex 1 (to = 10)
         ]);
         assert_eq!(crwi.edge_count(), 1);
         assert!(crwi.graph().has_edge(0, 1));
@@ -173,7 +213,11 @@ mod tests {
     fn lemma1_bound_holds() {
         // Random-ish commands; edges <= sum of read lengths <= L_V.
         let copies: Vec<Copy> = (0..100u64)
-            .map(|i| Copy { from: (i * 37) % 900, to: i * 10, len: 10 })
+            .map(|i| Copy {
+                from: (i * 37) % 900,
+                to: i * 10,
+                len: 10,
+            })
             .collect();
         let total_read: u64 = copies.iter().map(|c| c.len).sum();
         let crwi = CrwiGraph::build(copies);
@@ -188,10 +232,18 @@ mod tests {
         let b = 8u64;
         let mut copies = Vec::new();
         for i in 0..b {
-            copies.push(Copy { from: i * 3 % (b * b), to: i, len: 1 });
+            copies.push(Copy {
+                from: i * 3 % (b * b),
+                to: i,
+                len: 1,
+            });
         }
         for blk in 1..b {
-            copies.push(Copy { from: 0, to: blk * b, len: b });
+            copies.push(Copy {
+                from: 0,
+                to: blk * b,
+                len: b,
+            });
         }
         let crwi = CrwiGraph::build(copies);
         // Every length-b block reads [0, 8), which every 1-byte command

@@ -14,6 +14,9 @@
 //!   convert deleted copies to adds, move adds last (§4);
 //! * [`apply_in_place`] / [`apply_in_place_buffered`] rebuild the version
 //!   serially in a single buffer (§4.1's directional overlapped copies);
+//! * [`ParallelSchedule`] layers the conflict DAG into waves and
+//!   [`apply_in_place_parallel`] executes them on worker threads with
+//!   disjoint `&mut` slices — no locks, no `unsafe`;
 //! * [`check_in_place_safe`] verifies the paper's Equation 2.
 //!
 //! # Example
@@ -44,6 +47,7 @@ mod analysis;
 mod apply;
 mod convert;
 mod crwi;
+mod parallel;
 mod policy;
 mod schedule;
 mod toposort;
@@ -55,14 +59,16 @@ pub mod spill;
 pub use analysis::CrwiStats;
 pub use schedule::ParallelSchedule;
 
-pub use apply::{
-    apply_in_place, apply_in_place_buffered, required_capacity, InPlaceApplyError,
-};
+pub use apply::{apply_in_place, apply_in_place_buffered, required_capacity, InPlaceApplyError};
 pub use convert::{
     convert_to_in_place, diff_in_place, ConversionConfig, ConversionReport, ConvertError,
     InPlaceOutcome,
 };
 pub use crwi::CrwiGraph;
+pub use parallel::{
+    apply_in_place_parallel, apply_schedule_parallel, ParallelApplyError, ParallelApplyReport,
+    ParallelConfig, ReadMode,
+};
 pub use policy::CyclePolicy;
 pub use toposort::{is_valid_outcome, sort_breaking_cycles, SortOutcome};
 pub use verify::{

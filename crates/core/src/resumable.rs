@@ -385,10 +385,7 @@ mod tests {
         let script = DeltaScript::new(
             8,
             9,
-            vec![
-                Command::copy(0, 1, 8),
-                Command::add(0, vec![0xAA]),
-            ],
+            vec![Command::copy(0, 1, 8), Command::add(0, vec![0xAA])],
         )
         .unwrap();
         let reference: Vec<u8> = (0u8..8).collect();

@@ -56,6 +56,12 @@ impl ParallelSchedule {
         if check_in_place_safe(script).is_err() {
             return None;
         }
+        if script.is_empty() {
+            return Some(Self {
+                waves: Vec::new(),
+                commands: 0,
+            });
+        }
         // Map the script's copies onto CRWI vertices. CrwiGraph sorts by
         // write offset; recover each command's vertex through its unique
         // write offset.
@@ -73,30 +79,19 @@ impl ParallelSchedule {
         }
         let copy_waves = level.iter().copied().max().map_or(0, |m| m + 1);
 
-        // Vertex index by write offset for command -> vertex lookup.
-        let mut vertex_of_to: std::collections::HashMap<u64, usize> = crwi
-            .copies()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.to, i))
-            .collect();
-
-        // Adds (and nothing-depends-on-copies already at the last level)
-        // go in a final wave after every copy read has happened.
-        let add_wave = if script.add_count() > 0 { copy_waves } else { 0 };
-        let total_waves = copy_waves.max(add_wave + usize::from(script.add_count() > 0));
-        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); total_waves.max(1)];
-        if script.is_empty() {
-            return Some(Self {
-                waves: Vec::new(),
-                commands: 0,
-            });
-        }
+        // Adds never read the reference, but copies must read it before
+        // any add clobbers it: adds share one dedicated final wave.
+        let total_waves = copy_waves + usize::from(script.add_count() > 0);
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); total_waves];
         for (i, cmd) in script.commands().iter().enumerate() {
             match cmd.read_interval() {
                 Some(_) => {
-                    let v = vertex_of_to
-                        .remove(&cmd.to())
+                    // CrwiGraph::copies() is sorted by write offset and
+                    // write offsets are unique: binary search recovers the
+                    // vertex without a hash map.
+                    let v = crwi
+                        .copies()
+                        .binary_search_by_key(&cmd.to(), |c| c.to)
                         .expect("every copy has a unique write offset");
                     waves[level[v]].push(i);
                 }
@@ -120,6 +115,37 @@ impl ParallelSchedule {
     #[must_use]
     pub fn wave_count(&self) -> usize {
         self.waves.len()
+    }
+
+    /// A copy of this schedule with the commands of every wave reordered
+    /// pseudo-randomly (deterministic in `seed`).
+    ///
+    /// Wave membership is what the disjointness proof relies on; the order
+    /// *within* a wave must not matter. Tests use this to drive the
+    /// parallel applier through adversarial intra-wave orderings.
+    #[must_use]
+    pub fn permuted_within_waves(&self, seed: u64) -> Self {
+        // SplitMix64: small, seedable, good enough to shuffle with.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut waves = self.waves.clone();
+        for wave in &mut waves {
+            // Fisher–Yates.
+            for i in (1..wave.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                wave.swap(i, j);
+            }
+        }
+        Self {
+            waves,
+            commands: self.commands,
+        }
     }
 
     /// Average commands per wave (1.0 = fully serial).
@@ -152,7 +178,10 @@ mod tests {
             for &i in wave.iter().rev() {
                 match &script.commands()[i] {
                     Command::Copy(c) => {
-                        writes.push((c.to as usize, buf[c.read_interval().as_usize_range()].to_vec()));
+                        writes.push((
+                            c.to as usize,
+                            buf[c.read_interval().as_usize_range()].to_vec(),
+                        ));
                     }
                     Command::Add(a) => writes.push((a.to as usize, a.data.clone())),
                 }
@@ -167,12 +196,8 @@ mod tests {
 
     #[test]
     fn unsafe_script_not_schedulable() {
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)]).unwrap();
         assert!(ParallelSchedule::plan(&script).is_none());
     }
 
@@ -198,7 +223,9 @@ mod tests {
     fn chains_serialize() {
         // A dependency chain: shift left. Command i reads what i+1 writes,
         // so each must precede the next: n waves.
-        let cmds: Vec<Command> = (0..5u64).map(|i| Command::copy(4 * (i + 1), 4 * i, 4)).collect();
+        let cmds: Vec<Command> = (0..5u64)
+            .map(|i| Command::copy(4 * (i + 1), 4 * i, 4))
+            .collect();
         let script = DeltaScript::new(24, 20, cmds).unwrap();
         let plan = ParallelSchedule::plan(&script).unwrap();
         assert_eq!(plan.wave_count(), 5);
@@ -236,6 +263,29 @@ mod tests {
         let plan = ParallelSchedule::plan(&script).unwrap();
         let last = plan.waves().last().unwrap();
         assert!(last.contains(&1));
+    }
+
+    #[test]
+    fn permutation_preserves_wave_membership() {
+        let reference: Vec<u8> = (0..10_000u32).map(|i| (i * 31 % 241) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(1_234);
+        let script = GreedyDiffer::default().diff(&reference, &version);
+        let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+        let plan = ParallelSchedule::plan(&out.script).unwrap();
+        let shuffled = plan.permuted_within_waves(0xfeed);
+        assert_eq!(plan.wave_count(), shuffled.wave_count());
+        for (a, b) in plan.waves().iter().zip(shuffled.waves()) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "same membership per wave");
+        }
+        // Same seed reproduces, different seed (on a large plan) differs.
+        assert_eq!(shuffled, plan.permuted_within_waves(0xfeed));
+        // The shuffled schedule still applies correctly.
+        assert_eq!(apply_waves(&out.script, &shuffled, &reference), version);
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl fmt::Display for SpillApplyError {
                 write!(f, "stash index {index} is not a copy command of the script")
             }
             SpillApplyError::ScratchExceeded { needed, budget } => {
-                write!(f, "stashed copies need {needed} scratch bytes, budget is {budget}")
+                write!(
+                    f,
+                    "stashed copies need {needed} scratch bytes, budget is {budget}"
+                )
             }
         }
     }
@@ -320,20 +323,12 @@ mod tests {
     use ipr_delta::diff::{Differ, GreedyDiffer};
 
     fn swap_script() -> (DeltaScript, Vec<u8>) {
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         ((script), (0u8..16).collect())
     }
 
-    fn spill(
-        script: &DeltaScript,
-        reference: &[u8],
-        budget: u64,
-    ) -> SpillOutcome {
+    fn spill(script: &DeltaScript, reference: &[u8], budget: u64) -> SpillOutcome {
         convert_with_spill(
             script,
             reference,
@@ -357,8 +352,7 @@ mod tests {
     fn zero_budget_equals_paper_algorithm() {
         let (script, reference) = swap_script();
         let out = spill(&script, &reference, 0);
-        let plain = convert_to_in_place(&script, &reference, &ConversionConfig::default())
-            .unwrap();
+        let plain = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
         assert!(out.stashed.is_empty());
         assert_eq!(out.copies_converted, plain.report.copies_converted);
         assert_eq!(out.script, plain.script);
@@ -446,7 +440,10 @@ mod tests {
         ));
         assert!(matches!(
             apply_in_place_spilled(&out.script, &out.stashed, &mut buf, 4),
-            Err(SpillApplyError::ScratchExceeded { needed: 8, budget: 4 })
+            Err(SpillApplyError::ScratchExceeded {
+                needed: 8,
+                budget: 4
+            })
         ));
     }
 

@@ -164,7 +164,11 @@ fn dfs_sort_component(
     let sub = truncating_dfs(&local, &local_cost, policy);
     SortOutcome {
         order: sub.order.into_iter().map(|i| members[i as usize]).collect(),
-        removed: sub.removed.into_iter().map(|i| members[i as usize]).collect(),
+        removed: sub
+            .removed
+            .into_iter()
+            .map(|i| members[i as usize])
+            .collect(),
         cycles_broken: sub.cycles_broken,
         cycle_nodes_examined: sub.cycle_nodes_examined,
     }
@@ -375,9 +379,12 @@ mod tests {
         let n: u32 = 12;
         let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
         let g = Digraph::from_edges(n as usize, edges);
-        let err =
-            sort_breaking_cycles(&g, &vec![1; n as usize], CyclePolicy::Exhaustive { limit: 4 })
-                .unwrap_err();
+        let err = sort_breaking_cycles(
+            &g,
+            &vec![1; n as usize],
+            CyclePolicy::Exhaustive { limit: 4 },
+        )
+        .unwrap_err();
         assert_eq!(err.size, 12);
     }
 
@@ -418,15 +425,19 @@ mod tests {
         // Root costs slightly more than any single leaf (cost C+1 vs C).
         let mut cost = vec![100u64; nodes];
         cost[0] = 11;
-        for leaf in first_leaf..nodes {
-            cost[leaf] = 10;
+        for c in cost.iter_mut().take(nodes).skip(first_leaf) {
+            *c = 10;
         }
 
         let lm = run(&g, &cost, CyclePolicy::LocallyMinimum);
         let exact = run(&g, &cost, CyclePolicy::Exhaustive { limit: 40 });
 
         let leaves = nodes - first_leaf;
-        assert_eq!(lm.removed.len(), leaves, "locally-minimum deletes every leaf");
+        assert_eq!(
+            lm.removed.len(),
+            leaves,
+            "locally-minimum deletes every leaf"
+        );
         assert_eq!(exact.removed, vec![0], "optimum deletes the root");
 
         let lm_cost: u64 = lm.removed.iter().map(|&v| cost[v as usize]).sum();
@@ -441,9 +452,13 @@ mod tests {
         let mut edges = Vec::new();
         let mut x = 12345u64;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 33) as u32 % n;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as u32 % n;
             if u != v {
                 edges.push((u, v));

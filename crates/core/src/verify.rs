@@ -149,7 +149,9 @@ pub fn list_wr_conflicts(script: &DeltaScript, limit: usize) -> Vec<Conflict> {
     .expect("script write intervals are disjoint and non-empty");
     let mut conflicts = Vec::new();
     for (reader, cmd) in commands.iter().enumerate() {
-        let Some(read) = cmd.read_interval() else { continue };
+        let Some(read) = cmd.read_interval() else {
+            continue;
+        };
         for k in index.overlapping(read) {
             let writer = by_write[k];
             if writer < reader {
@@ -194,7 +196,9 @@ pub fn count_wr_conflicts(script: &DeltaScript) -> usize {
     .expect("script write intervals are disjoint and non-empty");
     let mut conflicts = 0;
     for (j, cmd) in commands.iter().enumerate() {
-        let Some(read) = cmd.read_interval() else { continue };
+        let Some(read) = cmd.read_interval() else {
+            continue;
+        };
         for k in index.overlapping(read) {
             let i = by_write[k];
             if i < j {
@@ -213,13 +217,9 @@ mod tests {
     /// Chain: command 0 reads [4,8) and writes [0,4); command 1 reads
     /// [8,12) and writes [4,8). Order [0, 1] is safe, [1, 0] is not.
     fn chain_script(order: &[usize]) -> DeltaScript {
-        DeltaScript::new(
-            16,
-            8,
-            vec![Command::copy(4, 0, 4), Command::copy(8, 4, 4)],
-        )
-        .unwrap()
-        .permuted(order)
+        DeltaScript::new(16, 8, vec![Command::copy(4, 0, 4), Command::copy(8, 4, 4)])
+            .unwrap()
+            .permuted(order)
     }
 
     #[test]
@@ -240,12 +240,8 @@ mod tests {
     fn two_cycle_unsafe_in_both_orders() {
         // A block swap conflicts whichever way it is ordered: the paper's
         // case where reordering cannot help and a conversion is forced.
-        let swap = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let swap =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         assert!(!is_in_place_safe(&swap));
         assert!(!is_in_place_safe(&swap.permuted(&[1, 0])));
     }

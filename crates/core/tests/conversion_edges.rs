@@ -3,8 +3,8 @@
 
 use ipr_core::resumable::{resume_in_place, Journal, Progress};
 use ipr_core::{
-    apply_in_place, convert_to_in_place, count_wr_conflicts, is_in_place_safe,
-    required_capacity, ConversionConfig, CrwiGraph, CyclePolicy, ParallelSchedule,
+    apply_in_place, convert_to_in_place, count_wr_conflicts, is_in_place_safe, required_capacity,
+    ConversionConfig, CrwiGraph, CyclePolicy, ParallelSchedule,
 };
 use ipr_delta::codec::Format;
 use ipr_delta::{Command, Copy, DeltaScript};
@@ -43,12 +43,8 @@ fn empty_version_converts() {
 fn conversion_report_cost_matches_format_cost_model() {
     // Force conversions via a 2-cycle; the reported cost must equal the
     // cost model's value for the converted copy.
-    let script = DeltaScript::new(
-        16,
-        16,
-        vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-    )
-    .unwrap();
+    let script =
+        DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
     let reference: Vec<u8> = (0u8..16).collect();
     for format in [Format::InPlace, Format::PaperInPlace, Format::Improved] {
         let out = convert_to_in_place(
@@ -90,9 +86,8 @@ fn conflicts_eliminated_not_just_reduced() {
     let reference: Vec<u8> = (0..blocks * 8).map(|i| (i % 251) as u8).collect();
     assert!(count_wr_conflicts(&script) > 0);
     for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
-        let out =
-            convert_to_in_place(&script, &reference, &ConversionConfig::with_policy(policy))
-                .unwrap();
+        let out = convert_to_in_place(&script, &reference, &ConversionConfig::with_policy(policy))
+            .unwrap();
         assert_eq!(count_wr_conflicts(&out.script), 0, "{policy}");
         let expected = ipr_delta::apply(&script, &reference).unwrap();
         let mut buf = reference.clone();
@@ -148,7 +143,11 @@ fn crwi_graph_empty_and_single() {
     let empty = CrwiGraph::build(vec![]);
     assert_eq!(empty.node_count(), 0);
     assert_eq!(empty.edge_count(), 0);
-    let single = CrwiGraph::build(vec![Copy { from: 0, to: 100, len: 4 }]);
+    let single = CrwiGraph::build(vec![Copy {
+        from: 0,
+        to: 100,
+        len: 4,
+    }]);
     assert_eq!(single.node_count(), 1);
     assert_eq!(single.edge_count(), 0);
 }

@@ -2,8 +2,7 @@
 //! checked against naive quadratic reference implementations.
 
 use ipr_core::{
-    convert_to_in_place, sort_breaking_cycles, ConversionConfig, CrwiGraph, CrwiStats,
-    CyclePolicy,
+    convert_to_in_place, sort_breaking_cycles, ConversionConfig, CrwiGraph, CrwiStats, CyclePolicy,
 };
 use ipr_delta::codec::Format;
 use ipr_delta::{Command, Copy, DeltaScript};

@@ -1,0 +1,352 @@
+//! Offline drop-in subset of the `criterion` 0.5 bench API.
+//!
+//! The build environment has no crate registry, so this workspace vendors
+//! the benchmarking surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model (simpler than upstream, same shape): each benchmark
+//! warms up briefly, estimates the per-iteration time, then collects
+//! batched wall-clock samples for a fixed budget and reports the median
+//! per-iteration time plus derived throughput. No plots, no statistical
+//! regression; numbers print to stdout in a stable, greppable format:
+//!
+//! ```text
+//! group/name              time: [  1.234 ms]  thrpt: [  405.1 MiB/s]
+//! ```
+//!
+//! Environment knobs: `IPR_BENCH_WARMUP_MS` (default 100) and
+//! `IPR_BENCH_MEASURE_MS` (default 400) bound the time spent per
+//! benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in binary MiB/s).
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group, e.g. `buffered/4096`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    sampled_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its median wall-clock time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters < 3 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Batch so each sample costs roughly a tenth of the budget, then
+        // sample until the measurement budget is spent.
+        let batch =
+            ((self.measure.as_nanos() as f64 / 10.0 / est_ns).ceil() as u64).clamp(1, 1 << 20);
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.sampled_ns = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(throughput: Throughput, ns: f64) -> String {
+    let per_sec = |units: u64| units as f64 / (ns / 1_000_000_000.0);
+    match throughput {
+        Throughput::Bytes(bytes) => {
+            let mib = per_sec(bytes) / (1024.0 * 1024.0);
+            if mib >= 1024.0 {
+                format!("{:8.3} GiB/s", mib / 1024.0)
+            } else {
+                format!("{mib:8.2} MiB/s")
+            }
+        }
+        Throughput::Elements(n) => format!("{:10.0} elem/s", per_sec(n)),
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    throughput: Option<Throughput>,
+    warmup: Duration,
+    measure: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warmup,
+        measure,
+        sampled_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let mut line = format!("{full_id:<40} time: [{}]", format_ns(bencher.sampled_ns));
+    if let Some(t) = throughput {
+        line.push_str(&format!(
+            "  thrpt: [{}]",
+            format_throughput(t, bencher.sampled_ns)
+        ));
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Upstream-compatible no-op: sample count is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput,
+            self.criterion.warmup,
+            self.criterion.measure,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput,
+            self.criterion.warmup,
+            self.criterion.measure,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream renders summaries here; we already
+    /// printed per-benchmark lines).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver; entry point of `criterion_group!` targets.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: env_ms("IPR_BENCH_WARMUP_MS", 100),
+            measure: env_ms("IPR_BENCH_MEASURE_MS", 400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI args are ignored by this shim).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` as a stand-alone (group-less) benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.id, None, self.warmup, self.measure, &mut f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("unit");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn time_formatting_spans_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_500.0).contains("µs"));
+        assert!(format_ns(12_500_000.0).contains("ms"));
+        assert!(format_ns(2_500_000_000.0).contains('s'));
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        // 2 MiB per 1 ms = 2000 MiB/s, reported in GiB/s.
+        let s = format_throughput(Throughput::Bytes(2 * 1024 * 1024), 1_000_000.0);
+        assert!(s.contains("GiB/s"), "{s}");
+        let s = format_throughput(Throughput::Bytes(1024), 1_000_000.0);
+        assert!(s.contains("MiB/s"), "{s}");
+        let s = format_throughput(Throughput::Elements(10), 1_000_000.0);
+        assert!(s.contains("elem/s"), "{s}");
+    }
+}

@@ -152,7 +152,13 @@ mod tests {
     #[test]
     fn wrong_reference_length_rejected() {
         let err = apply(&script(), b"0123").unwrap_err();
-        assert_eq!(err, ApplyError::SourceLenMismatch { expected: 10, actual: 4 });
+        assert_eq!(
+            err,
+            ApplyError::SourceLenMismatch {
+                expected: 10,
+                actual: 4
+            }
+        );
     }
 
     #[test]

@@ -20,9 +20,7 @@ use crate::varint;
 const KIND_ADD: u8 = 0x01;
 const CHAINED: u8 = 0x02;
 
-pub(super) fn encode_commands(
-    script: &DeltaScript,
-) -> Result<(Vec<u8>, u64), super::EncodeError> {
+pub(super) fn encode_commands(script: &DeltaScript) -> Result<(Vec<u8>, u64), super::EncodeError> {
     let mut out = Vec::new();
     let mut write_end = 0u64;
     for cmd in script.commands() {
@@ -67,14 +65,22 @@ pub(super) fn decode_one(
     }
     let chained = tag & CHAINED != 0;
     let cmd = if tag & KIND_ADD != 0 {
-        let to = if chained { *write_end } else { r.read_varint()? };
+        let to = if chained {
+            *write_end
+        } else {
+            r.read_varint()?
+        };
         let len = r.read_varint()?;
         let len_usize = usize::try_from(len).map_err(|_| DecodeError::Truncated)?;
         let data = r.read_bytes(len_usize)?.to_vec();
         Command::add(to, data)
     } else {
         let from = r.read_varint()?;
-        let to = if chained { *write_end } else { r.read_varint()? };
+        let to = if chained {
+            *write_end
+        } else {
+            r.read_varint()?
+        };
         let len = r.read_varint()?;
         Command::copy(from, to, len)
     };
@@ -108,9 +114,9 @@ mod tests {
             32,
             32,
             vec![
-                Command::copy(0, 16, 8),  // not chained (to=16, write_end=0)
-                Command::copy(8, 24, 8),  // chained (to=24 == 16+8)
-                Command::copy(16, 0, 8),  // not chained
+                Command::copy(0, 16, 8),     // not chained (to=16, write_end=0)
+                Command::copy(8, 24, 8),     // chained (to=24 == 16+8)
+                Command::copy(16, 0, 8),     // not chained
                 Command::add(8, vec![5; 8]), // chained (to=8 == 0+8)
             ],
         )

@@ -230,13 +230,22 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::NotWriteOrdered => {
-                write!(f, "script is not in write order, required by an offset-free format")
+                write!(
+                    f,
+                    "script is not in write order, required by an offset-free format"
+                )
             }
             EncodeError::OffsetTooLarge { index } => {
-                write!(f, "command {index} offset exceeds the fixed-width codeword field")
+                write!(
+                    f,
+                    "command {index} offset exceeds the fixed-width codeword field"
+                )
             }
             EncodeError::TargetLenMismatch { expected, actual } => {
-                write!(f, "target buffer is {actual} bytes, script expects {expected}")
+                write!(
+                    f,
+                    "target buffer is {actual} bytes, script expects {expected}"
+                )
             }
             EncodeError::UnsupportedStreaming => {
                 write!(f, "fixed-width paper formats cannot be streamed")
@@ -395,7 +404,11 @@ fn encode_inner(
     let mut out = Vec::with_capacity(payload.len() + 32);
     out.extend_from_slice(&MAGIC);
     out.push(format.wire_byte());
-    out.push(if target_crc.is_some() { FLAG_TARGET_CRC } else { 0 });
+    out.push(if target_crc.is_some() {
+        FLAG_TARGET_CRC
+    } else {
+        0
+    });
     varint::encode(script.source_len(), &mut out);
     varint::encode(script.target_len(), &mut out);
     varint::encode(count, &mut out);
@@ -417,8 +430,8 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedDelta, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let format_byte = r.read_u8()?;
-    let format = Format::from_wire_byte(format_byte)
-        .ok_or(DecodeError::UnknownFormat(format_byte))?;
+    let format =
+        Format::from_wire_byte(format_byte).ok_or(DecodeError::UnknownFormat(format_byte))?;
     let flags = r.read_u8()?;
     let source_len = r.read_varint()?;
     let target_len = r.read_varint()?;
@@ -509,7 +522,10 @@ mod tests {
     #[test]
     fn ordered_formats_reject_out_of_order() {
         let s = out_of_order_script();
-        assert_eq!(encode(&s, Format::Ordered), Err(EncodeError::NotWriteOrdered));
+        assert_eq!(
+            encode(&s, Format::Ordered),
+            Err(EncodeError::NotWriteOrdered)
+        );
         assert_eq!(
             encode(&s, Format::PaperOrdered),
             Err(EncodeError::NotWriteOrdered)
@@ -542,7 +558,13 @@ mod tests {
     fn checked_encode_rejects_len_mismatch() {
         let s = DeltaScript::new(4, 4, vec![Command::copy(0, 0, 4)]).unwrap();
         let err = encode_checked(&s, Format::InPlace, b"abc").unwrap_err();
-        assert_eq!(err, EncodeError::TargetLenMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            EncodeError::TargetLenMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]
@@ -568,7 +590,9 @@ mod tests {
             assert!(
                 matches!(
                     err,
-                    DecodeError::Truncated | DecodeError::BadMagic | DecodeError::Varint(_)
+                    DecodeError::Truncated
+                        | DecodeError::BadMagic
+                        | DecodeError::Varint(_)
                         | DecodeError::Script(_)
                 ),
                 "cut {cut} gave {err:?}"
@@ -581,7 +605,10 @@ mod tests {
         let s = sample_script();
         let mut bytes = encode(&s, Format::InPlace).unwrap();
         bytes.push(0x00);
-        assert_eq!(decode(&bytes), Err(DecodeError::TrailingBytes { remaining: 1 }));
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
@@ -614,13 +641,21 @@ mod tests {
                     Command::Add(a) => format.add_cost(a.to, a.len()),
                 };
             }
-            assert_eq!(encode(&s, format).unwrap().len() as u64, expected, "{format}");
+            assert_eq!(
+                encode(&s, format).unwrap().len() as u64,
+                expected,
+                "{format}"
+            );
         }
     }
 
     #[test]
     fn conversion_cost_positive_for_long_copies() {
-        let c = crate::command::Copy { from: 1000, to: 2000, len: 500 };
+        let c = crate::command::Copy {
+            from: 1000,
+            to: 2000,
+            len: 500,
+        };
         for format in Format::ALL {
             assert!(format.conversion_cost(&c) > 400, "{format}");
         }

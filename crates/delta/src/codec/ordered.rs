@@ -98,12 +98,8 @@ mod tests {
 
     #[test]
     fn smaller_than_in_place_format() {
-        let s = DeltaScript::new(
-            1 << 20,
-            1 << 16,
-            vec![Command::copy(1 << 19, 0, 1 << 16)],
-        )
-        .unwrap();
+        let s =
+            DeltaScript::new(1 << 20, 1 << 16, vec![Command::copy(1 << 19, 0, 1 << 16)]).unwrap();
         let ordered = encode(&s, Format::Ordered).unwrap();
         let inplace = encode(&s, Format::InPlace).unwrap();
         assert!(ordered.len() < inplace.len());

@@ -178,12 +178,8 @@ mod tests {
 
     #[test]
     fn explicit_to_preserves_out_of_order() {
-        let s = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)],
-        )
-        .unwrap();
+        let s =
+            DeltaScript::new(16, 16, vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)]).unwrap();
         let bytes = encode(&s, Format::PaperInPlace).unwrap();
         let d = decode(&bytes).unwrap();
         assert_eq!(d.script.commands()[0].to(), 8);
@@ -192,11 +188,18 @@ mod tests {
 
     #[test]
     fn cost_model_matches_split_encoding() {
-        let c = crate::command::Copy { from: 0, to: 0, len: 100_000 };
+        let c = crate::command::Copy {
+            from: 0,
+            to: 0,
+            len: 100_000,
+        };
         let s = DeltaScript::new(100_000, 100_000, vec![Command::Copy(c)]).unwrap();
-        let header_len = encode(&DeltaScript::new(100_000, 0, vec![]).unwrap(), Format::PaperOrdered)
-            .unwrap()
-            .len() as u64;
+        let header_len = encode(
+            &DeltaScript::new(100_000, 0, vec![]).unwrap(),
+            Format::PaperOrdered,
+        )
+        .unwrap()
+        .len() as u64;
         let body = encode(&s, Format::PaperOrdered).unwrap().len() as u64;
         // Header varints differ: target_len (0 vs 100000: 1 vs 3 bytes) and
         // count (0 vs 2: both 1 byte), so adjust by 2.

@@ -277,7 +277,11 @@ impl StreamEncoder {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&MAGIC);
         buf.push(format.wire_byte());
-        buf.push(if target_crc.is_some() { super::FLAG_TARGET_CRC } else { 0 });
+        buf.push(if target_crc.is_some() {
+            super::FLAG_TARGET_CRC
+        } else {
+            0
+        });
         crate::varint::encode(source_len, &mut buf);
         crate::varint::encode(target_len, &mut buf);
         crate::varint::encode(command_count, &mut buf);
@@ -420,7 +424,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let target = crate::apply(&script, &vec![3u8; 100]).unwrap();
+        let target = crate::apply(&script, &[3u8; 100]).unwrap();
         (script, target)
     }
 
@@ -442,8 +446,8 @@ mod tests {
             // Semantic equivalence (paper formats split commands).
             let rebuilt = DeltaScript::new(100, 50, commands).unwrap();
             assert_eq!(
-                crate::apply(&rebuilt, &vec![3u8; 100]).unwrap(),
-                crate::apply(&script, &vec![3u8; 100]).unwrap(),
+                crate::apply(&rebuilt, &[3u8; 100]).unwrap(),
+                crate::apply(&script, &[3u8; 100]).unwrap(),
                 "{format}"
             );
         }
@@ -505,15 +509,18 @@ mod tests {
         // Truncated: stop before the end.
         let mut d = StreamDecoder::new();
         d.push(&wire[..wire.len() - 1]);
-        while let Some(_) = d.next_command().unwrap() {}
+        while d.next_command().unwrap().is_some() {}
         assert!(matches!(d.finish(), Err(DecodeError::Truncated)));
 
         // Trailing garbage after the last command.
         let mut d = StreamDecoder::new();
         d.push(&wire);
         d.push(&[0xFF, 0xFF]);
-        while let Some(_) = d.next_command().unwrap() {}
-        assert!(matches!(d.finish(), Err(DecodeError::TrailingBytes { remaining: 2 })));
+        while d.next_command().unwrap().is_some() {}
+        assert!(matches!(
+            d.finish(),
+            Err(DecodeError::TrailingBytes { remaining: 2 })
+        ));
     }
 
     #[test]
@@ -531,7 +538,10 @@ mod tests {
 
     #[test]
     fn empty_stream_finish_fails() {
-        assert!(matches!(StreamDecoder::new().finish(), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            StreamDecoder::new().finish(),
+            Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]

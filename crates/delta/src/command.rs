@@ -233,7 +233,11 @@ mod tests {
 
     #[test]
     fn copy_intervals() {
-        let c = Copy { from: 5, to: 20, len: 10 };
+        let c = Copy {
+            from: 5,
+            to: 20,
+            len: 10,
+        };
         assert_eq!(c.read_interval(), Interval::new(5, 15));
         assert_eq!(c.write_interval(), Interval::new(20, 30));
         assert!(!c.is_self_overlapping());
@@ -242,13 +246,33 @@ mod tests {
     #[test]
     fn self_overlap_detection() {
         // Reads [0, 10), writes [5, 15): overlapping.
-        assert!(Copy { from: 0, to: 5, len: 10 }.is_self_overlapping());
+        assert!(Copy {
+            from: 0,
+            to: 5,
+            len: 10
+        }
+        .is_self_overlapping());
         // Reads [5, 15), writes [0, 10): overlapping the other way.
-        assert!(Copy { from: 5, to: 0, len: 10 }.is_self_overlapping());
+        assert!(Copy {
+            from: 5,
+            to: 0,
+            len: 10
+        }
+        .is_self_overlapping());
         // Identity copy overlaps itself entirely.
-        assert!(Copy { from: 3, to: 3, len: 4 }.is_self_overlapping());
+        assert!(Copy {
+            from: 3,
+            to: 3,
+            len: 4
+        }
+        .is_self_overlapping());
         // Abutting intervals do not overlap.
-        assert!(!Copy { from: 0, to: 10, len: 10 }.is_self_overlapping());
+        assert!(!Copy {
+            from: 0,
+            to: 10,
+            len: 10
+        }
+        .is_self_overlapping());
     }
 
     #[test]
@@ -287,7 +311,12 @@ mod tests {
 
     #[test]
     fn conversions() {
-        let c: Command = Copy { from: 0, to: 0, len: 1 }.into();
+        let c: Command = Copy {
+            from: 0,
+            to: 0,
+            len: 1,
+        }
+        .into();
         assert!(c.is_copy());
         let a: Command = Add::new(0, vec![1]).into();
         assert!(a.is_add());

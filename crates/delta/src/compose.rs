@@ -94,13 +94,8 @@ pub fn compose(first: &DeltaScript, second: &DeltaScript) -> Result<DeltaScript,
     // intervals in v2 space.
     let mut first_by_write: Vec<&Command> = first.commands().iter().collect();
     first_by_write.sort_by_key(|c| c.to());
-    let index = IntervalIndex::new(
-        first_by_write
-            .iter()
-            .map(|c| c.write_interval())
-            .collect(),
-    )
-    .expect("script write intervals are disjoint and non-empty");
+    let index = IntervalIndex::new(first_by_write.iter().map(|c| c.write_interval()).collect())
+        .expect("script write intervals are disjoint and non-empty");
 
     // Emit the second delta's commands in write order, rewriting reads.
     let mut second_sorted: Vec<&Command> = second.commands().iter().collect();
@@ -242,7 +237,10 @@ mod tests {
         let err = compose(&a, &b).unwrap_err();
         assert_eq!(
             err,
-            ComposeError::LengthMismatch { first_target: 10, second_source: 11 }
+            ComposeError::LengthMismatch {
+                first_target: 10,
+                second_source: 11
+            }
         );
         assert!(!err.to_string().is_empty());
     }
@@ -252,7 +250,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(21);
-        let mut versions = vec![(0..4000u32).map(|i| (i * 7 % 251) as u8).collect::<Vec<u8>>()];
+        let mut versions = vec![(0..4000u32)
+            .map(|i| (i * 7 % 251) as u8)
+            .collect::<Vec<u8>>()];
         for _ in 0..5 {
             let mut next = versions.last().unwrap().clone();
             // Random block move + point edits.

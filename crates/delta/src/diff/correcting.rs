@@ -61,7 +61,10 @@ impl CorrectingDiffer {
             (1..=30).contains(&table_bits),
             "table bits must be in 1..=30"
         );
-        Self { seed_len, table_bits }
+        Self {
+            seed_len,
+            table_bits,
+        }
     }
 
     /// The configured seed length.
@@ -90,7 +93,13 @@ impl Differ for CorrectingDiffer {
         }
 
         let mask = (1u64 << self.table_bits) - 1;
-        let mut table = vec![Slot { first: EMPTY, last: EMPTY }; 1 << self.table_bits];
+        let mut table = vec![
+            Slot {
+                first: EMPTY,
+                last: EMPTY
+            };
+            1 << self.table_bits
+        ];
         {
             let mut h = RollingHash::new(&reference[..self.seed_len]);
             let last = reference.len() - self.seed_len;
@@ -145,8 +154,7 @@ impl Differ for CorrectingDiffer {
                 // literals.
                 let mut back = 0usize;
                 let reclaimable = builder.pending_len().min(best_from).min(v);
-                while back < reclaimable
-                    && reference[best_from - 1 - back] == version[v - 1 - back]
+                while back < reclaimable && reference[best_from - 1 - back] == version[v - 1 - back]
                 {
                     back += 1;
                 }
@@ -200,7 +208,11 @@ mod tests {
         let version = [b"XY".to_vec(), reference[4..].to_vec()].concat();
         let script = differ.diff(&reference, &version);
         assert_eq!(apply(&script, &reference).unwrap(), version);
-        assert_eq!(script.added_bytes(), 2, "only the genuinely new bytes are literal");
+        assert_eq!(
+            script.added_bytes(),
+            2,
+            "only the genuinely new bytes are literal"
+        );
     }
 
     #[test]

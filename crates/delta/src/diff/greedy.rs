@@ -4,7 +4,7 @@
 use super::rolling::RollingHash;
 use super::{Differ, ScriptBuilder};
 use crate::script::DeltaScript;
-use std::collections::HashMap;
+use ipr_hash::FxHashMap;
 
 /// Greedy byte-granularity differencing (after Reichenberger '91).
 ///
@@ -83,8 +83,12 @@ const NO_OFFSET: u32 = u32::MAX;
 /// would mean one heap allocation per reference offset, which both bloats
 /// memory and leaves the allocator with hundreds of thousands of free
 /// chunks to consolidate on the next allocation.
+/// Buckets use the Fx hash: one probe per reference offset and one per
+/// version position puts SipHash's per-key latency directly on the diff
+/// critical path, and the keys are already-mixed Karp-Rabin hashes, so a
+/// cheap finalizer loses nothing.
 struct SeedIndex {
-    heads: HashMap<u64, u32>,
+    heads: FxHashMap<u64, u32>,
     chain: Vec<u32>,
 }
 
@@ -92,12 +96,13 @@ impl SeedIndex {
     fn build(reference: &[u8], seed_len: usize) -> Self {
         if reference.len() < seed_len {
             return Self {
-                heads: HashMap::new(),
+                heads: FxHashMap::default(),
                 chain: Vec::new(),
             };
         }
         let last = reference.len() - seed_len;
-        let mut heads: HashMap<u64, u32> = HashMap::with_capacity(last + 1);
+        let mut heads: FxHashMap<u64, u32> =
+            FxHashMap::with_capacity_and_hasher(last + 1, ipr_hash::FxBuildHasher::default());
         let mut chain = vec![NO_OFFSET; last + 1];
         let mut h = RollingHash::new(&reference[..seed_len]);
         for i in 0..=last {

@@ -56,7 +56,10 @@ impl OnePassDiffer {
             (1..=30).contains(&table_bits),
             "table bits must be in 1..=30"
         );
-        Self { seed_len, table_bits }
+        Self {
+            seed_len,
+            table_bits,
+        }
     }
 
     /// The configured seed length.

@@ -65,9 +65,15 @@ impl fmt::Display for ScriptError {
                 )
             }
             ScriptError::OverlappingWrites { first, second } => {
-                write!(f, "commands {first} and {second} write overlapping intervals")
+                write!(
+                    f,
+                    "commands {first} and {second} write overlapping intervals"
+                )
             }
-            ScriptError::IncompleteCoverage { covered, target_len } => {
+            ScriptError::IncompleteCoverage {
+                covered,
+                target_len,
+            } => {
                 write!(
                     f,
                     "write intervals cover {covered} of {target_len} version bytes"
@@ -154,14 +160,20 @@ impl DeltaScript {
             let w = commands[i].write_interval();
             if prev_index != usize::MAX && w.start() < prev_end {
                 let (a, b) = (prev_index.min(i), prev_index.max(i));
-                return Err(ScriptError::OverlappingWrites { first: a, second: b });
+                return Err(ScriptError::OverlappingWrites {
+                    first: a,
+                    second: b,
+                });
             }
             covered += w.len();
             prev_end = w.end();
             prev_index = i;
         }
         if covered != target_len {
-            return Err(ScriptError::IncompleteCoverage { covered, target_len });
+            return Err(ScriptError::IncompleteCoverage {
+                covered,
+                target_len,
+            });
         }
         Ok(Self {
             source_len,
@@ -276,7 +288,11 @@ impl DeltaScript {
     /// Panics if `order` is not a permutation of `0..len()`.
     #[must_use]
     pub fn permuted(&self, order: &[usize]) -> DeltaScript {
-        assert_eq!(order.len(), self.commands.len(), "permutation length mismatch");
+        assert_eq!(
+            order.len(),
+            self.commands.len(),
+            "permutation length mismatch"
+        );
         let mut seen = vec![false; self.commands.len()];
         let mut commands = Vec::with_capacity(self.commands.len());
         for &i in order {
@@ -378,13 +394,25 @@ mod tests {
     #[test]
     fn rejects_read_out_of_bounds() {
         let err = DeltaScript::new(3, 4, vec![Command::copy(0, 0, 4)]).unwrap_err();
-        assert_eq!(err, ScriptError::ReadOutOfBounds { index: 0, source_len: 3 });
+        assert_eq!(
+            err,
+            ScriptError::ReadOutOfBounds {
+                index: 0,
+                source_len: 3
+            }
+        );
     }
 
     #[test]
     fn rejects_write_out_of_bounds() {
         let err = DeltaScript::new(10, 3, vec![Command::copy(0, 0, 4)]).unwrap_err();
-        assert_eq!(err, ScriptError::WriteOutOfBounds { index: 0, target_len: 3 });
+        assert_eq!(
+            err,
+            ScriptError::WriteOutOfBounds {
+                index: 0,
+                target_len: 3
+            }
+        );
     }
 
     #[test]
@@ -393,48 +421,51 @@ mod tests {
         let err = DeltaScript::new(u64::MAX, u64::MAX, vec![Command::copy(0, u64::MAX - 1, 3)])
             .unwrap_err();
         assert!(matches!(err, ScriptError::WriteOutOfBounds { .. }));
-        let err = DeltaScript::new(u64::MAX, 4, vec![Command::copy(u64::MAX - 1, 0, 4)])
-            .unwrap_err();
+        let err =
+            DeltaScript::new(u64::MAX, 4, vec![Command::copy(u64::MAX - 1, 0, 4)]).unwrap_err();
         assert!(matches!(err, ScriptError::ReadOutOfBounds { .. }));
     }
 
     #[test]
     fn rejects_overlapping_writes() {
-        let err = DeltaScript::new(
-            10,
-            6,
-            vec![Command::copy(0, 0, 4), Command::copy(0, 3, 3)],
-        )
-        .unwrap_err();
-        assert_eq!(err, ScriptError::OverlappingWrites { first: 0, second: 1 });
+        let err = DeltaScript::new(10, 6, vec![Command::copy(0, 0, 4), Command::copy(0, 3, 3)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScriptError::OverlappingWrites {
+                first: 0,
+                second: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_incomplete_coverage() {
         let err = DeltaScript::new(10, 6, vec![Command::copy(0, 0, 4)]).unwrap_err();
-        assert_eq!(err, ScriptError::IncompleteCoverage { covered: 4, target_len: 6 });
+        assert_eq!(
+            err,
+            ScriptError::IncompleteCoverage {
+                covered: 4,
+                target_len: 6
+            }
+        );
     }
 
     #[test]
     fn rejects_gap_between_commands() {
-        let err = DeltaScript::new(
-            10,
-            8,
-            vec![Command::copy(0, 0, 3), Command::copy(0, 5, 3)],
-        )
-        .unwrap_err();
-        assert!(matches!(err, ScriptError::IncompleteCoverage { covered: 6, .. }));
+        let err = DeltaScript::new(10, 8, vec![Command::copy(0, 0, 3), Command::copy(0, 5, 3)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScriptError::IncompleteCoverage { covered: 6, .. }
+        ));
     }
 
     #[test]
     fn permutation_independent_validity() {
         // Out-of-write-order command sequences are still valid scripts.
-        let s = DeltaScript::new(
-            10,
-            6,
-            vec![Command::copy(0, 3, 3), Command::copy(5, 0, 3)],
-        )
-        .unwrap();
+        let s =
+            DeltaScript::new(10, 6, vec![Command::copy(0, 3, 3), Command::copy(5, 0, 3)]).unwrap();
         assert!(!s.is_write_ordered());
         let ordered = s.clone().into_write_ordered();
         assert!(ordered.is_write_ordered());
@@ -491,12 +522,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "write-ordered")]
     fn normalized_rejects_out_of_order_scripts() {
-        let s = DeltaScript::new(
-            10,
-            6,
-            vec![Command::copy(0, 3, 3), Command::copy(5, 0, 3)],
-        )
-        .unwrap();
+        let s =
+            DeltaScript::new(10, 6, vec![Command::copy(0, 3, 3), Command::copy(5, 0, 3)]).unwrap();
         let _ = s.normalized();
     }
 
@@ -504,10 +531,22 @@ mod tests {
     fn error_display_nonempty() {
         let errs: Vec<ScriptError> = vec![
             ScriptError::EmptyCommand { index: 0 },
-            ScriptError::ReadOutOfBounds { index: 1, source_len: 2 },
-            ScriptError::WriteOutOfBounds { index: 1, target_len: 2 },
-            ScriptError::OverlappingWrites { first: 0, second: 1 },
-            ScriptError::IncompleteCoverage { covered: 0, target_len: 2 },
+            ScriptError::ReadOutOfBounds {
+                index: 1,
+                source_len: 2,
+            },
+            ScriptError::WriteOutOfBounds {
+                index: 1,
+                target_len: 2,
+            },
+            ScriptError::OverlappingWrites {
+                first: 0,
+                second: 1,
+            },
+            ScriptError::IncompleteCoverage {
+                covered: 0,
+                target_len: 2,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

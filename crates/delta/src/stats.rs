@@ -222,10 +222,7 @@ mod tests {
         DeltaScript::new(
             100,
             60,
-            vec![
-                Command::copy(0, 0, 40),
-                Command::add(40, vec![1; 20]),
-            ],
+            vec![Command::copy(0, 0, 40), Command::add(40, vec![1; 20])],
         )
         .unwrap()
     }
@@ -244,20 +241,38 @@ mod tests {
 
     #[test]
     fn compression_ratio_and_factor() {
-        let c = Compression { delta_size: 15, version_size: 100 };
+        let c = Compression {
+            delta_size: 15,
+            version_size: 100,
+        };
         assert!((c.ratio() - 0.15).abs() < 1e-12);
         assert!((c.factor() - 100.0 / 15.0).abs() < 1e-12);
     }
 
     #[test]
     fn compression_degenerate_cases() {
-        assert_eq!(Compression { delta_size: 0, version_size: 0 }.ratio(), 0.0);
         assert_eq!(
-            Compression { delta_size: 5, version_size: 0 }.ratio(),
+            Compression {
+                delta_size: 0,
+                version_size: 0
+            }
+            .ratio(),
+            0.0
+        );
+        assert_eq!(
+            Compression {
+                delta_size: 5,
+                version_size: 0
+            }
+            .ratio(),
             f64::INFINITY
         );
         assert_eq!(
-            Compression { delta_size: 0, version_size: 5 }.factor(),
+            Compression {
+                delta_size: 0,
+                version_size: 5
+            }
+            .factor(),
             f64::INFINITY
         );
     }
@@ -272,8 +287,14 @@ mod tests {
     #[test]
     fn corpus_aggregate_weights_by_size() {
         let mut agg = CorpusCompression::new();
-        agg.record(Compression { delta_size: 10, version_size: 100 });
-        agg.record(Compression { delta_size: 90, version_size: 100 });
+        agg.record(Compression {
+            delta_size: 10,
+            version_size: 100,
+        });
+        agg.record(Compression {
+            delta_size: 90,
+            version_size: 100,
+        });
         assert_eq!(agg.pairs(), 2);
         assert!((agg.ratio() - 0.5).abs() < 1e-12);
         assert_eq!(agg.delta_bytes(), 100);
@@ -284,8 +305,14 @@ mod tests {
     fn corpus_extend() {
         let mut agg = CorpusCompression::new();
         agg.extend([
-            Compression { delta_size: 1, version_size: 10 },
-            Compression { delta_size: 2, version_size: 10 },
+            Compression {
+                delta_size: 1,
+                version_size: 10,
+            },
+            Compression {
+                delta_size: 2,
+                version_size: 10,
+            },
         ]);
         assert_eq!(agg.pairs(), 2);
     }

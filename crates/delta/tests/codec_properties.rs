@@ -14,10 +14,10 @@ use proptest::prelude::*;
 fn script_strategy() -> impl Strategy<Value = (DeltaScript, Vec<u8>)> {
     let segments = proptest::collection::vec(
         (
-            any::<bool>(),     // copy?
-            1u64..64,          // length
-            0u64..512,         // source offset (copies)
-            any::<u8>(),       // literal fill (adds)
+            any::<bool>(), // copy?
+            1u64..64,      // length
+            0u64..512,     // source offset (copies)
+            any::<u8>(),   // literal fill (adds)
         ),
         0..24,
     );

@@ -108,12 +108,7 @@ fn golden_improved() {
     assert_eq!(
         hex(&wire),
         concat!(
-            "49505201",
-            "04",
-            "00",
-            "ac02",
-            "14",
-            "03",
+            "49505201", "04", "00", "ac02", "14", "03",
             "02c8010a", // copy, chained (to = 0 = write end): from=200 len=10
             "0302dead", // add, chained (to = 10): len=2, data
             "020508"    // copy, chained (to = 12): from=5 len=8
@@ -131,7 +126,10 @@ fn golden_checked_crc() {
     // Flags byte set; 4 CRC bytes after the command count.
     assert_eq!(wire[5], 0x01);
     let decoded = decode(&wire).unwrap();
-    assert_eq!(decoded.target_crc, Some(ipr_delta::checksum::crc32(&target)));
+    assert_eq!(
+        decoded.target_crc,
+        Some(ipr_delta::checksum::crc32(&target))
+    );
 }
 
 #[test]

@@ -65,7 +65,10 @@ impl fmt::Display for DeviceError {
             DeviceError::InvalidCommand { command } => {
                 write!(f, "streamed command {command} is malformed")
             }
-            DeviceError::IncompleteUpdate { covered, target_len } => {
+            DeviceError::IncompleteUpdate {
+                covered,
+                target_len,
+            } => {
                 write!(f, "update covered {covered} of {target_len} target bytes")
             }
         }
@@ -433,7 +436,11 @@ impl UpdateSession<'_> {
     pub fn apply_command(&mut self, cmd: &Command) -> Result<(), DeviceError> {
         match cmd.to().checked_add(cmd.len()) {
             Some(end) if end <= self.target_len => {}
-            _ => return Err(DeviceError::InvalidCommand { command: self.stats.commands }),
+            _ => {
+                return Err(DeviceError::InvalidCommand {
+                    command: self.stats.commands,
+                })
+            }
         }
         match cmd {
             Command::Copy(c) => {
@@ -532,7 +539,13 @@ mod tests {
     fn flash_rejects_oversize() {
         let mut dev = Device::new(4);
         let err = dev.flash(b"too big").unwrap_err();
-        assert_eq!(err, DeviceError::CapacityExceeded { needed: 7, capacity: 4 });
+        assert_eq!(
+            err,
+            DeviceError::CapacityExceeded {
+                needed: 7,
+                capacity: 4
+            }
+        );
     }
 
     #[test]
@@ -560,27 +573,22 @@ mod tests {
     fn unsafe_update_faults_when_checked() {
         // A block swap applied without conversion must raise a WR fault.
         let reference: Vec<u8> = (0u8..16).collect();
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         let mut dev = Device::new(16);
         dev.flash(&reference).unwrap();
         let err = dev.apply_update(&script).unwrap_err();
-        assert!(matches!(err, DeviceError::WriteBeforeRead { command: 1, .. }));
+        assert!(matches!(
+            err,
+            DeviceError::WriteBeforeRead { command: 1, .. }
+        ));
     }
 
     #[test]
     fn unsafe_update_corrupts_when_unchecked() {
         let reference: Vec<u8> = (0u8..16).collect();
-        let script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)],
-        )
-        .unwrap();
+        let script =
+            DeltaScript::new(16, 16, vec![Command::copy(8, 0, 8), Command::copy(0, 8, 8)]).unwrap();
         let expected = ipr_delta::apply(&script, &reference).unwrap();
         let mut dev = Device::new(16);
         dev.flash(&reference).unwrap();
@@ -635,7 +643,10 @@ mod tests {
         let mut reboots = 0;
         loop {
             let mut journal = persisted.clone(); // "load from stable storage"
-            match dev.apply_update_resumable(&out.script, &mut journal, 501).unwrap() {
+            match dev
+                .apply_update_resumable(&out.script, &mut journal, 501)
+                .unwrap()
+            {
                 Progress::Complete => break,
                 Progress::Suspended => {
                     persisted = journal; // "flush to stable storage"
@@ -644,7 +655,10 @@ mod tests {
             }
             assert!(reboots < 100_000);
         }
-        assert!(reboots > 3, "the update must actually have been interrupted");
+        assert!(
+            reboots > 3,
+            "the update must actually have been interrupted"
+        );
         assert_eq!(dev.image(), &version[..]);
     }
 
@@ -652,12 +666,8 @@ mod tests {
     fn resumable_update_rejects_unsafe_script_upfront() {
         use ipr_core::resumable::Journal;
         let reference: Vec<u8> = (0u8..16).collect();
-        let unsafe_script = DeltaScript::new(
-            16,
-            16,
-            vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)],
-        )
-        .unwrap();
+        let unsafe_script =
+            DeltaScript::new(16, 16, vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)]).unwrap();
         let mut dev = Device::new(16);
         dev.flash(&reference).unwrap();
         let mut journal = Journal::new();
@@ -665,7 +675,11 @@ mod tests {
             .apply_update_resumable(&unsafe_script, &mut journal, u64::MAX)
             .unwrap_err();
         assert!(matches!(err, DeviceError::WriteBeforeRead { .. }));
-        assert_eq!(dev.image(), &reference[..], "image untouched after rejection");
+        assert_eq!(
+            dev.image(),
+            &reference[..],
+            "image untouched after rejection"
+        );
     }
 
     #[test]
@@ -729,7 +743,9 @@ mod tests {
         dev.flash(&reference).unwrap();
         // Claiming no stash renders the script unsafe.
         if !out.stashed.is_empty() {
-            let err = dev.apply_update_spilled(&out.script, &[], 4096).unwrap_err();
+            let err = dev
+                .apply_update_spilled(&out.script, &[], 4096)
+                .unwrap_err();
             assert!(matches!(err, DeviceError::InvalidCommand { .. }));
         }
     }

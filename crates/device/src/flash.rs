@@ -53,7 +53,10 @@ impl fmt::Display for FlashError {
                 write!(f, "program at offset {offset} would set an erased bit")
             }
             FlashError::ImageMismatch { expected, actual } => {
-                write!(f, "update expects a {expected} B image, device holds {actual} B")
+                write!(
+                    f,
+                    "update expects a {expected} B image, device holds {actual} B"
+                )
             }
         }
     }
@@ -359,11 +362,16 @@ impl<'a> FlashUpdater<'a> {
                 // 2. Merge into the pending copy of the destination block.
                 let block = self.flash.block_of(abs);
                 let block_start = (block * self.flash.block_size) as u64;
-                if !pending.contains_key(&block) {
-                    let data = self.flash.read(block_start, self.flash.block_size)?.to_vec();
-                    pending.insert(block, PendingBlock { data, dirty: false });
-                }
-                let entry = pending.get_mut(&block).expect("just inserted");
+                let entry = match pending.entry(block) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let data = self
+                            .flash
+                            .read(block_start, self.flash.block_size)?
+                            .to_vec();
+                        v.insert(PendingBlock { data, dirty: false })
+                    }
+                };
                 let rel = (abs - block_start) as usize;
                 if entry.data[rel..rel + n as usize] != piece[..] {
                     entry.data[rel..rel + n as usize].copy_from_slice(&piece);
@@ -553,7 +561,10 @@ mod tests {
         let mut updater = FlashUpdater::new(&mut flash, 40);
         assert_eq!(
             updater.apply_update(&script),
-            Err(FlashError::ImageMismatch { expected: 50, actual: 40 })
+            Err(FlashError::ImageMismatch {
+                expected: 50,
+                actual: 40
+            })
         );
     }
 

@@ -287,18 +287,16 @@ pub fn install_update_streaming<'a>(
             }
             match decoder.next_command()? {
                 Some(cmd) => {
-                    session.as_mut().expect("session open").apply_command(&cmd)?;
+                    session
+                        .as_mut()
+                        .expect("session open")
+                        .apply_command(&cmd)?;
                 }
                 None => break,
             }
         }
         if decoder.is_complete() && session.is_some() {
-            stats = Some(
-                session
-                    .take()
-                    .expect("session open")
-                    .commit()?,
-            );
+            stats = Some(session.take().expect("session open").commit()?);
         }
     }
     // Zero-command updates (empty target) never open a session.
@@ -462,8 +460,8 @@ mod tests {
         let payload = codec::encode(&script, Format::InPlace).unwrap();
         let mut dev = Device::new(16);
         dev.flash(&reference).unwrap();
-        let err = install_update_streaming(&mut dev, payload.chunks(4), Channel::dialup())
-            .unwrap_err();
+        let err =
+            install_update_streaming(&mut dev, payload.chunks(4), Channel::dialup()).unwrap_err();
         assert!(matches!(
             err,
             InstallError::Device(crate::DeviceError::WriteBeforeRead { .. })

@@ -47,7 +47,13 @@ fn session_commit_requires_full_coverage() {
     let mut s = dev.begin_update(16, 16).unwrap();
     s.apply_command(&Command::copy(0, 0, 8)).unwrap();
     let err = s.commit().unwrap_err();
-    assert_eq!(err, DeviceError::IncompleteUpdate { covered: 8, target_len: 16 });
+    assert_eq!(
+        err,
+        DeviceError::IncompleteUpdate {
+            covered: 8,
+            target_len: 16
+        }
+    );
     // The image length must be unchanged after the failed commit.
     assert_eq!(dev.image().len(), 16);
 }
@@ -78,7 +84,10 @@ fn session_wrong_dimensions_rejected_up_front() {
         Err(DeviceError::CapacityExceeded { .. })
     ));
     let mut fresh = Device::new(16);
-    assert!(matches!(fresh.begin_update(0, 0), Err(DeviceError::NotFlashed)));
+    assert!(matches!(
+        fresh.begin_update(0, 0),
+        Err(DeviceError::NotFlashed)
+    ));
 }
 
 #[test]
@@ -131,7 +140,7 @@ fn flash_block_boundary_straddling_commands() {
 #[test]
 fn channel_saturating_on_huge_transfers() {
     let c = Channel::new(1, Duration::ZERO); // 1 bit/s
-    // Must not overflow; just become enormous.
+                                             // Must not overflow; just become enormous.
     let t = c.transfer_time(u64::MAX / 16);
     assert!(t > Duration::from_secs(1_000_000));
 }

@@ -127,11 +127,11 @@ fn solve_component(g: &Digraph, cost: &[u64], comp: &[NodeId]) -> Vec<NodeId> {
             .filter(|&i| m & (1 << i) != 0)
             .map(|i| cost[comp[i] as usize])
             .sum();
-        if c < best_cost || (c == best_cost && m < best_mask) {
-            if is_acyclic_after_removal(&adj, k, m) {
-                best_cost = c;
-                best_mask = m;
-            }
+        if (c < best_cost || (c == best_cost && m < best_mask))
+            && is_acyclic_after_removal(&adj, k, m)
+        {
+            best_cost = c;
+            best_mask = m;
         }
         mask += 1;
     }

@@ -81,8 +81,14 @@ impl Digraph {
     /// Panics if `u` or `v` is not a node of the graph.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         let n = self.adj.len();
-        assert!((u as usize) < n, "edge source {u} out of bounds ({n} nodes)");
-        assert!((v as usize) < n, "edge target {v} out of bounds ({n} nodes)");
+        assert!(
+            (u as usize) < n,
+            "edge source {u} out of bounds ({n} nodes)"
+        );
+        assert!(
+            (v as usize) < n,
+            "edge target {v} out of bounds ({n} nodes)"
+        );
         self.adj[u as usize].push(v);
         self.edges += 1;
     }
@@ -311,7 +317,10 @@ mod tests {
     fn from_edges_collects() {
         let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
         assert_eq!(g.edge_count(), 4);
-        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)]
+        );
     }
 
     #[test]

@@ -48,9 +48,7 @@ impl Interval {
     /// Panics if `offset + len` overflows `u64`.
     #[must_use]
     pub fn from_offset_len(offset: u64, len: u64) -> Self {
-        let end = offset
-            .checked_add(len)
-            .expect("interval end overflows u64");
+        let end = offset.checked_add(len).expect("interval end overflows u64");
         Self { start: offset, end }
     }
 
@@ -121,8 +119,12 @@ impl Interval {
     #[must_use]
     pub fn shifted(self, delta: u64) -> Self {
         Interval::new(
-            self.start.checked_add(delta).expect("interval shift overflows"),
-            self.end.checked_add(delta).expect("interval shift overflows"),
+            self.start
+                .checked_add(delta)
+                .expect("interval shift overflows"),
+            self.end
+                .checked_add(delta)
+                .expect("interval shift overflows"),
         )
     }
 
@@ -263,9 +265,13 @@ impl IntervalIndex {
             return 0..0;
         }
         // First interval whose end is strictly greater than query.start.
-        let lo = self.intervals.partition_point(|iv| iv.end() <= query.start());
+        let lo = self
+            .intervals
+            .partition_point(|iv| iv.end() <= query.start());
         // First interval whose start is at or past query.end.
-        let hi = self.intervals.partition_point(|iv| iv.start() < query.end());
+        let hi = self
+            .intervals
+            .partition_point(|iv| iv.start() < query.end());
         if lo >= hi {
             lo..lo
         } else {
@@ -569,7 +575,9 @@ mod tests {
 
     #[test]
     fn set_from_iterator() {
-        let s: IntervalSet = [Interval::new(0, 5), Interval::new(5, 9)].into_iter().collect();
+        let s: IntervalSet = [Interval::new(0, 5), Interval::new(5, 9)]
+            .into_iter()
+            .collect();
         assert_eq!(s.covered_bytes(), 9);
         assert_eq!(s.span_count(), 1);
     }

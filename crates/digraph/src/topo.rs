@@ -24,7 +24,11 @@ impl fmt::Display for CycleError {
         if self.cycle.is_empty() {
             write!(f, "digraph contains a cycle")
         } else {
-            write!(f, "digraph contains a cycle through {} nodes", self.cycle.len())
+            write!(
+                f,
+                "digraph contains a cycle through {} nodes",
+                self.cycle.len()
+            )
         }
     }
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::needless_range_loop)] // boolean-matrix index loops read better as indices
+
 //! Model-based property tests for the graph/interval substrate.
 
 use ipr_digraph::{fvs, scc, topo, Digraph, Interval, IntervalIndex, IntervalSet};

@@ -1,0 +1,173 @@
+//! Fast non-cryptographic hashing for hot-path hash maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which is
+//! DoS-resistant but costs tens of cycles per key. The differencing inner
+//! loop ([`GreedyDiffer`](../ipr_delta/diff/struct.GreedyDiffer.html))
+//! performs one map probe per reference offset and one per version
+//! position, so hasher latency is directly on the critical path of every
+//! delta produced.
+//!
+//! [`FxHasher`] is the multiply-xor hash used by rustc (firefox's "Fx"
+//! hash): one 64-bit multiply per word of input. It is *not* collision
+//! resistant against adversarial keys; use it only where keys are already
+//! high-entropy (e.g. rolling hashes) or where an attacker controlling
+//! keys could at worst slow down their own request.
+//!
+//! # Example
+//!
+//! ```
+//! use ipr_hash::FxHashMap;
+//!
+//! let mut index: FxHashMap<u64, u32> = FxHashMap::default();
+//! index.insert(0xdead_beef, 7);
+//! assert_eq!(index[&0xdead_beef], 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio multiplier (2^64 / φ), the classic Fibonacci-hashing
+/// constant; odd, so multiplication permutes the 2^64 residues.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The rustc-style multiply-xor hasher: `state = (state ^ word) * SEED`
+/// per input word, with a final bit mix so low output bits depend on high
+/// input bits (HashMap uses the low bits for bucket selection).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche: without it, keys differing only in high bits
+        // collide in the low bits HashMap buckets by.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(hash_of(b"hello"), hash_of(b"world"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        // Length is mixed into the tail word, so zero-padding differs.
+        assert_ne!(hash_of(b"\0\0"), hash_of(b"\0\0\0"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(b"stable"), hash_of(b"stable"));
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(12345u64), b.hash_one(12345u64));
+    }
+
+    #[test]
+    fn low_bits_depend_on_high_input_bits() {
+        // Bucket masks use low bits: consecutive high-bit-differing keys
+        // must not collide there.
+        let b = FxBuildHasher::default();
+        let mut low = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            low.insert(b.hash_one(i << 58) & 0xff);
+        }
+        assert!(low.len() > 32, "only {} distinct low bytes", low.len());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m[&1], "one");
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn word_spread_is_reasonable() {
+        // 10k sequential u64 keys into 1k buckets: expect near-uniform.
+        let b = FxBuildHasher::default();
+        let mut buckets = vec![0u32; 1024];
+        for i in 0..10_240u64 {
+            buckets[(b.hash_one(i) & 1023) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 40, "worst bucket holds {max} of 10240");
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crate registry, so this workspace vendors
+//! the slice of proptest its tests use: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, [`collection::vec`], [`sample::Index`], and
+//! [`test_runner::Config`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   per-test RNG seed; re-running the test replays the identical sequence
+//!   (generation is deterministic per test name), so failures remain
+//!   reproducible even without minimization.
+//! * **No persistence files.** Every run executes `Config::cases` fresh
+//!   deterministic cases.
+//!
+//! The surface is intentionally small; extend it in-repo if a new test
+//! needs more of the upstream API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case driving: configuration, RNG, failure type.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a test case failed.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion (e.g. `prop_assert!`) did not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Result type of a generated test-case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-test generator.
+    ///
+    /// Seeded from the test's name so distinct tests explore distinct
+    /// sequences but every run of one test replays the same cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for the named test.
+        #[must_use]
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name gives a stable, well-spread seed.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns
+        /// for it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical whole-domain strategy, built by [`any`].
+    pub trait Arbitrary {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// Strategy over the whole domain of `A` (see [`any`]).
+    #[derive(Clone, Debug)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`: uniform over its domain.
+    #[must_use]
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<E::Value>` with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_inclusive - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` values with
+    /// length in `size`.
+    pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    /// An abstract index into a collection of as-yet-unknown length,
+    /// generated by `any::<Index>()` and resolved with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Self(raw)
+        }
+
+        /// Resolves to a concrete index in `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+
+        /// Resolves against a slice and returns the element.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `slice` is empty.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use super::strategy::{any, Just, Strategy};
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module-tree alias so `prop::sample::Index` etc. resolve as they do
+    /// upstream.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running [`test_runner::Config::cases`] random cases.
+///
+/// Supports the upstream `#![proptest_config(expr)]` header, doc comments
+/// and attributes on each test, tuple-pattern bindings, and early
+/// `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch [$cfg] $($rest)*);
+    };
+    (@munch [$cfg:expr]) => {};
+    (@munch [$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let result: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch [$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch [$crate::test_runner::Config::default()] $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: both sides equal `{:?}`",
+                left
+            ),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges honor their bounds.
+        #[test]
+        fn range_bounds(v in 10u64..20, w in 3usize..=5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((3..=5).contains(&w));
+        }
+
+        /// Tuple + map + vec composition.
+        #[test]
+        fn composed_strategies(
+            pairs in prop::collection::vec((0u32..10, any::<bool>()), 0..8),
+            (a, b) in (1u8..5, 1u8..5).prop_map(|(x, y)| (x + y, x)),
+        ) {
+            prop_assert!(pairs.len() < 8);
+            for (n, _) in &pairs {
+                prop_assert!(*n < 10);
+            }
+            prop_assert!(a >= b, "{} < {}", a, b);
+            prop_assert_eq!(a - b, a - b);
+            prop_assert_ne!(a, 0);
+        }
+
+        /// prop_flat_map produces dependent values.
+        #[test]
+        fn flat_mapped(v in (1usize..10).prop_flat_map(|n| prop::collection::vec(0u8..=255, n))) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 10);
+        }
+
+        /// Index resolves in bounds and early return works.
+        #[test]
+        fn index_in_bounds(idx in any::<prop::sample::Index>(), len in 0usize..40) {
+            if len == 0 {
+                return Ok(());
+            }
+            prop_assert!(idx.index(len) < len);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic("exact");
+        let s = crate::collection::vec(0u8..4, 7usize);
+        assert_eq!(s.sample(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    fn failure_reports_case() {
+        let result = std::panic::catch_unwind(|| {
+            let config = crate::test_runner::Config::with_cases(5);
+            let mut _rng = crate::test_runner::TestRng::deterministic("fail");
+            for case in 0..config.cases {
+                let r: crate::test_runner::TestCaseResult =
+                    Err(crate::test_runner::TestCaseError::fail("boom"));
+                if let Err(e) = r {
+                    panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+                }
+            }
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("case 1/5"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+}

@@ -77,7 +77,11 @@ pub fn tree_digraph(depth: usize) -> AdversarialCase {
     let mut offsets: Vec<Vec<u64>> = Vec::with_capacity(depth + 1);
     let mut cursor = 0u64;
     for level in 0..=depth {
-        let node_len = if level == depth { TREE_LEAF_LEN } else { TREE_INTERNAL_LEN };
+        let node_len = if level == depth {
+            TREE_LEAF_LEN
+        } else {
+            TREE_INTERNAL_LEN
+        };
         let nodes = 1usize << level;
         let mut row = Vec::with_capacity(nodes);
         if level == 0 {
@@ -107,7 +111,11 @@ pub fn tree_digraph(depth: usize) -> AdversarialCase {
             // Children 2i and 2i+1 are adjacent; read straddles their
             // boundary by `half_straddle` bytes on each side.
             let boundary = offsets[child_level][2 * i + 1];
-            copies.push(Command::copy(boundary - half_straddle, to, TREE_INTERNAL_LEN));
+            copies.push(Command::copy(
+                boundary - half_straddle,
+                to,
+                TREE_INTERNAL_LEN,
+            ));
         }
     }
     let root = offsets[0][0];
@@ -116,7 +124,12 @@ pub fn tree_digraph(depth: usize) -> AdversarialCase {
         copies.push(Command::copy(root + 32, to, TREE_LEAF_LEN));
     }
 
-    finish_case(format!("figure-2 tree, depth {depth}"), copies, total, 0xF16_2)
+    finish_case(
+        format!("figure-2 tree, depth {depth}"),
+        copies,
+        total,
+        0xF162,
+    )
 }
 
 /// Builds the Figure 3 construction: a version file of `block * block`
@@ -157,13 +170,18 @@ pub fn quadratic_edges(block: u64) -> AdversarialCase {
         format!("figure-3 quadratic edges, {block} blocks of {block} bytes"),
         copies,
         total,
-        0xF16_3,
+        0xF163,
     )
 }
 
 /// Fills uncovered target bytes with add commands, materializes a seeded
 /// reference and derives the version by scratch application.
-fn finish_case(label: String, mut commands: Vec<Command>, total: u64, seed: u64) -> AdversarialCase {
+fn finish_case(
+    label: String,
+    mut commands: Vec<Command>,
+    total: u64,
+    seed: u64,
+) -> AdversarialCase {
     // Find coverage gaps (commands currently all copies, disjoint writes).
     commands.sort_by_key(Command::to);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -268,7 +286,11 @@ mod tests {
         for block in [2u64, 4, 8, 32] {
             let case = quadratic_edges(block);
             let crwi = CrwiGraph::build(case.script.copies());
-            assert_eq!(crwi.edge_count() as u64, (block - 1) * block, "block {block}");
+            assert_eq!(
+                crwi.edge_count() as u64,
+                (block - 1) * block,
+                "block {block}"
+            );
             assert_eq!(crwi.node_count() as u64, 2 * block - 1);
         }
     }

@@ -28,7 +28,11 @@ const MAGIC: &[u8; 4] = b"IPAR";
 pub fn build_archive(members: &[(String, Vec<u8>)]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&u32::try_from(members.len()).expect("member count").to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(members.len())
+            .expect("member count")
+            .to_le_bytes(),
+    );
     for (name, data) in members {
         let name_len = u16::try_from(name.len()).expect("name length fits u16");
         out.extend_from_slice(&name_len.to_le_bytes());
@@ -108,7 +112,10 @@ pub fn distribution_pair(
     member_len: std::ops::Range<usize>,
 ) -> DistributionPair {
     assert!(members > 0, "a distribution needs at least one member");
-    assert!(!member_len.is_empty(), "member length range must be non-empty");
+    assert!(
+        !member_len.is_empty(),
+        "member length range must be non-empty"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut files: Vec<(String, Vec<u8>)> = (0..members)
         .map(|i| {
@@ -122,7 +129,10 @@ pub fn distribution_pair(
                 ContentKind::SourceLike => "c",
                 ContentKind::BinaryLike => "o",
             };
-            (format!("pkg/src/file-{i:03}.{ext}"), generate(&mut rng, kind, len))
+            (
+                format!("pkg/src/file-{i:03}.{ext}"),
+                generate(&mut rng, kind, len),
+            )
         })
         .collect();
     let old = build_archive(&files);
@@ -203,10 +213,7 @@ mod tests {
         let old = parse_archive(&pair.old).expect("old parses");
         let new = parse_archive(&pair.new).expect("new parses");
         assert_eq!(old.len(), 16);
-        assert_eq!(
-            new.len(),
-            16 - pair.removed_members + pair.added_members
-        );
+        assert_eq!(new.len(), 16 - pair.removed_members + pair.added_members);
         assert!(new.iter().any(|(n, _)| n == "pkg/src/new-module.c"));
     }
 

@@ -143,8 +143,13 @@ mod tests {
 
     #[test]
     fn hop_count() {
-        let chain =
-            VersionChain::generate(3, ContentKind::BinaryLike, 4096, 6, ChainPattern::Escalating);
+        let chain = VersionChain::generate(
+            3,
+            ContentKind::BinaryLike,
+            4096,
+            6,
+            ChainPattern::Escalating,
+        );
         assert_eq!(chain.len(), 6);
         assert_eq!(chain.hops().count(), 5);
     }
@@ -176,8 +181,13 @@ mod tests {
     #[test]
     fn patch_chain_stays_compressible() {
         use ipr_delta::diff::{Differ, GreedyDiffer};
-        let chain =
-            VersionChain::generate(9, ContentKind::SourceLike, 32 * 1024, 8, ChainPattern::Patches);
+        let chain = VersionChain::generate(
+            9,
+            ContentKind::SourceLike,
+            32 * 1024,
+            8,
+            ChainPattern::Patches,
+        );
         let differ = GreedyDiffer::default();
         for (old, new) in chain.hops() {
             let script = differ.diff(old, new);

@@ -46,9 +46,9 @@ pub fn generate(rng: &mut StdRng, kind: ContentKind, len: usize) -> Vec<u8> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "static", "return", "struct", "switch", "sizeof", "typedef", "const", "while", "break",
-    "void", "char", "unsigned", "int32_t", "uint8_t", "extern", "inline", "register", "if",
-    "else", "for", "goto", "case", "default", "do", "enum", "union", "continue",
+    "static", "return", "struct", "switch", "sizeof", "typedef", "const", "while", "break", "void",
+    "char", "unsigned", "int32_t", "uint8_t", "extern", "inline", "register", "if", "else", "for",
+    "goto", "case", "default", "do", "enum", "union", "continue",
 ];
 
 const IDENT_PARTS: &[&str] = &[
@@ -154,7 +154,11 @@ mod tests {
     fn exact_lengths() {
         for kind in [ContentKind::SourceLike, ContentKind::BinaryLike] {
             for len in [0usize, 1, 15, 16, 17, 1000, 65_536] {
-                assert_eq!(generate(&mut rng(1), kind, len).len(), len, "{kind:?} {len}");
+                assert_eq!(
+                    generate(&mut rng(1), kind, len).len(),
+                    len,
+                    "{kind:?} {len}"
+                );
             }
         }
     }

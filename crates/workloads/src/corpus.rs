@@ -173,13 +173,21 @@ mod tests {
     fn deterministic_for_seed() {
         let spec = CorpusSpec::small();
         assert_eq!(spec.build(), spec.build());
-        let other = CorpusSpec { seed: 99, ..CorpusSpec::small() };
+        let other = CorpusSpec {
+            seed: 99,
+            ..CorpusSpec::small()
+        };
         assert_ne!(spec.build(), other.build());
     }
 
     #[test]
     fn respects_pair_count_and_sizes() {
-        let spec = CorpusSpec { pairs: 7, min_len: 1000, max_len: 2000, ..CorpusSpec::small() };
+        let spec = CorpusSpec {
+            pairs: 7,
+            min_len: 1000,
+            max_len: 2000,
+            ..CorpusSpec::small()
+        };
         let corpus = spec.build();
         assert_eq!(corpus.len(), 7);
         for pair in &corpus {
@@ -191,7 +199,11 @@ mod tests {
 
     #[test]
     fn mix_of_kinds_present() {
-        let corpus = CorpusSpec { pairs: 30, ..CorpusSpec::small() }.build();
+        let corpus = CorpusSpec {
+            pairs: 30,
+            ..CorpusSpec::small()
+        }
+        .build();
         let sources = corpus.iter().filter(|p| p.name.starts_with("src")).count();
         assert!(sources > 0 && sources < 30);
     }
@@ -243,6 +255,10 @@ mod tests {
             }
         }
         // Most pairs must be delta-compressible, like the paper's corpus.
-        assert!(compressible * 10 >= corpus.len() * 7, "{compressible}/{}", corpus.len());
+        assert!(
+            compressible * 10 >= corpus.len() * 7,
+            "{compressible}/{}",
+            corpus.len()
+        );
     }
 }

@@ -203,8 +203,14 @@ mod tests {
     fn deterministic() {
         let base: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
         let p = MutationProfile::default();
-        assert_eq!(mutate(&mut rng(1), &base, &p), mutate(&mut rng(1), &base, &p));
-        assert_ne!(mutate(&mut rng(1), &base, &p), mutate(&mut rng(2), &base, &p));
+        assert_eq!(
+            mutate(&mut rng(1), &base, &p),
+            mutate(&mut rng(1), &base, &p)
+        );
+        assert_ne!(
+            mutate(&mut rng(1), &base, &p),
+            mutate(&mut rng(2), &base, &p)
+        );
     }
 
     #[test]

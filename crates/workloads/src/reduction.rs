@@ -195,17 +195,29 @@ pub fn realize_digraph(g: &Digraph, seed: u64) -> CrwiRealization {
             Some(root_at) => {
                 // Neck reads the first NECK_LEN bytes of the chain head
                 // (a router or the lone port — both longer than a neck).
-                copies.push(Copy { from: root_at, to: neck_to[u], len: NECK_LEN });
+                copies.push(Copy {
+                    from: root_at,
+                    to: neck_to[u],
+                    len: NECK_LEN,
+                });
             }
             None => {
                 // Sink: read from a dedicated unwritten region.
-                copies.push(Copy { from: dead_zone, to: neck_to[u], len: NECK_LEN });
+                copies.push(Copy {
+                    from: dead_zone,
+                    to: neck_to[u],
+                    len: NECK_LEN,
+                });
                 dead_zone += NECK_LEN + GAP;
                 extra += NECK_LEN + GAP;
             }
         }
         for &(at, read_start) in &plan.routers {
-            copies.push(Copy { from: read_start, to: at, len: ROUTER_LEN });
+            copies.push(Copy {
+                from: read_start,
+                to: at,
+                len: ROUTER_LEN,
+            });
         }
         for (i, &at) in plan.ports.iter().enumerate() {
             let v = g.successors(u as NodeId)[i] as usize;
@@ -213,7 +225,11 @@ pub fn realize_digraph(g: &Digraph, seed: u64) -> CrwiRealization {
             // target neck's write interval: (PORT_LEN - NECK_LEN) guard
             // bytes from the gap before the neck, then the whole neck.
             let read_start = neck_to[v] + NECK_LEN - PORT_LEN;
-            copies.push(Copy { from: read_start, to: at, len: PORT_LEN });
+            copies.push(Copy {
+                from: read_start,
+                to: at,
+                len: PORT_LEN,
+            });
         }
     }
     let address_space = total + extra;
@@ -272,7 +288,9 @@ mod tests {
         let mut g = Digraph::new(nodes);
         // BFS from each neck through non-neck vertices.
         for (start, copy) in copies.iter().enumerate() {
-            let Some(&u) = neck_of.get(&copy.to) else { continue };
+            let Some(&u) = neck_of.get(&copy.to) else {
+                continue;
+            };
             let mut queue = vec![start as NodeId];
             let mut seen = vec![false; copies.len()];
             seen[start] = true;

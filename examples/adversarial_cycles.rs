@@ -12,9 +12,7 @@
 //!
 //! Run: `cargo run --release --example adversarial_cycles`
 
-use ipr::core::{
-    apply_in_place, convert_to_in_place, ConversionConfig, CrwiGraph, CyclePolicy,
-};
+use ipr::core::{apply_in_place, convert_to_in_place, ConversionConfig, CrwiGraph, CyclePolicy};
 use ipr::workloads::adversarial::{quadratic_edges, tree_digraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,11 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(crwi.edge_count() as u64, (block - 1) * block);
         assert!((crwi.edge_count() as u64) <= case.script.target_len());
         // The digraph is dense but acyclic: conversion is pure reordering.
-        let out = convert_to_in_place(
-            &case.script,
-            &case.reference,
-            &ConversionConfig::default(),
-        )?;
+        let out = convert_to_in_place(&case.script, &case.reference, &ConversionConfig::default())?;
         assert_eq!(out.report.copies_converted, 0);
         let mut buf = case.reference.clone();
         apply_in_place(&out.script, &mut buf)?;

@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full
     );
     println!("serving devices at various lags (composed, in-place, CRC'd):\n");
-    println!("{:>10}  {:>12}  {:>9}  {:>12}", "device at", "payload", "vs full", "transfer");
+    println!(
+        "{:>10}  {:>12}  {:>9}  {:>12}",
+        "device at", "payload", "vs full", "transfer"
+    );
     for from in [latest - 1, latest - 3, latest - 6, 0] {
         let payload = server.serve(from)?;
 

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.stats.commands,
         report.stats.bytes_written,
         report.stats.scratch_bytes,
-        if report.crc_verified { "verified" } else { "absent" },
+        if report.crc_verified {
+            "verified"
+        } else {
+            "absent"
+        },
     );
     println!(
         "transfer over {}: {:.1} s (full image would take {:.1} s — {:.1}x speedup)",

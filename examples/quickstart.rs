@@ -56,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     apply_in_place(&decoded.script, &mut storage)?;
     storage.truncate(version.len());
     assert_eq!(storage, version);
-    println!("rebuilt the new version in place: {} bytes correct", storage.len());
+    println!(
+        "rebuilt the new version in place: {} bytes correct",
+        storage.len()
+    );
     Ok(())
 }

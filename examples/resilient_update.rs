@@ -25,18 +25,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let differ = CorrectingDiffer::default();
 
     // --- 1. Streaming install: apply while the payload arrives. --------
-    let update = prepare_update(&differ, &v1, &v2, &ConversionConfig::default(), Format::Improved)?;
+    let update = prepare_update(
+        &differ,
+        &v1,
+        &v2,
+        &ConversionConfig::default(),
+        Format::Improved,
+    )?;
     let mut device = Device::new(512 * 1024);
     device.flash(&v1)?;
     // The payload arrives in 1 KiB network chunks; commands are applied
     // as soon as they are complete — no buffering of the whole delta.
-    let report = install_update_streaming(&mut device, update.payload.chunks(1024), Channel::cellular())?;
+    let report = install_update_streaming(
+        &mut device,
+        update.payload.chunks(1024),
+        Channel::cellular(),
+    )?;
     assert_eq!(device.image(), &v2[..]);
     println!(
         "streaming install: {} B payload in 1 KiB chunks, {} commands applied on the fly, crc {}",
         report.received_bytes,
         report.stats.commands,
-        if report.crc_verified { "verified" } else { "absent" }
+        if report.crc_verified {
+            "verified"
+        } else {
+            "absent"
+        }
     );
 
     // --- 2. Power-failure recovery with a journal. ----------------------

@@ -40,8 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (CyclePolicy::LocallyMinimum, &mut lm_total),
             (CyclePolicy::ConstantTime, &mut ct_total),
         ] {
-            let out =
-                convert_to_in_place(&script, &pair.reference, &ConversionConfig::with_policy(policy))?;
+            let out = convert_to_in_place(
+                &script,
+                &pair.reference,
+                &ConversionConfig::with_policy(policy),
+            )?;
             *total += encoded_size(&out.script, Format::InPlace)?;
             if policy == CyclePolicy::LocallyMinimum {
                 cycles += out.report.cycles_broken;
@@ -50,11 +53,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("{} files, {} B of new versions to distribute\n", corpus.len(), full_total);
+    println!(
+        "{} files, {} B of new versions to distribute\n",
+        corpus.len(),
+        full_total
+    );
     let pct = |n: u64| 100.0 * n as f64 / full_total as f64;
-    println!("ordinary delta (no write offsets):   {:>9} B  ({:>5.1}%)", plain_total, pct(plain_total));
-    println!("in-place delta (locally-minimum):    {:>9} B  ({:>5.1}%)", lm_total, pct(lm_total));
-    println!("in-place delta (constant-time):      {:>9} B  ({:>5.1}%)", ct_total, pct(ct_total));
+    println!(
+        "ordinary delta (no write offsets):   {:>9} B  ({:>5.1}%)",
+        plain_total,
+        pct(plain_total)
+    );
+    println!(
+        "in-place delta (locally-minimum):    {:>9} B  ({:>5.1}%)",
+        lm_total,
+        pct(lm_total)
+    );
+    println!(
+        "in-place delta (constant-time):      {:>9} B  ({:>5.1}%)",
+        ct_total,
+        pct(ct_total)
+    );
     println!(
         "\nin-place overhead (locally-minimum): {:.2}% of original size; {} cycles broken, {} copies converted",
         pct(lm_total) - pct(plain_total),

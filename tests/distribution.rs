@@ -31,7 +31,10 @@ fn archive_release_installs_over_every_transport() {
     dev.flash(&pair.old).unwrap();
     install_update(&mut dev, &update.payload, Channel::dialup()).unwrap();
     assert_eq!(dev.image(), &pair.new[..]);
-    assert!(parse_archive(dev.image()).is_some(), "image is a valid archive");
+    assert!(
+        parse_archive(dev.image()).is_some(),
+        "image is a valid archive"
+    );
 
     // Streaming install in MTU-sized chunks.
     let mut dev = Device::new(capacity);
@@ -41,7 +44,9 @@ fn archive_release_installs_over_every_transport() {
 
     // Lossy-channel accounting: the delta wins harder as loss grows.
     let lossy = LossyChannel::new(Channel::dialup(), 0.1, 5);
-    let delta_t = lossy.simulate_transfer(update.payload.len() as u64, 576).time;
+    let delta_t = lossy
+        .simulate_transfer(update.payload.len() as u64, 576)
+        .time;
     let full_t = lossy.simulate_transfer(pair.new.len() as u64, 576).time;
     assert!(delta_t * 3 < full_t);
 }

@@ -58,7 +58,12 @@ fn conversion_is_safe_and_equivalent_for_all_policies() {
             let mut buf = pair.reference.clone();
             buf.resize(required_capacity(&out.script) as usize, 0);
             apply_in_place(&out.script, &mut buf).unwrap();
-            assert_eq!(&buf[..pair.version.len()], &pair.version[..], "{policy} {}", pair.name);
+            assert_eq!(
+                &buf[..pair.version.len()],
+                &pair.version[..],
+                "{policy} {}",
+                pair.name
+            );
         }
     }
 }
@@ -81,7 +86,12 @@ fn wire_formats_preserve_safety_and_content() {
             let mut buf = pair.reference.clone();
             buf.resize(required_capacity(&decoded.script) as usize, 0);
             apply_in_place(&decoded.script, &mut buf).unwrap();
-            assert_eq!(&buf[..pair.version.len()], &pair.version[..], "{format} {}", pair.name);
+            assert_eq!(
+                &buf[..pair.version.len()],
+                &pair.version[..],
+                "{format} {}",
+                pair.name
+            );
         }
     }
 }
@@ -161,7 +171,12 @@ fn ordered_format_roundtrips_unconverted_scripts() {
 fn shrinking_and_growing_versions_round_trip_in_place() {
     let reference: Vec<u8> = (0..50_000u32).map(|i| (i * 19 % 251) as u8).collect();
     for version_len in [1_000usize, 49_999, 50_000, 90_000] {
-        let mut version: Vec<u8> = reference.iter().copied().cycle().take(version_len).collect();
+        let mut version: Vec<u8> = reference
+            .iter()
+            .copied()
+            .cycle()
+            .take(version_len)
+            .collect();
         if version_len > 2_000 {
             version[1_500] ^= 0xff; // make it a real edit
         }

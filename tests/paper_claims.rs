@@ -76,8 +76,8 @@ fn conversion_cheaper_than_differencing() {
         let script = differ.diff(&pair.reference, &pair.version);
         diff_time += t.elapsed();
         let t = Instant::now();
-        let _ = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default())
-            .unwrap();
+        let _ =
+            convert_to_in_place(&script, &pair.reference, &ConversionConfig::default()).unwrap();
         convert_time += t.elapsed();
     }
     assert!(
@@ -100,10 +100,19 @@ fn figure2_gap_grows_with_depth() {
             &ConversionConfig::with_policy(CyclePolicy::LocallyMinimum),
         )
         .unwrap();
-        let root = case.script.copies().iter().copied().find(|c| c.to == 0).unwrap();
+        let root = case
+            .script
+            .copies()
+            .iter()
+            .copied()
+            .find(|c| c.to == 0)
+            .unwrap();
         let optimal = Format::InPlace.conversion_cost(&root);
         let ratio = lm.report.conversion_cost as f64 / optimal as f64;
-        assert!(ratio > previous_ratio, "depth {depth}: {ratio} !> {previous_ratio}");
+        assert!(
+            ratio > previous_ratio,
+            "depth {depth}: {ratio} !> {previous_ratio}"
+        );
         previous_ratio = ratio;
     }
     assert!(previous_ratio >= 8.0, "gap should be unbounded in depth");
@@ -115,8 +124,8 @@ fn adds_are_last_in_converted_deltas() {
     let differ = GreedyDiffer::default();
     for pair in corpus().iter().take(8) {
         let script = differ.diff(&pair.reference, &pair.version);
-        let out = convert_to_in_place(&script, &pair.reference, &ConversionConfig::default())
-            .unwrap();
+        let out =
+            convert_to_in_place(&script, &pair.reference, &ConversionConfig::default()).unwrap();
         let first_add = out
             .script
             .commands()
@@ -124,7 +133,9 @@ fn adds_are_last_in_converted_deltas() {
             .position(|c| c.is_add())
             .unwrap_or(out.script.len());
         assert!(
-            out.script.commands()[first_add..].iter().all(|c| c.is_add()),
+            out.script.commands()[first_add..]
+                .iter()
+                .all(|c| c.is_add()),
             "copies found after the first add in {}",
             pair.name
         );
@@ -140,11 +151,19 @@ fn corpus_graphs_are_sparse_and_bounded() {
     for pair in &corpus() {
         let script = differ.diff(&pair.reference, &pair.version);
         let crwi = CrwiGraph::build(script.copies());
-        assert!(crwi.edge_count() as u64 <= script.target_len(), "{}", pair.name);
+        assert!(
+            crwi.edge_count() as u64 <= script.target_len(),
+            "{}",
+            pair.name
+        );
         // Sparse: edges well below the quadratic bound.
         let n = crwi.node_count();
         if n > 10 {
-            assert!(crwi.edge_count() < n * n / 4, "{}: dense conflict graph", pair.name);
+            assert!(
+                crwi.edge_count() < n * n / 4,
+                "{}: dense conflict graph",
+                pair.name
+            );
         }
     }
 }

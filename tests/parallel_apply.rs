@@ -1,0 +1,189 @@
+//! Property tests for the wave-parallel applier: bitwise equivalence with
+//! the serial applier across random scripts, thread counts 1–8, both read
+//! modes, and adversarial intra-wave orderings; plus the Fig. 3
+//! quadratic-edge workload and an all-adds script as fixed cases.
+
+use ipr::core::{
+    apply_in_place, apply_in_place_parallel, apply_schedule_parallel, convert_to_in_place,
+    required_capacity, ConversionConfig, ParallelConfig, ParallelSchedule, ReadMode,
+};
+use ipr::delta::diff::{Differ, GreedyDiffer};
+use ipr::delta::{Command, DeltaScript};
+use proptest::prelude::*;
+
+/// A version derived from a reference by random edit operations (same
+/// shape as tests/properties.rs): realistically compressible pairs whose
+/// converted scripts have non-trivial wave structure.
+fn edited_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    let reference = proptest::collection::vec(any::<u8>(), 0..2048);
+    let edits = proptest::collection::vec(
+        (
+            0u8..5,
+            any::<prop::sample::Index>(),
+            1usize..200,
+            any::<u8>(),
+        ),
+        0..8,
+    );
+    (reference, edits).prop_map(|(reference, edits)| {
+        let mut version = reference.clone();
+        for (op, pos, len, val) in edits {
+            if version.is_empty() {
+                version.extend(std::iter::repeat_n(val, len));
+                continue;
+            }
+            let at = pos.index(version.len());
+            match op {
+                0 => version[at] = val,
+                1 => {
+                    let block: Vec<u8> = (0..len).map(|i| val.wrapping_add(i as u8)).collect();
+                    version.splice(at..at, block);
+                }
+                2 => {
+                    let end = (at + len).min(version.len());
+                    version.drain(at..end);
+                }
+                3 => {
+                    let end = (at + len).min(version.len());
+                    let block: Vec<u8> = version.drain(at..end).collect();
+                    let dst = if version.is_empty() {
+                        0
+                    } else {
+                        pos.index(version.len() + 1)
+                    };
+                    version.splice(dst..dst, block);
+                }
+                _ => {
+                    let end = (at + len).min(version.len());
+                    let block: Vec<u8> = version[at..end].to_vec();
+                    version.extend(block);
+                }
+            }
+        }
+        (reference, version)
+    })
+}
+
+/// Serial oracle: the result of `apply_in_place` in the full-capacity
+/// buffer, truncated to the target.
+fn serial_oracle(script: &DeltaScript, reference: &[u8]) -> Vec<u8> {
+    let mut buf = reference.to_vec();
+    buf.resize(required_capacity(script) as usize, 0);
+    apply_in_place(script, &mut buf).expect("serial apply");
+    buf.truncate(script.target_len() as usize);
+    buf
+}
+
+/// Runs the parallel applier and returns the rebuilt target.
+fn parallel_result(script: &DeltaScript, reference: &[u8], config: &ParallelConfig) -> Vec<u8> {
+    let mut buf = reference.to_vec();
+    buf.resize(required_capacity(script) as usize, 0);
+    apply_in_place_parallel(script, &mut buf, config).expect("parallel apply");
+    buf.truncate(script.target_len() as usize);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel application is bitwise-identical to serial application
+    /// for every thread count 1–8 and both read modes, with the
+    /// small-wave serial threshold disabled so the thread fan-out path is
+    /// actually exercised.
+    #[test]
+    fn parallel_matches_serial(
+        (reference, version) in edited_pair(),
+        threads in 1usize..=8,
+    ) {
+        let script = GreedyDiffer::new(8).diff(&reference, &version);
+        let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+        let expected = serial_oracle(&out.script, &reference);
+        prop_assert_eq!(&expected, &version, "serial oracle rebuilds the version");
+        for read_mode in [ReadMode::ZeroCopy, ReadMode::Snapshot] {
+            let config = ParallelConfig { threads, read_mode, serial_wave_bytes: 0 };
+            prop_assert_eq!(
+                &parallel_result(&out.script, &reference, &config),
+                &expected,
+                "threads={} mode={:?}", threads, read_mode
+            );
+        }
+    }
+
+    /// Intra-wave command order is irrelevant: adversarially permuted
+    /// schedules produce the identical target.
+    #[test]
+    fn permuted_waves_match_serial(
+        (reference, version) in edited_pair(),
+        seed in any::<u64>(),
+        threads in 1usize..=8,
+    ) {
+        let script = GreedyDiffer::new(8).diff(&reference, &version);
+        let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+        let expected = serial_oracle(&out.script, &reference);
+        let plan = ParallelSchedule::plan(&out.script).expect("converted script is safe");
+        let shuffled = plan.permuted_within_waves(seed);
+        let config = ParallelConfig { threads, read_mode: ReadMode::ZeroCopy, serial_wave_bytes: 0 };
+        let mut buf = reference.clone();
+        buf.resize(required_capacity(&out.script) as usize, 0);
+        apply_schedule_parallel(&out.script, &shuffled, &mut buf, &config).unwrap();
+        prop_assert_eq!(&buf[..version.len()], &expected[..]);
+    }
+
+    /// The default configuration (auto threads, zero-copy, serial
+    /// threshold on) is equivalent too.
+    #[test]
+    fn default_config_matches_serial((reference, version) in edited_pair()) {
+        let script = GreedyDiffer::new(8).diff(&reference, &version);
+        let out = convert_to_in_place(&script, &reference, &ConversionConfig::default()).unwrap();
+        let expected = serial_oracle(&out.script, &reference);
+        prop_assert_eq!(
+            &parallel_result(&out.script, &reference, &ParallelConfig::default()),
+            &expected
+        );
+    }
+}
+
+/// The Fig. 3 quadratic-edge construction — the densest CRWI digraph the
+/// paper exhibits — applies identically in parallel at every thread count.
+#[test]
+fn quadratic_edge_workload_matches_serial() {
+    let case = ipr::workloads::adversarial::quadratic_edges(32);
+    let out = convert_to_in_place(&case.script, &case.reference, &ConversionConfig::default())
+        .expect("conversion cannot fail");
+    let expected = serial_oracle(&out.script, &case.reference);
+    assert_eq!(expected, case.version);
+    for threads in 1..=8 {
+        for read_mode in [ReadMode::ZeroCopy, ReadMode::Snapshot] {
+            let config = ParallelConfig {
+                threads,
+                read_mode,
+                serial_wave_bytes: 0,
+            };
+            assert_eq!(
+                parallel_result(&out.script, &case.reference, &config),
+                expected,
+                "threads={threads} mode={read_mode:?}"
+            );
+        }
+    }
+}
+
+/// A script that is nothing but adds (no reads at all) runs in one wave
+/// and parallelizes trivially.
+#[test]
+fn all_adds_script_matches_serial() {
+    let chunks: Vec<Command> = (0..64u64)
+        .map(|i| Command::add(i * 128, vec![(i % 251) as u8; 128]))
+        .collect();
+    let script = DeltaScript::new(256, 64 * 128, chunks).unwrap();
+    let reference = vec![0xEEu8; 256];
+    let expected = serial_oracle(&script, &reference);
+    for threads in [1usize, 2, 4, 8] {
+        let config = ParallelConfig {
+            threads,
+            read_mode: ReadMode::ZeroCopy,
+            serial_wave_bytes: 0,
+        };
+        assert_eq!(parallel_result(&script, &reference, &config), expected);
+    }
+}

@@ -19,10 +19,10 @@ fn edited_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
     let reference = proptest::collection::vec(any::<u8>(), 0..2048);
     let edits = proptest::collection::vec(
         (
-            0u8..5,                 // op
+            0u8..5,                       // op
             any::<prop::sample::Index>(), // position
-            1usize..200,            // length
-            any::<u8>(),            // value seed
+            1usize..200,                  // length
+            any::<u8>(),                  // value seed
         ),
         0..8,
     );
@@ -30,7 +30,7 @@ fn edited_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
         let mut version = reference.clone();
         for (op, pos, len, val) in edits {
             if version.is_empty() {
-                version.extend(std::iter::repeat(val).take(len));
+                version.extend(std::iter::repeat_n(val, len));
                 continue;
             }
             let at = pos.index(version.len());
@@ -50,7 +50,11 @@ fn edited_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
                     // move
                     let end = (at + len).min(version.len());
                     let block: Vec<u8> = version.drain(at..end).collect();
-                    let dst = if version.is_empty() { 0 } else { pos.index(version.len() + 1) };
+                    let dst = if version.is_empty() {
+                        0
+                    } else {
+                        pos.index(version.len() + 1)
+                    };
                     version.splice(dst..dst, block);
                 }
                 _ => {
@@ -407,10 +411,5 @@ proptest! {
 fn script_validation_catches_hand_rolled_errors() {
     assert!(DeltaScript::new(4, 8, vec![Command::copy(0, 0, 4)]).is_err());
     assert!(DeltaScript::new(4, 4, vec![Command::copy(0, 0, 5)]).is_err());
-    assert!(DeltaScript::new(
-        4,
-        8,
-        vec![Command::copy(0, 0, 4), Command::copy(0, 2, 4)]
-    )
-    .is_err());
+    assert!(DeltaScript::new(4, 8, vec![Command::copy(0, 0, 4), Command::copy(0, 2, 4)]).is_err());
 }

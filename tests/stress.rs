@@ -72,13 +72,13 @@ fn stress_one(seed: u64) {
         differ.name()
     );
 
-    let policy = if seed % 2 == 0 {
+    let policy = if seed.is_multiple_of(2) {
         CyclePolicy::LocallyMinimum
     } else {
         CyclePolicy::ConstantTime
     };
-    let out = convert_to_in_place(&script, &reference, &ConversionConfig::with_policy(policy))
-        .unwrap();
+    let out =
+        convert_to_in_place(&script, &reference, &ConversionConfig::with_policy(policy)).unwrap();
     check_in_place_safe(&out.script).unwrap();
     let capacity = required_capacity(&out.script) as usize;
 
@@ -117,11 +117,14 @@ fn stress_one(seed: u64) {
     let mut d = reference.clone();
     d.resize(required_capacity(&spilled.script) as usize, 0);
     apply_in_place_spilled(&spilled.script, &spilled.stashed, &mut d, budget).unwrap();
-    assert_eq!(&d[..version.len()], &version[..], "seed {seed}: spilled {budget}");
+    assert_eq!(
+        &d[..version.len()],
+        &version[..],
+        "seed {seed}: spilled {budget}"
+    );
 
     // Codec round trip of the converted delta.
-    let format = [Format::InPlace, Format::PaperInPlace, Format::Improved]
-        [(seed % 3) as usize];
+    let format = [Format::InPlace, Format::PaperInPlace, Format::Improved][(seed % 3) as usize];
     let wire = encode(&out.script, format).unwrap();
     let decoded = decode(&wire).unwrap();
     let mut e = reference.clone();
