@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-5c5f3548b7b71a73.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-5c5f3548b7b71a73: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

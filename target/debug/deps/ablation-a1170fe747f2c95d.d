@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a1170fe747f2c95d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-a1170fe747f2c95d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

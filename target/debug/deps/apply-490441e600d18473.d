@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apply-490441e600d18473.d: crates/bench/benches/apply.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapply-490441e600d18473.rmeta: crates/bench/benches/apply.rs Cargo.toml
+
+crates/bench/benches/apply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

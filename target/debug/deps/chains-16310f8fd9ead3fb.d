@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chains-16310f8fd9ead3fb.d: crates/bench/src/bin/chains.rs
+
+/root/repo/target/debug/deps/chains-16310f8fd9ead3fb: crates/bench/src/bin/chains.rs
+
+crates/bench/src/bin/chains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chains-9ad73b2db044005f.d: crates/bench/src/bin/chains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchains-9ad73b2db044005f.rmeta: crates/bench/src/bin/chains.rs Cargo.toml
+
+crates/bench/src/bin/chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chains-c29ce6eb0e76e555.d: crates/bench/src/bin/chains.rs
+
+/root/repo/target/debug/deps/chains-c29ce6eb0e76e555: crates/bench/src/bin/chains.rs
+
+crates/bench/src/bin/chains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chains-cc3b718fd100464a.d: crates/bench/src/bin/chains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchains-cc3b718fd100464a.rmeta: crates/bench/src/bin/chains.rs Cargo.toml
+
+crates/bench/src/bin/chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec-14ff2ac2117125c7.d: crates/bench/benches/codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec-14ff2ac2117125c7.rmeta: crates/bench/benches/codec.rs Cargo.toml
+
+crates/bench/benches/codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_properties-025412443e6f0f16.d: crates/delta/tests/codec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_properties-025412443e6f0f16.rmeta: crates/delta/tests/codec_properties.rs Cargo.toml
+
+crates/delta/tests/codec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

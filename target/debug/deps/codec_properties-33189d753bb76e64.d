@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_properties-33189d753bb76e64.d: crates/delta/tests/codec_properties.rs
+
+/root/repo/target/debug/deps/codec_properties-33189d753bb76e64: crates/delta/tests/codec_properties.rs
+
+crates/delta/tests/codec_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_properties-fb498d6fb92d6087.d: crates/delta/tests/codec_properties.rs
+
+/root/repo/target/debug/deps/codec_properties-fb498d6fb92d6087: crates/delta/tests/codec_properties.rs
+
+crates/delta/tests/codec_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conversion-0b2c5b1a0c335808.d: crates/bench/benches/conversion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconversion-0b2c5b1a0c335808.rmeta: crates/bench/benches/conversion.rs Cargo.toml
+
+crates/bench/benches/conversion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

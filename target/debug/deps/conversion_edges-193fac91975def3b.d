@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conversion_edges-193fac91975def3b.d: crates/core/tests/conversion_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconversion_edges-193fac91975def3b.rmeta: crates/core/tests/conversion_edges.rs Cargo.toml
+
+crates/core/tests/conversion_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

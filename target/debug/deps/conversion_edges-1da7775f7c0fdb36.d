@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conversion_edges-1da7775f7c0fdb36.d: crates/core/tests/conversion_edges.rs
+
+/root/repo/target/debug/deps/conversion_edges-1da7775f7c0fdb36: crates/core/tests/conversion_edges.rs
+
+crates/core/tests/conversion_edges.rs:

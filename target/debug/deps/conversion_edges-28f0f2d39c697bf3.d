@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conversion_edges-28f0f2d39c697bf3.d: crates/core/tests/conversion_edges.rs
+
+/root/repo/target/debug/deps/conversion_edges-28f0f2d39c697bf3: crates/core/tests/conversion_edges.rs
+
+crates/core/tests/conversion_edges.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-0af56aabf7092702.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0af56aabf7092702.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0af56aabf7092702.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-cd1962a73209a4c6.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-cd1962a73209a4c6: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crwi-b2cbfc16be2346ca.d: crates/bench/benches/crwi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrwi-b2cbfc16be2346ca.rmeta: crates/bench/benches/crwi.rs Cargo.toml
+
+crates/bench/benches/crwi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

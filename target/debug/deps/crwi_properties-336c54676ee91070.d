@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crwi_properties-336c54676ee91070.d: crates/core/tests/crwi_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrwi_properties-336c54676ee91070.rmeta: crates/core/tests/crwi_properties.rs Cargo.toml
+
+crates/core/tests/crwi_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

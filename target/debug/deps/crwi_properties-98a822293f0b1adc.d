@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crwi_properties-98a822293f0b1adc.d: crates/core/tests/crwi_properties.rs
+
+/root/repo/target/debug/deps/crwi_properties-98a822293f0b1adc: crates/core/tests/crwi_properties.rs
+
+crates/core/tests/crwi_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crwi_properties-ddfc60de1304ffc2.d: crates/core/tests/crwi_properties.rs
+
+/root/repo/target/debug/deps/crwi_properties-ddfc60de1304ffc2: crates/core/tests/crwi_properties.rs
+
+crates/core/tests/crwi_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differencing-e793f86ec273216f.d: crates/bench/benches/differencing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferencing-e793f86ec273216f.rmeta: crates/bench/benches/differencing.rs Cargo.toml
+
+crates/bench/benches/differencing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

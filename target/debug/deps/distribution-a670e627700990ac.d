@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution-a670e627700990ac.d: tests/distribution.rs
+
+/root/repo/target/debug/deps/distribution-a670e627700990ac: tests/distribution.rs
+
+tests/distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution-ab11669d99241bb0.d: tests/distribution.rs
+
+/root/repo/target/debug/deps/distribution-ab11669d99241bb0: tests/distribution.rs
+
+tests/distribution.rs:

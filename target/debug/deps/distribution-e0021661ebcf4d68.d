@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distribution-e0021661ebcf4d68.d: tests/distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistribution-e0021661ebcf4d68.rmeta: tests/distribution.rs Cargo.toml
+
+tests/distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-55b2b9fbd32ab70a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-55b2b9fbd32ab70a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b584d99d130d1092.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b584d99d130d1092: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-662d5537a23a78a5.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-662d5537a23a78a5: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-b737d0033d7a5c0d.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-b737d0033d7a5c0d: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

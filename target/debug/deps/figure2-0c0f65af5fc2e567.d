@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-0c0f65af5fc2e567.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-0c0f65af5fc2e567: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-aadaee32bb25e287.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-aadaee32bb25e287: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

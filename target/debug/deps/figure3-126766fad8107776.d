@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-126766fad8107776.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-126766fad8107776: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-3a73d9b6601f149b.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-3a73d9b6601f149b: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

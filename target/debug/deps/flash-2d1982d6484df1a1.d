@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flash-2d1982d6484df1a1.d: crates/bench/src/bin/flash.rs
+
+/root/repo/target/debug/deps/flash-2d1982d6484df1a1: crates/bench/src/bin/flash.rs
+
+crates/bench/src/bin/flash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flash-47144740753c3c67.d: crates/bench/src/bin/flash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash-47144740753c3c67.rmeta: crates/bench/src/bin/flash.rs Cargo.toml
+
+crates/bench/src/bin/flash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

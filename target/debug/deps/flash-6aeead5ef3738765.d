@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flash-6aeead5ef3738765.d: crates/bench/src/bin/flash.rs
+
+/root/repo/target/debug/deps/flash-6aeead5ef3738765: crates/bench/src/bin/flash.rs
+
+crates/bench/src/bin/flash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flash-9687887f0c746886.d: crates/bench/src/bin/flash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash-9687887f0c746886.rmeta: crates/bench/src/bin/flash.rs Cargo.toml
+
+crates/bench/src/bin/flash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_format-1efa603b228e1436.d: crates/delta/tests/golden_format.rs
+
+/root/repo/target/debug/deps/golden_format-1efa603b228e1436: crates/delta/tests/golden_format.rs
+
+crates/delta/tests/golden_format.rs:

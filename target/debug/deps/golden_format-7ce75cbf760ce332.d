@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_format-7ce75cbf760ce332.d: crates/delta/tests/golden_format.rs
+
+/root/repo/target/debug/deps/golden_format-7ce75cbf760ce332: crates/delta/tests/golden_format.rs
+
+crates/delta/tests/golden_format.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_format-c56683de598f6841.d: crates/delta/tests/golden_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_format-c56683de598f6841.rmeta: crates/delta/tests/golden_format.rs Cargo.toml
+
+crates/delta/tests/golden_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

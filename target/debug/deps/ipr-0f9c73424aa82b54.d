@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipr-0f9c73424aa82b54.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipr-0f9c73424aa82b54.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libipr-0f9c73424aa82b54.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr-2255039b0549168f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ipr-2255039b0549168f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr-362cfb89bff5c66c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr-362cfb89bff5c66c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

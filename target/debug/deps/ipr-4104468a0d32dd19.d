@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr-4104468a0d32dd19.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ipr-4104468a0d32dd19: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

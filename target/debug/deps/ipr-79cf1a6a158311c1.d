@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr-79cf1a6a158311c1.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ipr-79cf1a6a158311c1: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

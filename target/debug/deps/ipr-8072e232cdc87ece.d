@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr-8072e232cdc87ece.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr-8072e232cdc87ece.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr-91de820e70daadad.d: src/lib.rs
+
+/root/repo/target/debug/deps/ipr-91de820e70daadad: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipr-98dfd638ad3fd07c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipr-98dfd638ad3fd07c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libipr-98dfd638ad3fd07c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr-a0e76bb2431126dc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr-a0e76bb2431126dc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr-f6960361678873b8.d: src/lib.rs
+
+/root/repo/target/debug/deps/ipr-f6960361678873b8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr_bench-4ac6ccf1463c4b95.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ipr_bench-4ac6ccf1463c4b95: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr_bench-4f601d77c1ab4cbe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_bench-4f601d77c1ab4cbe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

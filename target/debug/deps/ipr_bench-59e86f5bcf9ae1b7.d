@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipr_bench-59e86f5bcf9ae1b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipr_bench-59e86f5bcf9ae1b7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipr_bench-59e86f5bcf9ae1b7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr_bench-5bb477bfc16470f3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ipr_bench-5bb477bfc16470f3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipr_bench-5cac19a72393b29f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipr_bench-5cac19a72393b29f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipr_bench-5cac19a72393b29f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

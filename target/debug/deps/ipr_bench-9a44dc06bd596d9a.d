@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr_bench-9a44dc06bd596d9a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_bench-9a44dc06bd596d9a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ipr_core-395cb2003d808643.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/parallel.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_core-395cb2003d808643.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/parallel.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/apply.rs:
+crates/core/src/convert.rs:
+crates/core/src/crwi.rs:
+crates/core/src/parallel.rs:
+crates/core/src/policy.rs:
+crates/core/src/schedule.rs:
+crates/core/src/toposort.rs:
+crates/core/src/verify.rs:
+crates/core/src/resumable.rs:
+crates/core/src/spill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

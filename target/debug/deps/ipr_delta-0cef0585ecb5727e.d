@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/ipr_delta-0cef0585ecb5727e.d: crates/delta/src/lib.rs crates/delta/src/apply.rs crates/delta/src/command.rs crates/delta/src/compose.rs crates/delta/src/script.rs crates/delta/src/checksum.rs crates/delta/src/codec/mod.rs crates/delta/src/codec/improved.rs crates/delta/src/codec/inplace.rs crates/delta/src/codec/ordered.rs crates/delta/src/codec/paper.rs crates/delta/src/codec/reader.rs crates/delta/src/codec/stream.rs crates/delta/src/diff/mod.rs crates/delta/src/diff/correcting.rs crates/delta/src/diff/greedy.rs crates/delta/src/diff/onepass.rs crates/delta/src/diff/rolling.rs crates/delta/src/diff/windowed.rs crates/delta/src/stats.rs crates/delta/src/varint.rs
+
+/root/repo/target/debug/deps/libipr_delta-0cef0585ecb5727e.rlib: crates/delta/src/lib.rs crates/delta/src/apply.rs crates/delta/src/command.rs crates/delta/src/compose.rs crates/delta/src/script.rs crates/delta/src/checksum.rs crates/delta/src/codec/mod.rs crates/delta/src/codec/improved.rs crates/delta/src/codec/inplace.rs crates/delta/src/codec/ordered.rs crates/delta/src/codec/paper.rs crates/delta/src/codec/reader.rs crates/delta/src/codec/stream.rs crates/delta/src/diff/mod.rs crates/delta/src/diff/correcting.rs crates/delta/src/diff/greedy.rs crates/delta/src/diff/onepass.rs crates/delta/src/diff/rolling.rs crates/delta/src/diff/windowed.rs crates/delta/src/stats.rs crates/delta/src/varint.rs
+
+/root/repo/target/debug/deps/libipr_delta-0cef0585ecb5727e.rmeta: crates/delta/src/lib.rs crates/delta/src/apply.rs crates/delta/src/command.rs crates/delta/src/compose.rs crates/delta/src/script.rs crates/delta/src/checksum.rs crates/delta/src/codec/mod.rs crates/delta/src/codec/improved.rs crates/delta/src/codec/inplace.rs crates/delta/src/codec/ordered.rs crates/delta/src/codec/paper.rs crates/delta/src/codec/reader.rs crates/delta/src/codec/stream.rs crates/delta/src/diff/mod.rs crates/delta/src/diff/correcting.rs crates/delta/src/diff/greedy.rs crates/delta/src/diff/onepass.rs crates/delta/src/diff/rolling.rs crates/delta/src/diff/windowed.rs crates/delta/src/stats.rs crates/delta/src/varint.rs
+
+crates/delta/src/lib.rs:
+crates/delta/src/apply.rs:
+crates/delta/src/command.rs:
+crates/delta/src/compose.rs:
+crates/delta/src/script.rs:
+crates/delta/src/checksum.rs:
+crates/delta/src/codec/mod.rs:
+crates/delta/src/codec/improved.rs:
+crates/delta/src/codec/inplace.rs:
+crates/delta/src/codec/ordered.rs:
+crates/delta/src/codec/paper.rs:
+crates/delta/src/codec/reader.rs:
+crates/delta/src/codec/stream.rs:
+crates/delta/src/diff/mod.rs:
+crates/delta/src/diff/correcting.rs:
+crates/delta/src/diff/greedy.rs:
+crates/delta/src/diff/onepass.rs:
+crates/delta/src/diff/rolling.rs:
+crates/delta/src/diff/windowed.rs:
+crates/delta/src/stats.rs:
+crates/delta/src/varint.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/ipr_delta-92945ce2fd464e3b.d: crates/delta/src/lib.rs crates/delta/src/apply.rs crates/delta/src/command.rs crates/delta/src/compose.rs crates/delta/src/script.rs crates/delta/src/checksum.rs crates/delta/src/codec/mod.rs crates/delta/src/codec/improved.rs crates/delta/src/codec/inplace.rs crates/delta/src/codec/ordered.rs crates/delta/src/codec/paper.rs crates/delta/src/codec/reader.rs crates/delta/src/codec/stream.rs crates/delta/src/diff/mod.rs crates/delta/src/diff/correcting.rs crates/delta/src/diff/greedy.rs crates/delta/src/diff/onepass.rs crates/delta/src/diff/rolling.rs crates/delta/src/diff/windowed.rs crates/delta/src/stats.rs crates/delta/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_delta-92945ce2fd464e3b.rmeta: crates/delta/src/lib.rs crates/delta/src/apply.rs crates/delta/src/command.rs crates/delta/src/compose.rs crates/delta/src/script.rs crates/delta/src/checksum.rs crates/delta/src/codec/mod.rs crates/delta/src/codec/improved.rs crates/delta/src/codec/inplace.rs crates/delta/src/codec/ordered.rs crates/delta/src/codec/paper.rs crates/delta/src/codec/reader.rs crates/delta/src/codec/stream.rs crates/delta/src/diff/mod.rs crates/delta/src/diff/correcting.rs crates/delta/src/diff/greedy.rs crates/delta/src/diff/onepass.rs crates/delta/src/diff/rolling.rs crates/delta/src/diff/windowed.rs crates/delta/src/stats.rs crates/delta/src/varint.rs Cargo.toml
+
+crates/delta/src/lib.rs:
+crates/delta/src/apply.rs:
+crates/delta/src/command.rs:
+crates/delta/src/compose.rs:
+crates/delta/src/script.rs:
+crates/delta/src/checksum.rs:
+crates/delta/src/codec/mod.rs:
+crates/delta/src/codec/improved.rs:
+crates/delta/src/codec/inplace.rs:
+crates/delta/src/codec/ordered.rs:
+crates/delta/src/codec/paper.rs:
+crates/delta/src/codec/reader.rs:
+crates/delta/src/codec/stream.rs:
+crates/delta/src/diff/mod.rs:
+crates/delta/src/diff/correcting.rs:
+crates/delta/src/diff/greedy.rs:
+crates/delta/src/diff/onepass.rs:
+crates/delta/src/diff/rolling.rs:
+crates/delta/src/diff/windowed.rs:
+crates/delta/src/stats.rs:
+crates/delta/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipr_device-38c9a1f0a0e11eb0.d: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/debug/deps/libipr_device-38c9a1f0a0e11eb0.rlib: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/debug/deps/libipr_device-38c9a1f0a0e11eb0.rmeta: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+crates/device/src/lib.rs:
+crates/device/src/channel.rs:
+crates/device/src/device.rs:
+crates/device/src/flash.rs:
+crates/device/src/update.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr_device-83abd544f4ca4dfc.d: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/debug/deps/ipr_device-83abd544f4ca4dfc: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+crates/device/src/lib.rs:
+crates/device/src/channel.rs:
+crates/device/src/device.rs:
+crates/device/src/flash.rs:
+crates/device/src/update.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipr_device-d8035ac0f405c06e.d: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/debug/deps/libipr_device-d8035ac0f405c06e.rlib: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/debug/deps/libipr_device-d8035ac0f405c06e.rmeta: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+crates/device/src/lib.rs:
+crates/device/src/channel.rs:
+crates/device/src/device.rs:
+crates/device/src/flash.rs:
+crates/device/src/update.rs:

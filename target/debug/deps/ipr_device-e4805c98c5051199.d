@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipr_device-e4805c98c5051199.d: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_device-e4805c98c5051199.rmeta: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/channel.rs:
+crates/device/src/device.rs:
+crates/device/src/flash.rs:
+crates/device/src/update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

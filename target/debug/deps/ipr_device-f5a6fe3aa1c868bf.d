@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr_device-f5a6fe3aa1c868bf.d: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/debug/deps/ipr_device-f5a6fe3aa1c868bf: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+crates/device/src/lib.rs:
+crates/device/src/channel.rs:
+crates/device/src/device.rs:
+crates/device/src/flash.rs:
+crates/device/src/update.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ipr_digraph-258b570bca27ca01.d: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_digraph-258b570bca27ca01.rmeta: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs Cargo.toml
+
+crates/digraph/src/lib.rs:
+crates/digraph/src/graph.rs:
+crates/digraph/src/interval.rs:
+crates/digraph/src/fvs.rs:
+crates/digraph/src/scc.rs:
+crates/digraph/src/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipr_digraph-47060fd5a9034596.d: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+/root/repo/target/debug/deps/libipr_digraph-47060fd5a9034596.rlib: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+/root/repo/target/debug/deps/libipr_digraph-47060fd5a9034596.rmeta: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+crates/digraph/src/lib.rs:
+crates/digraph/src/graph.rs:
+crates/digraph/src/interval.rs:
+crates/digraph/src/fvs.rs:
+crates/digraph/src/scc.rs:
+crates/digraph/src/topo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipr_digraph-62e5483f75cda8dd.d: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+/root/repo/target/debug/deps/ipr_digraph-62e5483f75cda8dd: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+crates/digraph/src/lib.rs:
+crates/digraph/src/graph.rs:
+crates/digraph/src/interval.rs:
+crates/digraph/src/fvs.rs:
+crates/digraph/src/scc.rs:
+crates/digraph/src/topo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipr_hash-1bac9382930f0dc0.d: crates/hash/src/lib.rs
+
+/root/repo/target/debug/deps/ipr_hash-1bac9382930f0dc0: crates/hash/src/lib.rs
+
+crates/hash/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr_hash-3e352c3b5ccca612.d: crates/hash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_hash-3e352c3b5ccca612.rmeta: crates/hash/src/lib.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipr_hash-bfcfba7eae021d9d.d: crates/hash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_hash-bfcfba7eae021d9d.rmeta: crates/hash/src/lib.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipr_hash-c64fb9eb77d687da.d: crates/hash/src/lib.rs
+
+/root/repo/target/debug/deps/libipr_hash-c64fb9eb77d687da.rlib: crates/hash/src/lib.rs
+
+/root/repo/target/debug/deps/libipr_hash-c64fb9eb77d687da.rmeta: crates/hash/src/lib.rs
+
+crates/hash/src/lib.rs:

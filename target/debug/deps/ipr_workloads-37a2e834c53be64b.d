@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ipr_workloads-37a2e834c53be64b.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipr_workloads-37a2e834c53be64b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/archive.rs:
+crates/workloads/src/chain.rs:
+crates/workloads/src/content.rs:
+crates/workloads/src/corpus.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

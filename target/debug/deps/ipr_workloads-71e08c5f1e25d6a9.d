@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipr_workloads-71e08c5f1e25d6a9.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+/root/repo/target/debug/deps/ipr_workloads-71e08c5f1e25d6a9: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/archive.rs:
+crates/workloads/src/chain.rs:
+crates/workloads/src/content.rs:
+crates/workloads/src/corpus.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/reduction.rs:

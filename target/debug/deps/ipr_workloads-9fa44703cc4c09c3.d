@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ipr_workloads-9fa44703cc4c09c3.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+/root/repo/target/debug/deps/libipr_workloads-9fa44703cc4c09c3.rlib: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+/root/repo/target/debug/deps/libipr_workloads-9fa44703cc4c09c3.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/archive.rs:
+crates/workloads/src/chain.rs:
+crates/workloads/src/content.rs:
+crates/workloads/src/corpus.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/reduction.rs:

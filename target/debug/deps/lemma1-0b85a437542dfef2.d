@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemma1-0b85a437542dfef2.d: crates/bench/src/bin/lemma1.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemma1-0b85a437542dfef2.rmeta: crates/bench/src/bin/lemma1.rs Cargo.toml
+
+crates/bench/src/bin/lemma1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma1-444422bbe88f585a.d: crates/bench/src/bin/lemma1.rs
+
+/root/repo/target/debug/deps/lemma1-444422bbe88f585a: crates/bench/src/bin/lemma1.rs
+
+crates/bench/src/bin/lemma1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma1-caa494f3fddc14ee.d: crates/bench/src/bin/lemma1.rs
+
+/root/repo/target/debug/deps/lemma1-caa494f3fddc14ee: crates/bench/src/bin/lemma1.rs
+
+crates/bench/src/bin/lemma1.rs:

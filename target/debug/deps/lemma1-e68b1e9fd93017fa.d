@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemma1-e68b1e9fd93017fa.d: crates/bench/src/bin/lemma1.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemma1-e68b1e9fd93017fa.rmeta: crates/bench/src/bin/lemma1.rs Cargo.toml
+
+crates/bench/src/bin/lemma1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-07c67f2faf402845.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-07c67f2faf402845: tests/paper_claims.rs
+
+tests/paper_claims.rs:

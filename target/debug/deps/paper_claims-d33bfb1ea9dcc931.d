@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d33bfb1ea9dcc931.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d33bfb1ea9dcc931: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-fa8c28fc9927e783.d: crates/bench/benches/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-fa8c28fc9927e783.rmeta: crates/bench/benches/parallel.rs Cargo.toml
+
+crates/bench/benches/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_apply-2607c8fa6a2da728.d: tests/parallel_apply.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_apply-2607c8fa6a2da728.rmeta: tests/parallel_apply.rs Cargo.toml
+
+tests/parallel_apply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_apply-bef4253c1a0a37ca.d: tests/parallel_apply.rs
+
+/root/repo/target/debug/deps/parallel_apply-bef4253c1a0a37ca: tests/parallel_apply.rs
+
+tests/parallel_apply.rs:

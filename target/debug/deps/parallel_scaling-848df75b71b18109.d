@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-848df75b71b18109.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-848df75b71b18109: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

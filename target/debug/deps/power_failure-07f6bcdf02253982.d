@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_failure-07f6bcdf02253982.d: tests/power_failure.rs
+
+/root/repo/target/debug/deps/power_failure-07f6bcdf02253982: tests/power_failure.rs
+
+tests/power_failure.rs:

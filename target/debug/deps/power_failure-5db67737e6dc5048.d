@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_failure-5db67737e6dc5048.d: tests/power_failure.rs
+
+/root/repo/target/debug/deps/power_failure-5db67737e6dc5048: tests/power_failure.rs
+
+tests/power_failure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_failure-ea25099af89fd7be.d: tests/power_failure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_failure-ea25099af89fd7be.rmeta: tests/power_failure.rs Cargo.toml
+
+tests/power_failure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

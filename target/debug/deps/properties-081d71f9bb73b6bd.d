@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-081d71f9bb73b6bd.d: crates/digraph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-081d71f9bb73b6bd: crates/digraph/tests/properties.rs
+
+crates/digraph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ba7619c024a5625a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ba7619c024a5625a: tests/properties.rs
+
+tests/properties.rs:

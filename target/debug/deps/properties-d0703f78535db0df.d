@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d0703f78535db0df.d: crates/digraph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d0703f78535db0df.rmeta: crates/digraph/tests/properties.rs Cargo.toml
+
+crates/digraph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

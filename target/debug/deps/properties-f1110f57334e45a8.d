@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f1110f57334e45a8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f1110f57334e45a8: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-713ff1faddebc6aa.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-713ff1faddebc6aa.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-713ff1faddebc6aa.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d8cceef12e308ed2.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d8cceef12e308ed2: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-ef70cecc65f8b5bc.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-ef70cecc65f8b5bc.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction-418b5f96b43ca3a3.d: crates/bench/src/bin/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction-418b5f96b43ca3a3.rmeta: crates/bench/src/bin/reduction.rs Cargo.toml
+
+crates/bench/src/bin/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction-671a1eaee5d365e7.d: crates/bench/src/bin/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction-671a1eaee5d365e7.rmeta: crates/bench/src/bin/reduction.rs Cargo.toml
+
+crates/bench/src/bin/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction-73ad2f3c396908a9.d: crates/bench/src/bin/reduction.rs
+
+/root/repo/target/debug/deps/reduction-73ad2f3c396908a9: crates/bench/src/bin/reduction.rs
+
+crates/bench/src/bin/reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction-f8e16f8a88a01968.d: crates/bench/src/bin/reduction.rs
+
+/root/repo/target/debug/deps/reduction-f8e16f8a88a01968: crates/bench/src/bin/reduction.rs
+
+crates/bench/src/bin/reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-72030d1d28a8449b.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-72030d1d28a8449b: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

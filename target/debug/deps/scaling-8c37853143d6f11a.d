@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-8c37853143d6f11a.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-8c37853143d6f11a.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-986a6c1d8ffc6a58.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-986a6c1d8ffc6a58: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_edges-56c47c83576f6fd5.d: crates/device/tests/session_edges.rs
+
+/root/repo/target/debug/deps/session_edges-56c47c83576f6fd5: crates/device/tests/session_edges.rs
+
+crates/device/tests/session_edges.rs:

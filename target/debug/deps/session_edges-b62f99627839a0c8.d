@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_edges-b62f99627839a0c8.d: crates/device/tests/session_edges.rs
+
+/root/repo/target/debug/deps/session_edges-b62f99627839a0c8: crates/device/tests/session_edges.rs
+
+crates/device/tests/session_edges.rs:

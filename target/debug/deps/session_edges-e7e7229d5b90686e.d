@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_edges-e7e7229d5b90686e.d: crates/device/tests/session_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_edges-e7e7229d5b90686e.rmeta: crates/device/tests/session_edges.rs Cargo.toml
+
+crates/device/tests/session_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

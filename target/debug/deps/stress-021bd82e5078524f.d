@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-021bd82e5078524f.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-021bd82e5078524f: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-6f608aa821c4980e.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-6f608aa821c4980e: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-a7332b2343f2625a.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-a7332b2343f2625a.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3847ccf9ba37a11b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3847ccf9ba37a11b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

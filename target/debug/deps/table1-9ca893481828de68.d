@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9ca893481828de68.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9ca893481828de68: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

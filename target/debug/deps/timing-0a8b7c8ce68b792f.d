@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-0a8b7c8ce68b792f.d: crates/bench/src/bin/timing.rs
+
+/root/repo/target/debug/deps/timing-0a8b7c8ce68b792f: crates/bench/src/bin/timing.rs
+
+crates/bench/src/bin/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-4d2bb0979b80b857.d: crates/bench/src/bin/timing.rs
+
+/root/repo/target/debug/deps/timing-4d2bb0979b80b857: crates/bench/src/bin/timing.rs
+
+crates/bench/src/bin/timing.rs:

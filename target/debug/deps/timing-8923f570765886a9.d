@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-8923f570765886a9.d: crates/bench/src/bin/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-8923f570765886a9.rmeta: crates/bench/src/bin/timing.rs Cargo.toml
+
+crates/bench/src/bin/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-e09dcaeb3b83139e.d: crates/bench/src/bin/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-e09dcaeb3b83139e.rmeta: crates/bench/src/bin/timing.rs Cargo.toml
+
+crates/bench/src/bin/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

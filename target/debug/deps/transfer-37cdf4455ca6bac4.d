@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transfer-37cdf4455ca6bac4.d: crates/bench/src/bin/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransfer-37cdf4455ca6bac4.rmeta: crates/bench/src/bin/transfer.rs Cargo.toml
+
+crates/bench/src/bin/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transfer-5add9744c63ce34a.d: crates/bench/src/bin/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransfer-5add9744c63ce34a.rmeta: crates/bench/src/bin/transfer.rs Cargo.toml
+
+crates/bench/src/bin/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

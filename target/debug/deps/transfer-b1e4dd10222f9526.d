@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transfer-b1e4dd10222f9526.d: crates/bench/src/bin/transfer.rs
+
+/root/repo/target/debug/deps/transfer-b1e4dd10222f9526: crates/bench/src/bin/transfer.rs
+
+crates/bench/src/bin/transfer.rs:

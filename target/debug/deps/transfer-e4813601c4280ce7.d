@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transfer-e4813601c4280ce7.d: crates/bench/src/bin/transfer.rs
+
+/root/repo/target/debug/deps/transfer-e4813601c4280ce7: crates/bench/src/bin/transfer.rs
+
+crates/bench/src/bin/transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/version_chains-915ab8e604383252.d: tests/version_chains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libversion_chains-915ab8e604383252.rmeta: tests/version_chains.rs Cargo.toml
+
+tests/version_chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

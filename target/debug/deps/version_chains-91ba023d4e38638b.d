@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/version_chains-91ba023d4e38638b.d: tests/version_chains.rs
+
+/root/repo/target/debug/deps/version_chains-91ba023d4e38638b: tests/version_chains.rs
+
+tests/version_chains.rs:

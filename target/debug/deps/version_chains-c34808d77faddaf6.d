@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/version_chains-c34808d77faddaf6.d: tests/version_chains.rs
+
+/root/repo/target/debug/deps/version_chains-c34808d77faddaf6: tests/version_chains.rs
+
+tests/version_chains.rs:

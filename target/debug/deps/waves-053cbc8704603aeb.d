@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waves-053cbc8704603aeb.d: crates/bench/src/bin/waves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaves-053cbc8704603aeb.rmeta: crates/bench/src/bin/waves.rs Cargo.toml
+
+crates/bench/src/bin/waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

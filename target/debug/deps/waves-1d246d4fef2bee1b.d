@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waves-1d246d4fef2bee1b.d: crates/bench/src/bin/waves.rs
+
+/root/repo/target/debug/deps/waves-1d246d4fef2bee1b: crates/bench/src/bin/waves.rs
+
+crates/bench/src/bin/waves.rs:

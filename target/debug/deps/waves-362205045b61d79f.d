@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waves-362205045b61d79f.d: crates/bench/src/bin/waves.rs
+
+/root/repo/target/debug/deps/waves-362205045b61d79f: crates/bench/src/bin/waves.rs
+
+crates/bench/src/bin/waves.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waves-5b02ba5f43b5cf22.d: crates/bench/src/bin/waves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaves-5b02ba5f43b5cf22.rmeta: crates/bench/src/bin/waves.rs Cargo.toml
+
+crates/bench/src/bin/waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_cycles-286572bf5a5e3cd1.d: examples/adversarial_cycles.rs
+
+/root/repo/target/debug/examples/adversarial_cycles-286572bf5a5e3cd1: examples/adversarial_cycles.rs
+
+examples/adversarial_cycles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversarial_cycles-8c0bc2699cb6720f.d: examples/adversarial_cycles.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversarial_cycles-8c0bc2699cb6720f.rmeta: examples/adversarial_cycles.rs Cargo.toml
+
+examples/adversarial_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_cycles-afc5192de193cb09.d: examples/adversarial_cycles.rs
+
+/root/repo/target/debug/examples/adversarial_cycles-afc5192de193cb09: examples/adversarial_cycles.rs
+
+examples/adversarial_cycles.rs:

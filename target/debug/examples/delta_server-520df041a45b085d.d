@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delta_server-520df041a45b085d.d: examples/delta_server.rs
+
+/root/repo/target/debug/examples/delta_server-520df041a45b085d: examples/delta_server.rs
+
+examples/delta_server.rs:

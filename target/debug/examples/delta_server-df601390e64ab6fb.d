@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/delta_server-df601390e64ab6fb.d: examples/delta_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdelta_server-df601390e64ab6fb.rmeta: examples/delta_server.rs Cargo.toml
+
+examples/delta_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

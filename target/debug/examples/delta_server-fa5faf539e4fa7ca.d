@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delta_server-fa5faf539e4fa7ca.d: examples/delta_server.rs
+
+/root/repo/target/debug/examples/delta_server-fa5faf539e4fa7ca: examples/delta_server.rs
+
+examples/delta_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_update-332f6123b4975298.d: examples/firmware_update.rs
+
+/root/repo/target/debug/examples/firmware_update-332f6123b4975298: examples/firmware_update.rs
+
+examples/firmware_update.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firmware_update-3d81b5b468f7e3d4.d: examples/firmware_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirmware_update-3d81b5b468f7e3d4.rmeta: examples/firmware_update.rs Cargo.toml
+
+examples/firmware_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_update-a56e58882f1b3c2c.d: examples/firmware_update.rs
+
+/root/repo/target/debug/examples/firmware_update-a56e58882f1b3c2c: examples/firmware_update.rs
+
+examples/firmware_update.rs:

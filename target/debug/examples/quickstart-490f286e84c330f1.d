@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-490f286e84c330f1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-490f286e84c330f1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f67f8872d61ee355.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f67f8872d61ee355: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilient_update-34d15da5f3d963e7.d: examples/resilient_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilient_update-34d15da5f3d963e7.rmeta: examples/resilient_update.rs Cargo.toml
+
+examples/resilient_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

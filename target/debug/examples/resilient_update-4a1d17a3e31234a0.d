@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_update-4a1d17a3e31234a0.d: examples/resilient_update.rs
+
+/root/repo/target/debug/examples/resilient_update-4a1d17a3e31234a0: examples/resilient_update.rs
+
+examples/resilient_update.rs:

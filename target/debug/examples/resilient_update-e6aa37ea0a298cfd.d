@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_update-e6aa37ea0a298cfd.d: examples/resilient_update.rs
+
+/root/repo/target/debug/examples/resilient_update-e6aa37ea0a298cfd: examples/resilient_update.rs
+
+examples/resilient_update.rs:

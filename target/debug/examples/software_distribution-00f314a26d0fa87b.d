@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/software_distribution-00f314a26d0fa87b.d: examples/software_distribution.rs
+
+/root/repo/target/debug/examples/software_distribution-00f314a26d0fa87b: examples/software_distribution.rs
+
+examples/software_distribution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/software_distribution-5c6ae09aaf1d36fb.d: examples/software_distribution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsoftware_distribution-5c6ae09aaf1d36fb.rmeta: examples/software_distribution.rs Cargo.toml
+
+examples/software_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

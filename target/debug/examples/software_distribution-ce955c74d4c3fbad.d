@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/software_distribution-ce955c74d4c3fbad.d: examples/software_distribution.rs
+
+/root/repo/target/debug/examples/software_distribution-ce955c74d4c3fbad: examples/software_distribution.rs
+
+examples/software_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-1e84feb3232bab56.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-1e84feb3232bab56: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

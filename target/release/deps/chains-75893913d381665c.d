@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chains-75893913d381665c.d: crates/bench/src/bin/chains.rs
+
+/root/repo/target/release/deps/chains-75893913d381665c: crates/bench/src/bin/chains.rs
+
+crates/bench/src/bin/chains.rs:

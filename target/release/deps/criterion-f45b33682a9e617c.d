@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f45b33682a9e617c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f45b33682a9e617c.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f45b33682a9e617c.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differencing-f1d71b5fc5ddbf56.d: crates/bench/benches/differencing.rs
+
+/root/repo/target/release/deps/differencing-f1d71b5fc5ddbf56: crates/bench/benches/differencing.rs
+
+crates/bench/benches/differencing.rs:

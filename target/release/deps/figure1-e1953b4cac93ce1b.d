@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-e1953b4cac93ce1b.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-e1953b4cac93ce1b: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

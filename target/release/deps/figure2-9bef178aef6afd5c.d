@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-9bef178aef6afd5c.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-9bef178aef6afd5c: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-580cab82cf9613da.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-580cab82cf9613da: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flash-d5aad275c4685253.d: crates/bench/src/bin/flash.rs
+
+/root/repo/target/release/deps/flash-d5aad275c4685253: crates/bench/src/bin/flash.rs
+
+crates/bench/src/bin/flash.rs:

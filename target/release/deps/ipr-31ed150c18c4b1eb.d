@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipr-31ed150c18c4b1eb.d: src/lib.rs
+
+/root/repo/target/release/deps/libipr-31ed150c18c4b1eb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libipr-31ed150c18c4b1eb.rmeta: src/lib.rs
+
+src/lib.rs:

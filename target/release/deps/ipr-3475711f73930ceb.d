@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipr-3475711f73930ceb.d: src/lib.rs
+
+/root/repo/target/release/deps/libipr-3475711f73930ceb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libipr-3475711f73930ceb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ipr-e92072bcfd9d9a4e.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ipr-e92072bcfd9d9a4e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipr_bench-ce98d7192e9e11a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libipr_bench-ce98d7192e9e11a0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libipr_bench-ce98d7192e9e11a0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ipr_core-3a7e78df21fbf725.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs
+
+/root/repo/target/release/deps/libipr_core-3a7e78df21fbf725.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs
+
+/root/repo/target/release/deps/libipr_core-3a7e78df21fbf725.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/apply.rs:
+crates/core/src/convert.rs:
+crates/core/src/crwi.rs:
+crates/core/src/policy.rs:
+crates/core/src/schedule.rs:
+crates/core/src/toposort.rs:
+crates/core/src/verify.rs:
+crates/core/src/resumable.rs:
+crates/core/src/spill.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ipr_core-a96e8cef07cfb650.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/parallel.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs
+
+/root/repo/target/release/deps/libipr_core-a96e8cef07cfb650.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/parallel.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs
+
+/root/repo/target/release/deps/libipr_core-a96e8cef07cfb650.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/convert.rs crates/core/src/crwi.rs crates/core/src/parallel.rs crates/core/src/policy.rs crates/core/src/schedule.rs crates/core/src/toposort.rs crates/core/src/verify.rs crates/core/src/resumable.rs crates/core/src/spill.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/apply.rs:
+crates/core/src/convert.rs:
+crates/core/src/crwi.rs:
+crates/core/src/parallel.rs:
+crates/core/src/policy.rs:
+crates/core/src/schedule.rs:
+crates/core/src/toposort.rs:
+crates/core/src/verify.rs:
+crates/core/src/resumable.rs:
+crates/core/src/spill.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ipr_device-d7d977088d647266.d: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/release/deps/libipr_device-d7d977088d647266.rlib: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+/root/repo/target/release/deps/libipr_device-d7d977088d647266.rmeta: crates/device/src/lib.rs crates/device/src/channel.rs crates/device/src/device.rs crates/device/src/flash.rs crates/device/src/update.rs
+
+crates/device/src/lib.rs:
+crates/device/src/channel.rs:
+crates/device/src/device.rs:
+crates/device/src/flash.rs:
+crates/device/src/update.rs:

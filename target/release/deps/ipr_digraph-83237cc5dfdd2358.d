@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ipr_digraph-83237cc5dfdd2358.d: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+/root/repo/target/release/deps/libipr_digraph-83237cc5dfdd2358.rlib: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+/root/repo/target/release/deps/libipr_digraph-83237cc5dfdd2358.rmeta: crates/digraph/src/lib.rs crates/digraph/src/graph.rs crates/digraph/src/interval.rs crates/digraph/src/fvs.rs crates/digraph/src/scc.rs crates/digraph/src/topo.rs
+
+crates/digraph/src/lib.rs:
+crates/digraph/src/graph.rs:
+crates/digraph/src/interval.rs:
+crates/digraph/src/fvs.rs:
+crates/digraph/src/scc.rs:
+crates/digraph/src/topo.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipr_hash-1b603993a5d7ba22.d: crates/hash/src/lib.rs
+
+/root/repo/target/release/deps/libipr_hash-1b603993a5d7ba22.rlib: crates/hash/src/lib.rs
+
+/root/repo/target/release/deps/libipr_hash-1b603993a5d7ba22.rmeta: crates/hash/src/lib.rs
+
+crates/hash/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ipr_workloads-8e1891680945a738.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+/root/repo/target/release/deps/libipr_workloads-8e1891680945a738.rlib: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+/root/repo/target/release/deps/libipr_workloads-8e1891680945a738.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/archive.rs crates/workloads/src/chain.rs crates/workloads/src/content.rs crates/workloads/src/corpus.rs crates/workloads/src/mutate.rs crates/workloads/src/reduction.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/archive.rs:
+crates/workloads/src/chain.rs:
+crates/workloads/src/content.rs:
+crates/workloads/src/corpus.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/reduction.rs:

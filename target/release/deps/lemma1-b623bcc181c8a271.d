@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lemma1-b623bcc181c8a271.d: crates/bench/src/bin/lemma1.rs
+
+/root/repo/target/release/deps/lemma1-b623bcc181c8a271: crates/bench/src/bin/lemma1.rs
+
+crates/bench/src/bin/lemma1.rs:

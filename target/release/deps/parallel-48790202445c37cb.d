@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-48790202445c37cb.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-48790202445c37cb: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

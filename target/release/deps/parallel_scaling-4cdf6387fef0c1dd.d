@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-4cdf6387fef0c1dd.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-4cdf6387fef0c1dd: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

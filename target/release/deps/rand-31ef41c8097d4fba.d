@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-31ef41c8097d4fba.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-31ef41c8097d4fba.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-31ef41c8097d4fba.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reduction-22119a8b7b9697aa.d: crates/bench/src/bin/reduction.rs
+
+/root/repo/target/release/deps/reduction-22119a8b7b9697aa: crates/bench/src/bin/reduction.rs
+
+crates/bench/src/bin/reduction.rs:

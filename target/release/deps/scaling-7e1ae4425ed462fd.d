@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-7e1ae4425ed462fd.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-7e1ae4425ed462fd: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e58c0a883909bab8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e58c0a883909bab8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

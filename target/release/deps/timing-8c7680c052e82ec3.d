@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing-8c7680c052e82ec3.d: crates/bench/src/bin/timing.rs
+
+/root/repo/target/release/deps/timing-8c7680c052e82ec3: crates/bench/src/bin/timing.rs
+
+crates/bench/src/bin/timing.rs:

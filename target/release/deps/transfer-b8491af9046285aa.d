@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transfer-b8491af9046285aa.d: crates/bench/src/bin/transfer.rs
+
+/root/repo/target/release/deps/transfer-b8491af9046285aa: crates/bench/src/bin/transfer.rs
+
+crates/bench/src/bin/transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/waves-b1ff1ad4ea561f03.d: crates/bench/src/bin/waves.rs
+
+/root/repo/target/release/deps/waves-b1ff1ad4ea561f03: crates/bench/src/bin/waves.rs
+
+crates/bench/src/bin/waves.rs:
