@@ -1,0 +1,89 @@
+//! Per-phase pipeline breakdown via the `ipr-trace` observability layer.
+//!
+//! Drives the full pipeline — diff → encode → decode → convert → plan →
+//! serial apply → parallel apply — over the experiment corpus with a
+//! [`ipr_trace::StatsRecorder`] installed, then reports where the time
+//! went. Unlike the other experiment binaries, nothing here is timed by
+//! hand: every number comes from the same spans and counters that
+//! `ipr --stats` exposes, so this doubles as an end-to-end check that the
+//! instrumentation covers the whole pipeline.
+//!
+//! Results land in `results/BENCH_phase_breakdown.json` in the
+//! `ipr-stats/1` schema (see docs/OBSERVABILITY.md), diffable across PRs.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin phases`
+
+use ipr_bench::{experiment_corpus, pct, Table};
+use ipr_core::{
+    apply_in_place, apply_schedule_parallel, convert_to_in_place, required_capacity,
+    ConversionConfig, ParallelConfig, ParallelSchedule,
+};
+use ipr_delta::codec::{decode, encode, Format};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use std::sync::Arc;
+
+fn main() {
+    let corpus = experiment_corpus();
+    let recorder = Arc::new(ipr_trace::StatsRecorder::new());
+    let _guard = ipr_trace::install(recorder.clone());
+
+    let differ = GreedyDiffer::default();
+    let config = ParallelConfig::default();
+    for pair in &corpus {
+        let script = differ.diff(&pair.reference, &pair.version);
+        let wire = encode(&script, Format::InPlace).expect("encodable script");
+        let decoded = decode(&wire).expect("round-trip");
+        let out = convert_to_in_place(
+            &decoded.script,
+            &pair.reference,
+            &ConversionConfig::default(),
+        )
+        .expect("conversion cannot fail");
+        let plan = ParallelSchedule::plan(&out.script).expect("converted script is safe");
+        let cap = usize::try_from(required_capacity(&out.script)).expect("fits usize");
+        let mut buf = vec![0u8; cap];
+        buf[..pair.reference.len()].copy_from_slice(&pair.reference);
+        apply_in_place(&out.script, &mut buf).expect("serial apply");
+        buf[..pair.reference.len()].copy_from_slice(&pair.reference);
+        apply_schedule_parallel(&out.script, &plan, &mut buf, &config).expect("parallel apply");
+    }
+
+    let report = recorder.report();
+
+    // Phase share table: top-level spans as a fraction of total traced time.
+    let phases = [
+        ("diff", "diff"),
+        ("codec.encode", "encode"),
+        ("codec.decode", "decode"),
+        ("convert", "convert"),
+        ("schedule.plan", "plan"),
+        ("apply.serial", "serial apply"),
+        ("apply.parallel", "parallel apply"),
+    ];
+    let total_ns: u64 = phases
+        .iter()
+        .filter_map(|(name, _)| report.span(name))
+        .map(|s| s.total_ns)
+        .sum();
+    println!(
+        "Pipeline phase breakdown: {} pairs, all numbers from ipr-trace spans\n",
+        corpus.len()
+    );
+    let mut t = Table::new(vec!["phase", "calls", "total ms", "share"]);
+    for (name, label) in phases {
+        let s = report.span(name).expect("phase span recorded");
+        t.row(vec![
+            label.into(),
+            s.count.to_string(),
+            format!("{:.2}", s.total_ns as f64 / 1e6),
+            pct(s.total_ns as f64 / total_ns as f64),
+        ]);
+    }
+    t.print();
+
+    println!("\nFull span tree and counters:\n\n{report}");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_phase_breakdown.json", report.to_json()).expect("write results");
+    println!("wrote results/BENCH_phase_breakdown.json");
+}

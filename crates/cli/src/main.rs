@@ -10,6 +10,11 @@
 //! ipr info <delta>                            print header and statistics
 //! ipr verify <delta>                          check Equation 2 safety
 //! ```
+//!
+//! Every subcommand also accepts `--stats` (human-readable per-phase
+//! report on stderr), `--stats=json` (the stable `ipr-stats/1` JSON on
+//! stderr) and `--stats-out <file>` (the JSON written to a file); see
+//! `docs/OBSERVABILITY.md` for the span/counter name contract.
 
 use ipr_core::{check_in_place_safe, convert_to_in_place, ConversionConfig, CyclePolicy};
 use ipr_delta::codec::{self, Format};
@@ -30,7 +35,72 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// What `--stats[=json]` / `--stats-out <file>` asked for.
+struct StatsOptions {
+    enabled: bool,
+    json: bool,
+    out: Option<String>,
+}
+
+impl StatsOptions {
+    /// Strips the stats flags out of `args`. They apply to every
+    /// subcommand, so the per-command option parsers never see them.
+    fn extract(args: &[String]) -> Result<(Self, Vec<String>), String> {
+        let mut opts = Self {
+            enabled: false,
+            json: false,
+            out: None,
+        };
+        let mut rest = Vec::with_capacity(args.len());
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--stats" => opts.enabled = true,
+                "--stats=json" => {
+                    opts.enabled = true;
+                    opts.json = true;
+                }
+                "--stats-out" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or("option --stats-out requires a file path")?;
+                    opts.enabled = true;
+                    opts.json = true;
+                    opts.out = Some(v.clone());
+                    i += 1;
+                }
+                _ => rest.push(args[i].clone()),
+            }
+            i += 1;
+        }
+        Ok((opts, rest))
+    }
+
+    /// Emits `report` where the flags asked for it.
+    fn emit(&self, report: &ipr_trace::StatsReport) -> CliResult {
+        match (&self.out, self.json) {
+            (Some(path), _) => std::fs::write(path, report.to_json() + "\n")?,
+            (None, true) => eprintln!("{}", report.to_json()),
+            (None, false) => eprint!("{report}"),
+        }
+        Ok(())
+    }
+}
+
 fn run(args: &[String]) -> CliResult {
+    let (stats, args) = StatsOptions::extract(args)?;
+    if !stats.enabled {
+        return dispatch(&args);
+    }
+    let recorder = std::sync::Arc::new(ipr_trace::StatsRecorder::new());
+    let guard = ipr_trace::install(recorder.clone());
+    let result = dispatch(&args);
+    drop(guard);
+    stats.emit(&recorder.report())?;
+    result
+}
+
+fn dispatch(args: &[String]) -> CliResult {
     let Some(cmd) = args.first() else {
         print_usage();
         return Err("missing subcommand".into());
@@ -68,6 +138,9 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
+         \n\
+         every subcommand accepts: --stats | --stats=json | --stats-out <file>\n\
+         \x20 (per-phase spans/counters report, printed to stderr or written as JSON)\n\
          \n\
          formats F: ordered | in-place | paper-ordered | paper-in-place | improved"
     );
@@ -622,6 +695,119 @@ mod tests {
         std::fs::write(p("other"), b"completely unrelated bytes!!").unwrap();
         run(&s(&["diff", &p("other"), &p("old"), &p("d2")])).unwrap();
         assert!(run(&s(&["compose", &p("d"), &p("d2"), &p("dc")])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_flags_are_stripped_and_validated() {
+        let (opts, rest) = StatsOptions::extract(&s(&["convert", "--stats", "a", "b"])).unwrap();
+        assert!(opts.enabled && !opts.json && opts.out.is_none());
+        assert_eq!(rest, s(&["convert", "a", "b"]));
+
+        let (opts, rest) = StatsOptions::extract(&s(&["info", "x", "--stats=json"])).unwrap();
+        assert!(opts.enabled && opts.json);
+        assert_eq!(rest, s(&["info", "x"]));
+
+        let (opts, rest) =
+            StatsOptions::extract(&s(&["info", "--stats-out", "report.json", "x"])).unwrap();
+        assert_eq!(opts.out.as_deref(), Some("report.json"));
+        assert_eq!(rest, s(&["info", "x"]));
+
+        assert!(StatsOptions::extract(&s(&["info", "--stats-out"])).is_err());
+    }
+
+    /// Acceptance check: `--stats=json` on an adversarial (paper Fig. 2)
+    /// workload emits a parseable report whose cycle-break counters equal
+    /// the conversion layer's own `ConversionReport`, and whose span
+    /// timings nest sensibly.
+    #[test]
+    fn stats_json_matches_conversion_report_on_adversarial_workload() {
+        let dir = std::env::temp_dir().join(format!("ipr-cli-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let case = ipr_workloads::adversarial::tree_digraph(4);
+        std::fs::write(p("ref"), &case.reference).unwrap();
+        let delta = codec::encode(&case.script, Format::InPlace).unwrap();
+        std::fs::write(p("delta"), &delta).unwrap();
+
+        // Ground truth straight from the conversion layer.
+        let expected =
+            convert_to_in_place(&case.script, &case.reference, &ConversionConfig::default())
+                .unwrap()
+                .report;
+        assert!(expected.cycles_broken > 0, "workload must exercise cycles");
+
+        run(&s(&[
+            "convert",
+            &p("ref"),
+            &p("delta"),
+            &p("delta-ip"),
+            "--stats-out",
+            &p("stats.json"),
+        ]))
+        .unwrap();
+
+        let raw = std::fs::read_to_string(p("stats.json")).unwrap();
+        let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("ipr-stats/1"));
+
+        let counter = |name: &str| {
+            v.get("counters")
+                .unwrap()
+                .get(name)
+                .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(
+            counter("convert.cycles_broken"),
+            expected.cycles_broken as u64
+        );
+        assert_eq!(counter("convert.bytes_reencoded"), expected.conversion_cost);
+        assert_eq!(
+            counter("convert.copies_converted"),
+            expected.copies_converted as u64
+        );
+        assert_eq!(counter("convert.edges"), expected.edges as u64);
+
+        // Span timings sum sensibly: the convert span contains its
+        // children, and every phase ran exactly once.
+        let spans = v.get("spans").unwrap();
+        let span_ns = |name: &str| {
+            let s = spans
+                .get(name)
+                .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
+            assert_eq!(s.get("count").unwrap().as_u64(), Some(1), "{name} count");
+            s.get("total_ns").unwrap().as_u64().unwrap()
+        };
+        let total = span_ns("convert");
+        let children =
+            span_ns("convert.crwi_build") + span_ns("convert.toposort") + span_ns("convert.emit");
+        assert!(
+            total >= children,
+            "convert span ({total} ns) contains its phases ({children} ns)"
+        );
+        assert_eq!(
+            spans.get("convert").unwrap().get("depth").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            spans
+                .get("convert.toposort")
+                .unwrap()
+                .get("depth")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        // The codec ran too (decode the input, encode the output).
+        assert!(span_ns("codec.decode") > 0);
+        assert!(span_ns("codec.encode") > 0);
+
+        // Plain `--stats` (text to stderr) also succeeds end to end.
+        run(&s(&["verify", &p("delta-ip"), "--stats"])).unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -73,6 +73,14 @@ impl std::error::Error for InPlaceApplyError {}
 /// ```
 pub fn apply_in_place(script: &DeltaScript, buf: &mut [u8]) -> Result<(), InPlaceApplyError> {
     check_capacity(script, buf)?;
+    let _span = ipr_trace::span("apply.serial");
+    if ipr_trace::enabled() {
+        let bytes: u64 = script.commands().iter().map(ipr_delta::Command::len).sum();
+        ipr_trace::with(|r| {
+            r.add("apply.commands", script.len() as u64);
+            r.add("apply.bytes_moved", bytes);
+        });
+    }
     for cmd in script.commands() {
         match cmd {
             Command::Copy(c) => {

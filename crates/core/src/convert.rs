@@ -131,6 +131,28 @@ impl ConversionReport {
     pub fn total_time(&self) -> Duration {
         self.graph_build_time + self.sort_time
     }
+
+    /// Publishes the report to the installed [`ipr_trace`] recorder (the
+    /// `convert.*` counters of `docs/OBSERVABILITY.md`); no-op when
+    /// tracing is off.
+    fn record(&self) {
+        if !ipr_trace::enabled() {
+            return;
+        }
+        ipr_trace::with(|r| {
+            r.add("convert.input_copies", self.input_copies as u64);
+            r.add("convert.input_adds", self.input_adds as u64);
+            r.add("convert.edges", self.edges as u64);
+            r.add("convert.cycles_broken", self.cycles_broken as u64);
+            r.add("convert.copies_converted", self.copies_converted as u64);
+            r.add("convert.bytes_converted", self.bytes_converted);
+            r.add("convert.bytes_reencoded", self.conversion_cost);
+            r.add(
+                "convert.cycle_nodes_examined",
+                self.cycle_nodes_examined as u64,
+            );
+        });
+    }
 }
 
 impl fmt::Display for ConversionReport {
@@ -207,16 +229,20 @@ pub fn convert_to_in_place(
             actual: reference.len() as u64,
         });
     }
+    let _span = ipr_trace::span("convert");
 
     // Steps 1-3: partition, sort by write offset, build the digraph.
+    let build_span = ipr_trace::span("convert.crwi_build");
     let build_start = Instant::now();
     let copies = script.copies();
     let input_copies = copies.len();
     let input_adds = script.add_count();
     let crwi = CrwiGraph::build(copies);
     let graph_build_time = build_start.elapsed();
+    drop(build_span);
 
     // Step 4: cycle-breaking topological sort.
+    let sort_span = ipr_trace::span("convert.toposort");
     let sort_start = Instant::now();
     let costs: Vec<u64> = crwi
         .copies()
@@ -230,8 +256,10 @@ pub fn convert_to_in_place(
         cycle_nodes_examined,
     } = sort_breaking_cycles(crwi.graph(), &costs, config.policy)?;
     let sort_time = sort_start.elapsed();
+    drop(sort_span);
 
     // Steps 5-6: emit copies in topological order, then adds.
+    let emit_span = ipr_trace::span("convert.emit");
     let mut commands: Vec<Command> = Vec::with_capacity(order.len() + removed.len() + input_adds);
     for &v in &order {
         commands.push(Command::Copy(crwi.copies()[v as usize]));
@@ -254,22 +282,23 @@ pub fn convert_to_in_place(
     let script = DeltaScript::new(script.source_len(), script.target_len(), commands)
         .expect("conversion preserves script validity");
     debug_assert!(crate::verify::is_in_place_safe(&script));
+    drop(emit_span);
 
-    Ok(InPlaceOutcome {
-        script,
-        report: ConversionReport {
-            input_copies,
-            input_adds,
-            edges: crwi.edge_count(),
-            cycles_broken,
-            copies_converted,
-            bytes_converted,
-            conversion_cost,
-            cycle_nodes_examined,
-            graph_build_time,
-            sort_time,
-        },
-    })
+    let report = ConversionReport {
+        input_copies,
+        input_adds,
+        edges: crwi.edge_count(),
+        cycles_broken,
+        copies_converted,
+        bytes_converted,
+        conversion_cost,
+        cycle_nodes_examined,
+        graph_build_time,
+        sort_time,
+    };
+    report.record();
+
+    Ok(InPlaceOutcome { script, report })
 }
 
 /// One-step pipeline: difference `version` against `reference` and convert

@@ -225,6 +225,7 @@ pub fn apply_schedule_parallel(
     }
     check_coverage(script, plan)?;
 
+    let _span = ipr_trace::span("apply.parallel");
     let threads = config.effective_threads().max(1);
     let mut report = ParallelApplyReport {
         waves: plan.wave_count(),
@@ -232,8 +233,22 @@ pub fn apply_schedule_parallel(
         snapshot_bytes: 0,
         threads,
     };
+    let traced = ipr_trace::enabled();
     for wave in plan.waves() {
+        let wave_start = traced.then(std::time::Instant::now);
         apply_wave(script, wave, buf, threads, config, &mut report);
+        if let Some(start) = wave_start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ipr_trace::observe("apply.wave_ns", nanos);
+        }
+    }
+    if traced {
+        ipr_trace::with(|r| {
+            r.add("apply.waves", report.waves as u64);
+            r.add("apply.parallel_waves", report.parallel_waves as u64);
+            r.add("apply.snapshot_bytes", report.snapshot_bytes);
+            r.gauge("apply.threads", report.threads as u64);
+        });
     }
     Ok(report)
 }
@@ -289,6 +304,10 @@ enum JobSrc<'w> {
 
 impl Job<'_> {
     fn run(self) {
+        ipr_trace::with(|r| {
+            r.add("apply.jobs", 1);
+            r.add("apply.job_bytes", self.dst.len() as u64);
+        });
         match self.src {
             JobSrc::Borrowed(s) => self.dst.copy_from_slice(s),
             JobSrc::Owned(v) => self.dst.copy_from_slice(&v),
@@ -376,13 +395,18 @@ fn apply_wave(
         .collect();
 
     // Phase 3: balance jobs across workers (greedy LPT by payload size)
-    // and execute. The calling thread takes one bucket itself.
+    // and execute. The calling thread takes one bucket itself. Workers
+    // re-install the caller's recorder so their counters aggregate into
+    // the same report (recorders are installed per thread).
+    let recorder = ipr_trace::installed();
     let buckets = balance(jobs, threads);
     std::thread::scope(|s| {
         let mut rest = buckets.into_iter();
         let own = rest.next();
         for bucket in rest {
+            let recorder = recorder.clone();
             s.spawn(move || {
+                let _guard = recorder.map(ipr_trace::install);
                 for job in bucket {
                     job.run();
                 }

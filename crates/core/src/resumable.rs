@@ -216,6 +216,7 @@ pub fn resume_in_place_observed(
             commands: commands.len(),
         });
     }
+    let _span = ipr_trace::span("apply.resumable");
 
     let mut budget = max_bytes;
 
@@ -229,6 +230,7 @@ pub fn resume_in_place_observed(
         journal.redo = None;
         persist(journal);
         budget = budget.saturating_sub(data.len() as u64);
+        ipr_trace::add("resumable.replays", 1);
     }
 
     while journal.command < commands.len() {
@@ -276,6 +278,10 @@ pub fn resume_in_place_observed(
         // Durable point A: chunk staged; buffer untouched so far.
         journal.redo = Some((write_at, data));
         persist(journal);
+        ipr_trace::with(|r| {
+            r.add("resumable.chunks", 1);
+            r.add("resumable.chunk_bytes", n);
+        });
         // Crash window: the buffer write below may happen fully,
         // partially, or not at all — the staged record recovers all three.
         let (to, data) = journal.redo.as_ref().expect("just staged");

@@ -53,6 +53,7 @@ impl ParallelSchedule {
     /// ```
     #[must_use]
     pub fn plan(script: &DeltaScript) -> Option<Self> {
+        let _span = ipr_trace::span("schedule.plan");
         if check_in_place_safe(script).is_err() {
             return None;
         }
@@ -99,10 +100,18 @@ impl ParallelSchedule {
             }
         }
         waves.retain(|w| !w.is_empty());
-        Some(Self {
+        let plan = Self {
             commands: script.len(),
             waves,
-        })
+        };
+        if ipr_trace::enabled() {
+            let parallelism_milli = (plan.parallelism() * 1000.0) as u64;
+            ipr_trace::with(|r| {
+                r.add("schedule.waves", plan.wave_count() as u64);
+                r.gauge("schedule.parallelism_milli", parallelism_milli);
+            });
+        }
+        Some(plan)
     }
 
     /// The waves, each a list of command indices.

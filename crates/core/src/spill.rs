@@ -141,6 +141,7 @@ pub fn convert_with_spill(
             actual: reference.len() as u64,
         });
     }
+    let _span = ipr_trace::span("spill.convert");
     let crwi = CrwiGraph::build(script.copies());
     let costs: Vec<u64> = crwi
         .copies()
@@ -211,14 +212,23 @@ pub fn convert_with_spill(
     }
     let script = DeltaScript::new(script.source_len(), script.target_len(), commands)
         .expect("spilled conversion preserves script validity");
-    Ok(SpillOutcome {
+    let outcome = SpillOutcome {
         scratch_used: config.scratch_budget - remaining,
         copies_converted: converted.len(),
         bytes_converted,
         conversion_cost,
         script,
         stashed,
-    })
+    };
+    if ipr_trace::enabled() {
+        ipr_trace::with(|r| {
+            r.add("spill.stashed_copies", outcome.stashed.len() as u64);
+            r.add("spill.stash_bytes", outcome.scratch_used);
+            r.add("spill.copies_converted", outcome.copies_converted as u64);
+            r.add("spill.bytes_converted", outcome.bytes_converted);
+        });
+    }
+    Ok(outcome)
 }
 
 /// Applies a spilled script to `buf` in place, using at most
@@ -246,6 +256,7 @@ pub fn apply_in_place_spilled(
         }
         .into());
     }
+    let _span = ipr_trace::span("apply.spilled");
     // Phase 1: stash.
     let mut total = 0u64;
     let mut scratch: Vec<Vec<u8>> = Vec::with_capacity(stashed.len());

@@ -391,6 +391,7 @@ fn encode_inner(
     format: Format,
     target_crc: Option<u32>,
 ) -> Result<Vec<u8>, EncodeError> {
+    let _span = ipr_trace::span("codec.encode");
     if !format.supports_out_of_order() && !script.is_write_ordered() {
         return Err(EncodeError::NotWriteOrdered);
     }
@@ -416,6 +417,7 @@ fn encode_inner(
         out.extend_from_slice(&crc.to_le_bytes());
     }
     out.extend_from_slice(&payload);
+    ipr_trace::add("codec.encoded_bytes", out.len() as u64);
     Ok(out)
 }
 
@@ -425,6 +427,8 @@ fn encode_inner(
 ///
 /// See [`DecodeError`].
 pub fn decode(bytes: &[u8]) -> Result<DecodedDelta, DecodeError> {
+    let _span = ipr_trace::span("codec.decode");
+    ipr_trace::add("codec.decoded_bytes", bytes.len() as u64);
     let mut r = ByteReader::new(bytes);
     if r.read_bytes(4).map_err(|_| DecodeError::BadMagic)? != MAGIC {
         return Err(DecodeError::BadMagic);

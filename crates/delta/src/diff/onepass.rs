@@ -73,6 +73,11 @@ const EMPTY: u32 = u32::MAX;
 
 impl Differ for OnePassDiffer {
     fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
+        let _span = ipr_trace::span("diff");
+        ipr_trace::with(|r| {
+            r.add("diff.reference_bytes", reference.len() as u64);
+            r.add("diff.version_bytes", version.len() as u64);
+        });
         let source_len = reference.len() as u64;
         let mut builder = ScriptBuilder::new();
         if version.len() < self.seed_len || reference.len() < self.seed_len {

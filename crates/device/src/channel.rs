@@ -193,6 +193,11 @@ impl LossyChannel {
                 retransmissions += 1;
             }
         }
+        ipr_trace::with(|r| {
+            r.add("device.channel.bytes", bytes);
+            r.add("device.channel.frames", frames);
+            r.add("device.channel.retransmissions", retransmissions);
+        });
         TransferReport {
             time,
             frames,

@@ -167,6 +167,7 @@ impl FlashStorage {
         }
         self.data[start..end as usize].copy_from_slice(data);
         self.programmed_bytes += data.len() as u64;
+        ipr_trace::add("device.flash.programmed_bytes", data.len() as u64);
         Ok(())
     }
 
@@ -179,6 +180,7 @@ impl FlashStorage {
         let start = index * self.block_size;
         self.data[start..start + self.block_size].fill(0xff);
         self.erase_counts[index] += 1;
+        ipr_trace::add("device.flash.erases", 1);
     }
 
     /// Wear count of block `index`.
@@ -324,6 +326,7 @@ impl<'a> FlashUpdater<'a> {
     /// not match the installed image, [`FlashError::OutOfRange`] if the
     /// new version exceeds the part.
     pub fn apply_update(&mut self, script: &DeltaScript) -> Result<FlashUpdateStats, FlashError> {
+        let _span = ipr_trace::span("device.flash_update");
         if script.source_len() != self.image_len as u64 {
             return Err(FlashError::ImageMismatch {
                 expected: script.source_len(),

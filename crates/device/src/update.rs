@@ -109,6 +109,7 @@ pub fn prepare_update(
     config: &ConversionConfig,
     format: Format,
 ) -> Result<PreparedUpdate, PrepareError> {
+    let _span = ipr_trace::span("device.prepare");
     let script = differ.diff(reference, version);
     let outcome = convert_to_in_place(&script, reference, config)?;
     let payload = codec::encode_checked(&outcome.script, format, version)?;
@@ -195,6 +196,8 @@ pub fn install_update(
     payload: &[u8],
     channel: Channel,
 ) -> Result<InstallReport, InstallError> {
+    let _span = ipr_trace::span("device.install");
+    ipr_trace::add("device.transfer_bytes", payload.len() as u64);
     let transfer_time = channel.transfer_time(payload.len() as u64);
     let decoded = codec::decode(payload)?;
     let stats = device.apply_update(&decoded.script)?;

@@ -1,0 +1,447 @@
+//! A minimal zero-dependency JSON reader/escaper.
+//!
+//! Exists so tests, benches and downstream tools can parse the
+//! `ipr-stats/1` reports emitted by [`crate::StatsReport::to_json`]
+//! without pulling in a serialization framework. It handles the full
+//! JSON grammar but is tuned for trust-your-own-output use: numbers are
+//! `f64`, and errors carry a byte offset rather than line/column.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys sorted (BTreeMap) for deterministic iteration.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object, or `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Element `index` of an array, or `None` for other variants.
+    #[must_use]
+    pub fn index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object's map, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure at a byte offset of the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What was expected or found.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `input` as a single JSON document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first problem,
+/// including trailing non-whitespace after the document.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+/// Quotes and escapes `s` as a JSON string literal (including the
+/// surrounding double quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar; input is a &str so boundaries
+                    // are valid.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let unit = self.hex4()?;
+        // Surrogate pair handling for completeness.
+        if (0xD800..0xDC00).contains(&unit) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if (0xDC00..0xE000).contains(&low) {
+                    let c = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(unit).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1.5").unwrap().as_f64(), Some(-1.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": "c"}], "d": {}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().index(0).unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("a")
+                .unwrap()
+                .index(2)
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("c")
+        );
+        assert_eq!(v.get("d").unwrap().as_object().unwrap().len(), 0);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let v = parse(r#""line\nquote\"tab\tslash\\u: A😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nquote\"tab\tslash\\u: A😀"));
+    }
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "new\nline\ttab",
+            "ctrl\u{1}",
+            "uni😀",
+        ] {
+            let quoted = escape(s);
+            assert_eq!(parse(&quoted).unwrap().as_str(), Some(s), "for {quoted}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "{1: 2}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+        let err = parse("[1, ?]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn as_u64_rejects_non_integers() {
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("\"1\"").unwrap().as_u64(), None);
+    }
+}

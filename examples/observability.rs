@@ -1,0 +1,64 @@
+//! The observability layer, live: run the pipeline over the paper's
+//! Figure 2 adversarial workload with a [`StatsRecorder`] installed and
+//! read the cycle-breaking statistics off the report — the worked example
+//! from docs/OBSERVABILITY.md.
+//!
+//! [`StatsRecorder`]: ipr::trace::StatsRecorder
+//!
+//! Run: `cargo run --release --example observability`
+
+use ipr::core::{apply_in_place, convert_to_in_place, ConversionConfig};
+use ipr::delta::codec::{decode, encode, Format};
+use ipr::workloads::adversarial::tree_digraph;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Install a recorder for this thread; instrumentation everywhere in
+    // the pipeline starts emitting into it. Dropping the guard uninstalls.
+    let recorder = Arc::new(ipr::trace::StatsRecorder::new());
+    let guard = ipr::trace::install(recorder.clone());
+
+    // Figure 2: a tree-shaped CRWI digraph with one back edge per leaf —
+    // every leaf sits on a cycle, so conversion must break many cycles.
+    let case = tree_digraph(4);
+
+    // Round-trip through the wire format, convert, and apply in place,
+    // exactly as a device update would.
+    let wire = encode(&case.script, Format::InPlace)?;
+    let decoded = decode(&wire)?;
+    let outcome = convert_to_in_place(
+        &decoded.script,
+        &case.reference,
+        &ConversionConfig::default(),
+    )?;
+    let mut buf = case.reference.clone();
+    buf.resize(case.reference.len().max(case.version.len()), 0);
+    apply_in_place(&outcome.script, &mut buf)?;
+    buf.truncate(case.version.len());
+    assert_eq!(buf, case.version);
+
+    drop(guard);
+    let report = recorder.report();
+
+    // The counters agree with the conversion layer's own report.
+    let cycles = report.counter("convert.cycles_broken").unwrap_or(0);
+    let reencoded = report.counter("convert.bytes_reencoded").unwrap_or(0);
+    println!("workload: {}", case.label);
+    println!(
+        "cycles broken: {cycles} (conversion layer says {})",
+        outcome.report.cycles_broken
+    );
+    println!(
+        "bytes re-encoded as adds: {reencoded} (conversion layer says {})\n",
+        outcome.report.conversion_cost
+    );
+    assert_eq!(cycles, outcome.report.cycles_broken as u64);
+    assert_eq!(reencoded, outcome.report.conversion_cost);
+
+    println!("--- human-readable report (what `ipr --stats` prints) ---\n");
+    print!("{report}");
+
+    println!("\n--- ipr-stats/1 JSON (what `ipr --stats=json` prints) ---\n");
+    println!("{}", report.to_json());
+    Ok(())
+}

@@ -1,49 +1,11 @@
-//! # ipr — In-Place Reconstruction of Delta Compressed Files
-//!
-//! A Rust implementation of Burns & Long, *"In-Place Reconstruction of Delta
-//! Compressed Files"* (PODC 1998), together with every substrate the paper
-//! depends on: a delta-compression engine, codeword codecs, a graph toolkit,
-//! workload generators and a constrained-device simulator.
-//!
-//! This facade crate re-exports the member crates of the workspace:
-//!
-//! * [`delta`] — copy/add command model, differencing engines and codecs.
-//! * [`core`] — the paper's contribution: CRWI digraph construction,
-//!   cycle-breaking topological sort, copy→add conversion and in-place
-//!   appliers.
-//! * [`digraph`] — digraph, topological sort, SCC and interval primitives.
-//! * [`workloads`] — seeded corpora and the paper's adversarial inputs.
-//! * [`device`] — fixed-capacity device with write-before-read fault
-//!   detection, plus a transfer-time channel model.
-//!
-//! # Quickstart
-//!
-//! ```
-//! use ipr::delta::diff::{Differ, GreedyDiffer};
-//! use ipr::core::{convert_to_in_place, apply_in_place, ConversionConfig};
-//!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let reference = b"the quick brown fox jumps over the lazy dog".to_vec();
-//! let version = b"the quick red fox leaps over the lazy dog!".to_vec();
-//!
-//! // 1. Delta-compress the new version against the reference.
-//! let script = GreedyDiffer::new(4).diff(&reference, &version);
-//!
-//! // 2. Post-process the delta so it can be applied with no scratch space.
-//! let outcome = convert_to_in_place(&script, &reference, &ConversionConfig::default())?;
-//!
-//! // 3. Rebuild the new version in the buffer the old version occupies.
-//! let mut buf = reference.clone();
-//! buf.resize(version.len().max(reference.len()), 0);
-//! apply_in_place(&outcome.script, &mut buf)?;
-//! buf.truncate(version.len());
-//! assert_eq!(buf, version);
-//! # Ok(())
-//! # }
-//! ```
+//! Facade crate re-exporting the workspace: see the README below, which
+//! doubles as this crate's documentation (its quickstart compiles as a
+//! doctest).
+#![doc = include_str!("../README.md")]
 
 pub use ipr_core as core;
 pub use ipr_delta as delta;
 pub use ipr_device as device;
 pub use ipr_digraph as digraph;
+pub use ipr_trace as trace;
 pub use ipr_workloads as workloads;
