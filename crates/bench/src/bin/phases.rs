@@ -12,6 +12,13 @@
 //! `ipr-stats/1` schema (see docs/OBSERVABILITY.md), diffable across PRs.
 //!
 //! Run: `cargo run -p ipr-bench --release --bin phases`
+//!
+//! With `--compare <baseline.json>` the run instead diffs itself against a
+//! previously written breakdown and exits non-zero only when a phase's
+//! *share of total pipeline time* grows by more than [`REGRESSION_FACTOR`].
+//! Shares, not absolute times, so the gate is machine-independent; the
+//! generous factor plus the [`MIN_BASELINE_SHARE`] floor keep CI noise from
+//! tripping it. The baseline file is left untouched in this mode.
 
 use ipr_bench::{experiment_corpus, pct, Table};
 use ipr_core::{
@@ -22,7 +29,30 @@ use ipr_delta::codec::{decode, encode, Format};
 use ipr_delta::diff::{Differ, GreedyDiffer};
 use std::sync::Arc;
 
+/// A phase regresses when its share of total time grows past this factor.
+const REGRESSION_FACTOR: f64 = 3.0;
+/// Phases below this baseline share are too small to gate on: their shares
+/// are dominated by timer noise, not by the code under test.
+const MIN_BASELINE_SHARE: f64 = 0.02;
+
 fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--compare" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare needs a baseline JSON path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; usage: phases [--compare <baseline.json>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let corpus = experiment_corpus();
     let recorder = Arc::new(ipr_trace::StatsRecorder::new());
     let _guard = ipr_trace::install(recorder.clone());
@@ -83,7 +113,81 @@ fn main() {
 
     println!("\nFull span tree and counters:\n\n{report}");
 
+    if let Some(path) = baseline_path {
+        let breaches = compare_to_baseline(&report, &phases, total_ns, &path);
+        if breaches > 0 {
+            eprintln!("\n{breaches} phase(s) regressed past {REGRESSION_FACTOR}x");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_phase_breakdown.json", report.to_json()).expect("write results");
     println!("wrote results/BENCH_phase_breakdown.json");
+}
+
+/// Diffs the current run's phase shares against a stored breakdown and
+/// prints the comparison table; returns the number of gated regressions.
+fn compare_to_baseline(
+    report: &ipr_trace::StatsReport,
+    phases: &[(&str, &str)],
+    total_ns: u64,
+    path: &str,
+) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let baseline = ipr_trace::json::parse(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+    let baseline_ns =
+        |name: &str| -> Option<u64> { baseline.get("spans")?.get(name)?.get("total_ns")?.as_u64() };
+    let baseline_total: u64 = phases
+        .iter()
+        .filter_map(|(name, _)| baseline_ns(name))
+        .sum();
+    assert!(
+        baseline_total > 0,
+        "baseline {path} records none of the pipeline phases"
+    );
+
+    println!("\nPhase-share comparison against {path} (gate: {REGRESSION_FACTOR}x growth, phases under {:.0}% baseline share ungated)\n", MIN_BASELINE_SHARE * 100.0);
+    let mut t = Table::new(vec!["phase", "baseline", "current", "ratio", "status"]);
+    let mut breaches = 0;
+    for &(name, label) in phases {
+        let current =
+            report.span(name).expect("phase span recorded").total_ns as f64 / total_ns as f64;
+        let Some(base_ns) = baseline_ns(name) else {
+            t.row(vec![
+                label.into(),
+                "—".into(),
+                pct(current),
+                "—".into(),
+                "new phase (ungated)".into(),
+            ]);
+            continue;
+        };
+        let base = base_ns as f64 / baseline_total as f64;
+        let ratio = if base > 0.0 {
+            current / base
+        } else {
+            f64::INFINITY
+        };
+        let status = if base < MIN_BASELINE_SHARE {
+            "ungated (tiny baseline share)"
+        } else if ratio > REGRESSION_FACTOR {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        t.row(vec![
+            label.into(),
+            pct(base),
+            pct(current),
+            format!("{ratio:.2}x"),
+            status.into(),
+        ]);
+    }
+    t.print();
+    breaches
 }

@@ -116,6 +116,7 @@ fn dispatch(args: &[String]) -> CliResult {
         "stats" => cmd_stats(rest),
         "dump" => cmd_dump(rest),
         "verify" => cmd_verify(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -138,6 +139,8 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
+         \x20 fuzz  [--oracle all|codec|convert|crwi] [--seed S] [--iters N] [--shrink on|off]\n\
+         \x20       (differential fuzzing; failures print a seed that replays them)\n\
          \n\
          every subcommand accepts: --stats | --stats=json | --stats-out <file>\n\
          \x20 (per-phase spans/counters report, printed to stderr or written as JSON)\n\
@@ -500,12 +503,131 @@ fn cmd_verify(args: &[String]) -> CliResult {
     }
 }
 
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let (pos, opts) = parse_opts(args)?;
+    if !pos.is_empty() {
+        return Err(
+            "usage: ipr fuzz [--oracle all|codec|convert|crwi] [--seed S] [--iters N] \
+             [--shrink on|off] [--max-failures N]"
+                .into(),
+        );
+    }
+    let mut config = ipr_fuzz::FuzzConfig::default();
+    for (k, v) in opts {
+        match k {
+            "seed" => config.seed = ipr_fuzz::parse_seed(v)?,
+            "iters" => {
+                config.iters = v
+                    .parse()
+                    .map_err(|_| format!("--iters needs a number, got `{v}`"))?;
+            }
+            "oracle" => {
+                config.oracles = if v == "all" {
+                    ipr_fuzz::Oracle::ALL.to_vec()
+                } else {
+                    vec![v.parse::<ipr_fuzz::Oracle>()?]
+                };
+            }
+            "shrink" => {
+                config.shrink = match v {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err(format!("--shrink takes on|off, got `{v}`").into()),
+                };
+            }
+            "max-failures" => {
+                config.max_failures = v
+                    .parse()
+                    .map_err(|_| format!("--max-failures needs a number, got `{v}`"))?;
+            }
+            _ => return Err(format!("unknown option --{k}").into()),
+        }
+    }
+    let report = ipr_fuzz::run(&config);
+    for violation in &report.violations {
+        eprintln!("{violation}");
+    }
+    let oracles: Vec<String> = config.oracles.iter().map(ToString::to_string).collect();
+    println!(
+        "fuzz: {} iteration(s) of [{}] from seed {}: {} violation(s)",
+        report.iters_run,
+        oracles.join(", "),
+        config.seed,
+        report.violations.len()
+    );
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} oracle violation(s)", report.violations.len()).into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn fuzz_subcommand_clean_smoke() {
+        run(&s(&[
+            "fuzz", "--oracle", "all", "--iters", "10", "--seed", "42",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "fuzz", "--oracle", "codec", "--iters", "5", "--seed", "0x10",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn fuzz_subcommand_rejects_bad_options() {
+        assert!(run(&s(&["fuzz", "positional"])).is_err());
+        assert!(run(&s(&["fuzz", "--oracle", "psychic"])).is_err());
+        assert!(run(&s(&["fuzz", "--iters", "many"])).is_err());
+        assert!(run(&s(&["fuzz", "--seed", "whatever"])).is_err());
+        assert!(run(&s(&["fuzz", "--shrink", "maybe"])).is_err());
+        assert!(run(&s(&["fuzz", "--max-failures", "x"])).is_err());
+        assert!(run(&s(&["fuzz", "--bogus", "x"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_subcommand_emits_stats() {
+        let dir = std::env::temp_dir().join(format!("ipr-cli-fuzz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("fuzz-stats.json").to_string_lossy().into_owned();
+        run(&s(&[
+            "fuzz",
+            "--oracle",
+            "all",
+            "--iters",
+            "5",
+            "--seed",
+            "42",
+            "--stats-out",
+            &out,
+        ]))
+        .unwrap();
+        let raw = std::fs::read_to_string(&out).unwrap();
+        let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
+        let counter = |name: &str| {
+            v.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(|c| c.as_u64())
+                .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
+        };
+        assert_eq!(counter("fuzz.iters"), 5);
+        let spans = v.get("spans").unwrap();
+        for name in ["fuzz.codec", "fuzz.convert", "fuzz.crwi"] {
+            let span = spans
+                .get(name)
+                .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
+            assert_eq!(span.get("count").unwrap().as_u64(), Some(5), "{name}");
+        }
+        assert!(v.get("counters").unwrap().get("fuzz.failures").is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -94,7 +94,13 @@ pub(super) fn decode_commands(
     r: &mut ByteReader<'_>,
     count: u64,
 ) -> Result<Vec<Command>, DecodeError> {
-    let mut commands = Vec::with_capacity(count.min(1 << 20) as usize);
+    // Every wire command occupies at least one byte, so a declared count
+    // beyond the remaining input is hostile: reject it up front instead
+    // of reserving an attacker-controlled allocation.
+    if count > r.remaining() as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut commands = Vec::with_capacity(count as usize);
     let mut write_end = 0u64;
     for _ in 0..count {
         commands.push(decode_one(r, &mut write_end)?);

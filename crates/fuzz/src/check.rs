@@ -1,0 +1,174 @@
+//! A standalone Equation 2 validator.
+//!
+//! This is deliberately *independent* of `ipr-core`'s verifier and of the
+//! `ipr-digraph` interval machinery: it replays an emitted command order
+//! with its own bookkeeping and asserts directly that no command reads a
+//! byte an earlier command wrote,
+//!
+//! ```text
+//! ∀j:  [f_j, f_j + l_j) ∩ ⋃_{i<j} [t_i, t_i + l_i) = ∅
+//! ```
+//!
+//! so a bug in the CRWI digraph, the topological sort, *and* the
+//! production checker would still be caught here. The implementation is
+//! the dumbest thing that is obviously correct: a sorted, merged list of
+//! written half-open ranges, linear insertion, binary-search lookup.
+
+use ipr_delta::{Command, DeltaScript};
+use std::fmt;
+
+/// Evidence that a command order violates Equation 2, as found by the
+/// independent checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Eq2Violation {
+    /// Index (application order) of the command whose read is clobbered.
+    pub command: usize,
+    /// Start of the read interval.
+    pub read_start: u64,
+    /// End (exclusive) of the read interval.
+    pub read_end: u64,
+    /// A previously written range intersecting the read.
+    pub written: (u64, u64),
+}
+
+impl fmt::Display for Eq2Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "command {} reads [{}, {}) but [{}, {}) was already written",
+            self.command, self.read_start, self.read_end, self.written.0, self.written.1
+        )
+    }
+}
+
+/// Disjoint, sorted, merged set of written half-open ranges.
+#[derive(Clone, Debug, Default)]
+struct WrittenRanges {
+    /// Sorted by start; pairwise disjoint and non-adjacent after merging.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl WrittenRanges {
+    /// First stored range intersecting `[start, end)`, if any.
+    fn intersecting(&self, start: u64, end: u64) -> Option<(u64, u64)> {
+        // partition_point: first stored range with r.start >= start; the
+        // one before it may still straddle `start`.
+        let i = self.ranges.partition_point(|r| r.0 < start);
+        if i > 0 && self.ranges[i - 1].1 > start {
+            return Some(self.ranges[i - 1]);
+        }
+        if i < self.ranges.len() && self.ranges[i].0 < end {
+            return Some(self.ranges[i]);
+        }
+        None
+    }
+
+    /// Inserts `[start, end)`, merging neighbours.
+    fn insert(&mut self, mut start: u64, mut end: u64) {
+        let i = self.ranges.partition_point(|r| r.1 < start);
+        let mut j = i;
+        while j < self.ranges.len() && self.ranges[j].0 <= end {
+            start = start.min(self.ranges[j].0);
+            end = end.max(self.ranges[j].1);
+            j += 1;
+        }
+        self.ranges.splice(i..j, [(start, end)]);
+    }
+}
+
+/// Replays `script`'s command order and checks Equation 2 directly.
+///
+/// Returns the first violation, or `None` when the order is in-place
+/// safe. A copy whose read overlaps *its own* write is fine (the §4.1
+/// directional-copy rule handles it); the read is checked *before* the
+/// command's write interval is recorded.
+#[must_use]
+pub fn eq2_violation(script: &DeltaScript) -> Option<Eq2Violation> {
+    let mut written = WrittenRanges::default();
+    for (index, cmd) in script.commands().iter().enumerate() {
+        if let Command::Copy(c) = cmd {
+            let (start, end) = (c.from, c.from + c.len);
+            if let Some(hit) = written.intersecting(start, end) {
+                return Some(Eq2Violation {
+                    command: index,
+                    read_start: start,
+                    read_end: end,
+                    written: hit,
+                });
+            }
+        }
+        written.insert(cmd.to(), cmd.to() + cmd.len());
+    }
+    None
+}
+
+/// Whether the script's command order satisfies Equation 2 per the
+/// independent checker.
+#[must_use]
+pub fn is_eq2_safe(script: &DeltaScript) -> bool {
+    eq2_violation(script).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipr_delta::Command;
+
+    #[test]
+    fn written_ranges_merge_and_query() {
+        let mut w = WrittenRanges::default();
+        w.insert(10, 20);
+        w.insert(30, 40);
+        assert_eq!(w.intersecting(0, 10), None);
+        assert_eq!(w.intersecting(19, 30), Some((10, 20)));
+        assert_eq!(w.intersecting(20, 30), None);
+        w.insert(20, 30); // bridges the gap
+        assert_eq!(w.ranges, vec![(10, 40)]);
+        w.insert(0, 5);
+        w.insert(5, 10); // adjacent: merges with both neighbours
+        assert_eq!(w.ranges, vec![(0, 40)]);
+        assert_eq!(w.intersecting(39, 100), Some((0, 40)));
+        assert_eq!(w.intersecting(40, 100), None);
+    }
+
+    #[test]
+    fn detects_clobbered_read() {
+        let s =
+            DeltaScript::new(16, 8, vec![Command::copy(8, 4, 4), Command::copy(4, 0, 4)]).unwrap();
+        let v = eq2_violation(&s).expect("second command reads what the first wrote");
+        assert_eq!(v.command, 1);
+        assert_eq!((v.read_start, v.read_end), (4, 8));
+        assert!(!v.to_string().is_empty());
+        // The reverse order is safe.
+        assert!(is_eq2_safe(&s.permuted(&[1, 0])));
+    }
+
+    #[test]
+    fn self_overlap_is_safe() {
+        let s = DeltaScript::new(16, 8, vec![Command::copy(4, 0, 8)]).unwrap();
+        assert!(is_eq2_safe(&s));
+    }
+
+    #[test]
+    fn add_clobbering_read_detected() {
+        let s = DeltaScript::new(
+            8,
+            16,
+            vec![Command::add(0, vec![9; 8]), Command::copy(0, 8, 8)],
+        )
+        .unwrap();
+        assert!(!is_eq2_safe(&s));
+        assert!(is_eq2_safe(&s.permuted(&[1, 0])));
+    }
+
+    #[test]
+    fn agrees_with_production_checker_on_samples() {
+        for seed in 0..300u64 {
+            let mut rng = crate::gen::rng_for(seed);
+            let case = crate::gen::case(&mut rng);
+            let ours = is_eq2_safe(&case.script);
+            let theirs = ipr_core::is_in_place_safe(&case.script);
+            assert_eq!(ours, theirs, "seed {seed} disagrees");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The regression corpus: tiny text files, one per remembered failure
+//! (or interesting region of the input space), replayed by
+//! `tests/fuzz_regression.rs` on every CI run.
+//!
+//! The format is deliberately line-oriented `key = value` so an entry
+//! can be authored by hand straight from a fuzz failure report:
+//!
+//! ```text
+//! # 2026-08-07: decoder over-reservation on huge declared count
+//! oracle = codec
+//! seed = 4301
+//! iters = 1
+//! ```
+//!
+//! or, for raw decoder inputs:
+//!
+//! ```text
+//! decode-bytes = 49505201...
+//! ```
+
+use crate::Oracle;
+use std::fmt;
+use std::path::Path;
+
+/// One corpus entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorpusEntry {
+    /// Replay `iters` iterations of `oracle` starting at `seed`.
+    Seeded {
+        /// Which oracle to drive.
+        oracle: Oracle,
+        /// Master seed for the first iteration.
+        seed: u64,
+        /// Number of consecutive case seeds to replay.
+        iters: u64,
+    },
+    /// Feed these exact bytes to the decoder-robustness check.
+    DecodeBytes(Vec<u8>),
+}
+
+/// A malformed corpus file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusError {
+    /// 1-based line number, 0 for whole-file problems.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl CorpusEntry {
+    /// Parses one corpus file. `#` starts a comment; blank lines are
+    /// ignored; keys are `oracle`, `seed`, `iters` (seeded entries) or
+    /// `decode-bytes` (hex, raw decoder input).
+    pub fn parse(text: &str) -> Result<CorpusEntry, CorpusError> {
+        let mut oracle: Option<Oracle> = None;
+        let mut seed: Option<u64> = None;
+        let mut iters: Option<u64> = None;
+        let mut bytes: Option<Vec<u8>> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let text = raw.split('#').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            let (key, value) = text.split_once('=').ok_or(CorpusError {
+                line,
+                message: format!("expected `key = value`, got `{text}`"),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let err = |message: String| CorpusError { line, message };
+            match key {
+                "oracle" => {
+                    oracle = Some(
+                        value
+                            .parse()
+                            .map_err(|e: String| err(format!("bad oracle: {e}")))?,
+                    );
+                }
+                "seed" => {
+                    seed = Some(parse_u64(value).map_err(|e| err(format!("bad seed: {e}")))?);
+                }
+                "iters" => {
+                    iters = Some(parse_u64(value).map_err(|e| err(format!("bad iters: {e}")))?);
+                }
+                "decode-bytes" => {
+                    bytes = Some(parse_hex(value).map_err(|e| err(format!("bad hex: {e}")))?);
+                }
+                other => return Err(err(format!("unknown key `{other}`"))),
+            }
+        }
+        match (oracle, seed, bytes) {
+            (None, None, Some(b)) => Ok(CorpusEntry::DecodeBytes(b)),
+            (Some(oracle), Some(seed), None) => Ok(CorpusEntry::Seeded {
+                oracle,
+                seed,
+                iters: iters.unwrap_or(1),
+            }),
+            _ => Err(CorpusError {
+                line: 0,
+                message: "entry needs either `oracle` + `seed` or `decode-bytes`".to_string(),
+            }),
+        }
+    }
+
+    /// Renders the entry in the corpus file format, with a leading
+    /// comment line.
+    #[must_use]
+    pub fn serialize(&self, comment: &str) -> String {
+        match self {
+            CorpusEntry::Seeded {
+                oracle,
+                seed,
+                iters,
+            } => {
+                format!("# {comment}\noracle = {oracle}\nseed = {seed}\niters = {iters}\n")
+            }
+            CorpusEntry::DecodeBytes(bytes) => {
+                let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+                format!("# {comment}\ndecode-bytes = {hex}\n")
+            }
+        }
+    }
+}
+
+/// Loads every `*.seed` file in `dir`, sorted by file name so replay
+/// order (and thus CI logs) are stable.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, CorpusEntry)>, String> {
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "seed").then_some(path)
+        })
+        .collect();
+    names.sort();
+    let mut entries = Vec::with_capacity(names.len());
+    for path in names {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry = CorpusEntry::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        entries.push((name, entry));
+    }
+    Ok(entries)
+}
+
+/// Accepts decimal or `0x`-prefixed hex.
+pub(crate) fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|e| format!("`{s}`: {e}"))
+}
+
+fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
+    let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.len().is_multiple_of(2) {
+        return Err("odd number of hex digits".to_string());
+    }
+    (0..compact.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&compact[i..i + 2], 16)
+                .map_err(|e| format!("`{}`: {e}", &compact[i..i + 2]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_seeded_entry() {
+        let entry = CorpusEntry::parse(
+            "# why this seed matters\noracle = convert\nseed = 0x2a\niters = 3\n",
+        )
+        .unwrap();
+        assert_eq!(
+            entry,
+            CorpusEntry::Seeded {
+                oracle: Oracle::Convert,
+                seed: 42,
+                iters: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parses_decode_bytes_entry() {
+        let entry = CorpusEntry::parse("decode-bytes = 4950 52 01\n").unwrap();
+        assert_eq!(
+            entry,
+            CorpusEntry::DecodeBytes(vec![0x49, 0x50, 0x52, 0x01])
+        );
+    }
+
+    #[test]
+    fn iters_defaults_to_one() {
+        let entry = CorpusEntry::parse("oracle = codec\nseed = 7\n").unwrap();
+        assert_eq!(
+            entry,
+            CorpusEntry::Seeded {
+                oracle: Oracle::Codec,
+                seed: 7,
+                iters: 1
+            }
+        );
+    }
+
+    #[test]
+    fn round_trips_through_serialize() {
+        for entry in [
+            CorpusEntry::Seeded {
+                oracle: Oracle::Crwi,
+                seed: 99,
+                iters: 2,
+            },
+            CorpusEntry::DecodeBytes(vec![0xde, 0xad, 0x00]),
+        ] {
+            let text = entry.serialize("regression");
+            assert_eq!(CorpusEntry::parse(&text).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(CorpusEntry::parse("oracle = codec\n").is_err()); // no seed
+        assert!(CorpusEntry::parse("garbage\n").is_err());
+        assert!(CorpusEntry::parse("oracle = nope\nseed = 1\n").is_err());
+        assert!(CorpusEntry::parse("decode-bytes = abc\n").is_err()); // odd hex
+        assert!(CorpusEntry::parse("seed = 1\ndecode-bytes = ab\n").is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Deterministic structured generators.
+//!
+//! Everything here derives from a single `u64` seed through the vendored
+//! [`rand`] crate, whose byte streams are stable across releases of this
+//! workspace — a case seed printed by a failing fuzz run today rebuilds
+//! the identical input forever.
+//!
+//! Two input species are produced:
+//!
+//! * [`case`] — a *valid* [`DeltaScript`] plus its reference file, for the
+//!   round-trip and conversion-equivalence oracles. Scripts are built by
+//!   tiling the target interval with copy/add commands (so the §3
+//!   invariants hold by construction) and then shuffling the command
+//!   order, which is exactly the population the conversion algorithm must
+//!   handle: arbitrary semantics, arbitrary order.
+//! * [`hostile_bytes`] — byte strings aimed at the decoders: pure noise,
+//!   bit-flipped valid deltas, truncations, and crafted headers whose
+//!   declared command counts or add lengths vastly exceed the input size.
+
+use ipr_delta::{Command, DeltaScript};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One generated conversion workload: a reference file and a valid delta
+/// script against it.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The reference (old) file.
+    pub reference: Vec<u8>,
+    /// A valid script with `source_len == reference.len()`.
+    pub script: DeltaScript,
+}
+
+/// Derives the per-iteration case seed from a master seed.
+///
+/// Iteration `i` of a run seeded with `master` uses case seed
+/// `master + i` (wrapping), so a failure at iteration `i` is reproduced
+/// *byte-identically* by a fresh run with `--seed master+i --iters 1`.
+#[must_use]
+pub fn case_seed(master: u64, iteration: u64) -> u64 {
+    master.wrapping_add(iteration)
+}
+
+/// The deterministic generator state for one case seed.
+#[must_use]
+pub fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generates one valid case.
+///
+/// Sizes are kept small (≤ ~4 KiB) so a 10k-iteration run stays fast;
+/// the space of *shapes* (growing/shrinking files, empty files, dense
+/// self-referential copies, long literal runs) is what matters for the
+/// oracles, not raw scale.
+pub fn case(rng: &mut StdRng) -> FuzzCase {
+    let source_len: u64 = match rng.random_range(0u32..10) {
+        0 => 0,
+        1 => rng.random_range(1u64..16),
+        2..=4 => rng.random_range(1u64..256),
+        _ => rng.random_range(1u64..4096),
+    };
+    let target_len: u64 = match rng.random_range(0u32..12) {
+        0 => 0,
+        1 => rng.random_range(1u64..16),
+        // Shrinking and growing revisions.
+        2 => rng.random_range(1u64..=source_len / 2 + 1),
+        3 => rng.random_range(source_len + 1..source_len + 2048),
+        _ => rng.random_range(1u64..4096),
+    };
+
+    let reference = reference_bytes(rng, source_len as usize);
+    let commands = tile_commands(rng, source_len, target_len);
+    let commands = maybe_shuffle(rng, commands);
+    let script = DeltaScript::new(source_len, target_len, commands)
+        .expect("generator tiles the target exactly");
+    FuzzCase { reference, script }
+}
+
+/// Reference content: random, low-entropy, or patterned — differencing
+/// behaviour is irrelevant here, but converted adds materialize reference
+/// bytes, so content must vary enough to catch wrong-offset bugs.
+fn reference_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    match rng.random_range(0u32..3) {
+        0 => {
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            v
+        }
+        1 => {
+            let b: u8 = rng.random();
+            vec![b; len]
+        }
+        _ => (0..len).map(|i| (i % 251) as u8).collect(),
+    }
+}
+
+/// Tiles `[0, target_len)` with copy and add commands in write order.
+///
+/// Copy sources are biased toward the command's own write offset: reads
+/// near writes are what cross intervals and breed CRWI edges and cycles,
+/// the regime the paper's Figures 2 and 3 construct by hand.
+fn tile_commands(rng: &mut StdRng, source_len: u64, target_len: u64) -> Vec<Command> {
+    let mut commands = Vec::new();
+    let mut pos = 0u64;
+    // Occasionally tile with one command per block of fixed stride: a
+    // rotation by a block, the canonical cycle factory.
+    let rotation = source_len >= 64 && source_len == target_len && rng.random_bool(0.15);
+    if rotation {
+        let block = rng.random_range(8u64..=source_len / 4);
+        let shift = rng.random_range(1u64..=source_len - block.min(source_len - 1));
+        while pos < target_len {
+            let len = block.min(target_len - pos);
+            let from = (pos + shift) % (source_len - len + 1);
+            commands.push(Command::copy(from, pos, len));
+            pos += len;
+        }
+        return commands;
+    }
+    while pos < target_len {
+        let remaining = target_len - pos;
+        let len = rng.random_range(1u64..=remaining.min(512));
+        let copy_possible = source_len >= len;
+        if copy_possible && rng.random_bool(0.65) {
+            let max_from = source_len - len;
+            let from = if max_from > 0 && rng.random_bool(0.6) {
+                // Bias reads near the write offset (± a small jitter).
+                let jitter = rng.random_range(0u64..=64.min(max_from));
+                let near = pos.min(max_from);
+                if rng.random_bool(0.5) {
+                    near.saturating_sub(jitter)
+                } else {
+                    (near + jitter).min(max_from)
+                }
+            } else if max_from > 0 {
+                rng.random_range(0u64..=max_from)
+            } else {
+                0
+            };
+            commands.push(Command::copy(from, pos, len));
+        } else {
+            let mut data = vec![0u8; len as usize];
+            rng.fill_bytes(&mut data);
+            commands.push(Command::add(pos, data));
+        }
+        pos += len;
+    }
+    commands
+}
+
+/// Shuffles the command order most of the time; the rest stay in write
+/// order so the offset-free codecs get exercised on their happy path.
+fn maybe_shuffle(rng: &mut StdRng, mut commands: Vec<Command>) -> Vec<Command> {
+    if commands.len() < 2 || rng.random_bool(0.25) {
+        return commands;
+    }
+    // Fisher–Yates with the vendored generator.
+    for i in (1..commands.len()).rev() {
+        let j = rng.random_range(0usize..=i);
+        commands.swap(i, j);
+    }
+    commands
+}
+
+/// A random permutation of `0..n` (used by the CRWI differential oracle
+/// to test orders that are *not* produced by the converter).
+pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0usize..=i);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Generates one hostile byte string for the decoder-robustness oracle.
+pub fn hostile_bytes(rng: &mut StdRng) -> Vec<u8> {
+    match rng.random_range(0u32..6) {
+        // Pure noise, any length.
+        0 => {
+            let len = rng.random_range(0usize..512);
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            v
+        }
+        // A valid delta with random byte flips.
+        1 => {
+            let mut wire = valid_wire(rng);
+            let flips = rng.random_range(1usize..8);
+            for _ in 0..flips {
+                if wire.is_empty() {
+                    break;
+                }
+                let i = rng.random_range(0usize..wire.len());
+                wire[i] ^= 1 << rng.random_range(0u32..8);
+            }
+            wire
+        }
+        // A valid delta truncated at a random point.
+        2 => {
+            let wire = valid_wire(rng);
+            let cut = rng.random_range(0usize..=wire.len());
+            wire[..cut].to_vec()
+        }
+        // A valid delta with trailing garbage.
+        3 => {
+            let mut wire = valid_wire(rng);
+            let extra = rng.random_range(1usize..32);
+            for _ in 0..extra {
+                wire.push(rng.random());
+            }
+            wire
+        }
+        // A well-formed header declaring an enormous command count over a
+        // tiny payload: must yield a typed error, never an OOM-sized
+        // reservation.
+        4 => {
+            let mut wire = ipr_delta::codec::MAGIC.to_vec();
+            wire.push(rng.random_range(0u8..5)); // valid format byte
+            wire.push(0); // no CRC flag
+            push_varint(rng.random_range(0u64..1 << 40), &mut wire); // source_len
+            push_varint(rng.random_range(0u64..1 << 40), &mut wire); // target_len
+            push_varint(rng.random_range(1u64 << 30..1 << 60), &mut wire); // count
+            for _ in 0..rng.random_range(0usize..16) {
+                wire.push(rng.random());
+            }
+            wire
+        }
+        // An add command declaring a length far past the end of input.
+        _ => {
+            let mut wire = ipr_delta::codec::MAGIC.to_vec();
+            wire.push(1); // Format::InPlace
+            wire.push(0);
+            push_varint(8, &mut wire); // source_len
+            push_varint(1 << 40, &mut wire); // target_len
+            push_varint(1, &mut wire); // one command
+            wire.push(0x01); // TAG_ADD
+            push_varint(0, &mut wire); // to
+            push_varint(rng.random_range(1u64 << 30..1 << 50), &mut wire); // len
+            wire.push(rng.random()); // a single data byte
+            wire
+        }
+    }
+}
+
+/// Encodes a small valid case in a random format.
+fn valid_wire(rng: &mut StdRng) -> Vec<u8> {
+    use ipr_delta::codec::{encode, encode_checked, Format};
+    let case = case(rng);
+    let script = if rng.random_bool(0.5) {
+        case.script
+    } else {
+        case.script.into_write_ordered()
+    };
+    let format = Format::ALL[rng.random_range(0usize..Format::ALL.len())];
+    let script = if format.supports_out_of_order() || script.is_write_ordered() {
+        script
+    } else {
+        script.into_write_ordered()
+    };
+    if rng.random_bool(0.3) {
+        let target = ipr_delta::apply(&script, &case.reference).expect("valid case applies");
+        encode_checked(&script, format, &target).expect("generator offsets fit every format")
+    } else {
+        encode(&script, format).expect("generator offsets fit every format")
+    }
+}
+
+fn push_varint(v: u64, out: &mut Vec<u8>) {
+    ipr_delta::varint::encode(v, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let a = case(&mut rng_for(1234));
+        let b = case(&mut rng_for(1234));
+        assert_eq!(a.reference, b.reference);
+        assert_eq!(a.script, b.script);
+        let c = case(&mut rng_for(1235));
+        assert!(c.script != a.script || c.reference != a.reference);
+    }
+
+    #[test]
+    fn cases_are_valid_and_varied() {
+        let mut shuffled = 0;
+        let mut with_adds = 0;
+        let mut with_copies = 0;
+        for seed in 0..200u64 {
+            let c = case(&mut rng_for(seed));
+            assert_eq!(c.reference.len() as u64, c.script.source_len());
+            // DeltaScript::new validated the tiling already; spot-check the
+            // shape census.
+            if !c.script.is_write_ordered() {
+                shuffled += 1;
+            }
+            if c.script.add_count() > 0 {
+                with_adds += 1;
+            }
+            if c.script.copy_count() > 0 {
+                with_copies += 1;
+            }
+        }
+        assert!(shuffled > 50, "shuffled only {shuffled}/200");
+        assert!(with_adds > 50, "adds only in {with_adds}/200");
+        assert!(with_copies > 100, "copies only in {with_copies}/200");
+    }
+
+    #[test]
+    fn hostile_bytes_deterministic_and_varied() {
+        let a = hostile_bytes(&mut rng_for(99));
+        let b = hostile_bytes(&mut rng_for(99));
+        assert_eq!(a, b);
+        let lens: std::collections::HashSet<usize> = (0..50u64)
+            .map(|s| hostile_bytes(&mut rng_for(s)).len())
+            .collect();
+        assert!(lens.len() > 10, "hostile inputs all the same length");
+    }
+
+    #[test]
+    fn case_seed_is_reproducible_offset() {
+        assert_eq!(case_seed(42, 0), 42);
+        assert_eq!(case_seed(42, 7), 49);
+        assert_eq!(case_seed(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = rng_for(5);
+        let p = permutation(&mut rng, 20);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,609 @@
+//! The three differential oracles.
+//!
+//! Each oracle is a *deterministic* predicate over a generated input —
+//! no internal randomness — so a failing input found under one seed
+//! fails identically when regenerated, and every shrinking candidate is
+//! judged by exactly the same criterion.
+//!
+//! * [`check_codec_case`] — every codec round-trips a valid script
+//!   bit-exactly (re-encoding the decoded script reproduces the wire
+//!   bytes), semantically (applying the decoded script reproduces the
+//!   version file), and through the streaming decoder.
+//! * [`check_decoder_robustness`] — an arbitrary byte string fed to the
+//!   decoders either parses or yields a typed [`DecodeError`]; panics
+//!   are caught and reported as violations.
+//! * [`check_convert_case`] — scratch-space application is the ground
+//!   truth; conversion under every cycle policy must reproduce it via
+//!   the serial, parallel, resumable (including a simulated mid-chunk
+//!   power cut with a torn write), and spilled engines.
+//! * [`check_crwi_case`] — the independent Equation 2 checker
+//!   ([`crate::check`]) agrees with `ipr_core`'s verifier on random
+//!   permutations, and safety implies in-place application correctness.
+
+use crate::check;
+use crate::gen::FuzzCase;
+use ipr_core::resumable::{resume_in_place_observed, Journal, Progress};
+use ipr_core::spill::{convert_with_spill, SpillConfig};
+use ipr_core::{
+    apply_in_place, apply_in_place_parallel, check_in_place_safe, convert_to_in_place,
+    required_capacity, ConversionConfig, CyclePolicy, ParallelConfig, ParallelSchedule, ReadMode,
+};
+use ipr_delta::codec::stream::StreamDecoder;
+use ipr_delta::codec::{decode, encode, encode_checked, DecodeError, EncodeError, Format};
+use ipr_delta::{Command, DeltaScript};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Largest strongly-connected component the exhaustive policy is asked to
+/// solve during fuzzing; cases with more copies skip that policy.
+const EXHAUSTIVE_LIMIT: usize = 10;
+const EXHAUSTIVE_MAX_COPIES: usize = 24;
+
+/// Scratch budgets swept by the spill leg of the conversion oracle.
+const SPILL_BUDGETS: [u64; 3] = [0, 13, 1 << 20];
+
+type CheckResult = Result<(), String>;
+
+fn fail(msg: String) -> CheckResult {
+    Err(msg)
+}
+
+/// Scratch-space ground truth for a valid case.
+fn scratch_apply(case: &FuzzCase) -> Result<Vec<u8>, String> {
+    ipr_delta::apply(&case.script, &case.reference)
+        .map_err(|e| format!("scratch apply rejected a generated case: {e}"))
+}
+
+/// A buffer holding the reference, padded to in-place capacity.
+fn in_place_buf(case: &FuzzCase, script: &DeltaScript) -> Vec<u8> {
+    let mut buf = case.reference.clone();
+    buf.resize(required_capacity(script) as usize, 0);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 1: codec round-trip
+// ---------------------------------------------------------------------------
+
+/// Checks the codec round-trip oracle on one valid case.
+///
+/// For each of the five formats: encode (write-ordering the script first
+/// when the format demands it), decode, assert the decoded script is
+/// semantically identical (same version file) and that *re-encoding it
+/// reproduces the wire bytes bit-exactly* — this holds even for the paper
+/// formats, whose fixed-width fields split long commands, because the
+/// split is idempotent. The streaming decoder must agree with the batch
+/// decoder on every wire, and a CRC-carrying wire must round-trip its
+/// checksum.
+pub fn check_codec_case(case: &FuzzCase) -> CheckResult {
+    let expected = scratch_apply(case)?;
+    for format in Format::ALL {
+        let script = if format.supports_out_of_order() || case.script.is_write_ordered() {
+            case.script.clone()
+        } else {
+            // The offset-free formats must reject out-of-order scripts
+            // with the typed error, not scramble the output.
+            match encode(&case.script, format) {
+                Err(EncodeError::NotWriteOrdered) => {}
+                other => {
+                    return fail(format!(
+                        "{format:?}: encoding a shuffled script gave {other:?}, \
+                         expected Err(NotWriteOrdered)"
+                    ));
+                }
+            }
+            case.script.clone().into_write_ordered()
+        };
+
+        let wire = encode(&script, format)
+            .map_err(|e| format!("{format:?}: encode rejected a valid script: {e}"))?;
+        let decoded =
+            decode(&wire).map_err(|e| format!("{format:?}: decode rejected own wire: {e}"))?;
+        if decoded.format != format {
+            return fail(format!(
+                "{format:?}: decoded format tag is {:?}",
+                decoded.format
+            ));
+        }
+        if decoded.target_crc.is_some() {
+            return fail(format!("{format:?}: CRC materialized from nowhere"));
+        }
+        if decoded.script.source_len() != script.source_len()
+            || decoded.script.target_len() != script.target_len()
+        {
+            return fail(format!(
+                "{format:?}: lengths changed in flight: {}→{} vs {}→{}",
+                script.source_len(),
+                script.target_len(),
+                decoded.script.source_len(),
+                decoded.script.target_len()
+            ));
+        }
+        let applied = ipr_delta::apply(&decoded.script, &case.reference)
+            .map_err(|e| format!("{format:?}: decoded script no longer applies: {e}"))?;
+        if applied != expected {
+            return fail(format!(
+                "{format:?}: decoded script builds a different file"
+            ));
+        }
+        let rewire = encode(&decoded.script, format)
+            .map_err(|e| format!("{format:?}: re-encode of decoded script failed: {e}"))?;
+        if rewire != wire {
+            return fail(format!(
+                "{format:?}: re-encode not bit-exact ({} vs {} bytes)",
+                rewire.len(),
+                wire.len()
+            ));
+        }
+        // The varint formats have no width limits, so they must also
+        // preserve the command sequence verbatim (paper formats may
+        // split long commands).
+        if matches!(format, Format::Ordered | Format::InPlace | Format::Improved)
+            && decoded.script.commands() != script.commands()
+        {
+            return fail(format!("{format:?}: command sequence changed in flight"));
+        }
+
+        stream_matches_batch(&wire, &decoded.script, format)?;
+
+        // CRC round-trip: the checksum must survive, and the whole
+        // checked wire must be reproducible from what came out of it.
+        let checked = encode_checked(&script, format, &expected)
+            .map_err(|e| format!("{format:?}: encode_checked failed: {e}"))?;
+        let cdec = decode(&checked)
+            .map_err(|e| format!("{format:?}: decode of checked wire failed: {e}"))?;
+        if cdec.target_crc.is_none() {
+            return fail(format!("{format:?}: embedded CRC lost in decode"));
+        }
+        let rechecked = encode_checked(&cdec.script, format, &expected)
+            .map_err(|e| format!("{format:?}: re-encode_checked failed: {e}"))?;
+        if rechecked != checked {
+            return fail(format!("{format:?}: checked wire not bit-exact"));
+        }
+    }
+    Ok(())
+}
+
+/// Feeds `wire` to the streaming decoder in ragged chunks and asserts it
+/// yields exactly the batch decoder's command sequence.
+fn stream_matches_batch(wire: &[u8], batch: &DeltaScript, format: Format) -> CheckResult {
+    // Deterministic ragged chunk sizes — small primes exercise every
+    // partial-header and partial-command resume path.
+    const CHUNKS: [usize; 6] = [1, 3, 7, 2, 13, 5];
+    let mut dec = StreamDecoder::new();
+    let mut commands: Vec<Command> = Vec::new();
+    let mut pos = 0usize;
+    let mut turn = 0usize;
+    while pos < wire.len() {
+        let n = CHUNKS[turn % CHUNKS.len()].min(wire.len() - pos);
+        turn += 1;
+        dec.push(&wire[pos..pos + n]);
+        pos += n;
+        loop {
+            match dec.next_command() {
+                Ok(Some(cmd)) => commands.push(cmd),
+                Ok(None) => break,
+                Err(e) => return fail(format!("{format:?}: stream decoder error mid-wire: {e}")),
+            }
+        }
+    }
+    if !dec.is_complete() {
+        return fail(format!(
+            "{format:?}: stream decoder incomplete after full wire"
+        ));
+    }
+    let header = dec
+        .finish()
+        .map_err(|e| format!("{format:?}: stream finish rejected own wire: {e}"))?;
+    if header.format != format
+        || header.source_len != batch.source_len()
+        || header.target_len != batch.target_len()
+    {
+        return fail(format!("{format:?}: stream header disagrees with batch"));
+    }
+    if commands != batch.commands() {
+        return fail(format!(
+            "{format:?}: stream decoded {} commands, batch {}, or contents differ",
+            commands.len(),
+            batch.commands().len()
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the decoder-robustness half of the codec oracle on one
+/// arbitrary byte string.
+///
+/// Both decoders must return — never panic — and when the batch decoder
+/// *accepts* the input, the result must behave like any other decoded
+/// delta: re-encodable, and re-decodable to the same script.
+pub fn check_decoder_robustness(bytes: &[u8]) -> CheckResult {
+    let batch = catch_unwind(AssertUnwindSafe(|| decode(bytes)))
+        .map_err(|_| "batch decoder panicked".to_string())?;
+
+    let streamed = catch_unwind(AssertUnwindSafe(|| {
+        let mut dec = StreamDecoder::new();
+        dec.push(bytes);
+        loop {
+            match dec.next_command() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        dec.finish().map(|_header| ())
+    }))
+    .map_err(|_| "stream decoder panicked".to_string())?;
+
+    match (&batch, &streamed) {
+        (Ok(d), Err(e)) => {
+            // The streaming decoder defers validation it cannot do
+            // incrementally, but it must never be *stricter* than batch.
+            return fail(format!(
+                "stream decoder rejected ({e}) what batch accepted ({:?})",
+                d.format
+            ));
+        }
+        (Err(DecodeError::Truncated | DecodeError::Varint(_)), Ok(())) => {
+            // Expected asymmetry: a truncated wire is `Ok(None)` (feed
+            // more bytes) for the stream decoder unless finish() is
+            // strict. finish() *is* called above, so this arm means
+            // finish accepted a truncation — only legal when the header
+            // never completed.
+        }
+        _ => {}
+    }
+
+    if let Ok(d) = batch {
+        let rewire = encode(&d.script, d.format)
+            .map_err(|e| format!("accepted hostile input re-encodes with error: {e}"))?;
+        let again = decode(&rewire)
+            .map_err(|e| format!("re-encoded accepted input no longer decodes: {e}"))?;
+        if again.script != d.script {
+            return fail("accepted hostile input is not decode-stable".to_string());
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: conversion equivalence
+// ---------------------------------------------------------------------------
+
+/// Checks the conversion-equivalence oracle on one valid case.
+///
+/// `salt` varies deterministic details (power-cut position, chunk size)
+/// from case to case; pass the case seed.
+pub fn check_convert_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    let expected = scratch_apply(case)?;
+
+    let mut policies = vec![CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum];
+    if case.script.copy_count() <= EXHAUSTIVE_MAX_COPIES {
+        policies.push(CyclePolicy::Exhaustive {
+            limit: EXHAUSTIVE_LIMIT,
+        });
+    }
+
+    for policy in policies {
+        let config = ConversionConfig::with_policy(policy);
+        let outcome = match convert_to_in_place(&case.script, &case.reference, &config) {
+            Ok(outcome) => outcome,
+            // The exhaustive solver documents this refusal: an SCC larger
+            // than its limit is not a violation, just out of its reach.
+            Err(ipr_core::ConvertError::ComponentTooLarge(_))
+                if matches!(policy, CyclePolicy::Exhaustive { .. }) =>
+            {
+                continue;
+            }
+            Err(e) => return fail(format!("{policy}: conversion failed: {e}")),
+        };
+        let script = &outcome.script;
+
+        if let Err(v) = check_in_place_safe(script) {
+            return fail(format!("{policy}: converted script unsafe (ipr-core): {v}"));
+        }
+        if let Some(v) = check::eq2_violation(script) {
+            return fail(format!(
+                "{policy}: converted script violates Eq. 2 per the independent checker: {v}"
+            ));
+        }
+
+        // Serial engine.
+        let mut buf = in_place_buf(case, script);
+        apply_in_place(script, &mut buf).map_err(|e| format!("{policy}: serial apply: {e}"))?;
+        if buf[..expected.len()] != expected[..] {
+            return fail(format!("{policy}: serial in-place output differs"));
+        }
+
+        // Parallel engine, both read modes, forced fan-out.
+        if ParallelSchedule::plan(script).is_none() {
+            return fail(format!(
+                "{policy}: wave planner rejected a script the verifier accepted"
+            ));
+        }
+        for read_mode in [ReadMode::Snapshot, ReadMode::ZeroCopy] {
+            let pconfig = ParallelConfig {
+                threads: 2,
+                read_mode,
+                serial_wave_bytes: 0,
+            };
+            let mut buf = in_place_buf(case, script);
+            apply_in_place_parallel(script, &mut buf, &pconfig)
+                .map_err(|e| format!("{policy}/{read_mode:?}: parallel apply: {e}"))?;
+            if buf[..expected.len()] != expected[..] {
+                return fail(format!("{policy}/{read_mode:?}: parallel output differs"));
+            }
+        }
+
+        check_resumable(case, script, &expected, salt).map_err(|e| format!("{policy}: {e}"))?;
+        check_spilled(case, &config, &expected).map_err(|e| format!("{policy}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Resumable engine: clean multi-reboot replay, then a power cut in the
+/// middle of a staged chunk with the target region corrupted (a torn
+/// write), recovered via the journal's redo record.
+fn check_resumable(
+    case: &FuzzCase,
+    script: &DeltaScript,
+    expected: &[u8],
+    salt: u64,
+) -> CheckResult {
+    let chunk_size = 1 + (salt % 61) as usize;
+    let reboot_budget = 1 + (salt % 97);
+
+    // Clean reboots: suspend every `reboot_budget` bytes.
+    let mut buf = in_place_buf(case, script);
+    let mut journal = Journal::new();
+    let mut spins = 0u32;
+    loop {
+        let progress = resume_in_place_observed(
+            script,
+            &mut buf,
+            &mut journal,
+            chunk_size,
+            reboot_budget,
+            &mut |_| {},
+        )
+        .map_err(|e| format!("resumable apply: {e}"))?;
+        if progress == Progress::Complete {
+            break;
+        }
+        spins += 1;
+        if spins > 4_000_000 {
+            return fail("resumable apply failed to make progress".to_string());
+        }
+    }
+    if buf[..expected.len()] != expected[..] {
+        return fail("resumable (clean reboots) output differs".to_string());
+    }
+
+    // Torn-write power cut. First run to completion recording the
+    // journal at every durable point; pick one with a staged chunk.
+    let mut staged: Vec<Journal> = Vec::new();
+    let mut buf = in_place_buf(case, script);
+    let mut journal = Journal::new();
+    resume_in_place_observed(
+        script,
+        &mut buf,
+        &mut journal,
+        chunk_size,
+        u64::MAX,
+        &mut |j| {
+            if j.has_pending_chunk() {
+                staged.push(j.clone());
+            }
+        },
+    )
+    .map_err(|e| format!("resumable observe run: {e}"))?;
+    if staged.is_empty() {
+        return Ok(()); // empty script: nothing to cut
+    }
+    let crash = staged[(salt % staged.len() as u64) as usize].clone();
+
+    // Rebuild the buffer exactly as it stood when that chunk was staged:
+    // all payload bytes before it were applied, and budgets cut at chunk
+    // boundaries, so replaying with that byte budget lands on the same
+    // durable state.
+    let commands = script.commands();
+    let bytes_before: u64 = commands[..crash.command_index()]
+        .iter()
+        .map(ipr_delta::Command::len)
+        .sum::<u64>()
+        + crash.bytes_done_in_command();
+    let mut buf = in_place_buf(case, script);
+    let mut replay = Journal::new();
+    if bytes_before > 0 {
+        resume_in_place_observed(
+            script,
+            &mut buf,
+            &mut replay,
+            chunk_size,
+            bytes_before,
+            &mut |_| {},
+        )
+        .map_err(|e| format!("resumable rebuild run: {e}"))?;
+    }
+
+    // Power fails mid-write: the staged chunk's target region holds
+    // arbitrary garbage (worse than any real torn write). Recovery must
+    // overwrite the whole region from the redo record.
+    let (to, data) = crash.pending_chunk().expect("picked a staged snapshot");
+    let torn = 1 + (salt as usize % data.len());
+    for (i, b) in buf[to as usize..to as usize + torn].iter_mut().enumerate() {
+        *b = 0xA5u8.wrapping_add(i as u8);
+    }
+
+    let mut journal = crash.clone();
+    let progress = resume_in_place_observed(
+        script,
+        &mut buf,
+        &mut journal,
+        chunk_size,
+        u64::MAX,
+        &mut |_| {},
+    )
+    .map_err(|e| format!("resumable recovery: {e}"))?;
+    if progress != Progress::Complete {
+        return fail("resumable recovery suspended on an unbounded budget".to_string());
+    }
+    if buf[..expected.len()] != expected[..] {
+        return fail(format!(
+            "power cut at command {} + {} bytes not recovered: output differs",
+            crash.command_index(),
+            crash.bytes_done_in_command()
+        ));
+    }
+    Ok(())
+}
+
+/// Spilled conversion across a sweep of scratch budgets.
+fn check_spilled(case: &FuzzCase, config: &ConversionConfig, expected: &[u8]) -> CheckResult {
+    for budget in SPILL_BUDGETS {
+        let spill = SpillConfig {
+            conversion: *config,
+            scratch_budget: budget,
+        };
+        let out = convert_with_spill(&case.script, &case.reference, &spill)
+            .map_err(|e| format!("spill(budget={budget}): conversion failed: {e}"))?;
+        if out.scratch_used > budget {
+            return fail(format!(
+                "spill(budget={budget}): stashed {} bytes over budget",
+                out.scratch_used
+            ));
+        }
+        if !ipr_core::spill::is_spill_safe(&out.script, &out.stashed) {
+            return fail(format!("spill(budget={budget}): output not spill-safe"));
+        }
+        let mut buf = in_place_buf(case, &out.script);
+        ipr_core::spill::apply_in_place_spilled(&out.script, &out.stashed, &mut buf, budget)
+            .map_err(|e| format!("spill(budget={budget}): apply: {e}"))?;
+        if buf[..expected.len()] != expected[..] {
+            return fail(format!("spill(budget={budget}): output differs"));
+        }
+        if budget == 0 && !out.stashed.is_empty() {
+            return fail("spill(budget=0): stashed copies with zero scratch".to_string());
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 3: CRWI invariant checker
+// ---------------------------------------------------------------------------
+
+/// Number of random permutations tried per case.
+const CRWI_TRIALS: usize = 8;
+
+/// Checks the CRWI oracle on one valid case.
+///
+/// The independent Equation 2 checker must agree with `ipr_core`'s
+/// verifier on random command orders, and whenever both call an order
+/// safe, applying it in place must reproduce the scratch-space output —
+/// Eq. 2 is not just an invariant, it is *the* condition under which
+/// in-place application is correct.
+pub fn check_crwi_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    let expected = scratch_apply(case)?;
+    let mut rng = crate::gen::rng_for(salt ^ 0x43525749); // "CRWI"
+    let n = case.script.len();
+
+    let mut orders: Vec<DeltaScript> = vec![case.script.clone()];
+    for _ in 0..CRWI_TRIALS {
+        let perm = crate::gen::permutation(&mut rng, n);
+        orders.push(case.script.permuted(&perm));
+    }
+
+    for (trial, script) in orders.iter().enumerate() {
+        let ours = check::eq2_violation(script);
+        let theirs = check_in_place_safe(script);
+        match (&ours, &theirs) {
+            (None, Err(v)) => {
+                return fail(format!(
+                    "trial {trial}: independent checker says safe, ipr-core says {v}"
+                ));
+            }
+            (Some(v), Ok(())) => {
+                return fail(format!(
+                    "trial {trial}: ipr-core says safe, independent checker found {v}"
+                ));
+            }
+            _ => {}
+        }
+        // The planner must accept exactly the safe orders.
+        let planned = ParallelSchedule::plan(script).is_some();
+        if planned != ours.is_none() {
+            return fail(format!(
+                "trial {trial}: wave planner {} an order the checkers call {}",
+                if planned { "accepted" } else { "rejected" },
+                if ours.is_none() { "safe" } else { "unsafe" },
+            ));
+        }
+        if ours.is_none() {
+            let mut buf = in_place_buf(case, script);
+            apply_in_place(script, &mut buf)
+                .map_err(|e| format!("trial {trial}: safe order failed to apply: {e}"))?;
+            if buf[..expected.len()] != expected[..] {
+                return fail(format!(
+                    "trial {trial}: order passed Eq. 2 but in-place output differs"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{case, hostile_bytes, rng_for};
+
+    #[test]
+    fn codec_oracle_clean_on_seeds() {
+        for seed in 0..40u64 {
+            let c = case(&mut rng_for(seed));
+            check_codec_case(&c).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn robustness_oracle_clean_on_seeds() {
+        for seed in 0..80u64 {
+            let bytes = hostile_bytes(&mut rng_for(seed));
+            check_decoder_robustness(&bytes).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn convert_oracle_clean_on_seeds() {
+        for seed in 0..25u64 {
+            let c = case(&mut rng_for(seed));
+            check_convert_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn crwi_oracle_clean_on_seeds() {
+        for seed in 0..25u64 {
+            let c = case(&mut rng_for(seed));
+            check_crwi_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn convert_oracle_catches_a_wrong_converter() {
+        // A "converter" that forgets to reorder: the original shuffled
+        // script usually violates Eq. 2 and the oracle must object.
+        let mut hits = 0;
+        for seed in 0..50u64 {
+            let c = case(&mut rng_for(seed));
+            if check_in_place_safe(&c.script).is_err() {
+                hits += 1;
+                assert!(
+                    check::eq2_violation(&c.script).is_some(),
+                    "seed {seed}: independent checker missed a violation"
+                );
+            }
+        }
+        assert!(hits > 5, "generator produced too few conflicting scripts");
+    }
+}

@@ -1,0 +1,228 @@
+//! Failure shrinking.
+//!
+//! A fuzz failure on a 4 KiB, 300-command case is evidence; a failure on
+//! a 12-byte, 2-command case is a diagnosis. Both shrinkers are greedy
+//! fixed-point loops: apply every candidate reduction, keep any that
+//! still fails the *same deterministic check*, stop when none does.
+//!
+//! Script cases shrink by truncating the target file at a command-write
+//! boundary (the write intervals tile `[0, target_len)`, so the commands
+//! whose writes end at or before a boundary are themselves a valid
+//! script) and by simplifying surviving commands (copies become adds,
+//! add data becomes zeros) — simplifications preserve scratch-space
+//! semantics only in structure, not bytes, which is fine: the check is
+//! re-run on every candidate and is the sole judge.
+
+use crate::gen::FuzzCase;
+use ipr_delta::{Command, DeltaScript};
+
+/// Bound on shrink candidates tried, to keep worst-case shrink time
+/// negligible next to the fuzz run itself.
+const MAX_ATTEMPTS: usize = 4_000;
+
+/// Shrinks a failing case, returning the smallest still-failing case and
+/// its failure message. Returns the input's own failure when nothing
+/// smaller fails.
+pub fn shrink_case(
+    case: &FuzzCase,
+    check: &dyn Fn(&FuzzCase) -> Result<(), String>,
+) -> (FuzzCase, String) {
+    let mut best = case.clone();
+    let mut detail = match check(&best) {
+        Err(e) => e,
+        Ok(()) => return (best, "original failure did not reproduce".to_string()),
+    };
+    let mut attempts = 0usize;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return (best, detail);
+            }
+            if let Err(e) = check(&candidate) {
+                best = candidate;
+                detail = e;
+                improved = true;
+                break; // restart candidate generation from the new best
+            }
+        }
+        if !improved {
+            return (best, detail);
+        }
+    }
+}
+
+/// Candidate reductions for a case, biggest bites first.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let script = &case.script;
+    let mut out = Vec::new();
+
+    // 1. Truncate the target at a write boundary: keep only commands
+    //    whose write interval ends at or before the cut.
+    let mut bounds: Vec<u64> = script.commands().iter().map(|c| c.to() + c.len()).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds.pop(); // the full length is not a reduction
+                  // Prefer halving: order boundaries by distance from target_len / 2.
+    bounds.sort_by_key(|&b| b.abs_diff(script.target_len() / 2));
+    for cut in bounds.into_iter().take(24) {
+        let kept: Vec<Command> = script
+            .commands()
+            .iter()
+            .filter(|c| c.to() + c.len() <= cut)
+            .cloned()
+            .collect();
+        if let Ok(s) = DeltaScript::new(script.source_len(), cut, kept) {
+            out.push(FuzzCase {
+                reference: case.reference.clone(),
+                script: s,
+            });
+        }
+    }
+
+    // 2. Simplify one command: a copy becomes an add of the reference
+    //    bytes it read (removes a CRWI vertex), an add's data becomes
+    //    zeros (removes payload entropy).
+    for (i, cmd) in script.commands().iter().enumerate() {
+        let replacement = match cmd {
+            Command::Copy(c) => {
+                let src = &case.reference[c.from as usize..(c.from + c.len) as usize];
+                Command::add(c.to, src.to_vec())
+            }
+            Command::Add(a) => {
+                if a.data.iter().all(|&b| b == 0) {
+                    continue;
+                }
+                Command::add(a.to, vec![0u8; a.data.len()])
+            }
+        };
+        let mut commands = script.commands().to_vec();
+        commands[i] = replacement;
+        if let Ok(s) = DeltaScript::new(script.source_len(), script.target_len(), commands) {
+            out.push(FuzzCase {
+                reference: case.reference.clone(),
+                script: s,
+            });
+        }
+    }
+
+    // 3. Zero the reference (kills content-dependent failures' noise).
+    if case.reference.iter().any(|&b| b != 0) {
+        out.push(FuzzCase {
+            reference: vec![0u8; case.reference.len()],
+            script: script.clone(),
+        });
+    }
+    out
+}
+
+/// Shrinks a failing decoder input with a ddmin-style sweep: drop
+/// exponentially smaller chunks, then single bytes, then zero bytes.
+pub fn shrink_bytes(
+    bytes: &[u8],
+    check: &dyn Fn(&[u8]) -> Result<(), String>,
+) -> (Vec<u8>, String) {
+    let mut best = bytes.to_vec();
+    let mut detail = match check(&best) {
+        Err(e) => e,
+        Ok(()) => return (best, "original failure did not reproduce".to_string()),
+    };
+    let mut attempts = 0usize;
+
+    let mut chunk = best.len().max(1) / 2;
+    while chunk >= 1 {
+        let mut improved = false;
+        let mut start = 0usize;
+        while start < best.len() {
+            if attempts > MAX_ATTEMPTS {
+                return (best, detail);
+            }
+            attempts += 1;
+            let end = (start + chunk).min(best.len());
+            let mut candidate = best.clone();
+            candidate.drain(start..end);
+            if let Err(e) = check(&candidate) {
+                best = candidate;
+                detail = e;
+                improved = true;
+                // retry the same offset against the shorter input
+            } else {
+                start += chunk;
+            }
+        }
+        if !improved {
+            chunk /= 2;
+        }
+    }
+
+    // Canonicalize surviving bytes toward zero.
+    for i in 0..best.len() {
+        if best[i] == 0 || attempts > MAX_ATTEMPTS {
+            continue;
+        }
+        attempts += 1;
+        let mut candidate = best.clone();
+        candidate[i] = 0;
+        if let Err(e) = check(&candidate) {
+            best = candidate;
+            detail = e;
+        }
+    }
+    (best, detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{case, rng_for};
+
+    #[test]
+    fn shrinks_a_script_failure_to_its_core() {
+        // Failure: "some command writes at or past offset 100".
+        let check = |c: &FuzzCase| -> Result<(), String> {
+            for cmd in c.script.commands() {
+                if cmd.to() + cmd.len() > 100 {
+                    return Err("writes past 100".to_string());
+                }
+            }
+            Ok(())
+        };
+        for seed in 0..20u64 {
+            let c = case(&mut rng_for(seed));
+            if check(&c).is_ok() {
+                continue;
+            }
+            let (small, detail) = shrink_case(&c, &check);
+            assert_eq!(detail, "writes past 100");
+            assert!(small.script.target_len() <= c.script.target_len());
+            // Minimal: cutting any more passes the check, so the last
+            // write boundary is the first one past 100.
+            assert!(small.script.target_len() >= 100);
+        }
+    }
+
+    #[test]
+    fn shrinks_bytes_to_the_poison_pattern() {
+        let check = |b: &[u8]| -> Result<(), String> {
+            if b.windows(2).any(|w| w == [0xde, 0xad]) {
+                Err("contains 0xDEAD".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let mut input = vec![7u8; 300];
+        input[171] = 0xde;
+        input[172] = 0xad;
+        let (small, detail) = shrink_bytes(&input, &check);
+        assert_eq!(detail, "contains 0xDEAD");
+        assert_eq!(small, vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn non_reproducing_failure_is_reported() {
+        let c = case(&mut rng_for(3));
+        let (_, detail) = shrink_case(&c, &|_| Ok(()));
+        assert!(detail.contains("did not reproduce"));
+    }
+}

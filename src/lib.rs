@@ -7,5 +7,6 @@ pub use ipr_core as core;
 pub use ipr_delta as delta;
 pub use ipr_device as device;
 pub use ipr_digraph as digraph;
+pub use ipr_fuzz as fuzz;
 pub use ipr_trace as trace;
 pub use ipr_workloads as workloads;

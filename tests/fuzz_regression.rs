@@ -1,0 +1,102 @@
+//! Replays the pinned fuzz corpus in `tests/fuzz_corpus/` and checks the
+//! seed-reproduction contract the `ipr fuzz` CLI prints on failure.
+
+use std::path::PathBuf;
+
+use ipr::fuzz::corpus::{load_dir, CorpusEntry};
+use ipr::fuzz::{run, run_case, run_corpus_entry, FuzzConfig, Oracle};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fuzz_corpus")
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let entries = load_dir(&corpus_dir()).expect("corpus directory loads");
+    assert!(
+        entries.len() >= 6,
+        "corpus unexpectedly small: {} entries",
+        entries.len()
+    );
+    let mut failures = Vec::new();
+    for (name, entry) in &entries {
+        if let Err(e) = run_corpus_entry(entry) {
+            failures.push(format!("{name}: {e}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus violations:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_covers_every_oracle_and_raw_bytes() {
+    let entries = load_dir(&corpus_dir()).expect("corpus directory loads");
+    let mut seeded = std::collections::HashSet::new();
+    let mut raw = 0;
+    for (_, entry) in &entries {
+        match entry {
+            CorpusEntry::Seeded { oracle, .. } => {
+                seeded.insert(*oracle);
+            }
+            CorpusEntry::DecodeBytes(_) => raw += 1,
+        }
+    }
+    for oracle in Oracle::ALL {
+        assert!(
+            seeded.contains(&oracle),
+            "no seeded corpus entry for {oracle}"
+        );
+    }
+    assert!(
+        raw >= 2,
+        "want raw decoder entries in the corpus, got {raw}"
+    );
+}
+
+#[test]
+fn corpus_entries_round_trip_through_serialize() {
+    for (name, entry) in load_dir(&corpus_dir()).expect("corpus directory loads") {
+        let text = entry.serialize("round-trip");
+        let reparsed = CorpusEntry::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: serialized form does not reparse: {e}"));
+        assert_eq!(
+            reparsed, entry,
+            "{name}: corpus entry changed in round-trip"
+        );
+    }
+}
+
+/// The contract behind the printed repro line: iteration `i` of a run
+/// seeded with `s` behaves identically to iteration 0 of a run seeded
+/// with `s + i`, for every oracle.
+#[test]
+fn seed_reproduction_is_byte_identical() {
+    for oracle in Oracle::ALL {
+        for iteration in [0u64, 3, 17] {
+            let master = 42u64;
+            let direct = run_case(oracle, master.wrapping_add(iteration));
+            let via_run = run_case(oracle, ipr::fuzz::gen::case_seed(master, iteration));
+            assert_eq!(direct, via_run, "{oracle} iteration {iteration}");
+        }
+    }
+}
+
+#[test]
+fn smoke_run_is_clean_and_deterministic() {
+    let config = FuzzConfig {
+        seed: 7,
+        iters: 20,
+        ..FuzzConfig::default()
+    };
+    let a = run(&config);
+    assert!(a.is_clean(), "violations: {:?}", a.violations);
+    assert_eq!(a.iters_run, 20);
+    let b = run(&config);
+    assert_eq!(a.iters_run, b.iters_run);
+    assert_eq!(a.violations.len(), b.violations.len());
+}
