@@ -1,0 +1,340 @@
+//! Differencing throughput: serial vs wave-parallel shared-index diff.
+//!
+//! Differencing dominates the pipeline (~97% of end-to-end time in
+//! `results/BENCH_phase_breakdown.json`), so this benchmark tracks the
+//! phase directly: every differ family is run serially and wrapped in
+//! [`ParallelDiffer`] at 1/2/4/8 threads over the experiment corpus,
+//! reporting MiB/s of version bytes differenced and the encoded delta
+//! size (the compression cost of chunked scanning — bounded by seam
+//! stitching). A shared [`DiffScratch`] arena is reused across every
+//! call, so steady state measures the algorithms, not the allocator.
+//!
+//! Results land in `results/BENCH_diff_throughput.json`.
+//! `host_parallelism` records how many cores the numbers were taken on:
+//! speedups above it are not physically possible on that host.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin diff_throughput`
+//!
+//! With `--compare <baseline.json>` the run instead gates against a
+//! previously written report and exits non-zero on a regression:
+//!
+//! * **compression** — any configuration's summed encoded delta bytes
+//!   grow by more than [`DELTA_TOLERANCE`] over the baseline (diff output
+//!   is deterministic, so on the synthetic corpus this is a real
+//!   algorithmic change, not noise), or any parallel configuration's
+//!   delta bytes exceed the same-run serial engine's by more than
+//!   [`DELTA_TOLERANCE`] (a corpus-size-independent seam-stitching gate
+//!   that holds even on the quick CI corpus);
+//! * **overhead** — single-threaded parallel falls behind the serial
+//!   engine by more than [`OVERHEAD_FACTOR`] (a machine-independent
+//!   within-run ratio; absolute times are never gated).
+//!
+//! The baseline file is left untouched in this mode.
+
+use ipr_bench::experiment_corpus;
+use ipr_delta::codec::{encode, Format};
+use ipr_delta::diff::{
+    CorrectingDiffer, DiffScratch, GreedyDiffer, IndexedDiffer, OnePassDiffer, ParallelDiffer,
+};
+use ipr_workloads::corpus::FilePair;
+use std::time::Instant;
+
+/// Gate: a configuration's encoded delta bytes may grow at most this much
+/// over the baseline (2%, the documented seam-stitching bound).
+const DELTA_TOLERANCE: f64 = 1.02;
+/// Gate: single-threaded parallel may cost at most this much of serial.
+const OVERHEAD_FACTOR: f64 = 2.0;
+
+struct Row {
+    differ: &'static str,
+    config: &'static str,
+    threads: usize,
+    total_ns: u128,
+    mib_per_s: f64,
+    speedup: f64,
+    delta_bytes: u64,
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> u128) -> u128 {
+    let mut best = f();
+    for _ in 1..reps {
+        best = best.min(f());
+    }
+    best
+}
+
+/// One timed pass of `diff` over the corpus; delta bytes are summed once
+/// outside the timed region.
+fn corpus_pass(corpus: &[FilePair], mut diff: impl FnMut(&FilePair)) -> u128 {
+    let t = Instant::now();
+    for pair in corpus {
+        diff(pair);
+    }
+    t.elapsed().as_nanos()
+}
+
+/// Serial + 1/2/4/8-thread parallel rows for one differ family.
+fn bench_differ<D: IndexedDiffer + Clone>(
+    name: &'static str,
+    inner: D,
+    corpus: &[FilePair],
+    reps: usize,
+    mib: f64,
+) -> Vec<Row> {
+    let throughput = |ns: u128| mib / (ns as f64 / 1e9);
+
+    let serial_ns = best_of(reps, || {
+        corpus_pass(corpus, |p| {
+            std::hint::black_box(inner.diff(&p.reference, &p.version));
+        })
+    });
+    let serial_delta: u64 = corpus
+        .iter()
+        .map(|p| {
+            let script = inner.diff(&p.reference, &p.version);
+            encode(&script, Format::Ordered)
+                .expect("encodable script")
+                .len() as u64
+        })
+        .sum();
+    let mut rows = vec![Row {
+        differ: name,
+        config: "serial",
+        threads: 1,
+        total_ns: serial_ns,
+        mib_per_s: throughput(serial_ns),
+        speedup: 1.0,
+        delta_bytes: serial_delta,
+    }];
+
+    let mut scratch = DiffScratch::new();
+    for threads in [1usize, 2, 4, 8] {
+        let differ = ParallelDiffer::new(inner.clone()).with_threads(threads);
+        let ns = best_of(reps, || {
+            corpus_pass(corpus, |p| {
+                std::hint::black_box(differ.diff_with(&mut scratch, &p.reference, &p.version));
+            })
+        });
+        let delta_bytes: u64 = corpus
+            .iter()
+            .map(|p| {
+                let script = differ.diff_with(&mut scratch, &p.reference, &p.version);
+                encode(&script, Format::Ordered)
+                    .expect("encodable script")
+                    .len() as u64
+            })
+            .sum();
+        rows.push(Row {
+            differ: name,
+            config: "parallel",
+            threads,
+            total_ns: ns,
+            mib_per_s: throughput(ns),
+            speedup: serial_ns as f64 / ns as f64,
+            delta_bytes,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--compare" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare needs a baseline JSON path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; usage: diff_throughput [--compare <baseline.json>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let corpus = experiment_corpus();
+    let reps: usize = std::env::var("IPR_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let version_bytes: u64 = corpus.iter().map(|p| p.version.len() as u64).sum();
+    let mib = version_bytes as f64 / (1024.0 * 1024.0);
+
+    let mut rows = Vec::new();
+    rows.extend(bench_differ(
+        "greedy",
+        GreedyDiffer::default(),
+        &corpus,
+        reps,
+        mib,
+    ));
+    rows.extend(bench_differ(
+        "one-pass",
+        OnePassDiffer::default(),
+        &corpus,
+        reps,
+        mib,
+    ));
+    rows.extend(bench_differ(
+        "correcting",
+        CorrectingDiffer::default(),
+        &corpus,
+        reps,
+        mib,
+    ));
+
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "Diff throughput: {} pairs, {:.1} MiB of version data, {} reps, host has {} core(s)\n",
+        corpus.len(),
+        mib,
+        reps,
+        host
+    );
+    println!(
+        "{:<12} {:<9} {:>8} {:>12} {:>10} {:>9} {:>13}",
+        "differ", "config", "threads", "total ms", "MiB/s", "speedup", "delta bytes"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<9} {:>8} {:>12.2} {:>10.1} {:>8.2}x {:>13}",
+            r.differ,
+            r.config,
+            r.threads,
+            r.total_ns as f64 / 1e6,
+            r.mib_per_s,
+            r.speedup,
+            r.delta_bytes
+        );
+    }
+
+    if let Some(path) = baseline_path {
+        let breaches = compare_to_baseline(&rows, &path);
+        if breaches > 0 {
+            eprintln!("\n{breaches} regression(s) past the gates");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"diff_throughput\",\n");
+    json.push_str("  \"command\": \"cargo run -p ipr-bench --release --bin diff_throughput\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"pairs\": {},\n", corpus.len()));
+    json.push_str(&format!("  \"version_bytes\": {version_bytes},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"differ\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"total_ns\": {}, \
+             \"mib_per_s\": {:.1}, \"speedup_vs_serial\": {:.3}, \"delta_bytes\": {}}}{}\n",
+            r.differ,
+            r.config,
+            r.threads,
+            r.total_ns,
+            r.mib_per_s,
+            r.speedup,
+            r.delta_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_diff_throughput.json", &json).expect("write results");
+    println!("\nwrote results/BENCH_diff_throughput.json");
+}
+
+/// Gates the current rows against a stored report; returns breach count.
+fn compare_to_baseline(rows: &[Row], path: &str) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let baseline = ipr_trace::json::parse(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+    let results = baseline
+        .get("results")
+        .and_then(|r| r.as_array())
+        .unwrap_or_else(|| panic!("baseline {path} has no results array"));
+    let baseline_delta = |differ: &str, config: &str, threads: usize| -> Option<u64> {
+        results
+            .iter()
+            .find(|r| {
+                r.get("differ").and_then(|v| v.as_str()) == Some(differ)
+                    && r.get("config").and_then(|v| v.as_str()) == Some(config)
+                    && r.get("threads").and_then(ipr_trace::json::Value::as_u64)
+                        == Some(threads as u64)
+            })?
+            .get("delta_bytes")?
+            .as_u64()
+    };
+
+    println!(
+        "\nComparison against {path} (gates: delta bytes ≤ {DELTA_TOLERANCE}x baseline, \
+         1-thread parallel ≤ {OVERHEAD_FACTOR}x serial)\n"
+    );
+    let mut breaches = 0;
+    for r in rows {
+        let Some(base) = baseline_delta(r.differ, r.config, r.threads) else {
+            println!(
+                "{}/{}/t{}: no baseline row (ungated)",
+                r.differ, r.config, r.threads
+            );
+            continue;
+        };
+        let ratio = r.delta_bytes as f64 / base.max(1) as f64;
+        let status = if ratio > DELTA_TOLERANCE {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{}/{}/t{}: delta bytes {} vs baseline {} ({ratio:.4}x) {status}",
+            r.differ, r.config, r.threads, r.delta_bytes, base
+        );
+    }
+    // Within-run gates: these compare rows from the same run, so corpus
+    // size and machine speed cancel — they hold on the quick CI corpus
+    // even when the baseline was taken on the full one.
+    for differ in ["greedy", "one-pass", "correcting"] {
+        let serial = rows
+            .iter()
+            .find(|r| r.differ == differ && r.config == "serial")
+            .expect("serial row present");
+        let par1 = rows
+            .iter()
+            .find(|r| r.differ == differ && r.config == "parallel" && r.threads == 1)
+            .expect("1-thread parallel row present");
+        let ratio = par1.total_ns as f64 / serial.total_ns as f64;
+        let status = if ratio > OVERHEAD_FACTOR {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{differ}: 1-thread parallel is {ratio:.2}x serial {status}");
+        for par in rows
+            .iter()
+            .filter(|r| r.differ == differ && r.config == "parallel")
+        {
+            let ratio = par.delta_bytes as f64 / serial.delta_bytes.max(1) as f64;
+            let status = if ratio > DELTA_TOLERANCE {
+                breaches += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{differ}: t{} parallel delta bytes are {ratio:.4}x serial {status}",
+                par.threads
+            );
+        }
+    }
+    breaches
+}

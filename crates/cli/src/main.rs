@@ -18,7 +18,7 @@
 
 use ipr_core::{check_in_place_safe, convert_to_in_place, ConversionConfig, CyclePolicy};
 use ipr_delta::codec::{self, Format};
-use ipr_delta::diff::{CorrectingDiffer, Differ, GreedyDiffer, OnePassDiffer};
+use ipr_delta::diff::{CorrectingDiffer, Differ, GreedyDiffer, OnePassDiffer, ParallelDiffer};
 use ipr_delta::stats::ScriptStats;
 use std::process::ExitCode;
 
@@ -130,7 +130,8 @@ fn print_usage() {
         "usage: ipr <subcommand> [...]\n\
          \n\
          subcommands:\n\
-         \x20 diff <reference> <version> <delta>  [--differ greedy|one-pass|correcting] [--format F]\n\
+         \x20 diff <reference> <version> <delta>  [--differ greedy|one-pass|correcting]\n\
+         \x20      [--threads N] [--format F]     (--threads: parallel diff; 0 = all cores)\n\
          \x20 convert <reference> <delta> <out>   [--policy constant|local-min] [--format F]\n\
          \x20 apply <reference> <delta> <out>\n\
          \x20 apply-in-place <file> <delta>  [--threads N] [--read-mode snapshot|zero-copy]\n\
@@ -139,7 +140,7 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
-         \x20 fuzz  [--oracle all|codec|convert|crwi] [--seed S] [--iters N] [--shrink on|off]\n\
+         \x20 fuzz  [--oracle all|codec|convert|crwi|diff] [--seed S] [--iters N] [--shrink on|off]\n\
          \x20       (differential fuzzing; failures print a seed that replays them)\n\
          \n\
          every subcommand accepts: --stats | --stats=json | --stats-out <file>\n\
@@ -198,21 +199,43 @@ fn cmd_diff(args: &[String]) -> CliResult {
         return Err("usage: ipr diff <reference> <version> <delta>".into());
     };
     let mut format = Format::Ordered;
-    let mut differ: Box<dyn Differ> = Box::new(GreedyDiffer::default());
+    let mut differ_name = "greedy";
+    let mut threads: Option<usize> = None;
     for (k, v) in opts {
         match k {
             "format" => format = parse_format(v)?,
             "differ" => {
-                differ = match v {
-                    "greedy" => Box::new(GreedyDiffer::default()),
-                    "one-pass" => Box::new(OnePassDiffer::default()),
-                    "correcting" => Box::new(CorrectingDiffer::default()),
+                differ_name = match v {
+                    "greedy" | "one-pass" | "correcting" => v,
                     _ => return Err(format!("unknown differ `{v}`").into()),
                 }
+            }
+            "threads" => {
+                threads = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--threads needs a number, got `{v}`"))?,
+                );
             }
             _ => return Err(format!("unknown option --{k}").into()),
         }
     }
+    // `--threads N` wraps the chosen engine in the parallel shared-index
+    // differ (N = 0 sizes to the host); without it the serial engine runs.
+    let differ: Box<dyn Differ> = match (differ_name, threads) {
+        ("greedy", None) => Box::new(GreedyDiffer::default()),
+        ("one-pass", None) => Box::new(OnePassDiffer::default()),
+        ("correcting", None) => Box::new(CorrectingDiffer::default()),
+        ("greedy", Some(n)) => {
+            Box::new(ParallelDiffer::new(GreedyDiffer::default()).with_threads(n))
+        }
+        ("one-pass", Some(n)) => {
+            Box::new(ParallelDiffer::new(OnePassDiffer::default()).with_threads(n))
+        }
+        ("correcting", Some(n)) => {
+            Box::new(ParallelDiffer::new(CorrectingDiffer::default()).with_threads(n))
+        }
+        _ => unreachable!("differ name validated above"),
+    };
     let reference = std::fs::read(reference_path)?;
     let version = std::fs::read(version_path)?;
     let script = differ.diff(&reference, &version);
@@ -507,7 +530,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     let (pos, opts) = parse_opts(args)?;
     if !pos.is_empty() {
         return Err(
-            "usage: ipr fuzz [--oracle all|codec|convert|crwi] [--seed S] [--iters N] \
+            "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff] [--seed S] [--iters N] \
              [--shrink on|off] [--max-failures N]"
                 .into(),
         );
@@ -620,7 +643,7 @@ mod tests {
         };
         assert_eq!(counter("fuzz.iters"), 5);
         let spans = v.get("spans").unwrap();
-        for name in ["fuzz.codec", "fuzz.convert", "fuzz.crwi"] {
+        for name in ["fuzz.codec", "fuzz.convert", "fuzz.crwi", "fuzz.diff"] {
             let span = spans
                 .get(name)
                 .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
@@ -931,6 +954,61 @@ mod tests {
         // Plain `--stats` (text to stderr) also succeeds end to end.
         run(&s(&["verify", &p("delta-ip"), "--stats"])).unwrap();
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_diff_threads_emits_stats() {
+        let dir = std::env::temp_dir().join(format!("ipr-cli-pdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        // 160 KiB version -> 3 chunks at the default 64 KiB chunk size.
+        let reference: Vec<u8> = (0..160 * 1024u32).map(|i| (i % 251) as u8).collect();
+        let mut version = reference.clone();
+        version[40_000] ^= 0x2a;
+        version[120_000] ^= 0x2a;
+        std::fs::write(p("old"), &reference).unwrap();
+        std::fs::write(p("new"), &version).unwrap();
+        let out = p("diff-stats.json");
+        run(&s(&[
+            "diff",
+            &p("old"),
+            &p("new"),
+            &p("d"),
+            "--threads",
+            "2",
+            "--stats-out",
+            &out,
+        ]))
+        .unwrap();
+        // The parallel delta must apply back to the version file.
+        run(&s(&["apply", &p("old"), &p("d"), &p("rebuilt")])).unwrap();
+        assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
+
+        let raw = std::fs::read_to_string(&out).unwrap();
+        let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
+        let spans = v.get("spans").unwrap();
+        for name in ["diff", "diff.index_build", "diff.scan", "diff.stitch"] {
+            let span = spans
+                .get(name)
+                .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
+            assert_eq!(span.get("count").unwrap().as_u64(), Some(1), "{name}");
+        }
+        let counter = |name: &str| {
+            v.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(|c| c.as_u64())
+                .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
+        };
+        // Cross-checks: the counters must agree with the input files.
+        assert_eq!(counter("diff.reference_bytes"), reference.len() as u64);
+        assert_eq!(counter("diff.version_bytes"), version.len() as u64);
+        assert_eq!(counter("diff.chunks"), 3);
+        let gauge = v
+            .get("gauges")
+            .and_then(|g| g.get("diff.threads"))
+            .and_then(|g| g.as_u64());
+        assert_eq!(gauge, Some(2), "diff.threads gauge in {raw}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

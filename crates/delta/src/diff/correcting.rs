@@ -14,9 +14,12 @@
 //!   the pending literal run, *correcting* bytes that were provisionally
 //!   classified as adds before the match was discovered.
 
+use super::parallel::{build_footprint_index, FootprintIndex, IndexedDiffer};
 use super::rolling::RollingHash;
-use super::{Differ, ScriptBuilder};
+use super::scratch::{self, IndexScratch, Seg, EMPTY};
+use super::Differ;
 use crate::script::DeltaScript;
+use std::ops::Range;
 
 /// Linear-time differencing with match correction.
 ///
@@ -74,66 +77,59 @@ impl CorrectingDiffer {
     }
 }
 
-const EMPTY: u32 = u32::MAX;
+impl IndexedDiffer for CorrectingDiffer {
+    type Index<'s> = FootprintIndex<'s>;
 
-/// First-seen and last-seen reference offsets per footprint slot.
-#[derive(Clone, Copy)]
-struct Slot {
-    first: u32,
-    last: u32,
-}
+    fn seed_len(&self) -> usize {
+        self.seed_len
+    }
 
-impl Differ for CorrectingDiffer {
-    fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
-        let _span = ipr_trace::span("diff");
-        ipr_trace::with(|r| {
-            r.add("diff.reference_bytes", reference.len() as u64);
-            r.add("diff.version_bytes", version.len() as u64);
-        });
-        let source_len = reference.len() as u64;
-        let mut builder = ScriptBuilder::new();
-        if version.len() < self.seed_len || reference.len() < self.seed_len {
-            builder.push_literal(version);
-            return builder.finish(source_len);
+    /// Footprint table with first-seen and last-seen offsets per slot.
+    fn build_index<'s>(
+        &self,
+        reference: &[u8],
+        shards: usize,
+        scratch: &'s mut IndexScratch,
+    ) -> FootprintIndex<'s> {
+        build_footprint_index(
+            reference,
+            self.seed_len,
+            self.table_bits,
+            true,
+            shards,
+            scratch,
+        )
+    }
+
+    fn scan_chunk(
+        &self,
+        index: &FootprintIndex<'_>,
+        reference: &[u8],
+        version: &[u8],
+        range: Range<usize>,
+        segs: &mut Vec<Seg>,
+    ) {
+        let seed_len = self.seed_len;
+        let last_window = version.len() - seed_len;
+        let (mut v, end) = (range.start, range.end);
+        if v >= end {
+            return;
         }
-
-        let mask = (1u64 << self.table_bits) - 1;
-        let mut table = vec![
-            Slot {
-                first: EMPTY,
-                last: EMPTY
-            };
-            1 << self.table_bits
-        ];
-        {
-            let mut h = RollingHash::new(&reference[..self.seed_len]);
-            let last = reference.len() - self.seed_len;
-            for i in 0..=last {
-                if i > 0 {
-                    h.roll(reference[i - 1], reference[i + self.seed_len - 1]);
-                }
-                let slot = &mut table[(h.hash() & mask) as usize];
-                if slot.first == EMPTY {
-                    slot.first = i as u32;
-                }
-                slot.last = i as u32;
-            }
+        if v > last_window {
+            scratch::push_lit(segs, (end - v) as u64);
+            return;
         }
-
-        let last_window = version.len() - self.seed_len;
-        let mut v = 0usize;
-        let mut h = RollingHash::new(&version[..self.seed_len]);
-        let mut hash_pos = 0usize;
-
-        while v <= last_window {
+        let mut h = RollingHash::new(&version[v..v + seed_len]);
+        let mut hash_pos = v;
+        while v < end && v <= last_window {
             while hash_pos < v {
-                h.roll(version[hash_pos], version[hash_pos + self.seed_len]);
+                h.roll(version[hash_pos], version[hash_pos + seed_len]);
                 hash_pos += 1;
             }
-            let slot = table[(h.hash() & mask) as usize];
+            let hash = h.hash();
             let mut best_from = 0usize;
             let mut best_len = 0usize;
-            for cand in [slot.first, slot.last] {
+            for cand in [index.first(hash), index.last(hash)] {
                 if cand == EMPTY {
                     continue;
                 }
@@ -141,10 +137,10 @@ impl Differ for CorrectingDiffer {
                 if c == best_from && best_len > 0 {
                     continue; // first == last
                 }
-                if reference[c..c + self.seed_len] != version[v..v + self.seed_len] {
+                if reference[c..c + seed_len] != version[v..v + seed_len] {
                     continue;
                 }
-                let mut len = self.seed_len;
+                let mut len = seed_len;
                 let max = (reference.len() - c).min(version.len() - v);
                 while len < max && reference[c + len] == version[v + len] {
                     len += 1;
@@ -154,27 +150,53 @@ impl Differ for CorrectingDiffer {
                     best_from = c;
                 }
             }
-            if best_len >= self.seed_len {
-                // Correction: extend the match backwards over pending
-                // literals.
+            if best_len >= seed_len {
+                // Correction: extend the match backwards over the pending
+                // literal run (never across the chunk start — bytes
+                // before it belong to earlier chunks; the stitcher
+                // extends across seams with the full picture).
+                let pending = match segs.last() {
+                    Some(Seg::Literal { len }) => *len as usize,
+                    _ => 0,
+                };
                 let mut back = 0usize;
-                let reclaimable = builder.pending_len().min(best_from).min(v);
+                let reclaimable = pending.min(best_from).min(v);
                 while back < reclaimable && reference[best_from - 1 - back] == version[v - 1 - back]
                 {
                     back += 1;
                 }
-                builder.reclaim_pending(back);
-                builder.push_copy((best_from - back) as u64, (best_len + back) as u64);
-                v += best_len;
+                if back > 0 {
+                    match segs.last_mut() {
+                        Some(Seg::Literal { len }) if *len as usize == back => {
+                            segs.pop();
+                        }
+                        Some(Seg::Literal { len }) => *len -= back as u64,
+                        _ => unreachable!("reclaimable is bounded by the pending literal"),
+                    }
+                }
+                // Truncate at the chunk boundary; stitching re-extends.
+                let fwd = best_len.min(end - v);
+                scratch::push_copy(segs, (best_from - back) as u64, (fwd + back) as u64);
+                v += fwd;
             } else {
-                builder.push_byte(version[v]);
+                scratch::push_lit(segs, 1);
                 v += 1;
             }
         }
-        if v < version.len() {
-            builder.push_literal(&version[v..]);
+        if v < end {
+            scratch::push_lit(segs, (end - v) as u64);
         }
-        builder.finish(source_len)
+    }
+}
+
+impl Differ for CorrectingDiffer {
+    fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
+        let _span = ipr_trace::span("diff");
+        ipr_trace::with(|r| {
+            r.add("diff.reference_bytes", reference.len() as u64);
+            r.add("diff.version_bytes", version.len() as u64);
+        });
+        scratch::with_thread_scratch(|s| super::parallel::diff_serial(self, s, reference, version))
     }
 
     fn name(&self) -> &'static str {

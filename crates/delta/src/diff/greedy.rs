@@ -1,10 +1,12 @@
 //! Greedy differencing: index every reference offset, take the longest
 //! match at each version position.
 
+use super::parallel::IndexedDiffer;
 use super::rolling::RollingHash;
-use super::{Differ, ScriptBuilder};
+use super::scratch::{self, ChainNode, GreedyShard, IndexScratch, Seg, EMPTY};
+use super::Differ;
 use crate::script::DeltaScript;
-use ipr_hash::FxHashMap;
+use std::ops::Range;
 
 /// Greedy byte-granularity differencing (after Reichenberger '91).
 ///
@@ -68,65 +70,166 @@ impl GreedyDiffer {
     pub fn seed_len(&self) -> usize {
         self.seed_len
     }
-
-    /// Index of every reference seed hash to its offsets.
-    fn index(&self, reference: &[u8]) -> SeedIndex {
-        SeedIndex::build(reference, self.seed_len)
-    }
 }
 
-const NO_OFFSET: u32 = u32::MAX;
-
-/// Hash index over every reference offset, stored as intrusive chains in
-/// one flat array (`chain[i]` links offset `i` to the previous offset with
-/// the same seed hash). A single backing allocation — per-bucket `Vec`s
-/// would mean one heap allocation per reference offset, which both bloats
-/// memory and leaves the allocator with hundreds of thousands of free
-/// chunks to consolidate on the next allocation.
-/// Buckets use the Fx hash: one probe per reference offset and one per
-/// version position puts SipHash's per-key latency directly on the diff
-/// critical path, and the keys are already-mixed Karp-Rabin hashes, so a
-/// cheap finalizer loses nothing.
-struct SeedIndex {
-    heads: FxHashMap<u64, u32>,
-    chain: Vec<u32>,
+/// Deterministic hash → shard assignment. Independent of how many offsets
+/// exist, so a hash's complete chain always lives in exactly one shard —
+/// the property that makes candidate order shard-count-invariant.
+#[inline]
+fn shard_of(hash: u64, shards: usize) -> usize {
+    // Karp-Rabin hashes are well mixed in the low bits but not uniformly
+    // across the word; fold and remix before the multiply-shift range map.
+    let mixed = (hash ^ (hash >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    ((u128::from(mixed) * shards as u128) >> 64) as usize
 }
 
-impl SeedIndex {
-    fn build(reference: &[u8], seed_len: usize) -> Self {
-        if reference.len() < seed_len {
-            return Self {
-                heads: FxHashMap::default(),
-                chain: Vec::new(),
-            };
-        }
-        let last = reference.len() - seed_len;
-        let mut heads: FxHashMap<u64, u32> =
-            FxHashMap::with_capacity_and_hasher(last + 1, ipr_hash::FxBuildHasher::default());
-        let mut chain = vec![NO_OFFSET; last + 1];
-        let mut h = RollingHash::new(&reference[..seed_len]);
-        for i in 0..=last {
-            if i > 0 {
-                h.roll(reference[i - 1], reference[i + seed_len - 1]);
-            }
-            let head = heads.entry(h.hash()).or_insert(NO_OFFSET);
-            chain[i] = *head;
-            *head = i as u32;
-        }
-        Self { heads, chain }
-    }
+/// Shared greedy reference index: every reference offset, chained per
+/// seed hash across hash shards (see [`GreedyShard`]).
+///
+/// Chains are intrusive in one flat node array per shard — per-bucket
+/// `Vec`s would mean one heap allocation per reference offset. Buckets
+/// use the Fx hash: one probe per reference offset and one per version
+/// position puts SipHash's per-key latency directly on the diff critical
+/// path, and the keys are already-mixed Karp-Rabin hashes, so a cheap
+/// finalizer loses nothing.
+pub struct GreedyIndex<'s> {
+    shards: &'s [GreedyShard],
+}
 
+impl GreedyIndex<'_> {
     /// Iterates candidate offsets for `hash`, most recent first.
     fn candidates(&self, hash: u64) -> impl Iterator<Item = usize> + '_ {
-        let mut cursor = self.heads.get(&hash).copied().unwrap_or(NO_OFFSET);
+        let shard = &self.shards[shard_of(hash, self.shards.len())];
+        let mut cursor = shard.heads.get(&hash).copied().unwrap_or(EMPTY);
         std::iter::from_fn(move || {
-            if cursor == NO_OFFSET {
+            if cursor == EMPTY {
                 return None;
             }
-            let current = cursor as usize;
-            cursor = self.chain[current];
-            Some(current)
+            let node = shard.nodes[cursor as usize];
+            cursor = node.prev;
+            Some(node.offset as usize)
         })
+    }
+}
+
+impl IndexedDiffer for GreedyDiffer {
+    type Index<'s> = GreedyIndex<'s>;
+
+    fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+
+    fn build_index<'s>(
+        &self,
+        reference: &[u8],
+        shards: usize,
+        scratch: &'s mut IndexScratch,
+    ) -> GreedyIndex<'s> {
+        let shards = shards.max(1);
+        if scratch.shards.len() < shards {
+            scratch.shards.resize_with(shards, GreedyShard::default);
+        }
+        let active = &mut scratch.shards[..shards];
+        for shard in active.iter_mut() {
+            shard.clear();
+        }
+        if reference.len() >= self.seed_len {
+            let last = reference.len() - self.seed_len;
+            let seed_len = self.seed_len;
+            // Each worker owns one hash shard and scans the whole
+            // reference: re-rolling the hash is a few arithmetic ops per
+            // byte, while the hash-map inserts — the expensive part —
+            // split cleanly across workers.
+            let build_one = |owner: usize, shard: &mut GreedyShard| {
+                let mut h = RollingHash::new(&reference[..seed_len]);
+                for i in 0..=last {
+                    if i > 0 {
+                        h.roll(reference[i - 1], reference[i + seed_len - 1]);
+                    }
+                    let hash = h.hash();
+                    if shard_of(hash, shards) != owner {
+                        continue;
+                    }
+                    let head = shard.heads.entry(hash).or_insert(EMPTY);
+                    shard.nodes.push(ChainNode {
+                        offset: i as u32,
+                        prev: *head,
+                    });
+                    *head = (shard.nodes.len() - 1) as u32;
+                }
+            };
+            if shards == 1 {
+                build_one(0, &mut active[0]);
+            } else {
+                let build_one = &build_one;
+                std::thread::scope(|s| {
+                    for (owner, shard) in active.iter_mut().enumerate() {
+                        s.spawn(move || build_one(owner, shard));
+                    }
+                });
+            }
+        }
+        GreedyIndex {
+            shards: &scratch.shards[..shards],
+        }
+    }
+
+    fn scan_chunk(
+        &self,
+        index: &GreedyIndex<'_>,
+        reference: &[u8],
+        version: &[u8],
+        range: Range<usize>,
+        segs: &mut Vec<Seg>,
+    ) {
+        let seed_len = self.seed_len;
+        let last_window = version.len() - seed_len;
+        let (mut v, end) = (range.start, range.end);
+        if v >= end {
+            return;
+        }
+        if v > last_window {
+            scratch::push_lit(segs, (end - v) as u64);
+            return;
+        }
+        let mut h = RollingHash::new(&version[v..v + seed_len]);
+        let mut hash_pos = v; // position the rolling hash currently covers
+        while v < end && v <= last_window {
+            // Advance the rolling hash to position v.
+            while hash_pos < v {
+                h.roll(version[hash_pos], version[hash_pos + seed_len]);
+                hash_pos += 1;
+            }
+            let mut best_from = 0usize;
+            let mut best_len = 0usize;
+            for c in index.candidates(h.hash()).take(self.max_probes) {
+                if reference[c..c + seed_len] != version[v..v + seed_len] {
+                    continue; // hash collision
+                }
+                let mut len = seed_len;
+                let max = (reference.len() - c).min(version.len() - v);
+                while len < max && reference[c + len] == version[v + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_from = c;
+                }
+            }
+            if best_len >= seed_len {
+                // Truncate at the chunk boundary; stitching re-extends.
+                let emit = best_len.min(end - v);
+                scratch::push_copy(segs, best_from as u64, emit as u64);
+                v += emit;
+            } else {
+                scratch::push_lit(segs, 1);
+                v += 1;
+            }
+        }
+        // Tail shorter than a seed: emit literally.
+        if v < end {
+            scratch::push_lit(segs, (end - v) as u64);
+        }
     }
 }
 
@@ -137,57 +240,7 @@ impl Differ for GreedyDiffer {
             r.add("diff.reference_bytes", reference.len() as u64);
             r.add("diff.version_bytes", version.len() as u64);
         });
-        let source_len = reference.len() as u64;
-        let mut builder = ScriptBuilder::new();
-        if version.len() < self.seed_len || reference.len() < self.seed_len {
-            builder.push_literal(version);
-            return builder.finish(source_len);
-        }
-
-        let index = self.index(reference);
-        let last_window = version.len() - self.seed_len;
-        let mut v = 0usize;
-        let mut h = RollingHash::new(&version[..self.seed_len]);
-        let mut hash_pos = 0usize; // position the rolling hash currently covers
-
-        while v <= last_window {
-            // Advance the rolling hash to position v.
-            while hash_pos < v {
-                h.roll(version[hash_pos], version[hash_pos + self.seed_len]);
-                hash_pos += 1;
-            }
-            let mut best_from = 0usize;
-            let mut best_len = 0usize;
-            for c in index.candidates(h.hash()).take(self.max_probes) {
-                if reference[c..c + self.seed_len] != version[v..v + self.seed_len] {
-                    continue; // hash collision
-                }
-                let mut len = self.seed_len;
-                let max = (reference.len() - c).min(version.len() - v);
-                while len < max && reference[c + len] == version[v + len] {
-                    len += 1;
-                }
-                if len > best_len {
-                    best_len = len;
-                    best_from = c;
-                }
-            }
-            if best_len >= self.seed_len {
-                builder.push_copy(best_from as u64, best_len as u64);
-                v += best_len;
-            } else {
-                builder.push_byte(version[v]);
-                v += 1;
-            }
-            if v > last_window {
-                break;
-            }
-        }
-        // Tail shorter than a seed: emit literally.
-        if v < version.len() {
-            builder.push_literal(&version[v..]);
-        }
-        builder.finish(source_len)
+        scratch::with_thread_scratch(|s| super::parallel::diff_serial(self, s, reference, version))
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! Differencing engines: produce a [`DeltaScript`] encoding a version file
 //! against a reference file.
 //!
-//! Two engines cover the trade-off the paper's lineage explores:
+//! Three engines cover the trade-off the paper's lineage explores:
 //!
 //! * [`GreedyDiffer`] — indexes every reference offset and picks the
 //!   longest match at each version position. Better compression, more
@@ -9,20 +9,36 @@
 //! * [`OnePassDiffer`] — a fixed-size footprint table and a single forward
 //!   scan: linear time, constant space (after Burns & Long '97, the
 //!   algorithm the paper pairs with in-place conversion).
+//! * [`CorrectingDiffer`] — one-pass costs with two candidates per slot
+//!   and backward match extension.
 //!
-//! Both emit scripts in write order whose commands exactly tile the
+//! All emit scripts in write order whose commands exactly tile the
 //! version file, so `apply(diff(r, v), r) == v` always holds.
+//!
+//! Each engine also implements [`IndexedDiffer`], splitting differencing
+//! into *build a shared reference index* and *scan a version range
+//! against it*. [`ParallelDiffer`] exploits that split: the index is
+//! built once (construction itself sharded across scoped threads), the
+//! version scan is partitioned into chunks diffed concurrently, and a
+//! serial stitcher re-extends matches across chunk seams. Output is
+//! deterministic — identical for every thread count, including 1.
+//! Per-call working storage lives in a reusable [`DiffScratch`] arena,
+//! so steady-state diffing performs no table or buffer allocations.
 
 mod correcting;
 mod greedy;
 mod onepass;
+mod parallel;
 mod rolling;
+mod scratch;
 mod windowed;
 
 pub use correcting::CorrectingDiffer;
-pub use greedy::GreedyDiffer;
+pub use greedy::{GreedyDiffer, GreedyIndex};
 pub use onepass::OnePassDiffer;
+pub use parallel::{FootprintIndex, IndexedDiffer, ParallelDiffer, DEFAULT_CHUNK_BYTES};
 pub use rolling::{hash_of, RollingHash};
+pub use scratch::{DiffScratch, GreedyShard, IndexScratch, Seg};
 pub use windowed::WindowedDiffer;
 
 use crate::command::Command;

@@ -1,8 +1,11 @@
 //! Linear-time, constant-space differencing (after Burns & Long '97).
 
+use super::parallel::{build_footprint_index, FootprintIndex, IndexedDiffer};
 use super::rolling::RollingHash;
-use super::{Differ, ScriptBuilder};
+use super::scratch::{self, IndexScratch, Seg, EMPTY};
+use super::Differ;
 use crate::script::DeltaScript;
+use std::ops::Range;
 
 /// One-pass differencing with a fixed-size footprint table.
 ///
@@ -69,7 +72,83 @@ impl OnePassDiffer {
     }
 }
 
-const EMPTY: u32 = u32::MAX;
+impl IndexedDiffer for OnePassDiffer {
+    type Index<'s> = FootprintIndex<'s>;
+
+    fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+
+    /// Footprint table: slot -> reference offset (first writer wins, as
+    /// in the constant-space algorithm's forward scan).
+    fn build_index<'s>(
+        &self,
+        reference: &[u8],
+        shards: usize,
+        scratch: &'s mut IndexScratch,
+    ) -> FootprintIndex<'s> {
+        build_footprint_index(
+            reference,
+            self.seed_len,
+            self.table_bits,
+            false,
+            shards,
+            scratch,
+        )
+    }
+
+    fn scan_chunk(
+        &self,
+        index: &FootprintIndex<'_>,
+        reference: &[u8],
+        version: &[u8],
+        range: Range<usize>,
+        segs: &mut Vec<Seg>,
+    ) {
+        let seed_len = self.seed_len;
+        let last_window = version.len() - seed_len;
+        let (mut v, end) = (range.start, range.end);
+        if v >= end {
+            return;
+        }
+        if v > last_window {
+            scratch::push_lit(segs, (end - v) as u64);
+            return;
+        }
+        let mut h = RollingHash::new(&version[v..v + seed_len]);
+        let mut hash_pos = v;
+        while v < end && v <= last_window {
+            while hash_pos < v {
+                h.roll(version[hash_pos], version[hash_pos + seed_len]);
+                hash_pos += 1;
+            }
+            let cand = index.first(h.hash());
+            let mut matched = false;
+            if cand != EMPTY {
+                let c = cand as usize;
+                if reference[c..c + seed_len] == version[v..v + seed_len] {
+                    let mut len = seed_len;
+                    let max = (reference.len() - c).min(version.len() - v);
+                    while len < max && reference[c + len] == version[v + len] {
+                        len += 1;
+                    }
+                    // Truncate at the chunk boundary; stitching re-extends.
+                    let emit = len.min(end - v);
+                    scratch::push_copy(segs, c as u64, emit as u64);
+                    v += emit;
+                    matched = true;
+                }
+            }
+            if !matched {
+                scratch::push_lit(segs, 1);
+                v += 1;
+            }
+        }
+        if v < end {
+            scratch::push_lit(segs, (end - v) as u64);
+        }
+    }
+}
 
 impl Differ for OnePassDiffer {
     fn diff(&self, reference: &[u8], version: &[u8]) -> DeltaScript {
@@ -78,66 +157,7 @@ impl Differ for OnePassDiffer {
             r.add("diff.reference_bytes", reference.len() as u64);
             r.add("diff.version_bytes", version.len() as u64);
         });
-        let source_len = reference.len() as u64;
-        let mut builder = ScriptBuilder::new();
-        if version.len() < self.seed_len || reference.len() < self.seed_len {
-            builder.push_literal(version);
-            return builder.finish(source_len);
-        }
-
-        // Footprint table: slot -> reference offset (first writer wins, as
-        // in the constant-space algorithm's forward scan).
-        let mask = (1u64 << self.table_bits) - 1;
-        let mut table = vec![EMPTY; 1 << self.table_bits];
-        {
-            let mut h = RollingHash::new(&reference[..self.seed_len]);
-            let last = reference.len() - self.seed_len;
-            for i in 0..=last {
-                if i > 0 {
-                    h.roll(reference[i - 1], reference[i + self.seed_len - 1]);
-                }
-                let slot = (h.hash() & mask) as usize;
-                if table[slot] == EMPTY {
-                    table[slot] = i as u32;
-                }
-            }
-        }
-
-        let last_window = version.len() - self.seed_len;
-        let mut v = 0usize;
-        let mut h = RollingHash::new(&version[..self.seed_len]);
-        let mut hash_pos = 0usize;
-
-        while v <= last_window {
-            while hash_pos < v {
-                h.roll(version[hash_pos], version[hash_pos + self.seed_len]);
-                hash_pos += 1;
-            }
-            let slot = (h.hash() & mask) as usize;
-            let cand = table[slot];
-            let mut matched = false;
-            if cand != EMPTY {
-                let c = cand as usize;
-                if reference[c..c + self.seed_len] == version[v..v + self.seed_len] {
-                    let mut len = self.seed_len;
-                    let max = (reference.len() - c).min(version.len() - v);
-                    while len < max && reference[c + len] == version[v + len] {
-                        len += 1;
-                    }
-                    builder.push_copy(c as u64, len as u64);
-                    v += len;
-                    matched = true;
-                }
-            }
-            if !matched {
-                builder.push_byte(version[v]);
-                v += 1;
-            }
-        }
-        if v < version.len() {
-            builder.push_literal(&version[v..]);
-        }
-        builder.finish(source_len)
+        scratch::with_thread_scratch(|s| super::parallel::diff_serial(self, s, reference, version))
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,205 @@
+//! Reusable differencing scratch: the arena behind zero-allocation
+//! steady-state diffing.
+//!
+//! Every differ needs per-call working storage — footprint tables for the
+//! constant-space family, hash-sharded chains for the greedy family, and
+//! per-chunk segment buffers for the parallel scan. Allocating those on
+//! every `diff` call puts the allocator on the critical path of the
+//! pipeline's dominant phase (differencing is ~97% of end-to-end time in
+//! `results/BENCH_phase_breakdown.json`). A [`DiffScratch`] owns all of
+//! it and is reused across calls: buffers are `clear()`ed, never freed,
+//! so a warmed-up arena performs no table or buffer allocations at all.
+//!
+//! Callers can hold an explicit arena and pass it to
+//! [`ParallelDiffer::diff_with`](super::ParallelDiffer::diff_with); the
+//! plain [`Differ::diff`](super::Differ) entry points of every engine
+//! route through a per-thread arena automatically.
+
+use ipr_hash::FxHashMap;
+use std::cell::RefCell;
+
+/// Sentinel for an empty footprint-table slot or chain end.
+pub(crate) const EMPTY: u32 = u32::MAX;
+
+/// One entry of a greedy hash chain: a reference offset plus the index of
+/// the previous node with the same seed hash (newest first).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChainNode {
+    pub(crate) offset: u32,
+    pub(crate) prev: u32,
+}
+
+/// One hash shard of the greedy reference index.
+///
+/// A shard owns a deterministic subset of the seed-hash space: every
+/// reference offset whose seed hash maps to the shard is chained here, in
+/// offset order, regardless of how many shards exist. Chains are therefore
+/// identical to the serial single-map index restricted to those hashes,
+/// which is what makes the parallel build bit-compatible with the serial
+/// one.
+#[derive(Debug, Default)]
+pub struct GreedyShard {
+    /// Seed hash → index of the newest [`ChainNode`] for that hash.
+    pub(crate) heads: FxHashMap<u64, u32>,
+    /// Backing storage for the intrusive chains.
+    pub(crate) nodes: Vec<ChainNode>,
+}
+
+impl GreedyShard {
+    pub(crate) fn clear(&mut self) {
+        self.heads.clear();
+        self.nodes.clear();
+    }
+}
+
+/// Storage backing the shared reference index (all differ families).
+#[derive(Debug, Default)]
+pub struct IndexScratch {
+    /// Footprint table: first reference offset per slot.
+    pub(crate) firsts: Vec<u32>,
+    /// Footprint table: most recent reference offset per slot (the
+    /// correcting differ's second candidate; left empty otherwise).
+    pub(crate) lasts: Vec<u32>,
+    /// Hash-sharded greedy chains.
+    pub(crate) shards: Vec<GreedyShard>,
+}
+
+/// One segment of a chunk scan, relative to a running version offset.
+///
+/// Chunk scans record *where version bytes come from*, not the bytes
+/// themselves; literal payloads are sliced out of the version file only
+/// when the stitcher builds the final script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Seg {
+    /// Copy `len` bytes from reference offset `from`.
+    Copy {
+        /// Reference offset the bytes come from.
+        from: u64,
+        /// Number of bytes copied.
+        len: u64,
+    },
+    /// `len` literal bytes taken from the version file at the running
+    /// offset.
+    Literal {
+        /// Number of literal bytes.
+        len: u64,
+    },
+}
+
+/// Appends a literal run, coalescing with a trailing literal segment.
+pub(crate) fn push_lit(segs: &mut Vec<Seg>, len: u64) {
+    if len == 0 {
+        return;
+    }
+    if let Some(Seg::Literal { len: prev }) = segs.last_mut() {
+        *prev += len;
+        return;
+    }
+    segs.push(Seg::Literal { len });
+}
+
+/// Appends a copy, coalescing with a trailing contiguous copy segment.
+pub(crate) fn push_copy(segs: &mut Vec<Seg>, from: u64, len: u64) {
+    if len == 0 {
+        return;
+    }
+    if let Some(Seg::Copy {
+        from: prev_from,
+        len: prev_len,
+    }) = segs.last_mut()
+    {
+        if *prev_from + *prev_len == from {
+            *prev_len += len;
+            return;
+        }
+    }
+    segs.push(Seg::Copy { from, len });
+}
+
+/// Reusable differencing arena; see the module docs.
+///
+/// A `DiffScratch` is plain storage — it carries no configuration, so one
+/// arena serves any mix of differs and input sizes, growing to the
+/// high-water mark and staying there.
+#[derive(Debug, Default)]
+pub struct DiffScratch {
+    /// Reference-index storage.
+    pub(crate) index: IndexScratch,
+    /// Per-chunk segment buffers for the version scan.
+    pub(crate) segs: Vec<Vec<Seg>>,
+}
+
+impl DiffScratch {
+    /// Creates an empty arena. Storage is grown on first use and reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread arena behind the allocation-free `Differ::diff` entry
+    /// points.
+    static THREAD_SCRATCH: RefCell<DiffScratch> = RefCell::new(DiffScratch::new());
+}
+
+/// Runs `f` with this thread's shared arena (or a fresh one on re-entrant
+/// use, which only happens if a differ is invoked from inside another
+/// diff on the same thread).
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut DiffScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut DiffScratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_segments_coalesce() {
+        let mut segs = Vec::new();
+        push_lit(&mut segs, 3);
+        push_lit(&mut segs, 0);
+        push_lit(&mut segs, 2);
+        assert_eq!(segs, vec![Seg::Literal { len: 5 }]);
+    }
+
+    #[test]
+    fn contiguous_copies_coalesce() {
+        let mut segs = Vec::new();
+        push_copy(&mut segs, 10, 4);
+        push_copy(&mut segs, 14, 2);
+        push_copy(&mut segs, 30, 1);
+        assert_eq!(
+            segs,
+            vec![
+                Seg::Copy { from: 10, len: 6 },
+                Seg::Copy { from: 30, len: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn literal_breaks_copy_coalescing() {
+        let mut segs = Vec::new();
+        push_copy(&mut segs, 0, 4);
+        push_lit(&mut segs, 1);
+        push_copy(&mut segs, 4, 4);
+        assert_eq!(segs.len(), 3);
+    }
+
+    #[test]
+    fn thread_scratch_reuses_capacity() {
+        with_thread_scratch(|s| {
+            s.index.firsts.resize(1024, EMPTY);
+            s.segs.push(Vec::with_capacity(64));
+        });
+        with_thread_scratch(|s| {
+            assert!(s.index.firsts.capacity() >= 1024);
+            assert!(!s.segs.is_empty());
+        });
+    }
+}

@@ -5,7 +5,7 @@
 //! survives unit tests and dies on adversarial inputs. This crate
 //! generates those inputs — structured delta scripts and hostile wire
 //! bytes — from a single `u64` seed with the vendored [`rand`] crate,
-//! and judges them with three differential oracles:
+//! and judges them with four differential oracles:
 //!
 //! * **codec** ([`oracles::check_codec_case`] +
 //!   [`oracles::check_decoder_robustness`]): every format round-trips
@@ -16,7 +16,12 @@
 //!   power cuts and torn writes) and spilled engines;
 //! * **crwi** ([`oracles::check_crwi_case`]): a standalone Equation 2
 //!   validator ([`check`]) that agrees with the production verifier on
-//!   arbitrary command orders.
+//!   arbitrary command orders;
+//! * **diff** ([`oracles::check_diff_case`]): the parallel diff engine
+//!   produces scripts that apply correctly
+//!   (`apply(diff(r, v), r) == v`) and are deterministic — identical
+//!   commands for repeated runs and across thread counts — for every
+//!   wrapped differ, over a seed-driven sweep of chunk sizes.
 //!
 //! Everything is reproducible: iteration `i` of a run seeded `s` uses
 //! case seed `s + i`, printed with every failure, so
@@ -40,7 +45,7 @@ use std::str::FromStr;
 /// cases within one case seed.
 const HOSTILE_SALT: u64 = 0x686f7374; // "host"
 
-/// One of the three differential oracles.
+/// One of the four differential oracles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Oracle {
     /// Codec round-trip + decoder robustness.
@@ -49,11 +54,13 @@ pub enum Oracle {
     Convert,
     /// Independent Equation 2 checker vs the production verifier.
     Crwi,
+    /// Parallel diff correctness and determinism across thread counts.
+    Diff,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 3] = [Oracle::Codec, Oracle::Convert, Oracle::Crwi];
+    pub const ALL: [Oracle; 4] = [Oracle::Codec, Oracle::Convert, Oracle::Crwi, Oracle::Diff];
 
     /// The `ipr-trace` span name covering one iteration of this oracle
     /// (see docs/OBSERVABILITY.md).
@@ -63,6 +70,7 @@ impl Oracle {
             Oracle::Codec => "fuzz.codec",
             Oracle::Convert => "fuzz.convert",
             Oracle::Crwi => "fuzz.crwi",
+            Oracle::Diff => "fuzz.diff",
         }
     }
 }
@@ -73,6 +81,7 @@ impl fmt::Display for Oracle {
             Oracle::Codec => "codec",
             Oracle::Convert => "convert",
             Oracle::Crwi => "crwi",
+            Oracle::Diff => "diff",
         })
     }
 }
@@ -85,8 +94,9 @@ impl FromStr for Oracle {
             "codec" => Ok(Oracle::Codec),
             "convert" => Ok(Oracle::Convert),
             "crwi" => Ok(Oracle::Crwi),
+            "diff" => Ok(Oracle::Diff),
             other => Err(format!(
-                "unknown oracle `{other}` (expected codec, convert, crwi or all)"
+                "unknown oracle `{other}` (expected codec, convert, crwi, diff or all)"
             )),
         }
     }
@@ -229,6 +239,7 @@ pub fn run_case(oracle: Oracle, seed: u64) -> Result<(), String> {
         }
         Oracle::Convert => oracles::check_convert_case(&case_for(seed), seed),
         Oracle::Crwi => oracles::check_crwi_case(&case_for(seed), seed),
+        Oracle::Diff => oracles::check_diff_case(&case_for(seed), seed),
     }
 }
 
@@ -286,6 +297,11 @@ fn shrink_failure(oracle: Oracle, seed: u64) -> String {
         }
         Oracle::Crwi => {
             let check = move |c: &FuzzCase| oracles::check_crwi_case(c, seed);
+            let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
+            format!("{} — {detail}", describe_case(&small))
+        }
+        Oracle::Diff => {
+            let check = move |c: &FuzzCase| oracles::check_diff_case(c, seed);
             let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
             format!("{} — {detail}", describe_case(&small))
         }

@@ -19,6 +19,10 @@
 //! * [`check_crwi_case`] — the independent Equation 2 checker
 //!   ([`crate::check`]) agrees with `ipr_core`'s verifier on random
 //!   permutations, and safety implies in-place application correctness.
+//! * [`check_diff_case`] — the parallel diff engine, wrapped around
+//!   every differ family, produces scripts that apply back to the
+//!   version file and are deterministic: repeated runs and *different
+//!   thread counts* must emit identical command sequences.
 
 use crate::check;
 use crate::gen::FuzzCase;
@@ -30,6 +34,9 @@ use ipr_core::{
 };
 use ipr_delta::codec::stream::StreamDecoder;
 use ipr_delta::codec::{decode, encode, encode_checked, DecodeError, EncodeError, Format};
+use ipr_delta::diff::{
+    CorrectingDiffer, Differ, GreedyDiffer, IndexedDiffer, OnePassDiffer, ParallelDiffer,
+};
 use ipr_delta::{Command, DeltaScript};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -552,6 +559,82 @@ pub fn check_crwi_case(case: &FuzzCase, salt: u64) -> CheckResult {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 4: parallel diff correctness and determinism
+// ---------------------------------------------------------------------------
+
+/// Chunk sizes swept by the diff oracle; the salt picks one per case, so
+/// consecutive seeds exercise single-byte chunks through chunks larger
+/// than most generated files.
+const DIFF_CHUNKS: [usize; 5] = [1, 3, 17, 64, 256];
+
+/// Checks the parallel-diff oracle on one valid case.
+///
+/// The generated reference/version pair is diffed with [`ParallelDiffer`]
+/// around each differ family at a salt-chosen chunk size and thread
+/// count. Three properties must hold for each engine:
+///
+/// 1. **correctness** — the emitted script applies back to the version
+///    file (`apply(diff(r, v), r) == v`);
+/// 2. **determinism** — running the same configuration twice emits an
+///    identical command sequence;
+/// 3. **thread independence** — a different thread count emits the *same*
+///    command sequence (chunk boundaries depend only on input length, so
+///    output is invariant across thread counts, a stronger guarantee
+///    than per-thread-count determinism).
+pub fn check_diff_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    let version = scratch_apply(case)?;
+    let chunk = DIFF_CHUNKS[(salt % DIFF_CHUNKS.len() as u64) as usize];
+    let threads = 1 + (salt / DIFF_CHUNKS.len() as u64 % 4) as usize;
+
+    check_diff_engine(GreedyDiffer::new(4), case, &version, chunk, threads)?;
+    check_diff_engine(OnePassDiffer::new(4, 10), case, &version, chunk, threads)?;
+    check_diff_engine(CorrectingDiffer::new(4, 10), case, &version, chunk, threads)
+}
+
+/// Runs the three diff-oracle properties for one wrapped differ.
+fn check_diff_engine<D: IndexedDiffer + Clone>(
+    inner: D,
+    case: &FuzzCase,
+    version: &[u8],
+    chunk: usize,
+    threads: usize,
+) -> CheckResult {
+    let differ = ParallelDiffer::new(inner.clone())
+        .with_threads(threads)
+        .with_chunk_bytes(chunk);
+    let name = differ.name();
+    let script = differ.diff(&case.reference, version);
+
+    let applied = ipr_delta::apply(&script, &case.reference)
+        .map_err(|e| format!("{name}(chunk={chunk},threads={threads}): apply failed: {e}"))?;
+    if applied != version {
+        return fail(format!(
+            "{name}(chunk={chunk},threads={threads}): applied output differs from version"
+        ));
+    }
+
+    let again = differ.diff(&case.reference, version);
+    if again.commands() != script.commands() {
+        return fail(format!(
+            "{name}(chunk={chunk},threads={threads}): repeated run emitted different commands"
+        ));
+    }
+
+    let other_threads = threads % 4 + 1;
+    let cross = ParallelDiffer::new(inner)
+        .with_threads(other_threads)
+        .with_chunk_bytes(chunk)
+        .diff(&case.reference, version);
+    if cross.commands() != script.commands() {
+        return fail(format!(
+            "{name}(chunk={chunk}): {threads} and {other_threads} threads emitted \
+             different commands"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +669,14 @@ mod tests {
         for seed in 0..25u64 {
             let c = case(&mut rng_for(seed));
             check_crwi_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn diff_oracle_clean_on_seeds() {
+        for seed in 0..25u64 {
+            let c = case(&mut rng_for(seed));
+            check_diff_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
