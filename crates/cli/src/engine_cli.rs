@@ -1,0 +1,275 @@
+//! Shared subcommand plumbing: argument splitting, typed option takers
+//! that accumulate into an [`EngineConfig`], and the file/delta IO every
+//! command repeats. Each `cmd_*` parses with [`EngineCli::parse`], takes
+//! the options it understands, calls [`EngineCli::finish_options`] so
+//! leftovers are reported, and builds its [`Engine`] session from the
+//! collected configuration.
+
+use ipr_core::{CyclePolicy, ReadMode};
+use ipr_delta::codec::{self, DecodedDelta, Format};
+use ipr_delta::diff::{GreedyDiffer, IndexedDiffer};
+use ipr_pipeline::{Engine, EngineConfig};
+
+/// Parsed command line of one subcommand plus the engine configuration
+/// its flags selected.
+pub struct EngineCli {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+    config: EngineConfig,
+    threads_set: bool,
+}
+
+impl EngineCli {
+    /// Splits `args` into positionals and `--key value` option pairs.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(key) = a.strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("option --{key} requires a value"))?;
+                options.push((key.to_string(), value.clone()));
+                i += 2;
+            } else {
+                positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Ok(Self {
+            positional,
+            options,
+            config: EngineConfig::default(),
+            threads_set: false,
+        })
+    }
+
+    /// Exactly `N` positional arguments, or `usage` as the error.
+    pub fn positional<const N: usize>(&self, usage: &str) -> Result<[&str; N], String> {
+        let strs: Vec<&str> = self.positional.iter().map(String::as_str).collect();
+        <[&str; N]>::try_from(strs).map_err(|_| usage.to_string())
+    }
+
+    /// No positional arguments at all, or `usage` as the error.
+    pub fn no_positional(&self, usage: &str) -> Result<(), String> {
+        if self.positional.is_empty() {
+            Ok(())
+        } else {
+            Err(usage.to_string())
+        }
+    }
+
+    /// Removes and returns `--key`'s value, if present.
+    pub fn take(&mut self, key: &str) -> Option<String> {
+        let at = self.options.iter().position(|(k, _)| k == key)?;
+        Some(self.options.remove(at).1)
+    }
+
+    /// Removes `--key` and parses its value with `parse`.
+    pub fn take_with<T>(
+        &mut self,
+        key: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<Option<T>, String> {
+        self.take(key).map(|v| parse(&v)).transpose()
+    }
+
+    /// `--threads N`: recorded in the engine config and returned, so
+    /// commands can distinguish "absent" from an explicit count.
+    pub fn take_threads(&mut self) -> Result<Option<usize>, String> {
+        let threads = self.take_with("threads", |v| {
+            v.parse()
+                .map_err(|_| format!("--threads needs a number, got `{v}`"))
+        })?;
+        if let Some(n) = threads {
+            self.config.threads = n;
+            self.threads_set = true;
+        }
+        Ok(threads)
+    }
+
+    /// `--format F`: recorded as the engine's wire format and returned.
+    pub fn take_format(&mut self) -> Result<Option<Format>, String> {
+        let format = self.take_with("format", parse_format)?;
+        if let Some(f) = format {
+            self.config.format = f;
+        }
+        Ok(format)
+    }
+
+    /// `--policy P`: recorded as the engine's cycle-breaking policy.
+    pub fn take_policy(&mut self) -> Result<Option<CyclePolicy>, String> {
+        let policy = self.take_with("policy", parse_policy)?;
+        if let Some(p) = policy {
+            self.config.conversion.policy = p;
+        }
+        Ok(policy)
+    }
+
+    /// `--read-mode M`: recorded as the engine's applier read strategy.
+    pub fn take_read_mode(&mut self) -> Result<Option<ReadMode>, String> {
+        let mode = self.take_with("read-mode", |v| match v {
+            "snapshot" => Ok(ReadMode::Snapshot),
+            "zero-copy" => Ok(ReadMode::ZeroCopy),
+            _ => Err(format!("unknown read mode `{v}` (snapshot|zero-copy)")),
+        })?;
+        if let Some(m) = mode {
+            self.config.read_mode = m;
+        }
+        Ok(mode)
+    }
+
+    /// Rejects any option no taker consumed.
+    pub fn finish_options(&self) -> Result<(), String> {
+        match self.options.first() {
+            Some((k, _)) => Err(format!("unknown option --{k}")),
+            None => Ok(()),
+        }
+    }
+
+    /// The configuration the takers accumulated.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access for knobs without a dedicated flag (cost format).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// An engine session over the accumulated configuration. Without an
+    /// explicit `--threads`, stages run on one worker (the CLI's
+    /// historical serial default); `--threads 0` sizes to the host.
+    pub fn engine(&self) -> Engine {
+        self.engine_with(GreedyDiffer::default())
+    }
+
+    /// Like [`EngineCli::engine`], differencing with `differ`.
+    pub fn engine_with<D: IndexedDiffer>(&self, differ: D) -> Engine<D> {
+        let mut config = self.config;
+        if !self.threads_set {
+            config.threads = 1;
+        }
+        Engine::with_differ(differ, config)
+    }
+
+    /// Reads and decodes a delta file.
+    pub fn read_delta(path: &str) -> Result<DecodedDelta, Box<dyn std::error::Error>> {
+        Ok(codec::decode(&std::fs::read(path)?)?)
+    }
+}
+
+/// Parses a `--format` value.
+pub fn parse_format(name: &str) -> Result<Format, String> {
+    Ok(match name {
+        "ordered" => Format::Ordered,
+        "in-place" => Format::InPlace,
+        "paper-ordered" => Format::PaperOrdered,
+        "paper-in-place" => Format::PaperInPlace,
+        "improved" => Format::Improved,
+        _ => return Err(format!("unknown format `{name}`")),
+    })
+}
+
+/// Parses a `--policy` value.
+pub fn parse_policy(name: &str) -> Result<CyclePolicy, String> {
+    match name {
+        "constant" | "constant-time" => Ok(CyclePolicy::ConstantTime),
+        "local-min" | "locally-minimum" => Ok(CyclePolicy::LocallyMinimum),
+        _ => Err(format!("unknown policy `{name}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_splits_positional_and_options() {
+        let cli = EngineCli::parse(&s(&[
+            "a", "--format", "ordered", "b", "--policy", "constant",
+        ]))
+        .unwrap();
+        assert_eq!(cli.positional::<2>("usage").unwrap(), ["a", "b"]);
+        assert_eq!(cli.positional::<3>("usage").unwrap_err(), "usage");
+        assert!(cli.finish_options().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_dangling_option() {
+        assert!(EngineCli::parse(&s(&["a", "--format"])).is_err());
+    }
+
+    #[test]
+    fn takers_accumulate_into_the_config() {
+        let mut cli = EngineCli::parse(&s(&[
+            "--threads",
+            "3",
+            "--format",
+            "improved",
+            "--policy",
+            "constant",
+            "--read-mode",
+            "snapshot",
+        ]))
+        .unwrap();
+        assert_eq!(cli.take_threads().unwrap(), Some(3));
+        assert_eq!(cli.take_format().unwrap(), Some(Format::Improved));
+        assert_eq!(cli.take_policy().unwrap(), Some(CyclePolicy::ConstantTime));
+        assert_eq!(cli.take_read_mode().unwrap(), Some(ReadMode::Snapshot));
+        cli.finish_options().unwrap();
+        let config = cli.config();
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.format, Format::Improved);
+        assert_eq!(config.conversion.policy, CyclePolicy::ConstantTime);
+        assert_eq!(config.read_mode, ReadMode::Snapshot);
+        assert_eq!(cli.engine().config().threads, 3);
+    }
+
+    #[test]
+    fn engine_defaults_to_one_worker_without_threads_flag() {
+        let cli = EngineCli::parse(&[]).unwrap();
+        assert_eq!(cli.engine().config().threads, 1);
+        let mut cli = EngineCli::parse(&s(&["--threads", "0"])).unwrap();
+        cli.take_threads().unwrap();
+        assert_eq!(cli.engine().config().threads, 0);
+    }
+
+    #[test]
+    fn bad_option_values_are_reported() {
+        let mut cli = EngineCli::parse(&s(&["--threads", "lots"])).unwrap();
+        assert!(cli.take_threads().is_err());
+        let mut cli = EngineCli::parse(&s(&["--read-mode", "psychic"])).unwrap();
+        assert!(cli.take_read_mode().is_err());
+    }
+
+    #[test]
+    fn parse_format_all_names() {
+        for (name, f) in [
+            ("ordered", Format::Ordered),
+            ("in-place", Format::InPlace),
+            ("paper-ordered", Format::PaperOrdered),
+            ("paper-in-place", Format::PaperInPlace),
+            ("improved", Format::Improved),
+        ] {
+            assert_eq!(parse_format(name).unwrap(), f);
+        }
+        assert!(parse_format("bogus").is_err());
+    }
+
+    #[test]
+    fn parse_policy_names() {
+        assert_eq!(parse_policy("constant").unwrap(), CyclePolicy::ConstantTime);
+        assert_eq!(
+            parse_policy("local-min").unwrap(),
+            CyclePolicy::LocallyMinimum
+        );
+        assert!(parse_policy("optimal").is_err());
+    }
+}

@@ -15,11 +15,23 @@
 //! report on stderr), `--stats=json` (the stable `ipr-stats/1` JSON on
 //! stderr) and `--stats-out <file>` (the JSON written to a file); see
 //! `docs/OBSERVABILITY.md` for the span/counter name contract.
+//!
+//! Each `cmd_*` function is a thin wrapper over
+//! [`engine_cli::EngineCli`] — shared flag parsing and file/delta IO —
+//! and an [`ipr_pipeline::Engine`] session that owns the pipeline's
+//! scratch state for the duration of the command.
 
-use ipr_core::{check_in_place_safe, convert_to_in_place, ConversionConfig, CyclePolicy};
+mod engine_cli;
+#[cfg(test)]
+mod tests;
+
+use engine_cli::EngineCli;
+use ipr_core::check_in_place_safe;
 use ipr_delta::codec::{self, Format};
-use ipr_delta::diff::{CorrectingDiffer, Differ, GreedyDiffer, OnePassDiffer, ParallelDiffer};
+use ipr_delta::diff::{CorrectingDiffer, GreedyDiffer, IndexedDiffer, OnePassDiffer};
 use ipr_delta::stats::ScriptStats;
+use ipr_delta::DeltaScript;
+use ipr_pipeline::Engine;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -140,8 +152,8 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
-         \x20 fuzz  [--oracle all|codec|convert|crwi|diff] [--seed S] [--iters N] [--shrink on|off]\n\
-         \x20       (differential fuzzing; failures print a seed that replays them)\n\
+         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine] [--seed S] [--iters N]\n\
+         \x20       [--shrink on|off]  (differential fuzzing; failures print a replay seed)\n\
          \n\
          every subcommand accepts: --stats | --stats=json | --stats-out <file>\n\
          \x20 (per-phase spans/counters report, printed to stderr or written as JSON)\n\
@@ -150,96 +162,35 @@ fn print_usage() {
     );
 }
 
-/// Positional arguments plus `--key value` option pairs.
-type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
-
-/// Splits positional arguments from `--key value` options.
-fn parse_opts(args: &[String]) -> Result<ParsedArgs<'_>, String> {
-    let mut positional = Vec::new();
-    let mut options = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = args[i].as_str();
-        if let Some(key) = a.strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("option --{key} requires a value"))?;
-            options.push((key, value.as_str()));
-            i += 2;
-        } else {
-            positional.push(a);
-            i += 1;
-        }
-    }
-    Ok((positional, options))
-}
-
-fn parse_format(name: &str) -> Result<Format, String> {
-    Ok(match name {
-        "ordered" => Format::Ordered,
-        "in-place" => Format::InPlace,
-        "paper-ordered" => Format::PaperOrdered,
-        "paper-in-place" => Format::PaperInPlace,
-        "improved" => Format::Improved,
-        _ => return Err(format!("unknown format `{name}`")),
-    })
-}
-
-fn parse_policy(name: &str) -> Result<CyclePolicy, String> {
-    Ok(match name {
-        "constant" | "constant-time" => CyclePolicy::ConstantTime,
-        "local-min" | "locally-minimum" => CyclePolicy::LocallyMinimum,
-        _ => return Err(format!("unknown policy `{name}`")),
-    })
-}
-
 fn cmd_diff(args: &[String]) -> CliResult {
-    let (pos, opts) = parse_opts(args)?;
-    let [reference_path, version_path, delta_path] = pos[..] else {
-        return Err("usage: ipr diff <reference> <version> <delta>".into());
-    };
-    let mut format = Format::Ordered;
-    let mut differ_name = "greedy";
-    let mut threads: Option<usize> = None;
-    for (k, v) in opts {
-        match k {
-            "format" => format = parse_format(v)?,
-            "differ" => {
-                differ_name = match v {
-                    "greedy" | "one-pass" | "correcting" => v,
-                    _ => return Err(format!("unknown differ `{v}`").into()),
-                }
-            }
-            "threads" => {
-                threads = Some(
-                    v.parse::<usize>()
-                        .map_err(|_| format!("--threads needs a number, got `{v}`"))?,
-                );
-            }
-            _ => return Err(format!("unknown option --{k}").into()),
-        }
-    }
-    // `--threads N` wraps the chosen engine in the parallel shared-index
-    // differ (N = 0 sizes to the host); without it the serial engine runs.
-    let differ: Box<dyn Differ> = match (differ_name, threads) {
-        ("greedy", None) => Box::new(GreedyDiffer::default()),
-        ("one-pass", None) => Box::new(OnePassDiffer::default()),
-        ("correcting", None) => Box::new(CorrectingDiffer::default()),
-        ("greedy", Some(n)) => {
-            Box::new(ParallelDiffer::new(GreedyDiffer::default()).with_threads(n))
-        }
-        ("one-pass", Some(n)) => {
-            Box::new(ParallelDiffer::new(OnePassDiffer::default()).with_threads(n))
-        }
-        ("correcting", Some(n)) => {
-            Box::new(ParallelDiffer::new(CorrectingDiffer::default()).with_threads(n))
-        }
-        _ => unreachable!("differ name validated above"),
-    };
+    let mut cli = EngineCli::parse(args)?;
+    cli.config_mut().format = Format::Ordered; // plain deltas by default
+    cli.take_format()?;
+    cli.take_threads()?;
+    let differ = cli.take("differ").unwrap_or_else(|| "greedy".to_string());
+    cli.finish_options()?;
+    let [reference_path, version_path, delta_path] =
+        cli.positional("usage: ipr diff <reference> <version> <delta>")?;
     let reference = std::fs::read(reference_path)?;
     let version = std::fs::read(version_path)?;
-    let script = differ.diff(&reference, &version);
-    let bytes = codec::encode_checked(&script, format, &version)?;
+    let (script, bytes) = match differ.as_str() {
+        "greedy" => diff_stage(
+            cli.engine_with(GreedyDiffer::default()),
+            &reference,
+            &version,
+        )?,
+        "one-pass" => diff_stage(
+            cli.engine_with(OnePassDiffer::default()),
+            &reference,
+            &version,
+        )?,
+        "correcting" => diff_stage(
+            cli.engine_with(CorrectingDiffer::default()),
+            &reference,
+            &version,
+        )?,
+        other => return Err(format!("unknown differ `{other}`").into()),
+    };
     std::fs::write(delta_path, &bytes)?;
     println!(
         "{} -> {}: {} B delta for {} B version ({:.1}%), {}",
@@ -253,35 +204,42 @@ fn cmd_diff(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// The diff + encode half of the pipeline for one differ family.
+fn diff_stage<D: IndexedDiffer>(
+    mut engine: Engine<D>,
+    reference: &[u8],
+    version: &[u8],
+) -> Result<(DeltaScript, Vec<u8>), Box<dyn std::error::Error>> {
+    let script = engine.diff(reference, version);
+    let bytes = codec::encode_checked(&script, engine.config().format, version)?;
+    Ok((script, bytes))
+}
+
 fn cmd_convert(args: &[String]) -> CliResult {
-    let (pos, opts) = parse_opts(args)?;
-    let [reference_path, delta_path, out_path] = pos[..] else {
-        return Err("usage: ipr convert <reference> <delta> <out>".into());
-    };
-    let mut config = ConversionConfig::default();
-    let mut format = Format::InPlace;
-    for (k, v) in opts {
-        match k {
-            "policy" => config.policy = parse_policy(v)?,
-            "format" => {
-                format = parse_format(v)?;
-                if !format.supports_out_of_order() {
-                    return Err(format!("format `{v}` cannot carry in-place deltas").into());
-                }
-                config.cost_format = format;
-            }
-            _ => return Err(format!("unknown option --{k}").into()),
+    let mut cli = EngineCli::parse(args)?;
+    cli.take_policy()?;
+    if let Some(format) = cli.take_format()? {
+        if !format.supports_out_of_order() {
+            return Err(format!("format `{format}` cannot carry in-place deltas").into());
         }
+        cli.config_mut().conversion.cost_format = format;
     }
+    cli.finish_options()?;
+    let [reference_path, delta_path, out_path] =
+        cli.positional("usage: ipr convert <reference> <delta> <out>")?;
     let reference = std::fs::read(reference_path)?;
-    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
-    let outcome = convert_to_in_place(&decoded.script, &reference, &config)?;
-    let bytes = match decoded.target_crc {
-        Some(_) => {
-            // Re-apply to regenerate the target for the checked encoding.
-            let target = ipr_delta::apply(&decoded.script, &reference)?;
-            codec::encode_checked(&outcome.script, format, &target)?
-        }
+    let decoded = EngineCli::read_delta(delta_path)?;
+    // Re-apply up front to regenerate the target for checked encoding
+    // (the conversion consumes the script).
+    let target = match decoded.target_crc {
+        Some(_) => Some(ipr_delta::apply(&decoded.script, &reference)?),
+        None => None,
+    };
+    let mut engine = cli.engine();
+    let outcome = engine.convert(decoded.script, &reference)?;
+    let format = engine.config().format;
+    let bytes = match &target {
+        Some(target) => codec::encode_checked(&outcome.script, format, target)?,
         None => codec::encode(&outcome.script, format)?,
     };
     std::fs::write(out_path, &bytes)?;
@@ -299,12 +257,11 @@ fn cmd_convert(args: &[String]) -> CliResult {
 }
 
 fn cmd_apply(args: &[String]) -> CliResult {
-    let (pos, _) = parse_opts(args)?;
-    let [reference_path, delta_path, out_path] = pos[..] else {
-        return Err("usage: ipr apply <reference> <delta> <out>".into());
-    };
+    let cli = EngineCli::parse(args)?;
+    let [reference_path, delta_path, out_path] =
+        cli.positional("usage: ipr apply <reference> <delta> <out>")?;
     let reference = std::fs::read(reference_path)?;
-    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let decoded = EngineCli::read_delta(delta_path)?;
     let target = match decoded.target_crc {
         Some(crc) => ipr_delta::apply_verified(&decoded.script, &reference, crc)?,
         None => ipr_delta::apply(&decoded.script, &reference)?,
@@ -315,33 +272,13 @@ fn cmd_apply(args: &[String]) -> CliResult {
 }
 
 fn cmd_apply_in_place(args: &[String]) -> CliResult {
-    let (pos, opts) = parse_opts(args)?;
-    let [file_path, delta_path] = pos[..] else {
-        return Err(
-            "usage: ipr apply-in-place <file> <delta> [--threads N] [--read-mode M]".into(),
-        );
-    };
-    let mut threads: Option<usize> = None;
-    let mut read_mode = ipr_core::ReadMode::default();
-    for (k, v) in opts {
-        match k {
-            "threads" => {
-                threads = Some(
-                    v.parse()
-                        .map_err(|_| format!("--threads needs a number, got `{v}`"))?,
-                );
-            }
-            "read-mode" => {
-                read_mode = match v {
-                    "snapshot" => ipr_core::ReadMode::Snapshot,
-                    "zero-copy" => ipr_core::ReadMode::ZeroCopy,
-                    _ => return Err(format!("unknown read mode `{v}` (snapshot|zero-copy)").into()),
-                };
-            }
-            _ => return Err(format!("unknown option --{k}").into()),
-        }
-    }
-    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let mut cli = EngineCli::parse(args)?;
+    let threads = cli.take_threads()?;
+    cli.take_read_mode()?;
+    cli.finish_options()?;
+    let [file_path, delta_path] =
+        cli.positional("usage: ipr apply-in-place <file> <delta> [--threads N] [--read-mode M]")?;
+    let decoded = EngineCli::read_delta(delta_path)?;
     check_in_place_safe(&decoded.script)?;
     let mut buf = std::fs::read(file_path)?;
     let needed = ipr_core::required_capacity(&decoded.script) as usize;
@@ -350,13 +287,8 @@ fn cmd_apply_in_place(args: &[String]) -> CliResult {
         // Serial applier stays the default: a single thread needs none of
         // the wave planning.
         None | Some(1) => ipr_core::apply_in_place(&decoded.script, &mut buf)?,
-        Some(n) => {
-            let config = ipr_core::ParallelConfig {
-                threads: n,
-                read_mode,
-                ..ipr_core::ParallelConfig::default()
-            };
-            let report = ipr_core::apply_in_place_parallel(&decoded.script, &mut buf, &config)?;
+        Some(_) => {
+            let report = cli.engine().apply_in_place(&decoded.script, &mut buf)?;
             eprintln!(
                 "parallel apply: {} waves ({} fanned out), {} threads, {} B snapshotted",
                 report.waves, report.parallel_waves, report.threads, report.snapshot_bytes
@@ -376,10 +308,8 @@ fn cmd_apply_in_place(args: &[String]) -> CliResult {
 }
 
 fn cmd_info(args: &[String]) -> CliResult {
-    let (pos, _) = parse_opts(args)?;
-    let [delta_path] = pos[..] else {
-        return Err("usage: ipr info <delta>".into());
-    };
+    let cli = EngineCli::parse(args)?;
+    let [delta_path] = cli.positional("usage: ipr info <delta>")?;
     let raw = std::fs::read(delta_path)?;
     let decoded = codec::decode(&raw)?;
     let s = &decoded.script;
@@ -406,19 +336,15 @@ fn cmd_info(args: &[String]) -> CliResult {
 }
 
 fn cmd_compose(args: &[String]) -> CliResult {
-    let (pos, opts) = parse_opts(args)?;
-    let [first_path, second_path, out_path] = pos[..] else {
-        return Err("usage: ipr compose <delta-1-2> <delta-2-3> <out>".into());
-    };
-    let mut format = Format::Ordered;
-    for (k, v) in opts {
-        match k {
-            "format" => format = parse_format(v)?,
-            _ => return Err(format!("unknown option --{k}").into()),
-        }
-    }
-    let first = codec::decode(&std::fs::read(first_path)?)?;
-    let second = codec::decode(&std::fs::read(second_path)?)?;
+    let mut cli = EngineCli::parse(args)?;
+    cli.config_mut().format = Format::Ordered;
+    cli.take_format()?;
+    cli.finish_options()?;
+    let [first_path, second_path, out_path] =
+        cli.positional("usage: ipr compose <delta-1-2> <delta-2-3> <out>")?;
+    let format = cli.config().format;
+    let first = EngineCli::read_delta(first_path)?;
+    let second = EngineCli::read_delta(second_path)?;
     let composed = ipr_delta::compose(&first.script, &second.script)?;
     // The composed delta produces the second delta's target: its CRC
     // carries over verbatim.
@@ -441,18 +367,11 @@ fn cmd_compose(args: &[String]) -> CliResult {
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
-    let (pos, opts) = parse_opts(args)?;
-    let [delta_path] = pos[..] else {
-        return Err("usage: ipr stats <delta> [--dot <file>]".into());
-    };
-    let mut dot_path = None;
-    for (k, v) in opts {
-        match k {
-            "dot" => dot_path = Some(v.to_string()),
-            _ => return Err(format!("unknown option --{k}").into()),
-        }
-    }
-    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let mut cli = EngineCli::parse(args)?;
+    let dot_path = cli.take("dot");
+    cli.finish_options()?;
+    let [delta_path] = cli.positional("usage: ipr stats <delta> [--dot <file>]")?;
+    let decoded = EngineCli::read_delta(delta_path)?;
     let crwi = ipr_core::CrwiGraph::build(decoded.script.copies());
     if let Some(path) = dot_path {
         let copies = crwi.copies().to_vec();
@@ -471,7 +390,8 @@ fn cmd_stats(args: &[String]) -> CliResult {
             stats.vertices_on_cycles, stats.bytes_at_risk
         );
     }
-    if let Some(plan) = ipr_core::ParallelSchedule::plan(&decoded.script) {
+    let mut engine = cli.engine();
+    if let Some(plan) = engine.plan(&decoded.script) {
         println!(
             "parallel waves: {} (critical path) over {} commands, {:.1}x parallelism",
             plan.wave_count(),
@@ -483,11 +403,9 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_dump(args: &[String]) -> CliResult {
-    let (pos, _) = parse_opts(args)?;
-    let [delta_path] = pos[..] else {
-        return Err("usage: ipr dump <delta>".into());
-    };
-    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let cli = EngineCli::parse(args)?;
+    let [delta_path] = cli.positional("usage: ipr dump <delta>")?;
+    let decoded = EngineCli::read_delta(delta_path)?;
     println!(
         "# {} format, {} -> {} bytes, {} commands",
         decoded.format,
@@ -502,11 +420,9 @@ fn cmd_dump(args: &[String]) -> CliResult {
 }
 
 fn cmd_verify(args: &[String]) -> CliResult {
-    let (pos, _) = parse_opts(args)?;
-    let [delta_path] = pos[..] else {
-        return Err("usage: ipr verify <delta>".into());
-    };
-    let decoded = codec::decode(&std::fs::read(delta_path)?)?;
+    let cli = EngineCli::parse(args)?;
+    let [delta_path] = cli.positional("usage: ipr verify <delta>")?;
+    let decoded = EngineCli::read_delta(delta_path)?;
     match check_in_place_safe(&decoded.script) {
         Ok(()) => {
             println!("ok: delta satisfies Equation 2 (in-place reconstructible)");
@@ -527,45 +443,42 @@ fn cmd_verify(args: &[String]) -> CliResult {
 }
 
 fn cmd_fuzz(args: &[String]) -> CliResult {
-    let (pos, opts) = parse_opts(args)?;
-    if !pos.is_empty() {
-        return Err(
-            "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff] [--seed S] [--iters N] \
-             [--shrink on|off] [--max-failures N]"
-                .into(),
-        );
-    }
+    let mut cli = EngineCli::parse(args)?;
     let mut config = ipr_fuzz::FuzzConfig::default();
-    for (k, v) in opts {
-        match k {
-            "seed" => config.seed = ipr_fuzz::parse_seed(v)?,
-            "iters" => {
-                config.iters = v
-                    .parse()
-                    .map_err(|_| format!("--iters needs a number, got `{v}`"))?;
-            }
-            "oracle" => {
-                config.oracles = if v == "all" {
-                    ipr_fuzz::Oracle::ALL.to_vec()
-                } else {
-                    vec![v.parse::<ipr_fuzz::Oracle>()?]
-                };
-            }
-            "shrink" => {
-                config.shrink = match v {
-                    "on" => true,
-                    "off" => false,
-                    _ => return Err(format!("--shrink takes on|off, got `{v}`").into()),
-                };
-            }
-            "max-failures" => {
-                config.max_failures = v
-                    .parse()
-                    .map_err(|_| format!("--max-failures needs a number, got `{v}`"))?;
-            }
-            _ => return Err(format!("unknown option --{k}").into()),
-        }
+    if let Some(seed) = cli.take("seed") {
+        config.seed = ipr_fuzz::parse_seed(&seed)?;
     }
+    if let Some(iters) = cli.take_with("iters", |v| {
+        v.parse()
+            .map_err(|_| format!("--iters needs a number, got `{v}`"))
+    })? {
+        config.iters = iters;
+    }
+    if let Some(oracle) = cli.take("oracle") {
+        config.oracles = if oracle == "all" {
+            ipr_fuzz::Oracle::ALL.to_vec()
+        } else {
+            vec![oracle.parse::<ipr_fuzz::Oracle>()?]
+        };
+    }
+    if let Some(shrink) = cli.take_with("shrink", |v| match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(format!("--shrink takes on|off, got `{v}`")),
+    })? {
+        config.shrink = shrink;
+    }
+    if let Some(max_failures) = cli.take_with("max-failures", |v| {
+        v.parse()
+            .map_err(|_| format!("--max-failures needs a number, got `{v}`"))
+    })? {
+        config.max_failures = max_failures;
+    }
+    cli.finish_options()?;
+    cli.no_positional(
+        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine] [--seed S] \
+         [--iters N] [--shrink on|off] [--max-failures N]",
+    )?;
     let report = ipr_fuzz::run(&config);
     for violation in &report.violations {
         eprintln!("{violation}");
@@ -582,467 +495,5 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         Ok(())
     } else {
         Err(format!("{} oracle violation(s)", report.violations.len()).into())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn s(v: &[&str]) -> Vec<String> {
-        v.iter().map(ToString::to_string).collect()
-    }
-
-    #[test]
-    fn fuzz_subcommand_clean_smoke() {
-        run(&s(&[
-            "fuzz", "--oracle", "all", "--iters", "10", "--seed", "42",
-        ]))
-        .unwrap();
-        run(&s(&[
-            "fuzz", "--oracle", "codec", "--iters", "5", "--seed", "0x10",
-        ]))
-        .unwrap();
-    }
-
-    #[test]
-    fn fuzz_subcommand_rejects_bad_options() {
-        assert!(run(&s(&["fuzz", "positional"])).is_err());
-        assert!(run(&s(&["fuzz", "--oracle", "psychic"])).is_err());
-        assert!(run(&s(&["fuzz", "--iters", "many"])).is_err());
-        assert!(run(&s(&["fuzz", "--seed", "whatever"])).is_err());
-        assert!(run(&s(&["fuzz", "--shrink", "maybe"])).is_err());
-        assert!(run(&s(&["fuzz", "--max-failures", "x"])).is_err());
-        assert!(run(&s(&["fuzz", "--bogus", "x"])).is_err());
-    }
-
-    #[test]
-    fn fuzz_subcommand_emits_stats() {
-        let dir = std::env::temp_dir().join(format!("ipr-cli-fuzz-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let out = dir.join("fuzz-stats.json").to_string_lossy().into_owned();
-        run(&s(&[
-            "fuzz",
-            "--oracle",
-            "all",
-            "--iters",
-            "5",
-            "--seed",
-            "42",
-            "--stats-out",
-            &out,
-        ]))
-        .unwrap();
-        let raw = std::fs::read_to_string(&out).unwrap();
-        let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
-        let counter = |name: &str| {
-            v.get("counters")
-                .and_then(|c| c.get(name))
-                .and_then(|c| c.as_u64())
-                .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
-        };
-        assert_eq!(counter("fuzz.iters"), 5);
-        let spans = v.get("spans").unwrap();
-        for name in ["fuzz.codec", "fuzz.convert", "fuzz.crwi", "fuzz.diff"] {
-            let span = spans
-                .get(name)
-                .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
-            assert_eq!(span.get("count").unwrap().as_u64(), Some(5), "{name}");
-        }
-        assert!(v.get("counters").unwrap().get("fuzz.failures").is_none());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn parse_opts_splits_positional_and_options() {
-        let args = s(&["a", "--format", "ordered", "b", "--policy", "constant"]);
-        let (pos, opts) = parse_opts(&args).unwrap();
-        assert_eq!(pos, vec!["a", "b"]);
-        assert_eq!(opts, vec![("format", "ordered"), ("policy", "constant")]);
-    }
-
-    #[test]
-    fn parse_opts_rejects_dangling_option() {
-        let args = s(&["a", "--format"]);
-        assert!(parse_opts(&args).is_err());
-    }
-
-    #[test]
-    fn parse_format_all_names() {
-        for (name, f) in [
-            ("ordered", Format::Ordered),
-            ("in-place", Format::InPlace),
-            ("paper-ordered", Format::PaperOrdered),
-            ("paper-in-place", Format::PaperInPlace),
-            ("improved", Format::Improved),
-        ] {
-            assert_eq!(parse_format(name).unwrap(), f);
-        }
-        assert!(parse_format("bogus").is_err());
-    }
-
-    #[test]
-    fn parse_policy_names() {
-        assert_eq!(parse_policy("constant").unwrap(), CyclePolicy::ConstantTime);
-        assert_eq!(
-            parse_policy("local-min").unwrap(),
-            CyclePolicy::LocallyMinimum
-        );
-        assert!(parse_policy("optimal").is_err());
-    }
-
-    #[test]
-    fn unknown_subcommand_errors() {
-        assert!(run(&s(&["frobnicate"])).is_err());
-        assert!(run(&s(&[])).is_err());
-        assert!(run(&s(&["help"])).is_ok());
-    }
-
-    #[test]
-    fn end_to_end_through_tempdir() {
-        let dir = std::env::temp_dir().join(format!("ipr-cli-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
-
-        let reference: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 251) as u8).collect();
-        let mut version = reference.clone();
-        version.rotate_left(512);
-        std::fs::write(p("old"), &reference).unwrap();
-        std::fs::write(p("new"), &version).unwrap();
-
-        // diff -> convert -> info/verify -> apply and apply-in-place.
-        run(&s(&["diff", &p("old"), &p("new"), &p("delta")])).unwrap();
-        run(&s(&["convert", &p("old"), &p("delta"), &p("delta-ip")])).unwrap();
-        run(&s(&["info", &p("delta-ip")])).unwrap();
-        run(&s(&["stats", &p("delta-ip"), "--dot", &p("graph.dot")])).unwrap();
-        let dot = std::fs::read_to_string(p("graph.dot")).unwrap();
-        assert!(dot.starts_with("digraph"));
-        run(&s(&["dump", &p("delta-ip")])).unwrap();
-        run(&s(&["verify", &p("delta-ip")])).unwrap();
-        run(&s(&["apply", &p("old"), &p("delta-ip"), &p("rebuilt")])).unwrap();
-        assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
-
-        // Compose: old -> new -> newer collapsed into old -> newer.
-        let mut newer = version.clone();
-        newer.rotate_right(100);
-        std::fs::write(p("newer"), &newer).unwrap();
-        run(&s(&["diff", &p("new"), &p("newer"), &p("delta2")])).unwrap();
-        run(&s(&["compose", &p("delta"), &p("delta2"), &p("composed")])).unwrap();
-        run(&s(&["apply", &p("old"), &p("composed"), &p("rebuilt2")])).unwrap();
-        assert_eq!(std::fs::read(p("rebuilt2")).unwrap(), newer);
-        std::fs::copy(p("old"), p("inplace")).unwrap();
-        run(&s(&["apply-in-place", &p("inplace"), &p("delta-ip")])).unwrap();
-        assert_eq!(std::fs::read(p("inplace")).unwrap(), version);
-
-        // Parallel apply path, both read modes.
-        std::fs::copy(p("old"), p("inplace-par")).unwrap();
-        run(&s(&[
-            "apply-in-place",
-            &p("inplace-par"),
-            &p("delta-ip"),
-            "--threads",
-            "4",
-        ]))
-        .unwrap();
-        assert_eq!(std::fs::read(p("inplace-par")).unwrap(), version);
-        std::fs::copy(p("old"), p("inplace-snap")).unwrap();
-        run(&s(&[
-            "apply-in-place",
-            &p("inplace-snap"),
-            &p("delta-ip"),
-            "--threads",
-            "2",
-            "--read-mode",
-            "snapshot",
-        ]))
-        .unwrap();
-        assert_eq!(std::fs::read(p("inplace-snap")).unwrap(), version);
-        // Bad option values are reported, not panicked.
-        assert!(run(&s(&[
-            "apply-in-place",
-            &p("inplace-snap"),
-            &p("delta-ip"),
-            "--threads",
-            "lots",
-        ]))
-        .is_err());
-        assert!(run(&s(&[
-            "apply-in-place",
-            &p("inplace-snap"),
-            &p("delta-ip"),
-            "--read-mode",
-            "psychic",
-        ]))
-        .is_err());
-
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn error_paths_reported_not_panicked() {
-        let dir = std::env::temp_dir().join(format!("ipr-cli-err-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
-        let old: Vec<u8> = (0..256u32).map(|i| (i * 7 % 251) as u8).collect();
-        let mut new = old.clone();
-        new[128] ^= 0xff; // the delta copies most of the reference
-        std::fs::write(p("old"), &old).unwrap();
-        std::fs::write(p("new"), &new).unwrap();
-        std::fs::write(p("junk"), b"this is not a delta file").unwrap();
-
-        // Missing files.
-        assert!(run(&s(&["diff", &p("nope"), &p("new"), &p("d")])).is_err());
-        assert!(run(&s(&["apply", &p("old"), &p("nope"), &p("out")])).is_err());
-        // Junk delta.
-        assert!(run(&s(&["info", &p("junk")])).is_err());
-        assert!(run(&s(&["verify", &p("junk")])).is_err());
-        assert!(run(&s(&["stats", &p("junk")])).is_err());
-        // Wrong arity.
-        assert!(run(&s(&["diff", &p("old")])).is_err());
-        assert!(run(&s(&["convert", &p("old")])).is_err());
-        assert!(run(&s(&["compose", &p("old")])).is_err());
-        // Unknown options/values.
-        run(&s(&["diff", &p("old"), &p("new"), &p("d")])).unwrap();
-        assert!(run(&s(&[
-            "diff",
-            &p("old"),
-            &p("new"),
-            &p("d"),
-            "--format",
-            "bogus"
-        ]))
-        .is_err());
-        assert!(run(&s(&["diff", &p("old"), &p("new"), &p("d"), "--bogus", "x"])).is_err());
-        assert!(run(&s(&[
-            "convert",
-            &p("old"),
-            &p("d"),
-            &p("o"),
-            "--policy",
-            "magic"
-        ]))
-        .is_err());
-        // Ordered format cannot carry in-place deltas.
-        assert!(run(&s(&[
-            "convert",
-            &p("old"),
-            &p("d"),
-            &p("o"),
-            "--format",
-            "ordered"
-        ]))
-        .is_err());
-        // Applying against the wrong reference fails the CRC.
-        std::fs::write(p("wrong"), vec![0x55u8; old.len()]).unwrap();
-        assert!(run(&s(&["apply", &p("wrong"), &p("d"), &p("out")])).is_err());
-        // Composing non-consecutive deltas fails (d: 256 -> 256 bytes,
-        // d2: 28 -> 256 bytes: d's target is not d2's source).
-        std::fs::write(p("other"), b"completely unrelated bytes!!").unwrap();
-        run(&s(&["diff", &p("other"), &p("old"), &p("d2")])).unwrap();
-        assert!(run(&s(&["compose", &p("d"), &p("d2"), &p("dc")])).is_err());
-
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn stats_flags_are_stripped_and_validated() {
-        let (opts, rest) = StatsOptions::extract(&s(&["convert", "--stats", "a", "b"])).unwrap();
-        assert!(opts.enabled && !opts.json && opts.out.is_none());
-        assert_eq!(rest, s(&["convert", "a", "b"]));
-
-        let (opts, rest) = StatsOptions::extract(&s(&["info", "x", "--stats=json"])).unwrap();
-        assert!(opts.enabled && opts.json);
-        assert_eq!(rest, s(&["info", "x"]));
-
-        let (opts, rest) =
-            StatsOptions::extract(&s(&["info", "--stats-out", "report.json", "x"])).unwrap();
-        assert_eq!(opts.out.as_deref(), Some("report.json"));
-        assert_eq!(rest, s(&["info", "x"]));
-
-        assert!(StatsOptions::extract(&s(&["info", "--stats-out"])).is_err());
-    }
-
-    /// Acceptance check: `--stats=json` on an adversarial (paper Fig. 2)
-    /// workload emits a parseable report whose cycle-break counters equal
-    /// the conversion layer's own `ConversionReport`, and whose span
-    /// timings nest sensibly.
-    #[test]
-    fn stats_json_matches_conversion_report_on_adversarial_workload() {
-        let dir = std::env::temp_dir().join(format!("ipr-cli-stats-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
-
-        let case = ipr_workloads::adversarial::tree_digraph(4);
-        std::fs::write(p("ref"), &case.reference).unwrap();
-        let delta = codec::encode(&case.script, Format::InPlace).unwrap();
-        std::fs::write(p("delta"), &delta).unwrap();
-
-        // Ground truth straight from the conversion layer.
-        let expected =
-            convert_to_in_place(&case.script, &case.reference, &ConversionConfig::default())
-                .unwrap()
-                .report;
-        assert!(expected.cycles_broken > 0, "workload must exercise cycles");
-
-        run(&s(&[
-            "convert",
-            &p("ref"),
-            &p("delta"),
-            &p("delta-ip"),
-            "--stats-out",
-            &p("stats.json"),
-        ]))
-        .unwrap();
-
-        let raw = std::fs::read_to_string(p("stats.json")).unwrap();
-        let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
-        assert_eq!(v.get("schema").unwrap().as_str(), Some("ipr-stats/1"));
-
-        let counter = |name: &str| {
-            v.get("counters")
-                .unwrap()
-                .get(name)
-                .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
-                .as_u64()
-                .unwrap()
-        };
-        assert_eq!(
-            counter("convert.cycles_broken"),
-            expected.cycles_broken as u64
-        );
-        assert_eq!(counter("convert.bytes_reencoded"), expected.conversion_cost);
-        assert_eq!(
-            counter("convert.copies_converted"),
-            expected.copies_converted as u64
-        );
-        assert_eq!(counter("convert.edges"), expected.edges as u64);
-
-        // Span timings sum sensibly: the convert span contains its
-        // children, and every phase ran exactly once.
-        let spans = v.get("spans").unwrap();
-        let span_ns = |name: &str| {
-            let s = spans
-                .get(name)
-                .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
-            assert_eq!(s.get("count").unwrap().as_u64(), Some(1), "{name} count");
-            s.get("total_ns").unwrap().as_u64().unwrap()
-        };
-        let total = span_ns("convert");
-        let children =
-            span_ns("convert.crwi_build") + span_ns("convert.toposort") + span_ns("convert.emit");
-        assert!(
-            total >= children,
-            "convert span ({total} ns) contains its phases ({children} ns)"
-        );
-        assert_eq!(
-            spans.get("convert").unwrap().get("depth").unwrap().as_u64(),
-            Some(0)
-        );
-        assert_eq!(
-            spans
-                .get("convert.toposort")
-                .unwrap()
-                .get("depth")
-                .unwrap()
-                .as_u64(),
-            Some(1)
-        );
-        // The codec ran too (decode the input, encode the output).
-        assert!(span_ns("codec.decode") > 0);
-        assert!(span_ns("codec.encode") > 0);
-
-        // Plain `--stats` (text to stderr) also succeeds end to end.
-        run(&s(&["verify", &p("delta-ip"), "--stats"])).unwrap();
-
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn parallel_diff_threads_emits_stats() {
-        let dir = std::env::temp_dir().join(format!("ipr-cli-pdiff-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
-        // 160 KiB version -> 3 chunks at the default 64 KiB chunk size.
-        let reference: Vec<u8> = (0..160 * 1024u32).map(|i| (i % 251) as u8).collect();
-        let mut version = reference.clone();
-        version[40_000] ^= 0x2a;
-        version[120_000] ^= 0x2a;
-        std::fs::write(p("old"), &reference).unwrap();
-        std::fs::write(p("new"), &version).unwrap();
-        let out = p("diff-stats.json");
-        run(&s(&[
-            "diff",
-            &p("old"),
-            &p("new"),
-            &p("d"),
-            "--threads",
-            "2",
-            "--stats-out",
-            &out,
-        ]))
-        .unwrap();
-        // The parallel delta must apply back to the version file.
-        run(&s(&["apply", &p("old"), &p("d"), &p("rebuilt")])).unwrap();
-        assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
-
-        let raw = std::fs::read_to_string(&out).unwrap();
-        let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
-        let spans = v.get("spans").unwrap();
-        for name in ["diff", "diff.index_build", "diff.scan", "diff.stitch"] {
-            let span = spans
-                .get(name)
-                .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
-            assert_eq!(span.get("count").unwrap().as_u64(), Some(1), "{name}");
-        }
-        let counter = |name: &str| {
-            v.get("counters")
-                .and_then(|c| c.get(name))
-                .and_then(|c| c.as_u64())
-                .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
-        };
-        // Cross-checks: the counters must agree with the input files.
-        assert_eq!(counter("diff.reference_bytes"), reference.len() as u64);
-        assert_eq!(counter("diff.version_bytes"), version.len() as u64);
-        assert_eq!(counter("diff.chunks"), 3);
-        let gauge = v
-            .get("gauges")
-            .and_then(|g| g.get("diff.threads"))
-            .and_then(|g| g.as_u64());
-        assert_eq!(gauge, Some(2), "diff.threads gauge in {raw}");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn one_pass_differ_and_policies_selectable() {
-        let dir = std::env::temp_dir().join(format!("ipr-cli-test2-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
-        let reference = vec![3u8; 4096];
-        let mut version = reference.clone();
-        version[17] = 4;
-        std::fs::write(p("old"), &reference).unwrap();
-        std::fs::write(p("new"), &version).unwrap();
-        run(&s(&[
-            "diff",
-            &p("old"),
-            &p("new"),
-            &p("d"),
-            "--differ",
-            "one-pass",
-        ]))
-        .unwrap();
-        run(&s(&[
-            "convert",
-            &p("old"),
-            &p("d"),
-            &p("d-ip"),
-            "--policy",
-            "constant",
-            "--format",
-            "improved",
-        ]))
-        .unwrap();
-        run(&s(&["verify", &p("d-ip")])).unwrap();
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

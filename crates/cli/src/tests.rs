@@ -1,0 +1,460 @@
+//! Command-level tests: every subcommand end to end through tempdirs,
+//! error reporting, and the `--stats` contract.
+
+use super::*;
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn fuzz_subcommand_clean_smoke() {
+    run(&s(&[
+        "fuzz", "--oracle", "all", "--iters", "10", "--seed", "42",
+    ]))
+    .unwrap();
+    run(&s(&[
+        "fuzz", "--oracle", "codec", "--iters", "5", "--seed", "0x10",
+    ]))
+    .unwrap();
+    run(&s(&[
+        "fuzz", "--oracle", "engine", "--iters", "5", "--seed", "42",
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn fuzz_subcommand_rejects_bad_options() {
+    assert!(run(&s(&["fuzz", "positional"])).is_err());
+    assert!(run(&s(&["fuzz", "--oracle", "psychic"])).is_err());
+    assert!(run(&s(&["fuzz", "--iters", "many"])).is_err());
+    assert!(run(&s(&["fuzz", "--seed", "whatever"])).is_err());
+    assert!(run(&s(&["fuzz", "--shrink", "maybe"])).is_err());
+    assert!(run(&s(&["fuzz", "--max-failures", "x"])).is_err());
+    assert!(run(&s(&["fuzz", "--bogus", "x"])).is_err());
+}
+
+#[test]
+fn fuzz_subcommand_emits_stats() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("fuzz-stats.json").to_string_lossy().into_owned();
+    run(&s(&[
+        "fuzz",
+        "--oracle",
+        "all",
+        "--iters",
+        "5",
+        "--seed",
+        "42",
+        "--stats-out",
+        &out,
+    ]))
+    .unwrap();
+    let raw = std::fs::read_to_string(&out).unwrap();
+    let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
+    let counter = |name: &str| {
+        v.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|c| c.as_u64())
+            .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
+    };
+    assert_eq!(counter("fuzz.iters"), 5);
+    let spans = v.get("spans").unwrap();
+    for name in [
+        "fuzz.codec",
+        "fuzz.convert",
+        "fuzz.crwi",
+        "fuzz.diff",
+        "fuzz.engine",
+    ] {
+        let span = spans
+            .get(name)
+            .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
+        assert_eq!(span.get("count").unwrap().as_u64(), Some(5), "{name}");
+    }
+    assert!(v.get("counters").unwrap().get("fuzz.failures").is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_errors() {
+    assert!(run(&s(&["frobnicate"])).is_err());
+    assert!(run(&s(&[])).is_err());
+    assert!(run(&s(&["help"])).is_ok());
+}
+
+#[test]
+fn end_to_end_through_tempdir() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    let reference: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 251) as u8).collect();
+    let mut version = reference.clone();
+    version.rotate_left(512);
+    std::fs::write(p("old"), &reference).unwrap();
+    std::fs::write(p("new"), &version).unwrap();
+
+    // diff -> convert -> info/verify -> apply and apply-in-place.
+    run(&s(&["diff", &p("old"), &p("new"), &p("delta")])).unwrap();
+    run(&s(&["convert", &p("old"), &p("delta"), &p("delta-ip")])).unwrap();
+    run(&s(&["info", &p("delta-ip")])).unwrap();
+    run(&s(&["stats", &p("delta-ip"), "--dot", &p("graph.dot")])).unwrap();
+    let dot = std::fs::read_to_string(p("graph.dot")).unwrap();
+    assert!(dot.starts_with("digraph"));
+    run(&s(&["dump", &p("delta-ip")])).unwrap();
+    run(&s(&["verify", &p("delta-ip")])).unwrap();
+    run(&s(&["apply", &p("old"), &p("delta-ip"), &p("rebuilt")])).unwrap();
+    assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
+
+    // Compose: old -> new -> newer collapsed into old -> newer.
+    let mut newer = version.clone();
+    newer.rotate_right(100);
+    std::fs::write(p("newer"), &newer).unwrap();
+    run(&s(&["diff", &p("new"), &p("newer"), &p("delta2")])).unwrap();
+    run(&s(&["compose", &p("delta"), &p("delta2"), &p("composed")])).unwrap();
+    run(&s(&["apply", &p("old"), &p("composed"), &p("rebuilt2")])).unwrap();
+    assert_eq!(std::fs::read(p("rebuilt2")).unwrap(), newer);
+    std::fs::copy(p("old"), p("inplace")).unwrap();
+    run(&s(&["apply-in-place", &p("inplace"), &p("delta-ip")])).unwrap();
+    assert_eq!(std::fs::read(p("inplace")).unwrap(), version);
+
+    // Parallel apply path, both read modes.
+    std::fs::copy(p("old"), p("inplace-par")).unwrap();
+    run(&s(&[
+        "apply-in-place",
+        &p("inplace-par"),
+        &p("delta-ip"),
+        "--threads",
+        "4",
+    ]))
+    .unwrap();
+    assert_eq!(std::fs::read(p("inplace-par")).unwrap(), version);
+    std::fs::copy(p("old"), p("inplace-snap")).unwrap();
+    run(&s(&[
+        "apply-in-place",
+        &p("inplace-snap"),
+        &p("delta-ip"),
+        "--threads",
+        "2",
+        "--read-mode",
+        "snapshot",
+    ]))
+    .unwrap();
+    assert_eq!(std::fs::read(p("inplace-snap")).unwrap(), version);
+    // Bad option values are reported, not panicked.
+    assert!(run(&s(&[
+        "apply-in-place",
+        &p("inplace-snap"),
+        &p("delta-ip"),
+        "--threads",
+        "lots",
+    ]))
+    .is_err());
+    assert!(run(&s(&[
+        "apply-in-place",
+        &p("inplace-snap"),
+        &p("delta-ip"),
+        "--read-mode",
+        "psychic",
+    ]))
+    .is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_paths_reported_not_panicked() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let old: Vec<u8> = (0..256u32).map(|i| (i * 7 % 251) as u8).collect();
+    let mut new = old.clone();
+    new[128] ^= 0xff; // the delta copies most of the reference
+    std::fs::write(p("old"), &old).unwrap();
+    std::fs::write(p("new"), &new).unwrap();
+    std::fs::write(p("junk"), b"this is not a delta file").unwrap();
+
+    // Missing files.
+    assert!(run(&s(&["diff", &p("nope"), &p("new"), &p("d")])).is_err());
+    assert!(run(&s(&["apply", &p("old"), &p("nope"), &p("out")])).is_err());
+    // Junk delta.
+    assert!(run(&s(&["info", &p("junk")])).is_err());
+    assert!(run(&s(&["verify", &p("junk")])).is_err());
+    assert!(run(&s(&["stats", &p("junk")])).is_err());
+    // Wrong arity.
+    assert!(run(&s(&["diff", &p("old")])).is_err());
+    assert!(run(&s(&["convert", &p("old")])).is_err());
+    assert!(run(&s(&["compose", &p("old")])).is_err());
+    // Unknown options/values.
+    run(&s(&["diff", &p("old"), &p("new"), &p("d")])).unwrap();
+    assert!(run(&s(&[
+        "diff",
+        &p("old"),
+        &p("new"),
+        &p("d"),
+        "--format",
+        "bogus"
+    ]))
+    .is_err());
+    assert!(run(&s(&["diff", &p("old"), &p("new"), &p("d"), "--bogus", "x"])).is_err());
+    assert!(run(&s(&[
+        "convert",
+        &p("old"),
+        &p("d"),
+        &p("o"),
+        "--policy",
+        "magic"
+    ]))
+    .is_err());
+    // Ordered format cannot carry in-place deltas.
+    assert!(run(&s(&[
+        "convert",
+        &p("old"),
+        &p("d"),
+        &p("o"),
+        "--format",
+        "ordered"
+    ]))
+    .is_err());
+    // Applying against the wrong reference fails the CRC.
+    std::fs::write(p("wrong"), vec![0x55u8; old.len()]).unwrap();
+    assert!(run(&s(&["apply", &p("wrong"), &p("d"), &p("out")])).is_err());
+    // Composing non-consecutive deltas fails (d: 256 -> 256 bytes,
+    // d2: 28 -> 256 bytes: d's target is not d2's source).
+    std::fs::write(p("other"), b"completely unrelated bytes!!").unwrap();
+    run(&s(&["diff", &p("other"), &p("old"), &p("d2")])).unwrap();
+    assert!(run(&s(&["compose", &p("d"), &p("d2"), &p("dc")])).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_flags_are_stripped_and_validated() {
+    let (opts, rest) = StatsOptions::extract(&s(&["convert", "--stats", "a", "b"])).unwrap();
+    assert!(opts.enabled && !opts.json && opts.out.is_none());
+    assert_eq!(rest, s(&["convert", "a", "b"]));
+
+    let (opts, rest) = StatsOptions::extract(&s(&["info", "x", "--stats=json"])).unwrap();
+    assert!(opts.enabled && opts.json);
+    assert_eq!(rest, s(&["info", "x"]));
+
+    let (opts, rest) =
+        StatsOptions::extract(&s(&["info", "--stats-out", "report.json", "x"])).unwrap();
+    assert_eq!(opts.out.as_deref(), Some("report.json"));
+    assert_eq!(rest, s(&["info", "x"]));
+
+    assert!(StatsOptions::extract(&s(&["info", "--stats-out"])).is_err());
+}
+
+/// Acceptance check: `--stats=json` on an adversarial (paper Fig. 2)
+/// workload emits a parseable report whose cycle-break counters equal
+/// the conversion layer's own `ConversionReport`, and whose span
+/// timings nest sensibly.
+#[test]
+fn stats_json_matches_conversion_report_on_adversarial_workload() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    let case = ipr_workloads::adversarial::tree_digraph(4);
+    std::fs::write(p("ref"), &case.reference).unwrap();
+    let delta = codec::encode(&case.script, Format::InPlace).unwrap();
+    std::fs::write(p("delta"), &delta).unwrap();
+
+    // Ground truth straight from the conversion layer.
+    let expected = ipr_core::convert_to_in_place(
+        &case.script,
+        &case.reference,
+        &ipr_core::ConversionConfig::default(),
+    )
+    .unwrap()
+    .report;
+    assert!(expected.cycles_broken > 0, "workload must exercise cycles");
+
+    run(&s(&[
+        "convert",
+        &p("ref"),
+        &p("delta"),
+        &p("delta-ip"),
+        "--stats-out",
+        &p("stats.json"),
+    ]))
+    .unwrap();
+
+    let raw = std::fs::read_to_string(p("stats.json")).unwrap();
+    let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
+    assert_eq!(v.get("schema").unwrap().as_str(), Some("ipr-stats/1"));
+
+    let counter = |name: &str| {
+        v.get("counters")
+            .unwrap()
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
+            .as_u64()
+            .unwrap()
+    };
+    assert_eq!(
+        counter("convert.cycles_broken"),
+        expected.cycles_broken as u64
+    );
+    assert_eq!(counter("convert.bytes_reencoded"), expected.conversion_cost);
+    assert_eq!(
+        counter("convert.copies_converted"),
+        expected.copies_converted as u64
+    );
+    assert_eq!(counter("convert.edges"), expected.edges as u64);
+
+    // Span timings sum sensibly: the convert span contains its
+    // children, and every phase ran exactly once.
+    let spans = v.get("spans").unwrap();
+    let span_ns = |name: &str| {
+        let s = spans
+            .get(name)
+            .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
+        assert_eq!(s.get("count").unwrap().as_u64(), Some(1), "{name} count");
+        s.get("total_ns").unwrap().as_u64().unwrap()
+    };
+    let total = span_ns("convert");
+    let children =
+        span_ns("convert.crwi_build") + span_ns("convert.toposort") + span_ns("convert.emit");
+    assert!(
+        total >= children,
+        "convert span ({total} ns) contains its phases ({children} ns)"
+    );
+    assert_eq!(
+        spans.get("convert").unwrap().get("depth").unwrap().as_u64(),
+        Some(0)
+    );
+    assert_eq!(
+        spans
+            .get("convert.toposort")
+            .unwrap()
+            .get("depth")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+    // The codec ran too (decode the input, encode the output).
+    assert!(span_ns("codec.decode") > 0);
+    assert!(span_ns("codec.encode") > 0);
+
+    // Plain `--stats` (text to stderr) also succeeds end to end.
+    run(&s(&["verify", &p("delta-ip"), "--stats"])).unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_diff_threads_emits_stats() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-pdiff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    // 160 KiB version -> 3 chunks at the default 64 KiB chunk size.
+    let reference: Vec<u8> = (0..160 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let mut version = reference.clone();
+    version[40_000] ^= 0x2a;
+    version[120_000] ^= 0x2a;
+    std::fs::write(p("old"), &reference).unwrap();
+    std::fs::write(p("new"), &version).unwrap();
+    let out = p("diff-stats.json");
+    run(&s(&[
+        "diff",
+        &p("old"),
+        &p("new"),
+        &p("d"),
+        "--threads",
+        "2",
+        "--stats-out",
+        &out,
+    ]))
+    .unwrap();
+    // The parallel delta must apply back to the version file.
+    run(&s(&["apply", &p("old"), &p("d"), &p("rebuilt")])).unwrap();
+    assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
+
+    let raw = std::fs::read_to_string(&out).unwrap();
+    let v = ipr_trace::json::parse(&raw).expect("stats output is valid JSON");
+    let spans = v.get("spans").unwrap();
+    for name in ["diff", "diff.index_build", "diff.scan", "diff.stitch"] {
+        let span = spans
+            .get(name)
+            .unwrap_or_else(|| panic!("span {name} missing in {raw}"));
+        assert_eq!(span.get("count").unwrap().as_u64(), Some(1), "{name}");
+    }
+    let counter = |name: &str| {
+        v.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|c| c.as_u64())
+            .unwrap_or_else(|| panic!("counter {name} missing in {raw}"))
+    };
+    // Cross-checks: the counters must agree with the input files.
+    assert_eq!(counter("diff.reference_bytes"), reference.len() as u64);
+    assert_eq!(counter("diff.version_bytes"), version.len() as u64);
+    assert_eq!(counter("diff.chunks"), 3);
+    let gauge = v
+        .get("gauges")
+        .and_then(|g| g.get("diff.threads"))
+        .and_then(|g| g.as_u64());
+    assert_eq!(gauge, Some(2), "diff.threads gauge in {raw}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_pass_differ_and_policies_selectable() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-test2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let reference = vec![3u8; 4096];
+    let mut version = reference.clone();
+    version[17] = 4;
+    std::fs::write(p("old"), &reference).unwrap();
+    std::fs::write(p("new"), &version).unwrap();
+    run(&s(&[
+        "diff",
+        &p("old"),
+        &p("new"),
+        &p("d"),
+        "--differ",
+        "one-pass",
+    ]))
+    .unwrap();
+    run(&s(&[
+        "convert",
+        &p("old"),
+        &p("d"),
+        &p("d-ip"),
+        "--policy",
+        "constant",
+        "--format",
+        "improved",
+    ]))
+    .unwrap();
+    run(&s(&["verify", &p("d-ip")])).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The engine session layer behind every subcommand: `ipr diff` +
+/// `ipr convert` together must equal one `Engine::update`, byte for
+/// byte, when configured identically.
+#[test]
+fn cli_pipeline_matches_engine_update() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-engine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let reference: Vec<u8> = (0..4096u32).map(|i| (i * 13 % 241) as u8).collect();
+    let mut version = reference.clone();
+    version.rotate_left(128);
+    std::fs::write(p("old"), &reference).unwrap();
+    std::fs::write(p("new"), &version).unwrap();
+
+    run(&s(&["diff", &p("old"), &p("new"), &p("delta")])).unwrap();
+    run(&s(&["convert", &p("old"), &p("delta"), &p("delta-ip")])).unwrap();
+
+    let mut engine = Engine::with_config(ipr_pipeline::EngineConfig::with_threads(1));
+    let update = engine.update(&reference, &version).unwrap();
+    assert_eq!(std::fs::read(p("delta-ip")).unwrap(), update.payload);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

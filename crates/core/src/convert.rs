@@ -14,12 +14,13 @@
 //! 6. emit all adds — the original ones plus the deleted copies converted
 //!    to adds (their data materialized from the reference file).
 
-use crate::crwi::CrwiGraph;
+use crate::crwi;
 use crate::policy::CyclePolicy;
-use crate::toposort::{sort_breaking_cycles, SortOutcome};
+use crate::toposort::{sort_breaking_cycles_into, SortScratch};
 use ipr_delta::codec::Format;
-use ipr_delta::{Add, Command, DeltaScript};
+use ipr_delta::{Add, Command, Copy, DeltaScript, ScriptPool};
 use ipr_digraph::fvs::ComponentTooLarge;
+use ipr_digraph::{Digraph, NodeId};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -173,6 +174,32 @@ impl fmt::Display for ConversionReport {
     }
 }
 
+/// Reusable working storage for [`convert_in_place_pooled`].
+///
+/// Owns every buffer the conversion needs — the partitioned command
+/// lists, the CRWI digraph, the cost vector, and the cycle-breaking sort
+/// scratch — so repeated conversions through one scratch allocate nothing
+/// once warm (the exhaustive policy's exact solver excepted).
+#[derive(Debug, Default)]
+pub struct ConvertScratch {
+    copies: Vec<Copy>,
+    adds: Vec<Add>,
+    graph: Digraph,
+    graph_spare: Vec<Vec<NodeId>>,
+    costs: Vec<u64>,
+    sort: SortScratch,
+    order_scratch: Vec<usize>,
+}
+
+impl ConvertScratch {
+    /// Creates an empty scratch. Storage is grown on first use and reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A converted, in-place reconstructible delta.
 #[derive(Clone, Debug)]
 pub struct InPlaceOutcome {
@@ -223,63 +250,103 @@ pub fn convert_to_in_place(
     reference: &[u8],
     config: &ConversionConfig,
 ) -> Result<InPlaceOutcome, ConvertError> {
+    let mut scratch = ConvertScratch::new();
+    let mut pool = ScriptPool::new();
+    convert_in_place_pooled(script.clone(), reference, config, &mut scratch, &mut pool)
+}
+
+/// Scratch-based core of [`convert_to_in_place`]: identical results, but
+/// the input script is consumed (its storage recycled through `pool`),
+/// working buffers live in `scratch`, and the output script is built from
+/// pooled storage — so a warm scratch/pool pair converts with no heap
+/// allocation at all.
+///
+/// # Errors
+///
+/// Exactly as [`convert_to_in_place`]; on [`ConvertError::SourceLenMismatch`]
+/// the input script's storage is still recycled into `pool`.
+pub fn convert_in_place_pooled(
+    script: DeltaScript,
+    reference: &[u8],
+    config: &ConversionConfig,
+    scratch: &mut ConvertScratch,
+    pool: &mut ScriptPool,
+) -> Result<InPlaceOutcome, ConvertError> {
     if reference.len() as u64 != script.source_len() {
-        return Err(ConvertError::SourceLenMismatch {
-            expected: script.source_len(),
-            actual: reference.len() as u64,
-        });
+        let expected = script.source_len();
+        let actual = reference.len() as u64;
+        pool.recycle(script);
+        return Err(ConvertError::SourceLenMismatch { expected, actual });
     }
     let _span = ipr_trace::span("convert");
+    let ConvertScratch {
+        copies,
+        adds,
+        graph,
+        graph_spare,
+        costs,
+        sort,
+        order_scratch,
+    } = scratch;
 
     // Steps 1-3: partition, sort by write offset, build the digraph.
     let build_span = ipr_trace::span("convert.crwi_build");
     let build_start = Instant::now();
-    let copies = script.copies();
+    let (source_len, target_len, mut commands) = script.into_parts();
+    copies.clear();
+    adds.clear();
+    for cmd in commands.drain(..) {
+        match cmd {
+            Command::Copy(c) => copies.push(c),
+            Command::Add(a) => adds.push(a),
+        }
+    }
+    pool.give_commands(commands);
     let input_copies = copies.len();
-    let input_adds = script.add_count();
-    let crwi = CrwiGraph::build(copies);
+    let input_adds = adds.len();
+    // Write offsets are unique in a valid script, so the unstable sort is
+    // deterministic and matches the legacy stable sort.
+    copies.sort_unstable_by_key(|c| c.to);
+    graph.reset_with_spare(copies.len(), graph_spare);
+    crwi::build_edges_into(copies, graph);
     let graph_build_time = build_start.elapsed();
     drop(build_span);
 
     // Step 4: cycle-breaking topological sort.
     let sort_span = ipr_trace::span("convert.toposort");
     let sort_start = Instant::now();
-    let costs: Vec<u64> = crwi
-        .copies()
-        .iter()
-        .map(|c| config.cost_format.conversion_cost(c))
-        .collect();
-    let SortOutcome {
-        order,
-        removed,
-        cycles_broken,
-        cycle_nodes_examined,
-    } = sort_breaking_cycles(crwi.graph(), &costs, config.policy)?;
+    costs.clear();
+    costs.extend(copies.iter().map(|c| config.cost_format.conversion_cost(c)));
+    let stats = sort_breaking_cycles_into(graph, costs, config.policy, sort)?;
     let sort_time = sort_start.elapsed();
     drop(sort_span);
 
     // Steps 5-6: emit copies in topological order, then adds.
     let emit_span = ipr_trace::span("convert.emit");
-    let mut commands: Vec<Command> = Vec::with_capacity(order.len() + removed.len() + input_adds);
-    for &v in &order {
-        commands.push(Command::Copy(crwi.copies()[v as usize]));
-    }
-    let mut adds: Vec<Add> = script.adds();
+    let mut out_commands = pool.take_commands();
+    out_commands.extend(
+        sort.order()
+            .iter()
+            .map(|&v| Command::Copy(copies[v as usize])),
+    );
     let mut bytes_converted = 0u64;
     let mut conversion_cost = 0u64;
-    for &v in &removed {
-        let c = crwi.copies()[v as usize];
+    for &v in sort.removed() {
+        let c = copies[v as usize];
         bytes_converted += c.len;
         conversion_cost += config.cost_format.conversion_cost(&c);
         let start = usize::try_from(c.from).expect("offset fits usize");
         let end = usize::try_from(c.from + c.len).expect("offset fits usize");
-        adds.push(Add::new(c.to, reference[start..end].to_vec()));
+        let mut data = pool.take_bytes();
+        data.extend_from_slice(&reference[start..end]);
+        adds.push(Add::new(c.to, data));
     }
-    adds.sort_by_key(|a| a.to);
-    let copies_converted = removed.len();
-    commands.extend(adds.into_iter().map(Command::Add));
+    // Add write offsets are unique too: unstable sort matches stable.
+    adds.sort_unstable_by_key(|a| a.to);
+    let copies_converted = sort.removed().len();
+    out_commands.extend(adds.drain(..).map(Command::Add));
 
-    let script = DeltaScript::new(script.source_len(), script.target_len(), commands)
+    let script = DeltaScript::new_with_scratch(source_len, target_len, out_commands, order_scratch)
         .expect("conversion preserves script validity");
     debug_assert!(crate::verify::is_in_place_safe(&script));
     drop(emit_span);
@@ -287,12 +354,12 @@ pub fn convert_to_in_place(
     let report = ConversionReport {
         input_copies,
         input_adds,
-        edges: crwi.edge_count(),
-        cycles_broken,
+        edges: graph.edge_count(),
+        cycles_broken: stats.cycles_broken,
         copies_converted,
         bytes_converted,
         conversion_cost,
-        cycle_nodes_examined,
+        cycle_nodes_examined: stats.cycle_nodes_examined,
         graph_build_time,
         sort_time,
     };
@@ -489,6 +556,81 @@ mod tests {
         let mut buf = reference.clone();
         apply_in_place(&out.script, &mut buf).unwrap();
         assert_eq!(buf, version);
+    }
+
+    #[test]
+    fn pooled_conversion_matches_legacy_with_reuse() {
+        // One scratch + pool driven across heterogeneous scripts and
+        // policies (recycling each output) must match the legacy path
+        // byte for byte, report included.
+        let reference: Vec<u8> = (0u8..32).collect();
+        let scripts = vec![
+            DeltaScript::new(
+                32,
+                32,
+                vec![Command::copy(16, 0, 16), Command::copy(0, 16, 16)],
+            )
+            .unwrap(),
+            DeltaScript::new(
+                32,
+                32,
+                vec![
+                    Command::copy(16, 0, 8),
+                    Command::copy(24, 8, 4),
+                    Command::add(12, vec![0xEE; 4]),
+                    Command::copy(0, 16, 8),
+                    Command::copy(8, 24, 8),
+                ],
+            )
+            .unwrap(),
+            DeltaScript::new(32, 4, vec![Command::add(0, vec![1; 4])]).unwrap(),
+            DeltaScript::new(32, 0, vec![]).unwrap(),
+        ];
+        let mut scratch = ConvertScratch::new();
+        let mut pool = ScriptPool::new();
+        for policy in [
+            CyclePolicy::ConstantTime,
+            CyclePolicy::LocallyMinimum,
+            CyclePolicy::Exhaustive { limit: 16 },
+        ] {
+            let config = ConversionConfig::with_policy(policy);
+            for script in &scripts {
+                let legacy = convert_to_in_place(script, &reference, &config).unwrap();
+                let pooled = convert_in_place_pooled(
+                    script.clone(),
+                    &reference,
+                    &config,
+                    &mut scratch,
+                    &mut pool,
+                )
+                .unwrap();
+                assert_eq!(pooled.script, legacy.script, "{policy}");
+                assert_eq!(pooled.report.input_copies, legacy.report.input_copies);
+                assert_eq!(pooled.report.edges, legacy.report.edges);
+                assert_eq!(pooled.report.cycles_broken, legacy.report.cycles_broken);
+                assert_eq!(
+                    pooled.report.copies_converted,
+                    legacy.report.copies_converted
+                );
+                assert_eq!(pooled.report.bytes_converted, legacy.report.bytes_converted);
+                assert_eq!(pooled.report.conversion_cost, legacy.report.conversion_cost);
+                pool.recycle(pooled.script);
+            }
+        }
+        assert!(pool.spare_commands() > 0, "recycled storage is retained");
+
+        // The mismatch error still recycles the input script's storage.
+        let before = pool.spare_commands();
+        let err = convert_in_place_pooled(
+            scripts[0].clone(),
+            &[0u8; 4],
+            &ConversionConfig::default(),
+            &mut scratch,
+            &mut pool,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConvertError::SourceLenMismatch { .. }));
+        assert!(pool.spare_commands() > before);
     }
 
     #[test]

@@ -54,16 +54,12 @@ impl CrwiGraph {
     #[must_use]
     pub fn build(mut copies: Vec<Copy>) -> Self {
         copies.sort_by_key(|c| c.to);
-        let index = IntervalIndex::new(copies.iter().map(Copy::write_interval).collect())
+        // Validates disjointness and non-emptiness (the documented panics);
+        // edge construction itself is shared with the scratch-based path.
+        let _index = IntervalIndex::new(copies.iter().map(Copy::write_interval).collect())
             .expect("copy write intervals must be disjoint and non-empty");
         let mut graph = Digraph::new(copies.len());
-        for (u, copy) in copies.iter().enumerate() {
-            for v in index.overlapping(copy.read_interval()) {
-                if v != u {
-                    graph.add_edge(u as NodeId, v as NodeId);
-                }
-            }
-        }
+        build_edges_into(&copies, &mut graph);
         Self { copies, graph }
     }
 
@@ -95,6 +91,33 @@ impl CrwiGraph {
     #[must_use]
     pub fn into_parts(self) -> (Vec<Copy>, Digraph) {
         (self.copies, self.graph)
+    }
+}
+
+/// Adds the CRWI conflict edges for `copies` to `graph`.
+///
+/// `copies` must be sorted by write offset with pairwise-disjoint,
+/// non-empty write intervals (every validated
+/// [`DeltaScript`](ipr_delta::DeltaScript) guarantees this), and `graph`
+/// must be an edgeless digraph with `copies.len()` nodes. The contiguous
+/// run of write intervals each read interval touches is found with two
+/// binary searches directly over the sorted copies — equivalent to an
+/// [`IntervalIndex::overlapping`] query, without materializing the index.
+pub(crate) fn build_edges_into(copies: &[Copy], graph: &mut Digraph) {
+    debug_assert_eq!(graph.node_count(), copies.len());
+    debug_assert_eq!(graph.edge_count(), 0);
+    debug_assert!(copies
+        .windows(2)
+        .all(|w| w[0].to + w[0].len <= w[1].to && w[0].len > 0));
+    for (u, copy) in copies.iter().enumerate() {
+        let read = copy.read_interval();
+        let lo = copies.partition_point(|c| c.to + c.len <= read.start());
+        let hi = copies.partition_point(|c| c.to < read.end());
+        for v in lo..hi.max(lo) {
+            if v != u {
+                graph.add_edge(u as NodeId, v as NodeId);
+            }
+        }
     }
 }
 

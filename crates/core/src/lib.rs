@@ -61,8 +61,8 @@ pub use schedule::ParallelSchedule;
 
 pub use apply::{apply_in_place, apply_in_place_buffered, required_capacity, InPlaceApplyError};
 pub use convert::{
-    convert_to_in_place, diff_in_place, ConversionConfig, ConversionReport, ConvertError,
-    InPlaceOutcome,
+    convert_in_place_pooled, convert_to_in_place, diff_in_place, ConversionConfig,
+    ConversionReport, ConvertError, ConvertScratch, InPlaceOutcome,
 };
 pub use crwi::CrwiGraph;
 pub use parallel::{
@@ -70,7 +70,11 @@ pub use parallel::{
     ParallelConfig, ReadMode,
 };
 pub use policy::CyclePolicy;
-pub use toposort::{is_valid_outcome, sort_breaking_cycles, SortOutcome};
+pub use schedule::ScheduleScratch;
+pub use toposort::{
+    is_valid_outcome, sort_breaking_cycles, sort_breaking_cycles_into, SortOutcome, SortScratch,
+    SortStats,
+};
 pub use verify::{
     check_in_place_safe, count_wr_conflicts, is_in_place_safe, list_wr_conflicts, Conflict,
     WrViolation,

@@ -9,13 +9,13 @@
 //! the conflict DAG: the number of waves is the critical path of the
 //! update, and `commands / waves` is the available parallelism.
 
-use crate::crwi::CrwiGraph;
-use crate::verify::check_in_place_safe;
-use ipr_delta::DeltaScript;
-use ipr_digraph::topo;
+use crate::crwi;
+use ipr_delta::{Command, Copy, DeltaScript};
+use ipr_digraph::topo::{kahn_into, KahnScratch};
+use ipr_digraph::{Digraph, NodeId};
 
 /// A wave-parallel application plan for a converted (Equation 2) script.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParallelSchedule {
     /// Command indices per wave; all commands of a wave may be applied
     /// concurrently, waves strictly in order. The final wave holds the
@@ -53,65 +53,9 @@ impl ParallelSchedule {
     /// ```
     #[must_use]
     pub fn plan(script: &DeltaScript) -> Option<Self> {
-        let _span = ipr_trace::span("schedule.plan");
-        if check_in_place_safe(script).is_err() {
-            return None;
-        }
-        if script.is_empty() {
-            return Some(Self {
-                waves: Vec::new(),
-                commands: 0,
-            });
-        }
-        // Map the script's copies onto CRWI vertices. CrwiGraph sorts by
-        // write offset; recover each command's vertex through its unique
-        // write offset.
-        let copies = script.copies();
-        let crwi = CrwiGraph::build(copies);
-        let graph = crwi.graph();
-        // Longest-path layering over the DAG: wave(v) = 1 + max over
-        // predecessors. Process in topological order.
-        let order = topo::kahn(graph).expect("a safe script's conflict graph is acyclic");
-        let mut level = vec![0usize; graph.node_count()];
-        for &u in &order {
-            for &v in graph.successors(u) {
-                level[v as usize] = level[v as usize].max(level[u as usize] + 1);
-            }
-        }
-        let copy_waves = level.iter().copied().max().map_or(0, |m| m + 1);
-
-        // Adds never read the reference, but copies must read it before
-        // any add clobbers it: adds share one dedicated final wave.
-        let total_waves = copy_waves + usize::from(script.add_count() > 0);
-        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); total_waves];
-        for (i, cmd) in script.commands().iter().enumerate() {
-            match cmd.read_interval() {
-                Some(_) => {
-                    // CrwiGraph::copies() is sorted by write offset and
-                    // write offsets are unique: binary search recovers the
-                    // vertex without a hash map.
-                    let v = crwi
-                        .copies()
-                        .binary_search_by_key(&cmd.to(), |c| c.to)
-                        .expect("every copy has a unique write offset");
-                    waves[level[v]].push(i);
-                }
-                None => waves[total_waves - 1].push(i),
-            }
-        }
-        waves.retain(|w| !w.is_empty());
-        let plan = Self {
-            commands: script.len(),
-            waves,
-        };
-        if ipr_trace::enabled() {
-            let parallelism_milli = (plan.parallelism() * 1000.0) as u64;
-            ipr_trace::with(|r| {
-                r.add("schedule.waves", plan.wave_count() as u64);
-                r.gauge("schedule.parallelism_milli", parallelism_milli);
-            });
-        }
-        Some(plan)
+        let mut scratch = ScheduleScratch::new();
+        scratch.plan(script)?;
+        Some(std::mem::take(&mut scratch.plan))
     }
 
     /// The waves, each a list of command indices.
@@ -165,6 +109,201 @@ impl ParallelSchedule {
         } else {
             self.commands as f64 / self.waves.len() as f64
         }
+    }
+}
+
+/// Reusable working storage for wave scheduling.
+///
+/// Owns the CRWI digraph buffers, Kahn toposort scratch, the level
+/// vector, and the produced [`ParallelSchedule`] itself (wave vectors
+/// included), so repeated planning through one scratch performs no heap
+/// allocation once warm.
+#[derive(Debug, Default)]
+pub struct ScheduleScratch {
+    copies: Vec<Copy>,
+    graph: Digraph,
+    graph_spare: Vec<Vec<NodeId>>,
+    kahn: KahnScratch,
+    order: Vec<NodeId>,
+    level: Vec<usize>,
+    wave_sizes: Vec<usize>,
+    wave_order: Vec<usize>,
+    wave_spare: Vec<Vec<usize>>,
+    writes: Vec<(u64, u64, usize)>,
+    plan: ParallelSchedule,
+}
+
+/// Scratch-based Equation 2 check, verdict-identical to
+/// [`check_in_place_safe`]: a script is unsafe iff some command's read
+/// interval overlaps the write interval of an *earlier* command. Write
+/// intervals are pairwise disjoint (a [`DeltaScript`] invariant), so
+/// sorting them by start makes the overlap query a binary search, and the
+/// sorted buffer is reusable across calls.
+fn is_safe_into(script: &DeltaScript, writes: &mut Vec<(u64, u64, usize)>) -> bool {
+    writes.clear();
+    writes.extend(script.commands().iter().enumerate().map(|(i, cmd)| {
+        let w = cmd.write_interval();
+        (w.start(), w.end(), i)
+    }));
+    writes.sort_unstable();
+    for (reader, cmd) in script.commands().iter().enumerate() {
+        let Some(read) = cmd.read_interval() else {
+            continue;
+        };
+        // Disjoint sorted writes: ends are sorted too, so the first
+        // candidate is the first write ending past the read's start.
+        let mut k = writes.partition_point(|&(_, end, _)| end <= read.start());
+        while let Some(&(start, _, writer)) = writes.get(k) {
+            if start >= read.end() {
+                break;
+            }
+            if writer < reader {
+                return false;
+            }
+            k += 1;
+        }
+    }
+    true
+}
+
+impl ScheduleScratch {
+    /// Creates an empty scratch. Storage is grown on first use and reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch-based equivalent of [`ParallelSchedule::plan`]: identical
+    /// schedule, built into this scratch's storage. The returned borrow is
+    /// valid until the next plan; clone it to keep it longer.
+    pub fn plan(&mut self, script: &DeltaScript) -> Option<&ParallelSchedule> {
+        self.plan_impl(script, true)
+    }
+
+    /// Like [`ScheduleScratch::plan`] but skips the Equation 2 safety
+    /// check — for callers that just converted the script and know it is
+    /// in-place safe. Still returns `None` (never panics) if the conflict
+    /// graph unexpectedly has a cycle.
+    pub fn plan_trusted(&mut self, script: &DeltaScript) -> Option<&ParallelSchedule> {
+        self.plan_impl(script, false)
+    }
+
+    fn plan_impl(&mut self, script: &DeltaScript, validate: bool) -> Option<&ParallelSchedule> {
+        let _span = ipr_trace::span("schedule.plan");
+        if validate && !is_safe_into(script, &mut self.writes) {
+            return None;
+        }
+        let Self {
+            copies,
+            graph,
+            graph_spare,
+            kahn,
+            order,
+            level,
+            wave_sizes,
+            wave_order,
+            wave_spare,
+            writes: _,
+            plan,
+        } = self;
+        if script.is_empty() {
+            for mut w in plan.waves.drain(..) {
+                w.clear();
+                wave_spare.push(w);
+            }
+            plan.commands = 0;
+            return Some(plan);
+        }
+        // Map the script's copies onto CRWI vertices: sort by write offset
+        // (unique in a valid script, so the unstable sort is deterministic)
+        // and recover each command's vertex by binary search.
+        copies.clear();
+        copies.extend(script.commands().iter().filter_map(|cmd| match cmd {
+            Command::Copy(c) => Some(*c),
+            Command::Add(_) => None,
+        }));
+        copies.sort_unstable_by_key(|c| c.to);
+        graph.reset_with_spare(copies.len(), graph_spare);
+        crwi::build_edges_into(copies, graph);
+        // Longest-path layering over the DAG: wave(v) = 1 + max over
+        // predecessors. Process in topological order.
+        if kahn_into(graph, kahn, order).is_err() {
+            assert!(!validate, "a safe script's conflict graph is acyclic");
+            return None;
+        }
+        level.clear();
+        level.resize(graph.node_count(), 0);
+        for &u in order.iter() {
+            for &v in graph.successors(u) {
+                level[v as usize] = level[v as usize].max(level[u as usize] + 1);
+            }
+        }
+        let copy_waves = level.iter().copied().max().map_or(0, |m| m + 1);
+
+        // Adds never read the reference, but copies must read it before
+        // any add clobbers it: adds share one dedicated final wave.
+        let total_waves = copy_waves + usize::from(script.add_count() > 0);
+        // Wave sizes are known before filling (the level histogram), so
+        // recycled vectors can be assigned capacity-aware: the largest
+        // spare vector goes to the largest wave. Once the spare pool's
+        // capacities dominate a workload's wave sizes, planning allocates
+        // nothing — arbitrary (LIFO) assignment never converges, because a
+        // small vector landing on a big wave regrows every time.
+        wave_sizes.clear();
+        wave_sizes.resize(total_waves, 0);
+        for &l in level.iter() {
+            wave_sizes[l] += 1;
+        }
+        if script.add_count() > 0 {
+            wave_sizes[total_waves - 1] += script.add_count();
+        }
+        let waves = &mut plan.waves;
+        for mut w in waves.drain(..) {
+            w.clear();
+            wave_spare.push(w);
+        }
+        while wave_spare.len() < total_waves {
+            wave_spare.push(Vec::new());
+        }
+        wave_spare.sort_unstable_by_key(Vec::capacity);
+        wave_order.clear();
+        wave_order.extend(0..total_waves);
+        wave_order.sort_unstable_by_key(|&w| std::cmp::Reverse(wave_sizes[w]));
+        waves.resize_with(total_waves, Vec::new);
+        for &w in wave_order.iter() {
+            waves[w] = wave_spare.pop().expect("pool topped up above");
+        }
+        for (i, cmd) in script.commands().iter().enumerate() {
+            match cmd.read_interval() {
+                Some(_) => {
+                    let v = copies
+                        .binary_search_by_key(&cmd.to(), |c| c.to)
+                        .expect("every copy has a unique write offset");
+                    waves[level[v]].push(i);
+                }
+                None => waves[total_waves - 1].push(i),
+            }
+        }
+        // Stable compaction of non-empty waves, spilling emptied storage
+        // into the spare list (the allocation-free `retain`).
+        let mut kept = 0;
+        for idx in 0..waves.len() {
+            if !waves[idx].is_empty() {
+                waves.swap(kept, idx);
+                kept += 1;
+            }
+        }
+        wave_spare.extend(waves.drain(kept..));
+        plan.commands = script.len();
+        if ipr_trace::enabled() {
+            let parallelism_milli = (plan.parallelism() * 1000.0) as u64;
+            ipr_trace::with(|r| {
+                r.add("schedule.waves", plan.wave_count() as u64);
+                r.gauge("schedule.parallelism_milli", parallelism_milli);
+            });
+        }
+        Some(plan)
     }
 }
 
@@ -295,6 +434,82 @@ mod tests {
         assert_eq!(shuffled, plan.permuted_within_waves(0xfeed));
         // The shuffled schedule still applies correctly.
         assert_eq!(apply_waves(&out.script, &shuffled, &reference), version);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_plans() {
+        // One scratch reused across heterogeneous scripts (including empty
+        // and unsafe ones) must reproduce the fresh-plan results exactly.
+        let reference: Vec<u8> = (0..10_000u32).map(|i| (i * 13 % 239) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(777);
+        let diffed = GreedyDiffer::default().diff(&reference, &version);
+        let converted = convert_to_in_place(&diffed, &reference, &ConversionConfig::default())
+            .unwrap()
+            .script;
+        let scripts = vec![
+            converted,
+            DeltaScript::new(4, 0, vec![]).unwrap(),
+            DeltaScript::new(
+                8,
+                12,
+                vec![Command::copy(0, 4, 8), Command::add(0, vec![1; 4])],
+            )
+            .unwrap(),
+            // Unsafe: both paths must agree on None.
+            DeltaScript::new(16, 16, vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)]).unwrap(),
+        ];
+        let mut scratch = ScheduleScratch::new();
+        for script in &scripts {
+            let fresh = ParallelSchedule::plan(script);
+            let reused = scratch.plan(script).cloned();
+            assert_eq!(reused, fresh);
+            if crate::verify::is_in_place_safe(script) {
+                let trusted = scratch.plan_trusted(script).cloned();
+                assert_eq!(trusted, fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_safety_check_matches_verifier() {
+        // The scheduler's allocation-free Equation 2 check must agree
+        // with `check_in_place_safe` on safe, unsafe and add-clobbering
+        // scripts alike.
+        let reference: Vec<u8> = (0..4_000u32).map(|i| (i * 7 % 233) as u8).collect();
+        let mut version = reference.clone();
+        version.rotate_left(321);
+        let diffed = GreedyDiffer::default().diff(&reference, &version);
+        let converted = convert_to_in_place(&diffed, &reference, &ConversionConfig::default())
+            .unwrap()
+            .script;
+        let mut scripts = vec![
+            diffed,
+            converted,
+            DeltaScript::new(4, 0, vec![]).unwrap(),
+            DeltaScript::new(16, 16, vec![Command::copy(0, 8, 8), Command::copy(8, 0, 8)]).unwrap(),
+            // An add clobbering a later read.
+            DeltaScript::new(
+                8,
+                12,
+                vec![Command::add(0, vec![1; 4]), Command::copy(0, 4, 8)],
+            )
+            .unwrap(),
+            // A copy whose own read and write overlap: not a violation.
+            DeltaScript::new(8, 6, vec![Command::copy(2, 0, 6)]).unwrap(),
+        ];
+        // Adversarial permutations of the converted script.
+        let safe = scripts[1].clone();
+        let order: Vec<usize> = (0..safe.len()).rev().collect();
+        scripts.push(safe.permuted(&order));
+        let mut writes = Vec::new();
+        for script in &scripts {
+            assert_eq!(
+                is_safe_into(script, &mut writes),
+                crate::verify::is_in_place_safe(script),
+                "verdicts diverge on {script:?}"
+            );
+        }
     }
 
     #[test]

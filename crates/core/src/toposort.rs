@@ -4,6 +4,7 @@
 
 use crate::policy::CyclePolicy;
 use ipr_digraph::fvs::{self, ComponentTooLarge};
+use ipr_digraph::scc::{tarjan_into, SccScratch};
 use ipr_digraph::{topo, Digraph, NodeId};
 
 /// Result of the cycle-breaking topological sort.
@@ -23,11 +24,80 @@ pub struct SortOutcome {
     pub cycle_nodes_examined: usize,
 }
 
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 enum Color {
     White,
     Gray,
     Black,
+}
+
+/// Per-call counters of the cycle-breaking sort (the [`SortOutcome`]
+/// fields that are not vertex lists).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SortStats {
+    /// Number of cycles the sort broke.
+    pub cycles_broken: usize,
+    /// Vertices examined while scanning cycles (see
+    /// [`SortOutcome::cycle_nodes_examined`]).
+    pub cycle_nodes_examined: usize,
+}
+
+/// Working storage for [`truncating_dfs_into`].
+#[derive(Debug, Default)]
+struct DfsScratch {
+    color: Vec<Color>,
+    removed: Vec<bool>,
+    removed_list: Vec<NodeId>,
+    finished: Vec<NodeId>,
+    stack: Vec<(NodeId, usize)>,
+    pos_in_stack: Vec<usize>,
+}
+
+/// Reusable working storage for [`sort_breaking_cycles_into`].
+///
+/// Owns every buffer the heuristic sort needs — the Tarjan SCC scratch,
+/// per-component remapping tables, the local component digraph, and the
+/// truncating-DFS state — plus the output `order`/`removed` vectors.
+/// Buffers are cleared, never freed, so a warmed-up scratch performs no
+/// allocations in steady state.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    scc: SccScratch,
+    /// Current component's members, sorted ascending (local id `i` is
+    /// `comp_members[i]`).
+    comp_members: Vec<NodeId>,
+    /// Dense global-id → local-id map. Never reset: reads are guarded by
+    /// an SCC membership check, so stale entries are unreachable.
+    local_of: Vec<NodeId>,
+    local: Digraph,
+    local_spare: Vec<Vec<NodeId>>,
+    local_cost: Vec<u64>,
+    dfs: DfsScratch,
+    order: Vec<NodeId>,
+    removed: Vec<NodeId>,
+}
+
+impl SortScratch {
+    /// Creates an empty scratch. Storage is grown on first use and reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retained vertices in topological order, from the most recent
+    /// [`sort_breaking_cycles_into`] call.
+    #[must_use]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Deleted vertices in ascending id order, from the most recent
+    /// [`sort_breaking_cycles_into`] call.
+    #[must_use]
+    pub fn removed(&self) -> &[NodeId] {
+        &self.removed
+    }
 }
 
 /// Topologically sorts `graph`, deleting vertices per `policy` whenever a
@@ -61,15 +131,57 @@ pub fn sort_breaking_cycles(
     cost: &[u64],
     policy: CyclePolicy,
 ) -> Result<SortOutcome, ComponentTooLarge> {
+    let mut scratch = SortScratch::new();
+    let stats = sort_breaking_cycles_into(graph, cost, policy, &mut scratch)?;
+    Ok(SortOutcome {
+        order: std::mem::take(&mut scratch.order),
+        removed: std::mem::take(&mut scratch.removed),
+        cycles_broken: stats.cycles_broken,
+        cycle_nodes_examined: stats.cycle_nodes_examined,
+    })
+}
+
+/// Scratch-based core of [`sort_breaking_cycles`]: identical results, but
+/// all working storage (and the output `order`/`removed` lists) live in
+/// `scratch`, so repeated calls allocate nothing once the scratch is warm.
+///
+/// Read the results from [`SortScratch::order`] and
+/// [`SortScratch::removed`].
+///
+/// # Errors
+///
+/// Only [`CyclePolicy::Exhaustive`] can fail, with [`ComponentTooLarge`]
+/// when a cyclic strongly connected component exceeds its limit (the
+/// exhaustive solver is exempt from the no-allocation guarantee).
+///
+/// # Panics
+///
+/// Panics if `cost.len() != graph.node_count()`.
+pub fn sort_breaking_cycles_into(
+    graph: &Digraph,
+    cost: &[u64],
+    policy: CyclePolicy,
+    scratch: &mut SortScratch,
+) -> Result<SortStats, ComponentTooLarge> {
     assert_eq!(
         cost.len(),
         graph.node_count(),
         "cost vector length must equal node count"
     );
     match policy {
-        CyclePolicy::Exhaustive { limit } => exhaustive_sort(graph, cost, limit),
+        CyclePolicy::Exhaustive { limit } => {
+            let out = exhaustive_sort(graph, cost, limit)?;
+            scratch.order.clear();
+            scratch.order.extend_from_slice(&out.order);
+            scratch.removed.clear();
+            scratch.removed.extend_from_slice(&out.removed);
+            Ok(SortStats {
+                cycles_broken: out.cycles_broken,
+                cycle_nodes_examined: out.cycle_nodes_examined,
+            })
+        }
         CyclePolicy::ConstantTime | CyclePolicy::LocallyMinimum => {
-            Ok(dfs_sort(graph, cost, policy))
+            Ok(dfs_sort_into(graph, cost, policy, scratch))
         }
     }
 }
@@ -109,82 +221,93 @@ fn exhaustive_sort(
 /// cycle breaking to `O(removals · component size)` instead of the whole
 /// graph. Components are emitted in condensation topological order
 /// (descending Tarjan id), which keeps cross-component edges forward.
-fn dfs_sort(graph: &Digraph, cost: &[u64], policy: CyclePolicy) -> SortOutcome {
-    let sccs = ipr_digraph::scc::tarjan(graph);
-    let mut order = Vec::with_capacity(graph.node_count());
-    let mut removed = Vec::new();
-    let mut cycles_broken = 0;
-    let mut cycle_nodes_examined = 0;
-    for cid in (0..sccs.count() as u32).rev() {
-        let members = sccs.members(cid);
+fn dfs_sort_into(
+    graph: &Digraph,
+    cost: &[u64],
+    policy: CyclePolicy,
+    scratch: &mut SortScratch,
+) -> SortStats {
+    let SortScratch {
+        scc,
+        comp_members,
+        local_of,
+        local,
+        local_spare,
+        local_cost,
+        dfs,
+        order,
+        removed,
+    } = scratch;
+    tarjan_into(graph, scc);
+    order.clear();
+    removed.clear();
+    if local_of.len() < graph.node_count() {
+        local_of.resize(graph.node_count(), 0);
+    }
+    let mut stats = SortStats::default();
+    for cid in (0..scc.count() as u32).rev() {
+        let members = scc.members_of(cid);
         if members.len() == 1 && !graph.has_edge(members[0], members[0]) {
             order.push(members[0]);
             continue;
         }
-        let sub = dfs_sort_component(graph, cost, policy, members);
-        order.extend(sub.order);
-        removed.extend(sub.removed);
-        cycles_broken += sub.cycles_broken;
-        cycle_nodes_examined += sub.cycle_nodes_examined;
-    }
-    removed.sort_unstable();
-    SortOutcome {
-        order,
-        removed,
-        cycles_broken,
-        cycle_nodes_examined,
-    }
-}
-
-/// Truncating DFS with in-flight cycle breaking over one strongly
-/// connected component (node ids are remapped to a compact local space).
-fn dfs_sort_component(
-    graph: &Digraph,
-    cost: &[u64],
-    policy: CyclePolicy,
-    members: &[NodeId],
-) -> SortOutcome {
-    // Local compact ids, ascending global id for determinism.
-    let mut members = members.to_vec();
-    members.sort_unstable();
-    let mut local_of = std::collections::HashMap::with_capacity(members.len());
-    for (i, &v) in members.iter().enumerate() {
-        local_of.insert(v, i as NodeId);
-    }
-    let mut local = Digraph::new(members.len());
-    let mut local_cost = Vec::with_capacity(members.len());
-    for (i, &v) in members.iter().enumerate() {
-        local_cost.push(cost[v as usize]);
-        for &w in graph.successors(v) {
-            if let Some(&j) = local_of.get(&w) {
-                local.add_edge(i as NodeId, j);
+        // Local compact ids, ascending global id for determinism.
+        comp_members.clear();
+        comp_members.extend_from_slice(members);
+        comp_members.sort_unstable();
+        for (i, &v) in comp_members.iter().enumerate() {
+            local_of[v as usize] = i as NodeId;
+        }
+        local.reset_with_spare(comp_members.len(), local_spare);
+        local_cost.clear();
+        for (i, &v) in comp_members.iter().enumerate() {
+            local_cost.push(cost[v as usize]);
+            for &w in graph.successors(v) {
+                if scc.component_of(w) == cid {
+                    local.add_edge(i as NodeId, local_of[w as usize]);
+                }
             }
         }
+        let sub = truncating_dfs_into(local, local_cost, policy, dfs);
+        order.extend(dfs.finished.iter().map(|&i| comp_members[i as usize]));
+        removed.extend(dfs.removed_list.iter().map(|&i| comp_members[i as usize]));
+        stats.cycles_broken += sub.cycles_broken;
+        stats.cycle_nodes_examined += sub.cycle_nodes_examined;
     }
-    let sub = truncating_dfs(&local, &local_cost, policy);
-    SortOutcome {
-        order: sub.order.into_iter().map(|i| members[i as usize]).collect(),
-        removed: sub
-            .removed
-            .into_iter()
-            .map(|i| members[i as usize])
-            .collect(),
-        cycles_broken: sub.cycles_broken,
-        cycle_nodes_examined: sub.cycle_nodes_examined,
-    }
+    removed.sort_unstable();
+    stats
 }
 
 /// Iterative DFS with in-flight cycle breaking (the §4.2 enhanced sort).
-fn truncating_dfs(graph: &Digraph, cost: &[u64], policy: CyclePolicy) -> SortOutcome {
+///
+/// Results land in `s.finished` (topological order) and `s.removed_list`
+/// (ascending); the returned stats cover only this call.
+fn truncating_dfs_into(
+    graph: &Digraph,
+    cost: &[u64],
+    policy: CyclePolicy,
+    s: &mut DfsScratch,
+) -> SortStats {
     let n = graph.node_count();
-    let mut color = vec![Color::White; n];
-    let mut removed = vec![false; n];
-    let mut removed_list: Vec<NodeId> = Vec::new();
-    let mut finished: Vec<NodeId> = Vec::with_capacity(n);
-    // (node, next successor index); parallel position index for O(1) cycle
-    // extraction.
-    let mut stack: Vec<(NodeId, usize)> = Vec::new();
-    let mut pos_in_stack = vec![usize::MAX; n];
+    let DfsScratch {
+        color,
+        removed,
+        removed_list,
+        finished,
+        // (node, next successor index); parallel position index for O(1)
+        // cycle extraction.
+        stack,
+        pos_in_stack,
+    } = s;
+    color.clear();
+    color.resize(n, Color::White);
+    removed.clear();
+    removed.resize(n, false);
+    removed_list.clear();
+    finished.clear();
+    stack.clear();
+    pos_in_stack.clear();
+    pos_in_stack.resize(n, usize::MAX);
     let mut cycles_broken = 0usize;
     let mut cycle_nodes_examined = 0usize;
 
@@ -274,9 +397,7 @@ fn truncating_dfs(graph: &Digraph, cost: &[u64], policy: CyclePolicy) -> SortOut
 
     finished.reverse();
     removed_list.sort_unstable();
-    SortOutcome {
-        order: finished,
-        removed: removed_list,
+    SortStats {
         cycles_broken,
         cycle_nodes_examined,
     }
@@ -469,6 +590,38 @@ mod tests {
         for policy in [CyclePolicy::ConstantTime, CyclePolicy::LocallyMinimum] {
             let out = run(&g, &cost, policy);
             assert!(out.order.len() + out.removed.len() == n as usize);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_across_graphs() {
+        // One scratch driven across heterogeneous graphs and policies must
+        // reproduce the fresh-scratch (wrapper) results exactly.
+        let graphs = [
+            Digraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
+            Digraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]),
+            Digraph::from_edges(
+                6,
+                vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+            ),
+            Digraph::from_edges(2, vec![(0, 0), (0, 1)]),
+            Digraph::from_edges(1, vec![]),
+        ];
+        let mut scratch = SortScratch::new();
+        for g in &graphs {
+            let cost: Vec<u64> = (0..g.node_count() as u64).map(|i| i % 5 + 1).collect();
+            for policy in [
+                CyclePolicy::ConstantTime,
+                CyclePolicy::LocallyMinimum,
+                CyclePolicy::Exhaustive { limit: 16 },
+            ] {
+                let fresh = sort_breaking_cycles(g, &cost, policy).unwrap();
+                let stats = sort_breaking_cycles_into(g, &cost, policy, &mut scratch).unwrap();
+                assert_eq!(scratch.order(), fresh.order.as_slice(), "{policy}");
+                assert_eq!(scratch.removed(), fresh.removed.as_slice(), "{policy}");
+                assert_eq!(stats.cycles_broken, fresh.cycles_broken);
+                assert_eq!(stats.cycle_nodes_examined, fresh.cycle_nodes_examined);
+            }
         }
     }
 

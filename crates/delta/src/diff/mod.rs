@@ -80,6 +80,10 @@ pub struct ScriptBuilder {
     commands: Vec<Command>,
     pending: Vec<u8>,
     cursor: u64,
+    /// Cleared byte vectors to draw add payloads from before touching the
+    /// allocator (filled when the builder is created from a
+    /// [`ScriptPool`](crate::ScriptPool)).
+    spare: Vec<Vec<u8>>,
 }
 
 impl ScriptBuilder {
@@ -87,6 +91,29 @@ impl ScriptBuilder {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a builder whose command and payload storage is drawn from
+    /// `pool`, so building allocates nothing once the pool is warm.
+    ///
+    /// Finish with [`ScriptBuilder::finish_into_pool`] to hand unused
+    /// storage back.
+    pub(crate) fn from_pool(pool: &mut crate::ScriptPool) -> Self {
+        let commands = pool.take_commands();
+        let mut spare = pool.take_bytes_stash();
+        // Ascending by capacity: `flush_pending` pops, so add payloads are
+        // drawn largest-first. Arbitrary handout order never converges —
+        // some small vector keeps landing on a big add and regrowing —
+        // while rank-ordered handout reaches the workload's high-water
+        // mark once and then allocates nothing.
+        spare.sort_unstable_by_key(Vec::capacity);
+        let pending = spare.pop().unwrap_or_default();
+        Self {
+            commands,
+            pending,
+            cursor: 0,
+            spare,
+        }
     }
 
     /// Current version-file offset (total bytes emitted so far).
@@ -152,7 +179,8 @@ impl ScriptBuilder {
 
     fn flush_pending(&mut self) {
         if !self.pending.is_empty() {
-            let data = std::mem::take(&mut self.pending);
+            let next = self.spare.pop().unwrap_or_default();
+            let data = std::mem::replace(&mut self.pending, next);
             let len = data.len() as u64;
             self.commands.push(Command::add(self.cursor, data));
             self.cursor += len;
@@ -170,6 +198,24 @@ impl ScriptBuilder {
     #[must_use]
     pub fn finish(mut self, source_len: u64) -> DeltaScript {
         self.flush_pending();
+        let target_len = self.cursor;
+        DeltaScript::new(source_len, target_len, self.commands)
+            .expect("builder emits tiling write-ordered commands")
+    }
+
+    /// Like [`ScriptBuilder::finish`], but returns the builder's unused
+    /// spare storage to `pool` first (the counterpart of
+    /// [`ScriptBuilder::from_pool`]).
+    pub(crate) fn finish_into_pool(
+        mut self,
+        source_len: u64,
+        pool: &mut crate::ScriptPool,
+    ) -> DeltaScript {
+        self.flush_pending();
+        let mut stash = self.spare;
+        self.pending.clear();
+        stash.push(self.pending);
+        pool.restore_bytes_stash(stash);
         let target_len = self.cursor;
         DeltaScript::new(source_len, target_len, self.commands)
             .expect("builder emits tiling write-ordered commands")

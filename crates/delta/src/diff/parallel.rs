@@ -206,12 +206,12 @@ pub(super) fn diff_serial<D: IndexedDiffer>(
     version: &[u8],
 ) -> DeltaScript {
     let source_len = reference.len() as u64;
-    let mut builder = ScriptBuilder::new();
+    let DiffScratch { index, segs, pool } = scratch;
+    let mut builder = ScriptBuilder::from_pool(pool);
     if version.len() < differ.seed_len() || reference.len() < differ.seed_len() {
         builder.push_literal(version);
-        return builder.finish(source_len);
+        return builder.finish_into_pool(source_len, pool);
     }
-    let DiffScratch { index, segs } = scratch;
     let idx = differ.build_index(reference, 1, index);
     if segs.is_empty() {
         segs.push(Vec::new());
@@ -233,7 +233,7 @@ pub(super) fn diff_serial<D: IndexedDiffer>(
         }
     }
     debug_assert_eq!(pos, version.len());
-    builder.finish(source_len)
+    builder.finish_into_pool(source_len, pool)
 }
 
 /// Parallel wrapper around an [`IndexedDiffer`].
@@ -329,10 +329,11 @@ impl<D: IndexedDiffer> ParallelDiffer<D> {
         });
         let source_len = reference.len() as u64;
         let seed_len = self.inner.seed_len();
+        let DiffScratch { index, segs, pool } = scratch;
         if version.len() < seed_len || reference.len() < seed_len {
-            let mut builder = ScriptBuilder::new();
+            let mut builder = ScriptBuilder::from_pool(pool);
             builder.push_literal(version);
-            return builder.finish(source_len);
+            return builder.finish_into_pool(source_len, pool);
         }
         let nchunks = version.len().div_ceil(self.chunk_bytes);
         let threads = self.effective_threads().min(nchunks).max(1);
@@ -340,7 +341,6 @@ impl<D: IndexedDiffer> ParallelDiffer<D> {
             r.gauge("diff.threads", threads as u64);
             r.add("diff.chunks", nchunks as u64);
         });
-        let DiffScratch { index, segs } = scratch;
 
         let idx = {
             let _span = ipr_trace::span("diff.index_build");
@@ -391,7 +391,8 @@ impl<D: IndexedDiffer> ParallelDiffer<D> {
         }
 
         let _span = ipr_trace::span("diff.stitch");
-        let (script, seam_bytes) = stitch(reference, version, self.chunk_bytes, &segs[..nchunks]);
+        let (script, seam_bytes) =
+            stitch(reference, version, self.chunk_bytes, &segs[..nchunks], pool);
         ipr_trace::add("diff.seam_bytes", seam_bytes);
         script
     }
@@ -420,8 +421,9 @@ fn stitch(
     version: &[u8],
     chunk_bytes: usize,
     chunks: &[Vec<Seg>],
+    pool: &mut crate::ScriptPool,
 ) -> (DeltaScript, u64) {
-    let mut builder = ScriptBuilder::new();
+    let mut builder = ScriptBuilder::from_pool(pool);
     let mut v = 0usize; // absolute version cursor
                         // Reference offset one past the most recently pushed copy, while no
                         // literal has been pushed since (the forward-extension anchor).
@@ -501,7 +503,10 @@ fn stitch(
         }
     }
     debug_assert_eq!(v, version.len(), "chunk segments must tile the version");
-    (builder.finish(reference.len() as u64), seam_bytes)
+    (
+        builder.finish_into_pool(reference.len() as u64, pool),
+        seam_bytes,
+    )
 }
 
 #[cfg(test)]
@@ -636,6 +641,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_chunk_size_rejected() {
         let _ = ParallelDiffer::new(GreedyDiffer::default()).with_chunk_bytes(0);
+    }
+
+    #[test]
+    fn recycling_scripts_into_the_pool_keeps_output_identical() {
+        let (reference, version) = pair(5_000);
+        let differ = ParallelDiffer::new(GreedyDiffer::default())
+            .with_threads(2)
+            .with_chunk_bytes(1024);
+        let baseline = differ.diff_with(&mut DiffScratch::new(), &reference, &version);
+        let mut scratch = DiffScratch::new();
+        for _ in 0..3 {
+            let script = differ.diff_with(&mut scratch, &reference, &version);
+            assert_eq!(script, baseline);
+            scratch.pool_mut().recycle(script);
+        }
+        assert!(scratch.pool_mut().spare_commands() > 0);
     }
 
     #[test]

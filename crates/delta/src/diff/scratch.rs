@@ -127,6 +127,8 @@ pub struct DiffScratch {
     pub(crate) index: IndexScratch,
     /// Per-chunk segment buffers for the version scan.
     pub(crate) segs: Vec<Vec<Seg>>,
+    /// Recycled script storage the produced script is built from.
+    pub(crate) pool: crate::ScriptPool,
 }
 
 impl DiffScratch {
@@ -135,6 +137,16 @@ impl DiffScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The script-storage pool scripts produced from this arena draw on.
+    ///
+    /// [Recycle](crate::ScriptPool::recycle) finished scripts here and
+    /// subsequent diffs through this arena build their output out of the
+    /// returned storage instead of allocating.
+    #[must_use]
+    pub fn pool_mut(&mut self) -> &mut crate::ScriptPool {
+        &mut self.pool
     }
 }
 

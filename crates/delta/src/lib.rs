@@ -36,6 +36,7 @@
 mod apply;
 mod command;
 mod compose;
+mod pool;
 mod script;
 
 pub mod checksum;
@@ -47,4 +48,5 @@ pub mod varint;
 pub use apply::{apply, apply_verified, ApplyError};
 pub use command::{Add, Command, Copy};
 pub use compose::{compose, compose_chain, ComposeError};
+pub use pool::ScriptPool;
 pub use script::{DeltaScript, ScriptError};

@@ -1,0 +1,161 @@
+//! Recyclable script storage: the allocator bypass behind warm-engine
+//! zero-allocation diffing and conversion.
+//!
+//! A [`DeltaScript`] owns two kinds of heap storage: the command vector and
+//! one byte vector per add command. In a steady-state update pipeline those
+//! allocations dominate what [`super::diff::DiffScratch`] alone cannot
+//! eliminate — every produced script used to allocate its storage fresh and
+//! free it on drop. A [`ScriptPool`] closes the loop: finished scripts are
+//! [recycled](ScriptPool::recycle) back into the pool, and the next script
+//! is built out of the returned (cleared, capacity-preserving) vectors.
+//!
+//! The pool is plain storage with no configuration; one pool serves any mix
+//! of script shapes, growing to the workload's high-water mark and staying
+//! there.
+
+use crate::command::Command;
+use crate::script::DeltaScript;
+
+/// A pool of recycled script storage; see the module docs.
+#[derive(Debug, Default)]
+pub struct ScriptPool {
+    commands: Vec<Vec<Command>>,
+    bytes: Vec<Vec<u8>>,
+}
+
+impl ScriptPool {
+    /// Creates an empty pool. Storage accrues through
+    /// [`ScriptPool::recycle`] and the `give_*` methods.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared command vector out of the pool (empty if the pool
+    /// has none spare). The largest spare is handed out first: arbitrary
+    /// (LIFO) handout lets a small vector land on a big script over and
+    /// over, so steady state would keep reallocating instead of
+    /// converging to zero.
+    #[must_use]
+    pub fn take_commands(&mut self) -> Vec<Command> {
+        take_largest(&mut self.commands)
+    }
+
+    /// Takes a cleared byte vector out of the pool (empty if the pool has
+    /// none spare); largest spare first, as [`ScriptPool::take_commands`].
+    #[must_use]
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        take_largest(&mut self.bytes)
+    }
+
+    /// Returns a byte vector to the pool; it is cleared, its capacity kept.
+    pub fn give_bytes(&mut self, mut bytes: Vec<u8>) {
+        bytes.clear();
+        self.bytes.push(bytes);
+    }
+
+    /// Returns a command vector to the pool, harvesting the payload of
+    /// every add command into the byte stash first.
+    pub fn give_commands(&mut self, mut commands: Vec<Command>) {
+        for cmd in commands.drain(..) {
+            if let Command::Add(add) = cmd {
+                self.give_bytes(add.data);
+            }
+        }
+        self.commands.push(commands);
+    }
+
+    /// Dismantles a finished script and returns all its storage to the
+    /// pool.
+    pub fn recycle(&mut self, script: DeltaScript) {
+        let (_, _, commands) = script.into_parts();
+        self.give_commands(commands);
+    }
+
+    /// Number of spare command vectors currently pooled.
+    #[must_use]
+    pub fn spare_commands(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Number of spare byte vectors currently pooled.
+    #[must_use]
+    pub fn spare_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Moves the whole byte stash out of the pool (for a builder to draw
+    /// from without holding a borrow on the pool).
+    pub(crate) fn take_bytes_stash(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.bytes)
+    }
+
+    /// Restores a byte stash previously taken with
+    /// [`ScriptPool::take_bytes_stash`]. Existing entries (if any) are
+    /// kept.
+    pub(crate) fn restore_bytes_stash(&mut self, mut stash: Vec<Vec<u8>>) {
+        if self.bytes.is_empty() {
+            self.bytes = stash;
+        } else {
+            self.bytes.append(&mut stash);
+        }
+    }
+}
+
+/// Removes and returns the highest-capacity vector (empty if none).
+fn take_largest<T>(pool: &mut Vec<Vec<T>>) -> Vec<T> {
+    let best = pool
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, v)| v.capacity())
+        .map(|(i, _)| i);
+    match best {
+        Some(i) => pool.swap_remove(i),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycle_round_trips_capacity() {
+        let mut pool = ScriptPool::new();
+        let script = DeltaScript::new(
+            0,
+            8,
+            vec![Command::add(0, vec![1; 4]), Command::add(4, vec![2; 4])],
+        )
+        .unwrap();
+        pool.recycle(script);
+        assert_eq!(pool.spare_commands(), 1);
+        assert_eq!(pool.spare_bytes(), 2);
+        let cmds = pool.take_commands();
+        assert!(cmds.is_empty());
+        assert!(cmds.capacity() >= 2);
+        let bytes = pool.take_bytes();
+        assert!(bytes.is_empty());
+        assert!(bytes.capacity() >= 4);
+    }
+
+    #[test]
+    fn empty_pool_hands_out_fresh_vectors() {
+        let mut pool = ScriptPool::new();
+        assert!(pool.take_commands().is_empty());
+        assert!(pool.take_bytes().is_empty());
+    }
+
+    #[test]
+    fn stash_round_trip_preserves_entries() {
+        let mut pool = ScriptPool::new();
+        pool.give_bytes(Vec::with_capacity(16));
+        pool.give_bytes(Vec::with_capacity(8));
+        let stash = pool.take_bytes_stash();
+        assert_eq!(stash.len(), 2);
+        assert_eq!(pool.spare_bytes(), 0);
+        pool.give_bytes(Vec::new());
+        pool.restore_bytes_stash(stash);
+        assert_eq!(pool.spare_bytes(), 3);
+    }
+}

@@ -132,48 +132,53 @@ impl DeltaScript {
         target_len: u64,
         commands: Vec<Command>,
     ) -> Result<Self, ScriptError> {
-        // Bounds and non-emptiness. Offsets come straight off the wire,
-        // so `to + len` may overflow u64: use checked arithmetic rather
-        // than interval construction (which would panic).
-        for (index, cmd) in commands.iter().enumerate() {
-            if cmd.is_empty() {
-                return Err(ScriptError::EmptyCommand { index });
-            }
-            match cmd.to().checked_add(cmd.len()) {
-                Some(end) if end <= target_len => {}
-                _ => return Err(ScriptError::WriteOutOfBounds { index, target_len }),
-            }
-            if let Command::Copy(c) = cmd {
-                match c.from.checked_add(c.len) {
-                    Some(end) if end <= source_len => {}
-                    _ => return Err(ScriptError::ReadOutOfBounds { index, source_len }),
-                }
-            }
+        check_bounds(&commands, source_len, target_len)?;
+        if commands.windows(2).all(|w| w[0].to() <= w[1].to()) {
+            // Already write-ordered (every builder-produced script is):
+            // validate in place without materializing a sort permutation.
+            // A stable sort of a non-strictly ordered sequence is the
+            // identity, so this walk visits the same pairs in the same
+            // order as the sorting path below.
+            check_tiling(&commands, 0..commands.len(), target_len)?;
+        } else {
+            let mut order: Vec<usize> = (0..commands.len()).collect();
+            order.sort_by_key(|&i| commands[i].to());
+            check_tiling(&commands, order.iter().copied(), target_len)?;
         }
-        // Disjointness and coverage: sort write intervals by start.
-        let mut order: Vec<usize> = (0..commands.len()).collect();
-        order.sort_by_key(|&i| commands[i].to());
-        let mut covered = 0u64;
-        let mut prev_end = 0u64;
-        let mut prev_index = usize::MAX;
-        for &i in &order {
-            let w = commands[i].write_interval();
-            if prev_index != usize::MAX && w.start() < prev_end {
-                let (a, b) = (prev_index.min(i), prev_index.max(i));
-                return Err(ScriptError::OverlappingWrites {
-                    first: a,
-                    second: b,
-                });
-            }
-            covered += w.len();
-            prev_end = w.end();
-            prev_index = i;
-        }
-        if covered != target_len {
-            return Err(ScriptError::IncompleteCoverage {
-                covered,
-                target_len,
-            });
+        Ok(Self {
+            source_len,
+            target_len,
+            commands,
+        })
+    }
+
+    /// Validates `commands` and builds a script, reusing `order_scratch`
+    /// for the sort permutation so steady-state construction performs no
+    /// heap allocation.
+    ///
+    /// Behaviour matches [`DeltaScript::new`], except that when several
+    /// commands share a write offset (always an error) the reported
+    /// [`ScriptError::OverlappingWrites`] pair may differ: the sort here is
+    /// unstable. In valid scripts write offsets are unique, so the two
+    /// constructors accept and reject exactly the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScriptError`] describing the first violated invariant.
+    pub fn new_with_scratch(
+        source_len: u64,
+        target_len: u64,
+        commands: Vec<Command>,
+        order_scratch: &mut Vec<usize>,
+    ) -> Result<Self, ScriptError> {
+        check_bounds(&commands, source_len, target_len)?;
+        if commands.windows(2).all(|w| w[0].to() <= w[1].to()) {
+            check_tiling(&commands, 0..commands.len(), target_len)?;
+        } else {
+            order_scratch.clear();
+            order_scratch.extend(0..commands.len());
+            order_scratch.sort_unstable_by_key(|&i| commands[i].to());
+            check_tiling(&commands, order_scratch.iter().copied(), target_len)?;
         }
         Ok(Self {
             source_len,
@@ -354,6 +359,60 @@ impl DeltaScript {
     }
 }
 
+/// Bounds and non-emptiness checks shared by the constructors. Offsets come
+/// straight off the wire, so `to + len` may overflow u64: use checked
+/// arithmetic rather than interval construction (which would panic).
+fn check_bounds(commands: &[Command], source_len: u64, target_len: u64) -> Result<(), ScriptError> {
+    for (index, cmd) in commands.iter().enumerate() {
+        if cmd.is_empty() {
+            return Err(ScriptError::EmptyCommand { index });
+        }
+        match cmd.to().checked_add(cmd.len()) {
+            Some(end) if end <= target_len => {}
+            _ => return Err(ScriptError::WriteOutOfBounds { index, target_len }),
+        }
+        if let Command::Copy(c) = cmd {
+            match c.from.checked_add(c.len) {
+                Some(end) if end <= source_len => {}
+                _ => return Err(ScriptError::ReadOutOfBounds { index, source_len }),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Disjointness and coverage over the write intervals, visited in the
+/// (start-sorted) index order produced by `order`.
+fn check_tiling(
+    commands: &[Command],
+    order: impl Iterator<Item = usize>,
+    target_len: u64,
+) -> Result<(), ScriptError> {
+    let mut covered = 0u64;
+    let mut prev_end = 0u64;
+    let mut prev_index = usize::MAX;
+    for i in order {
+        let w = commands[i].write_interval();
+        if prev_index != usize::MAX && w.start() < prev_end {
+            let (a, b) = (prev_index.min(i), prev_index.max(i));
+            return Err(ScriptError::OverlappingWrites {
+                first: a,
+                second: b,
+            });
+        }
+        covered += w.len();
+        prev_end = w.end();
+        prev_index = i;
+    }
+    if covered != target_len {
+        return Err(ScriptError::IncompleteCoverage {
+            covered,
+            target_len,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +584,28 @@ mod tests {
         let s =
             DeltaScript::new(10, 6, vec![Command::copy(0, 3, 3), Command::copy(5, 0, 3)]).unwrap();
         let _ = s.normalized();
+    }
+
+    #[test]
+    fn scratch_constructor_matches_plain_constructor() {
+        let mut order = Vec::new();
+        // Valid ordered, valid unordered, and each error class.
+        let cases: Vec<(u64, u64, Vec<Command>)> = vec![
+            (10, 10, cmds()),
+            (10, 6, vec![Command::copy(0, 3, 3), Command::copy(5, 0, 3)]),
+            (5, 0, vec![]),
+            (10, 4, vec![Command::copy(0, 0, 4), Command::add(4, vec![])]),
+            (3, 4, vec![Command::copy(0, 0, 4)]),
+            (10, 3, vec![Command::copy(0, 0, 4)]),
+            (10, 6, vec![Command::copy(0, 0, 4), Command::copy(0, 3, 3)]),
+            (10, 6, vec![Command::copy(0, 0, 4)]),
+        ];
+        for (source_len, target_len, commands) in cases {
+            let plain = DeltaScript::new(source_len, target_len, commands.clone());
+            let scratch =
+                DeltaScript::new_with_scratch(source_len, target_len, commands, &mut order);
+            assert_eq!(plain, scratch);
+        }
     }
 
     #[test]

@@ -120,6 +120,53 @@ pub fn prepare_update(
     })
 }
 
+/// Engine-reusing variant of [`prepare_update`]: drives an
+/// [`ipr_pipeline::Engine`] session, so a server preparing many updates
+/// reuses one set of diff/convert arenas instead of reallocating per
+/// call. The payload is byte-identical to [`prepare_update`] with the
+/// same differ, conversion config and format (the engine's
+/// [`EngineConfig`](ipr_pipeline::EngineConfig) carries both).
+///
+/// # Errors
+///
+/// See [`PrepareError`].
+///
+/// # Example
+///
+/// ```
+/// use ipr_device::update::prepare_update_with;
+/// use ipr_pipeline::Engine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let v1 = vec![1u8; 4096];
+/// let mut v2 = v1.clone(); v2[0] = 9;
+/// let mut engine = Engine::new();
+/// let update = prepare_update_with(&mut engine, &v1, &v2)?;
+/// assert!(update.payload.len() < v2.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn prepare_update_with<D: ipr_delta::diff::IndexedDiffer>(
+    engine: &mut ipr_pipeline::Engine<D>,
+    reference: &[u8],
+    version: &[u8],
+) -> Result<PreparedUpdate, PrepareError> {
+    let _span = ipr_trace::span("device.prepare");
+    let delta = engine.update(reference, version).map_err(|e| match e {
+        ipr_pipeline::EngineError::Convert(e) => PrepareError::Convert(e),
+        ipr_pipeline::EngineError::Encode(e) => PrepareError::Encode(e),
+        // `Engine::update` only converts and encodes.
+        other => unreachable!("unexpected engine error preparing an update: {other}"),
+    })?;
+    let prepared = PreparedUpdate {
+        payload: delta.payload,
+        report: delta.report,
+        version_len: delta.version_len,
+    };
+    engine.recycle_script(delta.script);
+    Ok(prepared)
+}
+
 /// Error installing an update on the device.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InstallError {
@@ -343,6 +390,34 @@ mod tests {
             v2[i] ^= 0x5a;
         }
         (v1, v2)
+    }
+
+    #[test]
+    fn engine_prepared_update_matches_legacy_and_installs() {
+        let (v1, v2) = pair();
+        // The legacy path diffs serially through the same greedy engine the
+        // pipeline wraps; pin the engine to one thread for the comparison
+        // (parallel diff output is thread-count invariant anyway).
+        let mut engine =
+            ipr_pipeline::Engine::with_config(ipr_pipeline::EngineConfig::with_threads(1));
+        let legacy = prepare_update(
+            &ipr_delta::diff::ParallelDiffer::new(GreedyDiffer::default()),
+            &v1,
+            &v2,
+            &ConversionConfig::default(),
+            Format::InPlace,
+        )
+        .unwrap();
+        // Two rounds: the warm second round must be identical too.
+        for round in 0..2 {
+            let update = prepare_update_with(&mut engine, &v1, &v2).unwrap();
+            assert_eq!(update.payload, legacy.payload, "round {round}");
+            assert_eq!(update.version_len, legacy.version_len);
+            let mut dev = Device::new(v1.len().max(v2.len()));
+            dev.flash(&v1).unwrap();
+            install_update(&mut dev, &update.payload, Channel::dialup()).unwrap();
+            assert_eq!(dev.image(), &v2[..]);
+        }
     }
 
     #[test]

@@ -93,6 +93,35 @@ impl Digraph {
         self.edges += 1;
     }
 
+    /// Resets the graph to `nodes` nodes and no edges, recycling adjacency
+    /// storage through `spare` instead of freeing it.
+    ///
+    /// Shrinking pushes surplus (cleared) adjacency lists into `spare`;
+    /// growing pops them back. Once `spare` and the graph have reached the
+    /// high-water node count of a workload, repeated resets perform no heap
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds `u32::MAX` node identifiers.
+    pub fn reset_with_spare(&mut self, nodes: usize, spare: &mut Vec<Vec<NodeId>>) {
+        assert!(
+            u32::try_from(nodes).is_ok(),
+            "digraph node count {nodes} exceeds u32 id space"
+        );
+        for list in &mut self.adj {
+            list.clear();
+        }
+        while self.adj.len() > nodes {
+            let list = self.adj.pop().expect("len checked above");
+            spare.push(list);
+        }
+        while self.adj.len() < nodes {
+            self.adj.push(spare.pop().unwrap_or_default());
+        }
+        self.edges = 0;
+    }
+
     /// The successors of `u` in insertion order.
     ///
     /// # Panics

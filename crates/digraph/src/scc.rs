@@ -63,6 +63,63 @@ impl Sccs {
     }
 }
 
+/// Reusable working storage for [`tarjan_into`].
+///
+/// Holds the DFS bookkeeping plus the result in compressed (CSR) form:
+/// members of every component live back-to-back in one flat array. A
+/// scratch reused across runs grows to the high-water graph size and then
+/// performs no heap allocation at all.
+#[derive(Debug, Default)]
+pub struct SccScratch {
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<NodeId>,
+    call: Vec<(NodeId, usize)>,
+    component: Vec<u32>,
+    /// Flat member storage; component `c` occupies
+    /// `offsets[c]..offsets[c + 1]`, in Tarjan stack pop order.
+    members: Vec<NodeId>,
+    offsets: Vec<u32>,
+}
+
+impl SccScratch {
+    /// Creates an empty scratch; storage is grown on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of components found by the last [`tarjan_into`] run.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The component id of node `v` (from the last run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.component[v as usize]
+    }
+
+    /// The members of component `c` (from the last run), in discovery
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[must_use]
+    pub fn members_of(&self, c: u32) -> &[NodeId] {
+        let lo = self.offsets[c as usize] as usize;
+        let hi = self.offsets[c as usize + 1] as usize;
+        &self.members[lo..hi]
+    }
+}
+
 /// Computes the strongly connected components with an iterative Tarjan
 /// algorithm in `O(V + E)`.
 ///
@@ -82,18 +139,50 @@ impl Sccs {
 /// ```
 #[must_use]
 pub fn tarjan(g: &Digraph) -> Sccs {
+    let mut scratch = SccScratch::new();
+    tarjan_into(g, &mut scratch);
+    let members = (0..scratch.count() as u32)
+        .map(|c| scratch.members_of(c).to_vec())
+        .collect();
+    Sccs {
+        component: scratch.component,
+        members,
+    }
+}
+
+/// Allocation-free variant of [`tarjan`]: runs the same algorithm with all
+/// working storage and results held in `scratch`.
+///
+/// Component ids and per-component member order are identical to
+/// [`tarjan`] (which is a thin wrapper over this function).
+pub fn tarjan_into(g: &Digraph, scratch: &mut SccScratch) {
     let n = g.node_count();
     const UNVISITED: u32 = u32::MAX;
-    let mut index = vec![UNVISITED; n];
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<NodeId> = Vec::new();
-    let mut component = vec![UNVISITED; n];
-    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let SccScratch {
+        index,
+        lowlink,
+        on_stack,
+        stack,
+        call,
+        component,
+        members,
+        offsets,
+    } = scratch;
+    index.clear();
+    index.resize(n, UNVISITED);
+    lowlink.clear();
+    lowlink.resize(n, 0);
+    on_stack.clear();
+    on_stack.resize(n, false);
+    stack.clear();
+    call.clear();
+    component.clear();
+    component.resize(n, UNVISITED);
+    members.clear();
+    offsets.clear();
+    offsets.push(0);
     let mut next_index = 0u32;
-
-    // Iterative DFS frame: (node, next successor position).
-    let mut call: Vec<(NodeId, usize)> = Vec::new();
+    let mut next_component = 0u32;
 
     for root in 0..n as NodeId {
         if index[root as usize] != UNVISITED {
@@ -127,24 +216,25 @@ pub fn tarjan(g: &Digraph) -> Sccs {
                     lowlink[p as usize] = lowlink[p as usize].min(lowlink[u as usize]);
                 }
                 if lowlink[u as usize] == index[u as usize] {
-                    let id = members.len() as u32;
-                    let mut comp = Vec::new();
+                    // A whole SCC sits on top of the stack; pop it into the
+                    // flat member array (members of one component are
+                    // therefore contiguous).
+                    let id = next_component;
+                    next_component += 1;
                     loop {
                         let w = stack.pop().expect("SCC stack underflow");
                         on_stack[w as usize] = false;
                         component[w as usize] = id;
-                        comp.push(w);
+                        members.push(w);
                         if w == u {
                             break;
                         }
                     }
-                    members.push(comp);
+                    offsets.push(members.len() as u32);
                 }
             }
         }
     }
-
-    Sccs { component, members }
 }
 
 #[cfg(test)]
@@ -214,5 +304,42 @@ mod tests {
     fn empty_graph() {
         let s = tarjan(&Digraph::new(0));
         assert_eq!(s.count(), 0);
+    }
+
+    /// SplitMix64, for deterministic pseudo-random graphs without an RNG
+    /// dependency.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_on_random_graphs() {
+        let mut scratch = SccScratch::new();
+        let mut state = 0x1234_5678u64;
+        for case in 0..50 {
+            let n = (splitmix64(&mut state) % 40) as usize;
+            let edges = (splitmix64(&mut state) % 120) as usize;
+            let mut g = Digraph::new(n);
+            if n > 0 {
+                for _ in 0..edges {
+                    let u = (splitmix64(&mut state) % n as u64) as NodeId;
+                    let v = (splitmix64(&mut state) % n as u64) as NodeId;
+                    g.add_edge(u, v);
+                }
+            }
+            let fresh = tarjan(&g);
+            tarjan_into(&g, &mut scratch);
+            assert_eq!(fresh.count(), scratch.count(), "case {case}");
+            for v in 0..n as NodeId {
+                assert_eq!(fresh.component_of(v), scratch.component_of(v));
+            }
+            for c in 0..fresh.count() as u32 {
+                assert_eq!(fresh.members(c), scratch.members_of(c));
+            }
+        }
     }
 }

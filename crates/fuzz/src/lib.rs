@@ -5,7 +5,7 @@
 //! survives unit tests and dies on adversarial inputs. This crate
 //! generates those inputs — structured delta scripts and hostile wire
 //! bytes — from a single `u64` seed with the vendored [`rand`] crate,
-//! and judges them with four differential oracles:
+//! and judges them with five differential oracles:
 //!
 //! * **codec** ([`oracles::check_codec_case`] +
 //!   [`oracles::check_decoder_robustness`]): every format round-trips
@@ -21,7 +21,14 @@
 //!   produces scripts that apply correctly
 //!   (`apply(diff(r, v), r) == v`) and are deterministic — identical
 //!   commands for repeated runs and across thread counts — for every
-//!   wrapped differ, over a seed-driven sweep of chunk sizes.
+//!   wrapped differ, over a seed-driven sweep of chunk sizes;
+//! * **engine** ([`oracles::check_engine_case`]): the session-layer
+//!   [`Engine`](ipr_pipeline::Engine) path — diff through its arenas,
+//!   pooled conversion, checked encoding, wave-parallel apply — emits
+//!   byte-identical commands, wire bytes and applied buffers to the
+//!   legacy free-function pipeline, over a seed-driven sweep of cycle
+//!   policies, thread counts and wire formats, and stays identical when
+//!   the same engine (with its recycled arenas) runs the case again.
 //!
 //! Everything is reproducible: iteration `i` of a run seeded `s` uses
 //! case seed `s + i`, printed with every failure, so
@@ -45,7 +52,7 @@ use std::str::FromStr;
 /// cases within one case seed.
 const HOSTILE_SALT: u64 = 0x686f7374; // "host"
 
-/// One of the four differential oracles.
+/// One of the five differential oracles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Oracle {
     /// Codec round-trip + decoder robustness.
@@ -56,11 +63,19 @@ pub enum Oracle {
     Crwi,
     /// Parallel diff correctness and determinism across thread counts.
     Diff,
+    /// Session-layer `Engine` path vs the legacy free-function pipeline.
+    Engine,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 4] = [Oracle::Codec, Oracle::Convert, Oracle::Crwi, Oracle::Diff];
+    pub const ALL: [Oracle; 5] = [
+        Oracle::Codec,
+        Oracle::Convert,
+        Oracle::Crwi,
+        Oracle::Diff,
+        Oracle::Engine,
+    ];
 
     /// The `ipr-trace` span name covering one iteration of this oracle
     /// (see docs/OBSERVABILITY.md).
@@ -71,6 +86,7 @@ impl Oracle {
             Oracle::Convert => "fuzz.convert",
             Oracle::Crwi => "fuzz.crwi",
             Oracle::Diff => "fuzz.diff",
+            Oracle::Engine => "fuzz.engine",
         }
     }
 }
@@ -82,6 +98,7 @@ impl fmt::Display for Oracle {
             Oracle::Convert => "convert",
             Oracle::Crwi => "crwi",
             Oracle::Diff => "diff",
+            Oracle::Engine => "engine",
         })
     }
 }
@@ -95,8 +112,9 @@ impl FromStr for Oracle {
             "convert" => Ok(Oracle::Convert),
             "crwi" => Ok(Oracle::Crwi),
             "diff" => Ok(Oracle::Diff),
+            "engine" => Ok(Oracle::Engine),
             other => Err(format!(
-                "unknown oracle `{other}` (expected codec, convert, crwi, diff or all)"
+                "unknown oracle `{other}` (expected codec, convert, crwi, diff, engine or all)"
             )),
         }
     }
@@ -240,6 +258,7 @@ pub fn run_case(oracle: Oracle, seed: u64) -> Result<(), String> {
         Oracle::Convert => oracles::check_convert_case(&case_for(seed), seed),
         Oracle::Crwi => oracles::check_crwi_case(&case_for(seed), seed),
         Oracle::Diff => oracles::check_diff_case(&case_for(seed), seed),
+        Oracle::Engine => oracles::check_engine_case(&case_for(seed), seed),
     }
 }
 
@@ -302,6 +321,11 @@ fn shrink_failure(oracle: Oracle, seed: u64) -> String {
         }
         Oracle::Diff => {
             let check = move |c: &FuzzCase| oracles::check_diff_case(c, seed);
+            let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
+            format!("{} — {detail}", describe_case(&small))
+        }
+        Oracle::Engine => {
+            let check = move |c: &FuzzCase| oracles::check_engine_case(c, seed);
             let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
             format!("{} — {detail}", describe_case(&small))
         }

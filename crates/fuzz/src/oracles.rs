@@ -1,4 +1,4 @@
-//! The three differential oracles.
+//! The differential oracles.
 //!
 //! Each oracle is a *deterministic* predicate over a generated input —
 //! no internal randomness — so a failing input found under one seed
@@ -23,6 +23,12 @@
 //!   every differ family, produces scripts that apply back to the
 //!   version file and are deterministic: repeated runs and *different
 //!   thread counts* must emit identical command sequences.
+//! * [`check_engine_case`] — the session-layer
+//!   [`Engine`](ipr_pipeline::Engine) one-call path
+//!   (diff through owned arenas → pooled conversion → checked encoding →
+//!   wave-parallel apply) is byte-identical to the legacy free-function
+//!   pipeline, including on the second run of the *same* engine, whose
+//!   arenas now hold recycled storage from the first.
 
 use crate::check;
 use crate::gen::FuzzCase;
@@ -635,6 +641,97 @@ fn check_diff_engine<D: IndexedDiffer + Clone>(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 5: engine session layer vs the legacy free-function pipeline
+// ---------------------------------------------------------------------------
+
+/// Wire formats the engine oracle sweeps (each must carry out-of-order
+/// scripts, since conversion emits them).
+const ENGINE_FORMATS: [Format; 3] = [Format::InPlace, Format::Improved, Format::PaperInPlace];
+
+/// Checks the engine-equivalence oracle on one valid case.
+///
+/// The salt picks a cycle policy, thread count and wire format. An
+/// [`Engine`](ipr_pipeline::Engine) configured with them must produce — twice in a row, so the
+/// second run exercises recycled arenas — exactly the commands, wire
+/// bytes and applied buffer of the legacy free-function pipeline
+/// (`ParallelDiffer::diff` → [`convert_to_in_place`] →
+/// [`encode_checked`] → [`apply_in_place_parallel`]).
+pub fn check_engine_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    let version = scratch_apply(case)?;
+    let policy = if salt.is_multiple_of(2) {
+        CyclePolicy::ConstantTime
+    } else {
+        CyclePolicy::LocallyMinimum
+    };
+    let threads = 1 + (salt / 2 % 4) as usize;
+    let format = ENGINE_FORMATS[(salt / 8 % ENGINE_FORMATS.len() as u64) as usize];
+
+    let mut config = ipr_pipeline::EngineConfig::with_threads(threads);
+    config.conversion = ConversionConfig {
+        policy,
+        cost_format: format,
+    };
+    config.format = format;
+    let tag = format!("engine(policy={policy},threads={threads},format={format:?})");
+
+    // The legacy path, from the same primitives the engine wraps.
+    let differ = ParallelDiffer::new(GreedyDiffer::default()).with_threads(threads);
+    let script = differ.diff(&case.reference, &version);
+    let legacy = convert_to_in_place(&script, &case.reference, &config.conversion)
+        .map_err(|e| format!("{tag}: legacy conversion failed: {e}"))?;
+    let legacy_wire = encode_checked(&legacy.script, format, &version)
+        .map_err(|e| format!("{tag}: legacy encode failed: {e}"))?;
+
+    let mut engine = ipr_pipeline::Engine::with_config(config);
+    for round in 0..2 {
+        let delta = engine
+            .update(&case.reference, &version)
+            .map_err(|e| format!("{tag} round {round}: update failed: {e}"))?;
+        if delta.script.commands() != legacy.script.commands() {
+            return fail(format!(
+                "{tag} round {round}: engine commands differ from the legacy pipeline"
+            ));
+        }
+        if delta.payload != legacy_wire {
+            return fail(format!(
+                "{tag} round {round}: engine wire bytes differ ({} vs {} bytes)",
+                delta.payload.len(),
+                legacy_wire.len()
+            ));
+        }
+        // Timings aside, the conversion measurements must agree too.
+        let counters = |r: &ipr_core::ConversionReport| {
+            (
+                r.input_copies,
+                r.input_adds,
+                r.edges,
+                r.cycles_broken,
+                r.copies_converted,
+                r.bytes_converted,
+                r.conversion_cost,
+            )
+        };
+        if counters(&delta.report) != counters(&legacy.report) {
+            return fail(format!(
+                "{tag} round {round}: conversion reports differ: {:?} vs {:?}",
+                delta.report, legacy.report
+            ));
+        }
+        let mut buf = in_place_buf(case, &delta.script);
+        engine
+            .apply_in_place(&delta.script, &mut buf)
+            .map_err(|e| format!("{tag} round {round}: engine apply failed: {e}"))?;
+        if buf[..version.len()] != version[..] {
+            return fail(format!(
+                "{tag} round {round}: engine-applied buffer differs from the version file"
+            ));
+        }
+        engine.recycle(delta);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +774,16 @@ mod tests {
         for seed in 0..25u64 {
             let c = case(&mut rng_for(seed));
             check_diff_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn engine_oracle_clean_on_seeds() {
+        // 24 consecutive seeds cover every (policy, thread, format)
+        // combination the salt sweep can pick.
+        for seed in 0..24u64 {
+            let c = case(&mut rng_for(seed));
+            check_engine_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

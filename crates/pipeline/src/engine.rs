@@ -1,0 +1,358 @@
+//! The [`Engine`]: owned scratch state plus composable stage methods.
+
+use crate::error::EngineError;
+use ipr_core::{
+    apply_schedule_parallel, convert_in_place_pooled, required_capacity, ConversionConfig,
+    ConversionReport, ConvertError, ConvertScratch, InPlaceOutcome, ParallelApplyError,
+    ParallelApplyReport, ParallelConfig, ParallelSchedule, ReadMode, ScheduleScratch,
+};
+use ipr_delta::codec::{self, Format};
+use ipr_delta::compose_chain;
+use ipr_delta::diff::{
+    DiffScratch, GreedyDiffer, IndexedDiffer, ParallelDiffer, DEFAULT_CHUNK_BYTES,
+};
+use ipr_delta::DeltaScript;
+
+/// Configuration shared by every stage of an [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// In-place conversion settings (cycle policy + cost format).
+    pub conversion: ConversionConfig,
+    /// Wire format updates are encoded in.
+    pub format: Format,
+    /// Worker count for the parallel diff scan and the wave applier;
+    /// `0` means [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Version-chunk size for the parallel diff scan (must be positive;
+    /// chunking depends only on the version length, never on `threads`,
+    /// so output is thread-count invariant).
+    pub chunk_bytes: usize,
+    /// Read strategy of the wave applier.
+    pub read_mode: ReadMode,
+    /// Waves moving fewer payload bytes than this run inline on the
+    /// calling thread.
+    pub serial_wave_bytes: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let parallel = ParallelConfig::default();
+        Self {
+            conversion: ConversionConfig::default(),
+            format: Format::InPlace,
+            threads: 0,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            read_mode: parallel.read_mode,
+            serial_wave_bytes: parallel.serial_wave_bytes,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config pinned to `threads` workers, other knobs at defaults.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The applier-side view of this config.
+    #[must_use]
+    pub fn parallel(&self) -> ParallelConfig {
+        ParallelConfig {
+            threads: self.threads,
+            read_mode: self.read_mode,
+            serial_wave_bytes: self.serial_wave_bytes,
+        }
+    }
+}
+
+/// A prepared in-place update: the converted script, its wire encoding,
+/// and the conversion measurements.
+///
+/// Hand finished deltas back to [`Engine::recycle`] so their storage
+/// feeds later updates instead of the allocator.
+#[derive(Clone, Debug)]
+pub struct InPlaceDelta {
+    /// The converted script; satisfies Equation 2 and is safe for
+    /// [`apply_in_place`](ipr_core::apply_in_place) and
+    /// [`Engine::apply_in_place`].
+    pub script: DeltaScript,
+    /// The encoded delta file (wire bytes, target CRC embedded).
+    pub payload: Vec<u8>,
+    /// Conversion measurements.
+    pub report: ConversionReport,
+    /// Size of the full new image, for speedup accounting.
+    pub version_len: u64,
+}
+
+impl InPlaceDelta {
+    /// Compression ratio: payload bytes over full-image bytes.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.version_len == 0 {
+            0.0
+        } else {
+            self.payload.len() as f64 / self.version_len as f64
+        }
+    }
+}
+
+/// Result of [`Engine::apply_chain`]: the per-stage reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Measurements from converting the (composed) script.
+    pub conversion: ConversionReport,
+    /// Measurements from the wave-parallel application.
+    pub apply: ParallelApplyReport,
+}
+
+/// A reusable pipeline session: owns every scratch arena of the
+/// diff → convert → schedule → apply pipeline and exposes the stages as
+/// methods (see the [crate docs](crate) for the storage inventory).
+///
+/// One engine is single-threaded state (`&mut self` methods) — the
+/// *stages* fan out across worker threads internally per
+/// [`EngineConfig::threads`]. Create one engine per pipeline thread.
+#[derive(Debug)]
+pub struct Engine<D: IndexedDiffer = GreedyDiffer> {
+    differ: ParallelDiffer<D>,
+    config: EngineConfig,
+    diff_scratch: DiffScratch,
+    convert_scratch: ConvertScratch,
+    schedule_scratch: ScheduleScratch,
+}
+
+impl Default for Engine<GreedyDiffer> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine<GreedyDiffer> {
+    /// An engine with the default differ and configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// An engine with the default (greedy) differ and `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.chunk_bytes == 0`.
+    #[must_use]
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self::with_differ(GreedyDiffer::default(), config)
+    }
+}
+
+impl<D: IndexedDiffer> Engine<D> {
+    /// An engine differencing with `differ` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.chunk_bytes == 0`.
+    #[must_use]
+    pub fn with_differ(differ: D, config: EngineConfig) -> Self {
+        let differ = ParallelDiffer::new(differ)
+            .with_threads(config.threads)
+            .with_chunk_bytes(config.chunk_bytes);
+        Self {
+            differ,
+            config,
+            diff_scratch: DiffScratch::new(),
+            convert_scratch: ConvertScratch::new(),
+            schedule_scratch: ScheduleScratch::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Stage 1: differences `version` against `reference` through the
+    /// engine's arena. Output is identical to the wrapped differ's
+    /// free-standing `diff` for every thread count.
+    pub fn diff(&mut self, reference: &[u8], version: &[u8]) -> DeltaScript {
+        self.differ
+            .diff_with(&mut self.diff_scratch, reference, version)
+    }
+
+    /// Stage 2: converts `script` for in-place reconstruction, consuming
+    /// it (its storage is recycled into the engine's pool).
+    ///
+    /// # Errors
+    ///
+    /// As [`ipr_core::convert_to_in_place`].
+    pub fn convert(
+        &mut self,
+        script: DeltaScript,
+        reference: &[u8],
+    ) -> Result<InPlaceOutcome, ConvertError> {
+        convert_in_place_pooled(
+            script,
+            reference,
+            &self.config.conversion,
+            &mut self.convert_scratch,
+            self.diff_scratch.pool_mut(),
+        )
+    }
+
+    /// Stage 3: plans wave-parallel application of a converted script.
+    /// Returns `None` when `script` violates Equation 2. The borrow is
+    /// valid until the engine's next scheduling call; clone to keep it.
+    pub fn plan(&mut self, script: &DeltaScript) -> Option<&ParallelSchedule> {
+        self.schedule_scratch.plan(script)
+    }
+
+    /// Stage 4: applies a converted script to `buf` in place with
+    /// wave-parallel execution (schedule planned through the engine's
+    /// scratch and discarded).
+    ///
+    /// # Errors
+    ///
+    /// As [`ipr_core::apply_in_place_parallel`].
+    pub fn apply_in_place(
+        &mut self,
+        script: &DeltaScript,
+        buf: &mut [u8],
+    ) -> Result<ParallelApplyReport, ParallelApplyError> {
+        let _span = ipr_trace::span("engine.apply");
+        let parallel = self.config.parallel();
+        let plan = self
+            .schedule_scratch
+            .plan(script)
+            .ok_or(ParallelApplyError::UnsafeScript)?;
+        apply_schedule_parallel(script, plan, buf, &parallel)
+    }
+
+    /// One-call server path: diff, convert and encode — everything a
+    /// device needs to rebuild `version` over `reference` in place.
+    ///
+    /// Byte-identical to the free-function pipeline
+    /// (`diff` → [`ipr_core::convert_to_in_place`] →
+    /// [`ipr_delta::codec::encode_checked`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Convert`] or [`EngineError::Encode`].
+    pub fn update(
+        &mut self,
+        reference: &[u8],
+        version: &[u8],
+    ) -> Result<InPlaceDelta, EngineError> {
+        let _span = ipr_trace::span("engine.update");
+        let script = self.diff(reference, version);
+        let outcome = self.convert(script, reference)?;
+        let payload = codec::encode_checked(&outcome.script, self.config.format, version)?;
+        if ipr_trace::enabled() {
+            ipr_trace::with(|r| {
+                r.add("engine.updates", 1);
+                r.add("engine.payload_bytes", payload.len() as u64);
+            });
+        }
+        Ok(InPlaceDelta {
+            script: outcome.script,
+            payload,
+            report: outcome.report,
+            version_len: version.len() as u64,
+        })
+    }
+
+    /// Batched [`Engine::update`]: one delta per version, each hop diffed
+    /// against the previous image (`reference` for the first). All hops
+    /// share the engine's arenas.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::update`]; already-produced deltas are dropped on
+    /// error.
+    pub fn update_many<'a, I>(
+        &mut self,
+        reference: &'a [u8],
+        versions: I,
+    ) -> Result<Vec<InPlaceDelta>, EngineError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let _span = ipr_trace::span("engine.update_many");
+        let mut prev = reference;
+        let mut deltas = Vec::new();
+        for version in versions {
+            deltas.push(self.update(prev, version)?);
+            prev = version;
+        }
+        Ok(deltas)
+    }
+
+    /// Applies a chain of consecutive deltas to `buf` in place,
+    /// composing them first ([`ipr_delta::compose_chain`]) so the buffer
+    /// is rewritten once instead of once per hop. The composed script is
+    /// converted against the current buffer contents, applied
+    /// wave-parallel, and `buf` is resized to the final version.
+    ///
+    /// An empty chain is a no-op returning default reports.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Compose`] when the chain is not consecutive,
+    /// [`EngineError::Convert`] when the first hop does not start from
+    /// `buf`'s length, [`EngineError::Apply`] from the final stage. `buf`
+    /// is unmodified on composition and conversion errors.
+    pub fn apply_chain(
+        &mut self,
+        scripts: &[DeltaScript],
+        buf: &mut Vec<u8>,
+    ) -> Result<ApplyOutcome, EngineError> {
+        let _span = ipr_trace::span("engine.chain");
+        if scripts.is_empty() {
+            return Ok(ApplyOutcome::default());
+        }
+        let composed = if scripts.len() == 1 {
+            scripts[0].clone()
+        } else {
+            compose_chain(scripts)?
+        };
+        let outcome = convert_in_place_pooled(
+            composed,
+            buf,
+            &self.config.conversion,
+            &mut self.convert_scratch,
+            self.diff_scratch.pool_mut(),
+        )?;
+        let conversion = outcome.report;
+        let target_len = usize::try_from(outcome.script.target_len()).expect("length fits usize");
+        let needed = usize::try_from(required_capacity(&outcome.script)).expect("fits usize");
+        buf.resize(needed, 0);
+        let parallel = self.config.parallel();
+        let plan = self
+            .schedule_scratch
+            .plan_trusted(&outcome.script)
+            .ok_or(ParallelApplyError::UnsafeScript)?;
+        let apply = apply_schedule_parallel(&outcome.script, plan, buf, &parallel)?;
+        buf.truncate(target_len);
+        self.diff_scratch.pool_mut().recycle(outcome.script);
+        Ok(ApplyOutcome { conversion, apply })
+    }
+
+    /// Returns a finished delta's storage to the engine's pool, so later
+    /// updates build their scripts and payloads out of it instead of
+    /// allocating.
+    pub fn recycle(&mut self, delta: InPlaceDelta) {
+        let pool = self.diff_scratch.pool_mut();
+        pool.recycle(delta.script);
+        pool.give_bytes(delta.payload);
+    }
+
+    /// Returns a finished script's storage to the engine's pool (the
+    /// script-only half of [`Engine::recycle`], for callers that keep the
+    /// payload).
+    pub fn recycle_script(&mut self, script: DeltaScript) {
+        self.diff_scratch.pool_mut().recycle(script);
+    }
+}

@@ -1,0 +1,66 @@
+//! The engine's single error type.
+
+use ipr_core::{ConvertError, ParallelApplyError};
+use ipr_delta::codec::EncodeError;
+use ipr_delta::ComposeError;
+use std::fmt;
+
+/// Any failure of an [`Engine`](crate::Engine) entry point, tagged with
+/// the stage that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// In-place conversion failed.
+    Convert(ConvertError),
+    /// Encoding the converted script failed.
+    Encode(EncodeError),
+    /// A delta chain was not consecutive.
+    Compose(ComposeError),
+    /// Wave-parallel application failed.
+    Apply(ParallelApplyError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Convert(e) => write!(f, "conversion failed: {e}"),
+            EngineError::Encode(e) => write!(f, "encoding failed: {e}"),
+            EngineError::Compose(e) => write!(f, "composition failed: {e}"),
+            EngineError::Apply(e) => write!(f, "application failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Convert(e) => Some(e),
+            EngineError::Encode(e) => Some(e),
+            EngineError::Compose(e) => Some(e),
+            EngineError::Apply(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConvertError> for EngineError {
+    fn from(e: ConvertError) -> Self {
+        EngineError::Convert(e)
+    }
+}
+
+impl From<EncodeError> for EngineError {
+    fn from(e: EncodeError) -> Self {
+        EngineError::Encode(e)
+    }
+}
+
+impl From<ComposeError> for EngineError {
+    fn from(e: ComposeError) -> Self {
+        EngineError::Compose(e)
+    }
+}
+
+impl From<ParallelApplyError> for EngineError {
+    fn from(e: ParallelApplyError) -> Self {
+        EngineError::Apply(e)
+    }
+}

@@ -1,0 +1,49 @@
+//! The reusable pipeline session layer: one [`Engine`] owning every
+//! scratch arena of the diff → convert → schedule → apply pipeline.
+//!
+//! The lower crates expose each stage as a free function plus an optional
+//! scratch-based core (`ParallelDiffer::diff_with`,
+//! [`convert_in_place_pooled`](ipr_core::convert_in_place_pooled),
+//! [`ScheduleScratch::plan`](ipr_core::ScheduleScratch::plan),
+//! [`apply_schedule_parallel`](ipr_core::apply_schedule_parallel)). The
+//! engine composes those cores around long-lived storage — the
+//! [`DiffScratch`](ipr_delta::diff::DiffScratch) arena with its
+//! [`ScriptPool`](ipr_delta::ScriptPool), the CRWI/toposort buffers of
+//! [`ConvertScratch`](ipr_core::ConvertScratch), the wave buffers of
+//! [`ScheduleScratch`](ipr_core::ScheduleScratch) — so a
+//! server preparing many updates (or a patch tool applying a chain of
+//! them) touches the allocator only while the arenas warm up, and not at
+//! all in steady state.
+//!
+//! Stage outputs are byte-identical to the legacy free-function pipeline:
+//! the free functions *are* thin wrappers over the same cores with
+//! throwaway scratch (validated continuously by the `engine` fuzz
+//! oracle).
+//!
+//! ```
+//! use ipr_pipeline::Engine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let v1: Vec<u8> = (0..=255).cycle().take(8192).collect();
+//! let mut v2 = v1.clone();
+//! v2.rotate_left(1024);
+//!
+//! let mut engine = Engine::new();
+//! let delta = engine.update(&v1, &v2)?; // diff + convert + encode
+//!
+//! let mut buf = v1.clone(); // the device's only storage
+//! engine.apply_in_place(&delta.script, &mut buf)?;
+//! assert_eq!(buf, v2);
+//! engine.recycle(delta); // storage feeds the next update
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+
+pub use engine::{ApplyOutcome, Engine, EngineConfig, InPlaceDelta};
+pub use error::EngineError;

@@ -1,0 +1,193 @@
+//! Engine stage equivalence and session-reuse behaviour.
+
+use ipr_core::{apply_in_place, convert_to_in_place, CyclePolicy};
+use ipr_delta::codec::{self, Format};
+use ipr_delta::diff::{Differ, GreedyDiffer, OnePassDiffer, ParallelDiffer};
+use ipr_delta::{apply, compose_chain};
+use ipr_pipeline::{Engine, EngineConfig, EngineError};
+
+fn corpus_pair(len: usize, rot: usize) -> (Vec<u8>, Vec<u8>) {
+    let reference: Vec<u8> = (0..len as u32).map(|i| (i * 31 % 251) as u8).collect();
+    let mut version = reference.clone();
+    version.rotate_left(rot.min(len));
+    if len > 64 {
+        version[len / 2] ^= 0x5A;
+        version.extend_from_slice(&[7u8; 33]);
+    }
+    (reference, version)
+}
+
+/// The engine's one-call path must match the legacy free-function
+/// pipeline byte for byte: same commands, same wire bytes.
+#[test]
+fn update_matches_legacy_pipeline() {
+    let (reference, version) = corpus_pair(40_000, 5_000);
+    for policy in [
+        CyclePolicy::ConstantTime,
+        CyclePolicy::LocallyMinimum,
+        CyclePolicy::Exhaustive { limit: 24 },
+    ] {
+        for threads in [1, 2, 4] {
+            let mut config = EngineConfig::with_threads(threads);
+            config.conversion.policy = policy;
+            let mut engine = Engine::with_config(config);
+
+            let legacy_script = ParallelDiffer::new(GreedyDiffer::default())
+                .with_threads(threads)
+                .diff(&reference, &version);
+            let legacy =
+                convert_to_in_place(&legacy_script, &reference, &config.conversion).unwrap();
+            let legacy_payload =
+                codec::encode_checked(&legacy.script, Format::InPlace, &version).unwrap();
+
+            // Two updates through the same engine: the second runs on a
+            // warm, recycled arena and must still be identical.
+            for round in 0..2 {
+                let delta = engine.update(&reference, &version).unwrap();
+                assert_eq!(
+                    delta.script.commands(),
+                    legacy.script.commands(),
+                    "{policy} threads={threads} round={round}"
+                );
+                assert_eq!(delta.payload, legacy_payload);
+                assert_eq!(delta.report.cycles_broken, legacy.report.cycles_broken);
+                assert_eq!(delta.version_len, version.len() as u64);
+
+                let mut buf = reference.clone();
+                buf.resize(buf.len().max(version.len()), 0);
+                engine.apply_in_place(&delta.script, &mut buf).unwrap();
+                buf.truncate(version.len());
+                assert_eq!(buf, version);
+                engine.recycle(delta);
+            }
+        }
+    }
+}
+
+#[test]
+fn stage_methods_compose_like_the_one_call_path() {
+    let (reference, version) = corpus_pair(20_000, 1_234);
+    let mut engine = Engine::new();
+    let one_call = engine.update(&reference, &version).unwrap();
+
+    let script = engine.diff(&reference, &version);
+    let outcome = engine.convert(script, &reference).unwrap();
+    assert_eq!(outcome.script, one_call.script);
+    let plan = engine
+        .plan(&outcome.script)
+        .expect("converted script is safe");
+    assert!(plan.wave_count() > 0);
+
+    let mut buf = reference.clone();
+    buf.resize(buf.len().max(version.len()), 0);
+    apply_in_place(&outcome.script, &mut buf).unwrap();
+    buf.truncate(version.len());
+    assert_eq!(buf, version);
+}
+
+#[test]
+fn update_many_walks_the_chain_hop_by_hop() {
+    let v0: Vec<u8> = (0..9_000u32).map(|i| (i * 17 % 249) as u8).collect();
+    let mut v1 = v0.clone();
+    v1.rotate_left(700);
+    let mut v2 = v1.clone();
+    v2.truncate(8_000);
+    let mut v3 = v2.clone();
+    v3.extend_from_slice(&[0xAB; 444]);
+    let versions: [&[u8]; 3] = [&v1, &v2, &v3];
+
+    let mut engine = Engine::new();
+    let deltas = engine.update_many(&v0, versions).unwrap();
+    assert_eq!(deltas.len(), 3);
+
+    // Each hop applies in place over the previous image.
+    let images: [&[u8]; 4] = [&v0, &v1, &v2, &v3];
+    for (i, delta) in deltas.iter().enumerate() {
+        let mut buf = images[i].to_vec();
+        buf.resize(buf.len().max(images[i + 1].len()), 0);
+        engine.apply_in_place(&delta.script, &mut buf).unwrap();
+        buf.truncate(images[i + 1].len());
+        assert_eq!(buf, images[i + 1], "hop {i}");
+    }
+}
+
+#[test]
+fn apply_chain_matches_sequential_application() {
+    let v0: Vec<u8> = (0..12_000u32).map(|i| (i * 29 % 253) as u8).collect();
+    let mut v1 = v0.clone();
+    v1.rotate_left(900);
+    let mut v2 = v1.clone();
+    v2.extend_from_slice(&[3u8; 100]);
+    v2[40] = 0xFF;
+
+    let differ = GreedyDiffer::default();
+    let d01 = differ.diff(&v0, &v1);
+    let d12 = differ.diff(&v1, &v2);
+
+    // Ground truth through scratch-space composition.
+    let composed = compose_chain(&[d01.clone(), d12.clone()]).unwrap();
+    assert_eq!(apply(&composed, &v0).unwrap(), v2);
+
+    let mut engine = Engine::new();
+    let mut buf = v0.clone();
+    let outcome = engine.apply_chain(&[d01, d12], &mut buf).unwrap();
+    assert_eq!(buf, v2);
+    assert!(outcome.apply.waves > 0);
+
+    // Empty chain: no-op.
+    let before = buf.clone();
+    engine.apply_chain(&[], &mut buf).unwrap();
+    assert_eq!(buf, before);
+}
+
+#[test]
+fn apply_chain_rejects_non_consecutive_deltas() {
+    let (a, b) = corpus_pair(2_000, 100);
+    let differ = GreedyDiffer::default();
+    let d = differ.diff(&a, &b);
+    let unrelated = differ.diff(&b, &a);
+    let mut engine = Engine::new();
+    let mut buf = a.clone();
+    let err = engine.apply_chain(&[d.clone(), d], &mut buf).unwrap_err();
+    assert!(matches!(err, EngineError::Compose(_)), "{err}");
+    assert_eq!(buf, a, "buffer untouched on error");
+    // Wrong starting image → conversion-stage mismatch.
+    let err = engine.apply_chain(&[unrelated], &mut buf).unwrap_err();
+    assert!(matches!(err, EngineError::Convert(_)), "{err}");
+    assert!(!err.to_string().is_empty());
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn custom_differ_sessions_work() {
+    let (reference, version) = corpus_pair(30_000, 2_222);
+    let mut engine = Engine::with_differ(OnePassDiffer::default(), EngineConfig::default());
+    let delta = engine.update(&reference, &version).unwrap();
+    let legacy_script = ParallelDiffer::new(OnePassDiffer::default()).diff(&reference, &version);
+    let legacy = convert_to_in_place(
+        &legacy_script,
+        &reference,
+        &EngineConfig::default().conversion,
+    )
+    .unwrap();
+    assert_eq!(delta.script, legacy.script);
+}
+
+#[test]
+fn degenerate_inputs_round_trip() {
+    let mut engine = Engine::new();
+    for (r, v) in [
+        (&b""[..], &b""[..]),
+        (&b""[..], &b"brand new"[..]),
+        (&b"all gone"[..], &b""[..]),
+        (&b"same"[..], &b"same"[..]),
+    ] {
+        let delta = engine.update(r, v).unwrap();
+        let mut buf = r.to_vec();
+        buf.resize(r.len().max(v.len()), 0);
+        engine.apply_in_place(&delta.script, &mut buf).unwrap();
+        buf.truncate(v.len());
+        assert_eq!(buf, v);
+        engine.recycle(delta);
+    }
+}

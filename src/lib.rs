@@ -8,5 +8,11 @@ pub use ipr_delta as delta;
 pub use ipr_device as device;
 pub use ipr_digraph as digraph;
 pub use ipr_fuzz as fuzz;
+pub use ipr_pipeline as pipeline;
 pub use ipr_trace as trace;
 pub use ipr_workloads as workloads;
+
+mod error;
+
+pub use error::{Error, Stage};
+pub use ipr_pipeline::{Engine, EngineConfig, EngineError, InPlaceDelta};
