@@ -57,6 +57,11 @@ fn main() {
     let recorder = Arc::new(ipr_trace::StatsRecorder::new());
     let _guard = ipr_trace::install(recorder.clone());
 
+    // Recorded so readers of the JSON can judge the parallel-apply rows:
+    // speedups above the host's core count are not physically possible.
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    ipr_trace::gauge("host.parallelism", host as u64);
+
     let differ = GreedyDiffer::default();
     let config = ParallelConfig::default();
     for pair in &corpus {

@@ -281,6 +281,8 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"pipeline_reuse\",\n");
     json.push_str("  \"command\": \"cargo run -p ipr-bench --release --bin pipeline_reuse\",\n");
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"hops\": {hops},\n"));
     json.push_str(&format!("  \"chain_bytes\": {chain_bytes},\n"));
     json.push_str(&format!("  \"warm_steady_speedup\": {speedup:.3},\n"));

@@ -14,6 +14,7 @@
 //!   the pending literal run, *correcting* bytes that were provisionally
 //!   classified as adds before the match was discovered.
 
+use super::kernel;
 use super::parallel::{build_footprint_index, FootprintIndex, IndexedDiffer};
 use super::rolling::RollingHash;
 use super::scratch::{self, IndexScratch, Seg, EMPTY};
@@ -119,12 +120,23 @@ impl IndexedDiffer for CorrectingDiffer {
             scratch::push_lit(segs, (end - v) as u64);
             return;
         }
+        let mut probes = 0u64;
+        let mut extend_bytes = 0u64;
         let mut h = RollingHash::new(&version[v..v + seed_len]);
         let mut hash_pos = v;
         while v < end && v <= last_window {
-            while hash_pos < v {
-                h.roll(version[hash_pos], version[hash_pos + seed_len]);
-                hash_pos += 1;
+            if hash_pos < v {
+                // Re-seed in O(seed_len) after a long copy instead of
+                // rolling through every skipped byte.
+                if v - hash_pos >= seed_len {
+                    h.reseed(&version[v..v + seed_len]);
+                    hash_pos = v;
+                } else {
+                    while hash_pos < v {
+                        h.roll(version[hash_pos], version[hash_pos + seed_len]);
+                        hash_pos += 1;
+                    }
+                }
             }
             let hash = h.hash();
             let mut best_from = 0usize;
@@ -137,14 +149,13 @@ impl IndexedDiffer for CorrectingDiffer {
                 if c == best_from && best_len > 0 {
                     continue; // first == last
                 }
-                if reference[c..c + seed_len] != version[v..v + seed_len] {
+                probes += 1;
+                if !kernel::windows_eq(&reference[c..c + seed_len], &version[v..v + seed_len]) {
                     continue;
                 }
-                let mut len = seed_len;
-                let max = (reference.len() - c).min(version.len() - v);
-                while len < max && reference[c + len] == version[v + len] {
-                    len += 1;
-                }
+                let len = seed_len
+                    + kernel::common_prefix(&reference[c + seed_len..], &version[v + seed_len..]);
+                extend_bytes += (len - seed_len) as u64;
                 if len > best_len {
                     best_len = len;
                     best_from = c;
@@ -159,12 +170,12 @@ impl IndexedDiffer for CorrectingDiffer {
                     Some(Seg::Literal { len }) => *len as usize,
                     _ => 0,
                 };
-                let mut back = 0usize;
                 let reclaimable = pending.min(best_from).min(v);
-                while back < reclaimable && reference[best_from - 1 - back] == version[v - 1 - back]
-                {
-                    back += 1;
-                }
+                let back = kernel::common_suffix(
+                    &reference[best_from - reclaimable..best_from],
+                    &version[v - reclaimable..v],
+                );
+                extend_bytes += back as u64;
                 if back > 0 {
                     match segs.last_mut() {
                         Some(Seg::Literal { len }) if *len as usize == back => {
@@ -185,6 +196,12 @@ impl IndexedDiffer for CorrectingDiffer {
         }
         if v < end {
             scratch::push_lit(segs, (end - v) as u64);
+        }
+        if probes > 0 {
+            ipr_trace::with(|r| {
+                r.add("diff.probes", probes);
+                r.add("diff.extend_bytes", extend_bytes);
+            });
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Greedy differencing: index every reference offset, take the longest
 //! match at each version position.
 
+use super::kernel;
 use super::parallel::IndexedDiffer;
 use super::rolling::RollingHash;
 use super::scratch::{self, ChainNode, GreedyShard, IndexScratch, Seg, EMPTY};
@@ -87,20 +88,24 @@ fn shard_of(hash: u64, shards: usize) -> usize {
 /// seed hash across hash shards (see [`GreedyShard`]).
 ///
 /// Chains are intrusive in one flat node array per shard — per-bucket
-/// `Vec`s would mean one heap allocation per reference offset. Buckets
-/// use the Fx hash: one probe per reference offset and one per version
-/// position puts SipHash's per-key latency directly on the diff critical
-/// path, and the keys are already-mixed Karp-Rabin hashes, so a cheap
-/// finalizer loses nothing.
+/// `Vec`s would mean one heap allocation per reference offset. Heads
+/// live in a flat open-addressed table (`FlatHeads`): the former
+/// `FxHashMap` re-hashed the already-mixed Karp-Rabin key and probed
+/// SwissTable control bytes on every version position, two dependent
+/// cache misses on the scan critical path; the flat table resolves one
+/// probe to a single 16-byte slot load.
 pub struct GreedyIndex<'s> {
     shards: &'s [GreedyShard],
 }
 
 impl GreedyIndex<'_> {
     /// Iterates candidate offsets for `hash`, most recent first.
+    ///
+    /// The shard pick and head-table probe happen once, up front — the
+    /// returned iterator only walks the intrusive node chain.
     fn candidates(&self, hash: u64) -> impl Iterator<Item = usize> + '_ {
         let shard = &self.shards[shard_of(hash, self.shards.len())];
-        let mut cursor = shard.heads.get(&hash).copied().unwrap_or(EMPTY);
+        let mut cursor = shard.heads.get(hash);
         std::iter::from_fn(move || {
             if cursor == EMPTY {
                 return None;
@@ -136,11 +141,16 @@ impl IndexedDiffer for GreedyDiffer {
         if reference.len() >= self.seed_len {
             let last = reference.len() - self.seed_len;
             let seed_len = self.seed_len;
+            // Pre-size each shard's head table for its expected share of
+            // the offsets so the build never rehashes mid-scan.
+            let expected = (last + 1).div_ceil(shards);
             // Each worker owns one hash shard and scans the whole
             // reference: re-rolling the hash is a few arithmetic ops per
-            // byte, while the hash-map inserts — the expensive part —
+            // byte, while the head-table inserts — the expensive part —
             // split cleanly across workers.
             let build_one = |owner: usize, shard: &mut GreedyShard| {
+                shard.heads.reserve(expected);
+                shard.nodes.reserve(expected);
                 let mut h = RollingHash::new(&reference[..seed_len]);
                 for i in 0..=last {
                     if i > 0 {
@@ -150,12 +160,12 @@ impl IndexedDiffer for GreedyDiffer {
                     if shard_of(hash, shards) != owner {
                         continue;
                     }
-                    let head = shard.heads.entry(hash).or_insert(EMPTY);
+                    let node = shard.nodes.len() as u32;
+                    let prev = shard.heads.upsert(hash, node);
                     shard.nodes.push(ChainNode {
                         offset: i as u32,
-                        prev: *head,
+                        prev,
                     });
-                    *head = (shard.nodes.len() - 1) as u32;
                 }
             };
             if shards == 1 {
@@ -192,28 +202,55 @@ impl IndexedDiffer for GreedyDiffer {
             scratch::push_lit(segs, (end - v) as u64);
             return;
         }
+        let mut probes = 0u64;
+        let mut extend_bytes = 0u64;
         let mut h = RollingHash::new(&version[v..v + seed_len]);
         let mut hash_pos = v; // position the rolling hash currently covers
         while v < end && v <= last_window {
-            // Advance the rolling hash to position v.
-            while hash_pos < v {
-                h.roll(version[hash_pos], version[hash_pos + seed_len]);
-                hash_pos += 1;
+            // Advance the rolling hash to position v: roll byte by byte
+            // for short hops, re-seed in O(seed_len) after a long copy
+            // (the catch-up would otherwise cost O(copy_len)).
+            if hash_pos < v {
+                if v - hash_pos >= seed_len {
+                    h.reseed(&version[v..v + seed_len]);
+                    hash_pos = v;
+                } else {
+                    while hash_pos < v {
+                        h.roll(version[hash_pos], version[hash_pos + seed_len]);
+                        hash_pos += 1;
+                    }
+                }
             }
             let mut best_from = 0usize;
             let mut best_len = 0usize;
+            let v_room = version.len() - v;
             for c in index.candidates(h.hash()).take(self.max_probes) {
-                if reference[c..c + seed_len] != version[v..v + seed_len] {
+                probes += 1;
+                if best_len > 0 {
+                    // One-load prune: a candidate can only beat `best_len`
+                    // if its match covers index `best_len` too, so bytes
+                    // there must be equal. Rejects dominated candidates
+                    // without touching their seed windows. (`v + best_len`
+                    // is in bounds: probing stops once a match reaches the
+                    // end of the version.)
+                    if reference.len() - c <= best_len
+                        || reference[c + best_len] != version[v + best_len]
+                    {
+                        continue;
+                    }
+                }
+                if !kernel::windows_eq(&reference[c..c + seed_len], &version[v..v + seed_len]) {
                     continue; // hash collision
                 }
-                let mut len = seed_len;
-                let max = (reference.len() - c).min(version.len() - v);
-                while len < max && reference[c + len] == version[v + len] {
-                    len += 1;
-                }
+                let len = seed_len
+                    + kernel::common_prefix(&reference[c + seed_len..], &version[v + seed_len..]);
+                extend_bytes += (len - seed_len) as u64;
                 if len > best_len {
                     best_len = len;
                     best_from = c;
+                    if best_len == v_room {
+                        break; // nothing can beat a match to the end
+                    }
                 }
             }
             if best_len >= seed_len {
@@ -229,6 +266,12 @@ impl IndexedDiffer for GreedyDiffer {
         // Tail shorter than a seed: emit literally.
         if v < end {
             scratch::push_lit(segs, (end - v) as u64);
+        }
+        if probes > 0 {
+            ipr_trace::with(|r| {
+                r.add("diff.probes", probes);
+                r.add("diff.extend_bytes", extend_bytes);
+            });
         }
     }
 }

@@ -24,9 +24,14 @@
 //! deterministic — identical for every thread count, including 1.
 //! Per-call working storage lives in a reusable [`DiffScratch`] arena,
 //! so steady-state diffing performs no table or buffer allocations.
+//!
+//! All engines share the [`kernel`] match primitives — word-wide seed
+//! verification and forward/backward match extension — so the inner
+//! loops compare eight bytes per instruction instead of one.
 
 mod correcting;
 mod greedy;
+pub mod kernel;
 mod onepass;
 mod parallel;
 mod rolling;

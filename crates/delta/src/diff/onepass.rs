@@ -1,5 +1,6 @@
 //! Linear-time, constant-space differencing (after Burns & Long '97).
 
+use super::kernel;
 use super::parallel::{build_footprint_index, FootprintIndex, IndexedDiffer};
 use super::rolling::RollingHash;
 use super::scratch::{self, IndexScratch, Seg, EMPTY};
@@ -115,23 +116,36 @@ impl IndexedDiffer for OnePassDiffer {
             scratch::push_lit(segs, (end - v) as u64);
             return;
         }
+        let mut probes = 0u64;
+        let mut extend_bytes = 0u64;
         let mut h = RollingHash::new(&version[v..v + seed_len]);
         let mut hash_pos = v;
         while v < end && v <= last_window {
-            while hash_pos < v {
-                h.roll(version[hash_pos], version[hash_pos + seed_len]);
-                hash_pos += 1;
+            if hash_pos < v {
+                // Re-seed in O(seed_len) after a long copy instead of
+                // rolling through every skipped byte.
+                if v - hash_pos >= seed_len {
+                    h.reseed(&version[v..v + seed_len]);
+                    hash_pos = v;
+                } else {
+                    while hash_pos < v {
+                        h.roll(version[hash_pos], version[hash_pos + seed_len]);
+                        hash_pos += 1;
+                    }
+                }
             }
             let cand = index.first(h.hash());
             let mut matched = false;
             if cand != EMPTY {
+                probes += 1;
                 let c = cand as usize;
-                if reference[c..c + seed_len] == version[v..v + seed_len] {
-                    let mut len = seed_len;
-                    let max = (reference.len() - c).min(version.len() - v);
-                    while len < max && reference[c + len] == version[v + len] {
-                        len += 1;
-                    }
+                if kernel::windows_eq(&reference[c..c + seed_len], &version[v..v + seed_len]) {
+                    let len = seed_len
+                        + kernel::common_prefix(
+                            &reference[c + seed_len..],
+                            &version[v + seed_len..],
+                        );
+                    extend_bytes += (len - seed_len) as u64;
                     // Truncate at the chunk boundary; stitching re-extends.
                     let emit = len.min(end - v);
                     scratch::push_copy(segs, c as u64, emit as u64);
@@ -146,6 +160,12 @@ impl IndexedDiffer for OnePassDiffer {
         }
         if v < end {
             scratch::push_lit(segs, (end - v) as u64);
+        }
+        if probes > 0 {
+            ipr_trace::with(|r| {
+                r.add("diff.probes", probes);
+                r.add("diff.extend_bytes", extend_bytes);
+            });
         }
     }
 }

@@ -434,19 +434,13 @@ fn stitch(
         // Forward seam extension: continue the pre-seam copy while bytes
         // keep matching — this rejoins matches the chunk cut truncated.
         if k > 0 && v == start {
-            if let Some(mut r) = last_copy_end {
-                let mut ext = 0u64;
-                while v < version.len()
-                    && (r as usize) < reference.len()
-                    && version[v] == reference[r as usize]
-                {
-                    v += 1;
-                    r += 1;
-                    ext += 1;
-                }
+            if let Some(r) = last_copy_end {
+                let ext =
+                    super::kernel::common_prefix(&version[v..], &reference[r as usize..]) as u64;
                 if ext > 0 {
-                    builder.push_copy(r - ext, ext);
-                    last_copy_end = Some(r);
+                    builder.push_copy(r, ext);
+                    v += ext as usize;
+                    last_copy_end = Some(r + ext);
                     seam_bytes += ext;
                 }
             }
@@ -480,13 +474,11 @@ fn stitch(
                         // Backward seam extension: reclaim pending
                         // literals (possibly from earlier chunks) that
                         // match the bytes just before this copy's source.
-                        let mut back = 0usize;
                         let reclaimable = builder.pending_len().min(from as usize).min(v);
-                        while back < reclaimable
-                            && reference[from as usize - 1 - back] == version[v - 1 - back]
-                        {
-                            back += 1;
-                        }
+                        let back = super::kernel::common_suffix(
+                            &reference[from as usize - reclaimable..from as usize],
+                            &version[v - reclaimable..v],
+                        );
                         if back > 0 {
                             builder.reclaim_pending(back);
                             from -= back as u64;

@@ -26,6 +26,8 @@ pub struct RollingHash {
     hash: u64,
     /// BASE^(w-1), used to remove the outgoing byte.
     msb_weight: u64,
+    /// Window width in bytes; [`RollingHash::reseed`] windows must match.
+    width: usize,
 }
 
 impl RollingHash {
@@ -45,7 +47,36 @@ impl RollingHash {
         for _ in 1..window.len() {
             msb_weight = msb_weight.wrapping_mul(BASE);
         }
-        Self { hash, msb_weight }
+        Self {
+            hash,
+            msb_weight,
+            width: window.len(),
+        }
+    }
+
+    /// Re-initializes the hash over a new window of the *same width*,
+    /// reusing the precomputed `BASE^(w-1)` weight.
+    ///
+    /// This is the fast re-seed after a long copy: catching up byte by
+    /// byte costs one [`RollingHash::roll`] per skipped byte — O(copy
+    /// length) — while re-seeding costs O(window width) regardless of
+    /// how far the scan jumped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len()` differs from the width the hash was
+    /// created with.
+    pub fn reseed(&mut self, window: &[u8]) {
+        assert_eq!(
+            window.len(),
+            self.width,
+            "reseed window width must match the original window"
+        );
+        let mut hash = 0u64;
+        for &b in window {
+            hash = hash.wrapping_mul(BASE).wrapping_add(u64::from(b));
+        }
+        self.hash = hash;
     }
 
     /// Current hash value.
@@ -108,5 +139,23 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_window_panics() {
         let _ = hash_of(b"");
+    }
+
+    #[test]
+    fn reseed_equals_fresh_hash() {
+        let data: Vec<u8> = (0..100u32).map(|i| (i * 13 % 251) as u8).collect();
+        let mut h = RollingHash::new(&data[0..16]);
+        h.reseed(&data[40..56]);
+        assert_eq!(h.hash(), hash_of(&data[40..56]));
+        // Rolling continues correctly from the reseeded window.
+        h.roll(data[40], data[56]);
+        assert_eq!(h.hash(), hash_of(&data[41..57]));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn reseed_width_mismatch_panics() {
+        let mut h = RollingHash::new(b"abcdefgh");
+        h.reseed(b"abc");
     }
 }

@@ -1,0 +1,125 @@
+//! Property equivalence between the wide-word match kernels and the
+//! naive byte-loop reference implementations they replaced.
+//!
+//! The kernels (`diff::kernel`) are the only place the differs compare
+//! bytes, so a single wrong `trailing_zeros` shift or tail-handling slip
+//! would silently corrupt every match decision. This suite pins each
+//! kernel to the obviously-correct loop on arbitrary slices, offsets and
+//! lengths — including unaligned starts, sub-word tails and windows
+//! butted against either end of the buffer.
+
+use ipr_delta::diff::kernel::{common_prefix, common_suffix, windows_eq};
+use proptest::prelude::*;
+
+/// The byte loop `common_prefix` replaced (see `greedy.rs:211` before
+/// the kernel layer).
+fn naive_prefix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// The backward-extension byte loop `common_suffix` replaced.
+fn naive_suffix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[a.len() - 1 - i] == b[b.len() - 1 - i] {
+        i += 1;
+    }
+    i
+}
+
+/// Buffers whose halves share long runs: random bytes alone almost never
+/// produce prefixes past a word, which is exactly the regime the word
+/// loop must get right. Copy a window of `a` into `b` at a jittered
+/// offset so matches of every length and alignment appear.
+fn correlated_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..200),
+        proptest::collection::vec(any::<u8>(), 0..200),
+        any::<u16>(),
+    )
+        .prop_map(|(a, mut b, salt)| {
+            if !a.is_empty() && !b.is_empty() {
+                let start = salt as usize % a.len();
+                let dst = (salt as usize / 7) % b.len();
+                let n = (a.len() - start).min(b.len() - dst);
+                b[dst..dst + n].copy_from_slice(&a[start..start + n]);
+            }
+            (a, b)
+        })
+}
+
+proptest! {
+    #[test]
+    fn prefix_matches_naive((a, b) in correlated_pair()) {
+        prop_assert_eq!(common_prefix(&a, &b), naive_prefix(&a, &b));
+    }
+
+    #[test]
+    fn suffix_matches_naive((a, b) in correlated_pair()) {
+        prop_assert_eq!(common_suffix(&a, &b), naive_suffix(&a, &b));
+    }
+
+    #[test]
+    fn windows_eq_matches_slice_eq((a, b) in correlated_pair()) {
+        prop_assert_eq!(windows_eq(&a, &b), a == b);
+    }
+
+    /// Sub-slices at arbitrary offsets: the kernels see misaligned
+    /// windows near buffer ends in production (extension starts at
+    /// `c + seed_len`, any phase), so equivalence must hold for every
+    /// `(offset, length)` choice, not just whole buffers.
+    #[test]
+    fn subslice_prefix_matches_naive(
+        (a, b) in correlated_pair(),
+        off_a in 0usize..64,
+        off_b in 0usize..64,
+        len in 0usize..200,
+    ) {
+        let sa = &a[off_a.min(a.len())..];
+        let sb = &b[off_b.min(b.len())..];
+        let sa = &sa[..len.min(sa.len())];
+        let sb = &sb[..len.min(sb.len())];
+        prop_assert_eq!(common_prefix(sa, sb), naive_prefix(sa, sb));
+        prop_assert_eq!(common_suffix(sa, sb), naive_suffix(sa, sb));
+        prop_assert_eq!(windows_eq(sa, sb), sa == sb);
+    }
+
+    /// Near-end windows: a planted mismatch in the final sub-word tail
+    /// must be found at the exact byte, in both directions.
+    #[test]
+    fn tail_mismatch_found_exactly(
+        base in proptest::collection::vec(any::<u8>(), 1..100),
+        pos_salt in any::<u32>(),
+    ) {
+        let pos = pos_salt as usize % base.len();
+        let mut other = base.clone();
+        other[pos] ^= 0x01; // always a real difference
+        prop_assert_eq!(common_prefix(&base, &other), pos);
+        prop_assert_eq!(common_suffix(&base, &other), base.len() - 1 - pos);
+        prop_assert!(!windows_eq(&base, &other));
+    }
+}
+
+/// Exhaustive sweep over all short lengths and single-mismatch positions
+/// — cheap enough to check every case rather than sample.
+#[test]
+fn exhaustive_short_windows() {
+    for len in 0usize..=24 {
+        let a: Vec<u8> = (0..len as u8).collect();
+        assert_eq!(common_prefix(&a, &a), len);
+        assert_eq!(common_suffix(&a, &a), len);
+        assert!(windows_eq(&a, &a));
+        for pos in 0..len {
+            let mut b = a.clone();
+            b[pos] = 0xff;
+            assert_eq!(common_prefix(&a, &b), pos, "len {len} pos {pos}");
+            assert_eq!(common_suffix(&a, &b), len - 1 - pos, "len {len} pos {pos}");
+            assert!(!windows_eq(&a, &b));
+        }
+    }
+}

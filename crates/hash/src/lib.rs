@@ -1,11 +1,17 @@
 //! Fast non-cryptographic hashing for hot-path hash maps.
 //!
 //! `std::collections::HashMap` defaults to SipHash-1-3, which is
-//! DoS-resistant but costs tens of cycles per key. The differencing inner
-//! loop ([`GreedyDiffer`](../ipr_delta/diff/struct.GreedyDiffer.html))
-//! performs one map probe per reference offset and one per version
-//! position, so hasher latency is directly on the critical path of every
-//! delta produced.
+//! DoS-resistant but costs tens of cycles per key. Hot-path maps whose
+//! keys are already high-entropy don't need that protection and
+//! shouldn't pay for it.
+//!
+//! Note the greedy differencing index, this crate's original customer,
+//! no longer hashes generically at all: its chain heads live in a flat
+//! open-addressed table keyed directly by the already-mixed Karp-Rabin
+//! seed hash (`ipr-delta`'s `diff/scratch.rs`), which beats even the Fx
+//! hash by skipping the hasher and SwissTable probe sequence entirely.
+//! `FxHashMap` remains the right default for other non-adversarial maps
+//! (caches, interning tables, server-side bookkeeping).
 //!
 //! [`FxHasher`] is the multiply-xor hash used by rustc (firefox's "Fx"
 //! hash): one 64-bit multiply per word of input. It is *not* collision
