@@ -1,0 +1,381 @@
+//! Remote differencing: signature-based streaming delta generation vs
+//! the local greedy differ.
+//!
+//! The remote path trades delta size for memory: the generator never
+//! sees the reference, only its signature, so its working set is the
+//! signature plus the match table plus one streaming window — constant
+//! in the version length. This benchmark measures what that trade
+//! costs on a synthetic ≥64 MiB pair (size set by `IPR_BENCH_REMOTE_MIB`,
+//! default 64): for fixed 1 KiB / 8 KiB blocks and default
+//! content-defined chunking it reports signing throughput, encoded
+//! signature bytes, peak resident signature-side bytes
+//! (signature + match table), generation MiB/s, the emitted delta size
+//! and its overhead over the local greedy differ that reads both files.
+//! Every generated delta is applied back and verified byte-identical
+//! before a row is reported.
+//!
+//! Results land in `results/BENCH_remote_diff.json`.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin remote_diff`
+//!
+//! With `--compare <baseline.json>` the run gates against a stored
+//! report and exits non-zero on regression:
+//!
+//! * **compression** — any chunking's delta bytes exceed the baseline's
+//!   at all (the generator is deterministic, so on the synthetic pair a
+//!   single extra byte is an algorithmic change, not noise) — skipped
+//!   with a notice when the corpus sizes differ (e.g. the quick CI pair
+//!   against the committed 64 MiB baseline);
+//! * **overhead** — a chunking's delta exceeds [`OVERHEAD_CAP`] times
+//!   the same-run local greedy delta (a corpus-size-independent
+//!   within-run gate that holds on the quick CI pair too);
+//! * **memory** — resident signature-side bytes exceed
+//!   [`RESIDENT_FIXED_ALLOWANCE`] plus [`RESIDENT_CAP_PER_BLOCK`] bytes
+//!   per signature block, the constant-memory contract (docs/REMOTE.md).
+
+use ipr_delta::codec::{encode, Format};
+use ipr_delta::diff::{Differ, GreedyDiffer};
+use ipr_delta::remote::{generate_delta, Chunking, MatchTable, Signature};
+use std::time::Instant;
+
+/// Within-run gate: remote delta bytes may cost at most this many times
+/// the local greedy delta on the synthetic pair. Generous — the remote
+/// generator matches at block granularity while greedy matches at byte
+/// granularity, so each edit costs up to a block of literals — but a
+/// breach means block matching broke, not that the corpus got unlucky.
+const OVERHEAD_CAP: f64 = 50.0;
+
+/// Within-run gate: signature + match table may cost at most
+/// [`RESIDENT_FIXED_ALLOWANCE`] plus this many bytes per block. A
+/// `BlockSignature` is 32 bytes and its sorted-index entry 4, with
+/// `Vec` growth doubling on top; 96 leaves headroom while still
+/// catching an accidental O(reference) allocation instantly (the
+/// smallest block here is 1024 bytes).
+const RESIDENT_CAP_PER_BLOCK: usize = 96;
+
+/// Block-count-independent part of the memory gate: the match table's
+/// 8 KiB presence filter plus struct overhead.
+const RESIDENT_FIXED_ALLOWANCE: usize = 16 * 1024;
+
+struct Row {
+    chunking: Chunking,
+    label: String,
+    blocks: usize,
+    sign_ns: u128,
+    sig_bytes: usize,
+    resident_bytes: usize,
+    gen_ns: u128,
+    gen_mib_s: f64,
+    delta_bytes: u64,
+    overhead: f64,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A reference of `mib` MiB and a version derived from it by a spread
+/// of realistic edits: byte overwrites, short insertions and deletions
+/// roughly every half MiB, so most blocks survive and the interesting
+/// work is re-aligning after shifts.
+fn synthesize(mib: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let len = mib * 1024 * 1024;
+    let mut x = seed;
+    let mut reference = Vec::with_capacity(len);
+    while reference.len() < len {
+        reference.extend_from_slice(&splitmix64(&mut x).to_le_bytes());
+    }
+    reference.truncate(len);
+
+    let mut version = Vec::with_capacity(len + len / 64);
+    let mut pos = 0usize;
+    let mut edit = 0u64;
+    while pos < len {
+        let span = 256 * 1024 + (splitmix64(&mut x) as usize % (512 * 1024));
+        let end = (pos + span).min(len);
+        version.extend_from_slice(&reference[pos..end]);
+        pos = end;
+        if pos >= len {
+            break;
+        }
+        let amount = 64 + (splitmix64(&mut x) as usize % 4032);
+        match edit % 3 {
+            0 => {
+                // Insert a run of new bytes (shifts everything after).
+                for _ in 0..amount.div_ceil(8) {
+                    version.extend_from_slice(&splitmix64(&mut x).to_le_bytes());
+                }
+            }
+            1 => {
+                // Delete the next run.
+                pos = (pos + amount).min(len);
+            }
+            _ => {
+                // Overwrite in place (no shift).
+                for _ in 0..amount.div_ceil(8) {
+                    version.extend_from_slice(&splitmix64(&mut x).to_le_bytes());
+                }
+                pos = (pos + amount.div_ceil(8) * 8).min(len);
+            }
+        }
+        edit += 1;
+    }
+    (reference, version)
+}
+
+fn bench_chunking(
+    chunking: Chunking,
+    reference: &[u8],
+    version: &[u8],
+    local_delta_bytes: u64,
+) -> Row {
+    let t = Instant::now();
+    let signature = Signature::build(reference, chunking).expect("valid chunking");
+    let sign_ns = t.elapsed().as_nanos();
+    let sig_bytes = signature.encoded_len();
+
+    // Everything the receiving side keeps resident while it streams:
+    // the decoded signature plus the derived match table. The stream
+    // window (≤ max block + 64 KiB) is excluded here because it is
+    // version-side and bounded by the chunking, not the file.
+    let table = MatchTable::build(&signature);
+    let resident_bytes = signature.resident_bytes() + table.resident_bytes();
+    drop(table);
+
+    let t = Instant::now();
+    let script = generate_delta(&signature, version).expect("in-memory reader cannot fail");
+    let gen_ns = t.elapsed().as_nanos();
+    let gen_mib_s = version.len() as f64 / (1024.0 * 1024.0) / (gen_ns as f64 / 1e9);
+
+    let rebuilt = ipr_delta::apply(&script, reference).expect("generated script applies");
+    assert_eq!(rebuilt, version, "{chunking}: reconstruction differs");
+
+    let delta_bytes = encode(&script, Format::Ordered)
+        .expect("encodable script")
+        .len() as u64;
+
+    Row {
+        chunking,
+        label: chunking.to_string(),
+        blocks: signature.blocks().len(),
+        sign_ns,
+        sig_bytes,
+        resident_bytes,
+        gen_ns,
+        gen_mib_s,
+        delta_bytes,
+        overhead: delta_bytes as f64 / local_delta_bytes.max(1) as f64,
+    }
+}
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--compare" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare needs a baseline JSON path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; usage: remote_diff [--compare <baseline.json>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mib: usize = std::env::var("IPR_BENCH_REMOTE_MIB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let (reference, version) = synthesize(mib, 0x5eed_0007);
+
+    // The local baseline reads both files; its delta is the size to
+    // beat-or-approach and its working set (reference + index) is what
+    // the remote path's constant memory buys its way out of.
+    let t = Instant::now();
+    let local_script = GreedyDiffer::default().diff(&reference, &version);
+    let local_ns = t.elapsed().as_nanos();
+    let local_delta_bytes = encode(&local_script, Format::Ordered)
+        .expect("encodable script")
+        .len() as u64;
+    drop(local_script);
+
+    let chunkings = [
+        Chunking::Fixed(1024),
+        Chunking::Fixed(8 * 1024),
+        Chunking::Cdc(Default::default()),
+    ];
+    let rows: Vec<Row> = chunkings
+        .iter()
+        .map(|&c| bench_chunking(c, &reference, &version, local_delta_bytes))
+        .collect();
+
+    println!(
+        "Remote diff: {mib} MiB reference, {} B version, local greedy delta {} B \
+         ({:.1} MiB/s)\n",
+        version.len(),
+        local_delta_bytes,
+        version.len() as f64 / (1024.0 * 1024.0) / (local_ns as f64 / 1e9),
+    );
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>10} {:>12} {:>9}",
+        "chunking",
+        "blocks",
+        "sign ms",
+        "sig bytes",
+        "resident B",
+        "gen MiB/s",
+        "delta bytes",
+        "overhead"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>8} {:>10.1} {:>10} {:>12} {:>10.1} {:>12} {:>8.2}x",
+            r.label,
+            r.blocks,
+            r.sign_ns as f64 / 1e6,
+            r.sig_bytes,
+            r.resident_bytes,
+            r.gen_mib_s,
+            r.delta_bytes,
+            r.overhead
+        );
+    }
+
+    if let Some(path) = baseline_path {
+        let breaches = compare_to_baseline(&rows, &path, mib, version.len() as u64);
+        if breaches > 0 {
+            eprintln!("\n{breaches} regression(s) past the gates");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"remote_diff\",\n");
+    json.push_str("  \"command\": \"cargo run -p ipr-bench --release --bin remote_diff\",\n");
+    json.push_str(&format!("  \"reference_mib\": {mib},\n"));
+    json.push_str(&format!("  \"version_bytes\": {},\n", version.len()));
+    json.push_str(&format!(
+        "  \"local_greedy_delta_bytes\": {local_delta_bytes},\n"
+    ));
+    json.push_str(&format!("  \"local_greedy_total_ns\": {local_ns},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"chunking\": \"{}\", \"blocks\": {}, \"sign_ns\": {}, \"sig_bytes\": {}, \
+             \"resident_bytes\": {}, \"gen_ns\": {}, \"gen_mib_per_s\": {:.1}, \
+             \"delta_bytes\": {}, \"overhead_vs_local\": {:.4}}}{}\n",
+            r.label,
+            r.blocks,
+            r.sign_ns,
+            r.sig_bytes,
+            r.resident_bytes,
+            r.gen_ns,
+            r.gen_mib_s,
+            r.delta_bytes,
+            r.overhead,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_remote_diff.json", &json).expect("write results");
+    println!("\nwrote results/BENCH_remote_diff.json");
+}
+
+/// Gates the current rows against a stored report; returns breach count.
+fn compare_to_baseline(rows: &[Row], path: &str, mib: usize, version_bytes: u64) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let baseline = ipr_trace::json::parse(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+    let results = baseline
+        .get("results")
+        .and_then(|r| r.as_array())
+        .unwrap_or_else(|| panic!("baseline {path} has no results array"));
+    let baseline_delta = |label: &str| -> Option<u64> {
+        results
+            .iter()
+            .find(|r| r.get("chunking").and_then(|v| v.as_str()) == Some(label))?
+            .get("delta_bytes")?
+            .as_u64()
+    };
+
+    println!(
+        "\nComparison against {path} (gates: delta bytes ≤ baseline, delta ≤ \
+         {OVERHEAD_CAP}x local greedy, resident ≤ {RESIDENT_CAP_PER_BLOCK} B/block)\n"
+    );
+    let mut breaches = 0;
+    let get_u64 = |key: &str| {
+        baseline
+            .get(key)
+            .and_then(ipr_trace::json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    // Deterministic output is only comparable on the same synthetic
+    // pair; the quick CI pair against the committed 64 MiB baseline
+    // skips the cross-run gate rather than trivially passing it.
+    let same_corpus =
+        get_u64("reference_mib") == mib as u64 && get_u64("version_bytes") == version_bytes;
+    if same_corpus {
+        for r in rows {
+            let Some(base) = baseline_delta(&r.label) else {
+                println!("{}: no baseline row (ungated)", r.label);
+                continue;
+            };
+            let status = if r.delta_bytes > base {
+                breaches += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{}: delta bytes {} vs baseline {} {status}",
+                r.label, r.delta_bytes, base
+            );
+        }
+    } else {
+        println!(
+            "baseline corpus differs ({} MiB / {} bytes vs this run's {mib} / {version_bytes}) \
+             — cross-run delta gates skipped; within-run gates still apply",
+            get_u64("reference_mib"),
+            get_u64("version_bytes")
+        );
+    }
+    for r in rows {
+        let status = if r.overhead > OVERHEAD_CAP {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{}: delta is {:.2}x the local greedy delta {status}",
+            r.label, r.overhead
+        );
+        let cap = RESIDENT_FIXED_ALLOWANCE + r.blocks * RESIDENT_CAP_PER_BLOCK;
+        let status = if r.resident_bytes > cap {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{}: {} resident bytes over {} blocks (cap {cap}) {status}",
+            r.label, r.resident_bytes, r.blocks
+        );
+        let _ = r.chunking;
+    }
+    breaches
+}

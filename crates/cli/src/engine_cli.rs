@@ -8,6 +8,7 @@
 use ipr_core::{CyclePolicy, ReadMode};
 use ipr_delta::codec::{self, DecodedDelta, Format};
 use ipr_delta::diff::{GreedyDiffer, IndexedDiffer};
+use ipr_delta::remote::{CdcParams, Chunking};
 use ipr_pipeline::{Engine, EngineConfig};
 
 /// Parsed command line of one subcommand plus the engine configuration
@@ -121,6 +122,27 @@ impl EngineCli {
         Ok(mode)
     }
 
+    /// `--block N` / `--cdc MIN:AVG:MAX`: recorded as the engine's
+    /// signature chunking (mutually exclusive).
+    pub fn take_chunking(&mut self) -> Result<Option<Chunking>, String> {
+        let block = self.take_with("block", |v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--block needs a byte count, got `{v}`"))
+        })?;
+        let cdc = self.take_with("cdc", parse_cdc)?;
+        let chunking = match (block, cdc) {
+            (Some(_), Some(_)) => return Err("--block and --cdc are mutually exclusive".into()),
+            (Some(len), None) => Some(Chunking::Fixed(len)),
+            (None, Some(params)) => Some(Chunking::Cdc(params)),
+            (None, None) => None,
+        };
+        if let Some(c) = chunking {
+            c.validate().map_err(|e| e.to_string())?;
+            self.config.chunking = c;
+        }
+        Ok(chunking)
+    }
+
     /// Rejects any option no taker consumed.
     pub fn finish_options(&self) -> Result<(), String> {
         match self.options.first() {
@@ -180,6 +202,28 @@ pub fn parse_policy(name: &str) -> Result<CyclePolicy, String> {
         "local-min" | "locally-minimum" => Ok(CyclePolicy::LocallyMinimum),
         _ => Err(format!("unknown policy `{name}`")),
     }
+}
+
+/// Parses a `--cdc MIN:AVG:MAX` value (byte counts).
+pub fn parse_cdc(spec: &str) -> Result<CdcParams, String> {
+    let err = || format!("--cdc needs MIN:AVG:MAX byte counts, got `{spec}`");
+    let mut fields = spec.split(':');
+    let mut next = || -> Result<usize, String> {
+        fields
+            .next()
+            .ok_or_else(err)?
+            .parse::<usize>()
+            .map_err(|_| err())
+    };
+    let params = CdcParams {
+        min: next()?,
+        avg: next()?,
+        max: next()?,
+    };
+    if fields.next().is_some() {
+        return Err(err());
+    }
+    Ok(params)
 }
 
 #[cfg(test)]
@@ -261,6 +305,52 @@ mod tests {
             assert_eq!(parse_format(name).unwrap(), f);
         }
         assert!(parse_format("bogus").is_err());
+    }
+
+    #[test]
+    fn take_chunking_parses_block_and_cdc() {
+        let mut cli = EngineCli::parse(&s(&["--block", "4096"])).unwrap();
+        assert_eq!(cli.take_chunking().unwrap(), Some(Chunking::Fixed(4096)));
+        assert_eq!(cli.config().chunking, Chunking::Fixed(4096));
+
+        let mut cli = EngineCli::parse(&s(&["--cdc", "64:256:1024"])).unwrap();
+        let params = CdcParams {
+            min: 64,
+            avg: 256,
+            max: 1024,
+        };
+        assert_eq!(cli.take_chunking().unwrap(), Some(Chunking::Cdc(params)));
+
+        let mut cli = EngineCli::parse(&[]).unwrap();
+        assert_eq!(cli.take_chunking().unwrap(), None);
+        assert_eq!(cli.config().chunking, Chunking::default());
+    }
+
+    #[test]
+    fn take_chunking_rejects_bad_values() {
+        // Mutually exclusive flags.
+        let mut cli = EngineCli::parse(&s(&["--block", "4096", "--cdc", "64:256:1024"])).unwrap();
+        assert!(cli.take_chunking().is_err());
+        // Invalid bounds are caught by validation.
+        let mut cli = EngineCli::parse(&s(&["--block", "0"])).unwrap();
+        assert!(cli.take_chunking().is_err());
+        let mut cli = EngineCli::parse(&s(&["--cdc", "64:100:1024"])).unwrap();
+        assert!(cli.take_chunking().is_err());
+    }
+
+    #[test]
+    fn parse_cdc_shapes() {
+        assert_eq!(
+            parse_cdc("2048:8192:65536").unwrap(),
+            CdcParams {
+                min: 2048,
+                avg: 8192,
+                max: 65536
+            }
+        );
+        assert!(parse_cdc("1:2").is_err());
+        assert!(parse_cdc("1:2:3:4").is_err());
+        assert!(parse_cdc("a:b:c").is_err());
     }
 
     #[test]

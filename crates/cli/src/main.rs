@@ -29,9 +29,11 @@ use engine_cli::EngineCli;
 use ipr_core::check_in_place_safe;
 use ipr_delta::codec::{self, Format};
 use ipr_delta::diff::{CorrectingDiffer, GreedyDiffer, IndexedDiffer, OnePassDiffer};
+use ipr_delta::remote::{CrcReader, Signature};
 use ipr_delta::stats::ScriptStats;
 use ipr_delta::DeltaScript;
 use ipr_pipeline::Engine;
+use std::io::BufReader;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -120,6 +122,7 @@ fn dispatch(args: &[String]) -> CliResult {
     let rest = &args[1..];
     match cmd.as_str() {
         "diff" => cmd_diff(rest),
+        "signature" => cmd_signature(rest),
         "convert" => cmd_convert(rest),
         "apply" => cmd_apply(rest),
         "apply-in-place" => cmd_apply_in_place(rest),
@@ -144,6 +147,10 @@ fn print_usage() {
          subcommands:\n\
          \x20 diff <reference> <version> <delta>  [--differ greedy|one-pass|correcting]\n\
          \x20      [--threads N] [--format F]     (--threads: parallel diff; 0 = all cores)\n\
+         \x20 diff --signature <sig> <version> <delta>  [--format F]\n\
+         \x20      (remote diff: stream <version> against a signature, reference not needed)\n\
+         \x20 signature <reference> <sig>    [--block N | --cdc MIN:AVG:MAX]\n\
+         \x20      (block signature of <reference> for remote diffing)\n\
          \x20 convert <reference> <delta> <out>   [--policy constant|local-min] [--format F]\n\
          \x20 apply <reference> <delta> <out>\n\
          \x20 apply-in-place <file> <delta>  [--threads N] [--read-mode snapshot|zero-copy]\n\
@@ -152,7 +159,7 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
-         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine] [--seed S] [--iters N]\n\
+         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine|remote] [--seed S] [--iters N]\n\
          \x20       [--shrink on|off]  (differential fuzzing; failures print a replay seed)\n\
          \n\
          every subcommand accepts: --stats | --stats=json | --stats-out <file>\n\
@@ -167,6 +174,9 @@ fn cmd_diff(args: &[String]) -> CliResult {
     cli.config_mut().format = Format::Ordered; // plain deltas by default
     cli.take_format()?;
     cli.take_threads()?;
+    if let Some(signature_path) = cli.take("signature") {
+        return cmd_diff_signature(cli, &signature_path);
+    }
     let differ = cli.take("differ").unwrap_or_else(|| "greedy".to_string());
     cli.finish_options()?;
     let [reference_path, version_path, delta_path] =
@@ -200,6 +210,59 @@ fn cmd_diff(args: &[String]) -> CliResult {
         version.len(),
         100.0 * bytes.len() as f64 / version.len().max(1) as f64,
         ScriptStats::of(&script)
+    );
+    Ok(())
+}
+
+/// `ipr diff --signature <sig> <version> <delta>`: remote diff. The
+/// version streams through the generator against the decoded signature
+/// — the reference is never opened (it lives wherever the signature was
+/// built) and the version is never held in memory. A [`CrcReader`] tee
+/// computes the target CRC during the same pass so the emitted delta
+/// carries the usual integrity trailer.
+fn cmd_diff_signature(cli: EngineCli, signature_path: &str) -> CliResult {
+    cli.finish_options()?;
+    let [version_path, delta_path] =
+        cli.positional("usage: ipr diff --signature <sig> <version> <delta>")?;
+    let signature = Signature::decode(&std::fs::read(signature_path)?)?;
+    let mut version = CrcReader::new(BufReader::new(std::fs::File::open(version_path)?));
+    let mut engine = cli.engine();
+    let script = engine.remote_diff(&signature, &mut version)?;
+    let bytes = codec::encode_with_crc(&script, engine.config().format, version.crc())?;
+    std::fs::write(delta_path, &bytes)?;
+    println!(
+        "{} ({} blocks) ~ {}: {} B delta for {} B version ({:.1}%), {}",
+        signature_path,
+        signature.blocks().len(),
+        version_path,
+        bytes.len(),
+        version.bytes_read(),
+        100.0 * bytes.len() as f64 / (version.bytes_read().max(1)) as f64,
+        ScriptStats::of(&script)
+    );
+    Ok(())
+}
+
+fn cmd_signature(args: &[String]) -> CliResult {
+    let mut cli = EngineCli::parse(args)?;
+    cli.take_chunking()?;
+    cli.finish_options()?;
+    let [reference_path, sig_path] =
+        cli.positional("usage: ipr signature <reference> <sig> [--block N | --cdc MIN:AVG:MAX]")?;
+    // Stream the reference through the chunker: the signature build
+    // never holds more than one block window in memory.
+    let reference = BufReader::new(std::fs::File::open(reference_path)?);
+    let signature = Signature::build_streaming(reference, cli.config().chunking)?;
+    let encoded = signature.encode();
+    std::fs::write(sig_path, &encoded)?;
+    println!(
+        "{}: {} blocks ({}) over {} B -> {} B signature ({:.2}%)",
+        reference_path,
+        signature.blocks().len(),
+        signature.chunking(),
+        signature.source_len(),
+        encoded.len(),
+        100.0 * encoded.len() as f64 / (signature.source_len().max(1)) as f64
     );
     Ok(())
 }
@@ -476,7 +539,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     }
     cli.finish_options()?;
     cli.no_positional(
-        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine] [--seed S] \
+        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine|remote] [--seed S] \
          [--iters N] [--shrink on|off] [--max-failures N]",
     )?;
     let report = ipr_fuzz::run(&config);

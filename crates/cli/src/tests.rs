@@ -401,6 +401,143 @@ fn parallel_diff_threads_emits_stats() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `ipr signature` + `ipr diff --signature` round trip: the remote
+/// delta applies against the reference byte-identically, for both fixed
+/// and content-defined chunking, and carries a verifying CRC trailer.
+#[test]
+fn signature_and_remote_diff_round_trip() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-remote-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let reference: Vec<u8> = (0..64 * 1024u32).map(|i| (i * 31 % 253) as u8).collect();
+    let mut version = reference.clone();
+    version.splice(20_000..20_000, b"inserted run".iter().copied()); // shifts all later blocks
+    version[50_000] ^= 0x2a;
+    std::fs::write(p("old"), &reference).unwrap();
+    std::fs::write(p("new"), &version).unwrap();
+
+    // Fixed-size blocks.
+    run(&s(&["signature", &p("old"), &p("sig"), "--block", "512"])).unwrap();
+    run(&s(&[
+        "diff",
+        "--signature",
+        &p("sig"),
+        &p("new"),
+        &p("delta"),
+    ]))
+    .unwrap();
+    run(&s(&["apply", &p("old"), &p("delta"), &p("rebuilt")])).unwrap();
+    assert_eq!(std::fs::read(p("rebuilt")).unwrap(), version);
+    let decoded = codec::decode(&std::fs::read(p("delta")).unwrap()).unwrap();
+    assert!(decoded.target_crc.is_some(), "remote delta carries a CRC");
+
+    // Content-defined chunking survives the insertion without resigning.
+    run(&s(&[
+        "signature",
+        &p("old"),
+        &p("sig-cdc"),
+        "--cdc",
+        "64:256:2048",
+    ]))
+    .unwrap();
+    run(&s(&[
+        "diff",
+        "--signature",
+        &p("sig-cdc"),
+        &p("new"),
+        &p("delta-cdc"),
+    ]))
+    .unwrap();
+    run(&s(&[
+        "apply",
+        &p("old"),
+        &p("delta-cdc"),
+        &p("rebuilt-cdc"),
+    ]))
+    .unwrap();
+    assert_eq!(std::fs::read(p("rebuilt-cdc")).unwrap(), version);
+
+    // Error paths: bad chunking flags, junk signature, wrong arity.
+    assert!(run(&s(&["signature", &p("old"), &p("x"), "--block", "0"])).is_err());
+    assert!(run(&s(&[
+        "signature",
+        &p("old"),
+        &p("x"),
+        "--block",
+        "512",
+        "--cdc",
+        "64:256:2048",
+    ]))
+    .is_err());
+    assert!(run(&s(&["signature", &p("old")])).is_err());
+    std::fs::write(p("junk-sig"), b"not a signature").unwrap();
+    assert!(run(&s(&[
+        "diff",
+        "--signature",
+        &p("junk-sig"),
+        &p("new"),
+        &p("d"),
+    ]))
+    .is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The remote path reports its two-level match work through `--stats`.
+#[test]
+fn remote_diff_emits_stats() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-remote-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let reference: Vec<u8> = (0..32 * 1024u32).map(|i| (i * 7 % 247) as u8).collect();
+    let mut version = reference.clone();
+    version[10_000] ^= 1;
+    std::fs::write(p("old"), &reference).unwrap();
+    std::fs::write(p("new"), &version).unwrap();
+
+    let sig_stats = p("sig-stats.json");
+    run(&s(&[
+        "signature",
+        &p("old"),
+        &p("sig"),
+        "--block",
+        "1024",
+        "--stats-out",
+        &sig_stats,
+    ]))
+    .unwrap();
+    let raw = std::fs::read_to_string(&sig_stats).unwrap();
+    let v = ipr_trace::json::parse(&raw).unwrap();
+    let counter = |v: &ipr_trace::json::Value, name: &str| {
+        v.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|c| c.as_u64())
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert!(v.get("spans").unwrap().get("remote.sign").is_some());
+    assert_eq!(counter(&v, "remote.blocks"), 32);
+
+    let diff_stats = p("diff-stats.json");
+    run(&s(&[
+        "diff",
+        "--signature",
+        &p("sig"),
+        &p("new"),
+        &p("delta"),
+        "--stats-out",
+        &diff_stats,
+    ]))
+    .unwrap();
+    let raw = std::fs::read_to_string(&diff_stats).unwrap();
+    let v = ipr_trace::json::parse(&raw).unwrap();
+    assert!(v.get("spans").unwrap().get("remote.diff").is_some());
+    // 31 of 32 blocks match; the flipped byte's block becomes literals.
+    assert_eq!(counter(&v, "remote.strong_matches"), 31);
+    assert_eq!(counter(&v, "remote.matched_bytes"), 31 * 1024);
+    assert_eq!(counter(&v, "remote.literal_bytes"), 1024);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn one_pass_differ_and_policies_selectable() {
     let dir = std::env::temp_dir().join(format!("ipr-cli-test2-{}", std::process::id()));

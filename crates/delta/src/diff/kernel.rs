@@ -141,8 +141,26 @@ pub fn windows_eq(a: &[u8], b: &[u8]) -> bool {
 }
 
 /// Loads one little-endian `u64` from an 8-byte chunk.
+///
+/// This is the word-load discipline every kernel above is built on;
+/// [`crate::remote`]'s strong block hash reuses it so signature hashing
+/// consumes eight bytes per multiply instead of one.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::kernel::load_le;
+///
+/// assert_eq!(load_le(&[1, 0, 0, 0, 0, 0, 0, 0]), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `chunk` is not exactly 8 bytes (callers iterate
+/// `chunks_exact(8)`, which guarantees it).
 #[inline]
-fn load_le(chunk: &[u8]) -> u64 {
+#[must_use]
+pub fn load_le(chunk: &[u8]) -> u64 {
     u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
 }
 

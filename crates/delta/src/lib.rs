@@ -42,6 +42,7 @@ mod script;
 pub mod checksum;
 pub mod codec;
 pub mod diff;
+pub mod remote;
 pub mod stats;
 pub mod varint;
 

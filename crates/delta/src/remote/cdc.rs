@@ -1,0 +1,323 @@
+//! Content-defined chunking: Gear/FastCDC-style rolling cut-points.
+//!
+//! Fixed-size blocks are brittle under insertion and deletion: one byte
+//! inserted near the front shifts every later block boundary, so no
+//! later block matches its signature even though almost all content is
+//! unchanged — exactly the failure mode the InDel-updates literature
+//! (Wang et al., PAPERS.md) formalises. Content-defined chunking cuts
+//! where the *content* says to cut: a rolling hash over the last few
+//! dozen bytes declares a boundary wherever its top bits are all zero,
+//! so an edit disturbs only the O(1) boundaries whose deciding window
+//! overlaps the edit and every later boundary re-aligns.
+//!
+//! The rolling hash is the Gear construction:
+//!
+//! ```text
+//! h ← (h << 1) + GEAR[byte]
+//! ```
+//!
+//! with a 256-entry table of pseudo-random 64-bit constants (derived
+//! deterministically from splitmix64, so chunking — and therefore every
+//! signature — is stable across builds and platforms). A byte pushed
+//! `j` steps ago contributes `GEAR[b] << j`, fully shifted out after 64
+//! steps: the cut decision at a position depends on at most the last
+//! **64 bytes** plus the current chunk length. Cuts fire when the top
+//! `log2(avg)` bits of `h` are zero (the top bits see the longest
+//! history, per FastCDC's analysis), subject to [`CdcParams`] bounds:
+//! never before `min` bytes, always by `max` bytes.
+
+/// splitmix64 — the generator behind the [`GEAR`] table.
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The Gear table: 256 fixed pseudo-random 64-bit constants.
+///
+/// Part of the wire contract (docs/REMOTE.md): signatures chunked with
+/// one build must match versions chunked with another, so this table
+/// may never change.
+pub const GEAR: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = splitmix64(i as u64);
+        i += 1;
+    }
+    table
+};
+
+/// Chunk-size bounds for content-defined chunking.
+///
+/// `avg` must be a power of two (it becomes a bit mask); cuts fire with
+/// probability `1/avg` per byte on random data, so chunk sizes are
+/// roughly geometric with mean `min + avg`, clamped to `[min, max]`.
+///
+/// For the boundary-stability guarantee — an edit perturbs only O(1)
+/// boundaries — choose `min ≥ 64`: the Gear hash forgets bytes after 64
+/// shifts, so with chunks at least that long a cut decision never
+/// reaches back past its own chunk start and two chunkings of the same
+/// bytes re-align at the first boundary they share. Smaller `min`
+/// still chunks correctly (the fuzz oracle sweeps down to `min = 1`)
+/// but re-alignment becomes probabilistic rather than immediate.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::CdcParams;
+///
+/// let p = CdcParams::default();
+/// assert!(p.validate().is_ok());
+/// assert!(CdcParams { min: 0, avg: 4096, max: 65536 }.validate().is_err());
+/// assert!(CdcParams { min: 64, avg: 100, max: 1024 }.validate().is_err()); // avg not 2^k
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CdcParams {
+    /// Minimum chunk length in bytes (cuts are suppressed below this).
+    pub min: usize,
+    /// Target average chunk length; must be a power of two.
+    pub avg: usize,
+    /// Maximum chunk length (a cut is forced at this length).
+    pub max: usize,
+}
+
+impl Default for CdcParams {
+    /// 2 KiB / 8 KiB / 64 KiB — the FastCDC-ish defaults.
+    fn default() -> Self {
+        Self {
+            min: 2 * 1024,
+            avg: 8 * 1024,
+            max: 64 * 1024,
+        }
+    }
+}
+
+impl CdcParams {
+    /// Checks the bounds: `0 < min ≤ avg ≤ max` and `avg` a power of
+    /// two.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min == 0 {
+            return Err("cdc min chunk length must be positive".into());
+        }
+        if !self.avg.is_power_of_two() {
+            return Err(format!(
+                "cdc avg chunk length {} is not a power of two",
+                self.avg
+            ));
+        }
+        if !(self.min <= self.avg && self.avg <= self.max) {
+            return Err(format!(
+                "cdc bounds must satisfy min <= avg <= max, got {}/{}/{}",
+                self.min, self.avg, self.max
+            ));
+        }
+        Ok(())
+    }
+
+    /// The cut mask: the top `log2(avg)` bits of the Gear hash.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        debug_assert!(self.avg.is_power_of_two() && self.avg > 0);
+        let bits = self.avg.trailing_zeros();
+        if bits == 0 {
+            0 // every position cuts (avg == 1)
+        } else {
+            !0u64 << (64 - bits)
+        }
+    }
+}
+
+/// Incremental content-defined chunker: push bytes, learn where the
+/// chunks end.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::{cut_points, CdcParams, Chunker};
+///
+/// let params = CdcParams { min: 4, avg: 16, max: 64 };
+/// let data: Vec<u8> = (0..200u32).map(|i| (i * 37 % 251) as u8).collect();
+/// let mut chunker = Chunker::new(params);
+/// let mut cuts = Vec::new();
+/// for (i, &b) in data.iter().enumerate() {
+///     if chunker.push(b) {
+///         cuts.push(i + 1);
+///     }
+/// }
+/// if chunker.pending() > 0 {
+///     cuts.push(data.len()); // the final partial chunk
+/// }
+/// assert_eq!(cuts, cut_points(&data, params));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Chunker {
+    params: CdcParams,
+    mask: u64,
+    hash: u64,
+    pending: usize,
+}
+
+impl Chunker {
+    /// Creates a chunker; `params` should be [validated](CdcParams::validate).
+    #[must_use]
+    pub fn new(params: CdcParams) -> Self {
+        Self {
+            params,
+            mask: params.mask(),
+            hash: 0,
+            pending: 0,
+        }
+    }
+
+    /// Feeds one byte; returns `true` when a chunk ends *after* this
+    /// byte, resetting for the next chunk.
+    #[inline]
+    pub fn push(&mut self, byte: u8) -> bool {
+        self.hash = (self.hash << 1).wrapping_add(GEAR[byte as usize]);
+        self.pending += 1;
+        let cut = self.pending >= self.params.max
+            || (self.pending >= self.params.min && self.hash & self.mask == 0);
+        if cut {
+            self.hash = 0;
+            self.pending = 0;
+        }
+        cut
+    }
+
+    /// Bytes fed since the last cut (the length of the open chunk).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+/// Chunk end offsets of `data` (ascending; the final offset is
+/// `data.len()` unless `data` is empty).
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::{cut_points, CdcParams};
+///
+/// let params = CdcParams { min: 2, avg: 8, max: 32 };
+/// let data = b"content-defined chunking survives insertions".repeat(4);
+/// let cuts = cut_points(&data, params);
+/// assert_eq!(*cuts.last().unwrap(), data.len());
+/// for w in cuts.windows(2) {
+///     assert!(w[1] - w[0] <= 32);
+/// }
+/// assert!(cut_points(b"", params).is_empty());
+/// ```
+#[must_use]
+pub fn cut_points(data: &[u8], params: CdcParams) -> Vec<usize> {
+    let mut chunker = Chunker::new(params);
+    let mut cuts = Vec::with_capacity(data.len() / (params.min + params.avg).max(1) + 1);
+    for (i, &b) in data.iter().enumerate() {
+        if chunker.push(b) {
+            cuts.push(i + 1);
+        }
+    }
+    if chunker.pending() > 0 {
+        cuts.push(data.len());
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = splitmix64(x);
+                x as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let params = CdcParams {
+            min: 8,
+            avg: 32,
+            max: 128,
+        };
+        let data = pseudo(10_000, 1);
+        let cuts = cut_points(&data, params);
+        let mut prev = 0;
+        for (i, &c) in cuts.iter().enumerate() {
+            let len = c - prev;
+            assert!(len <= params.max);
+            // Only the final chunk may undershoot `min`.
+            if i + 1 < cuts.len() {
+                assert!(len >= params.min, "chunk {i} has {len} bytes");
+            }
+            prev = c;
+        }
+        assert_eq!(prev, data.len());
+    }
+
+    #[test]
+    fn average_is_in_the_right_regime() {
+        let params = CdcParams {
+            min: 16,
+            avg: 64,
+            max: 256,
+        };
+        let data = pseudo(200_000, 2);
+        let cuts = cut_points(&data, params);
+        let mean = data.len() / cuts.len();
+        // Geometric mean ≈ min + avg = 80; accept a wide band.
+        assert!((40..=160).contains(&mean), "mean chunk {mean}");
+    }
+
+    #[test]
+    fn identical_content_chunks_identically_at_any_offset() {
+        // The resynchronisation property that makes CDC worth having:
+        // the same bytes preceded by different prefixes produce the
+        // same cut-points once the sequences share one boundary. Needs
+        // `min ≥ 64` so a cut decision never reaches back past its own
+        // chunk start (the Gear window is 64 bytes).
+        let params = CdcParams {
+            min: 64,
+            avg: 256,
+            max: 1024,
+        };
+        let shared = pseudo(40_000, 3);
+        let a: Vec<u8> = [pseudo(100, 4), shared.clone()].concat();
+        let b: Vec<u8> = [pseudo(333, 5), shared.clone()].concat();
+        let cuts_a: Vec<i64> = cut_points(&a, params)
+            .iter()
+            .map(|&c| c as i64 - 100)
+            .collect();
+        let cuts_b: Vec<i64> = cut_points(&b, params)
+            .iter()
+            .map(|&c| c as i64 - 333)
+            .collect();
+        // Compare the tails well past both prefixes + window + a few
+        // chunks of resynchronisation slack.
+        let resync = 8 * params.max as i64;
+        let tail_a: Vec<i64> = cuts_a.iter().copied().filter(|&c| c > resync).collect();
+        let tail_b: Vec<i64> = cuts_b.iter().copied().filter(|&c| c > resync).collect();
+        assert_eq!(tail_a, tail_b);
+        assert!(tail_a.len() > 50, "test corpus too small to be meaningful");
+    }
+
+    #[test]
+    fn gear_table_is_pinned() {
+        // The table is wire contract; a few spot values guard against
+        // accidental regeneration with different constants.
+        assert_eq!(GEAR[0], splitmix64(0));
+        assert_eq!(GEAR[255], splitmix64(255));
+        let distinct: std::collections::BTreeSet<u64> = GEAR.iter().copied().collect();
+        assert_eq!(distinct.len(), 256);
+    }
+}

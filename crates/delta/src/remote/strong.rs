@@ -1,0 +1,141 @@
+//! The strong 128-bit block hash — the second level of the two-level
+//! match.
+//!
+//! When a window's [weak checksum](super::weak) collides with a
+//! signature entry, the generator cannot compare bytes — the reference
+//! lives on the other side of the wire. It compares this hash instead,
+//! so the hash *is* the match decision and its collision resistance
+//! bounds the probability of a corrupted reconstruction. Two
+//! independent 64-bit multiply–rotate lanes over 8-byte words give a
+//! 128-bit digest: for blocks that were not crafted against the hash,
+//! the chance of any false block match in an `n`-block signature is
+//! about `n² / 2^128` — negligible at any realistic scale. The hash is
+//! **not** cryptographic; an adversary who controls both files can
+//! engineer collisions, so integrity against hostile inputs must come
+//! from the delta's CRC trailer, not from block matching.
+//!
+//! The word loop reuses [`kernel::load_le`](crate::diff::kernel::load_le)
+//! — the same wide-word load discipline as the differ match kernels —
+//! so hashing consumes eight bytes per multiply instead of one.
+
+use crate::diff::kernel;
+
+const K0: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / φ
+const K1: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const K2: u64 = 0x1656_67b1_9e37_79f9;
+
+/// Finalizer: the 64-bit xorshift-multiply avalanche (splitmix64 tail).
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// 128-bit strong hash of `data`.
+///
+/// Deterministic across platforms (little-endian word loads, no
+/// pointer-dependent state); the length is folded into the initial
+/// state so a block and its zero-padded extension differ.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::strong_of;
+///
+/// assert_ne!(strong_of(b"block a"), strong_of(b"block b"));
+/// assert_ne!(strong_of(b""), strong_of(b"\0"));
+/// ```
+#[must_use]
+pub fn strong_of(data: &[u8]) -> u128 {
+    let len = data.len() as u64;
+    let mut h0 = K0 ^ len.wrapping_mul(K2);
+    let mut h1 = K1 ^ len.rotate_left(32);
+    let mut words = data.chunks_exact(8);
+    for w in words.by_ref() {
+        let w = kernel::load_le(w);
+        h0 = (h0 ^ w).wrapping_mul(K2).rotate_left(29);
+        h1 = (h1.rotate_left(31) ^ w.wrapping_mul(K0)).wrapping_mul(K1);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = 0u64;
+        for (i, &b) in rem.iter().enumerate() {
+            tail |= u64::from(b) << (8 * i);
+        }
+        h0 = (h0 ^ tail).wrapping_mul(K2).rotate_left(29);
+        h1 = (h1.rotate_left(31) ^ tail.wrapping_mul(K0)).wrapping_mul(K1);
+    }
+    let lo = avalanche(h0 ^ h1.rotate_left(32));
+    let hi = avalanche(h1 ^ h0.rotate_left(32));
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_blocks_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for b in 0..=255u8 {
+            assert!(seen.insert(strong_of(&[b])));
+        }
+    }
+
+    #[test]
+    fn sensitive_to_every_position() {
+        let base = vec![0u8; 100];
+        let h = strong_of(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] = 1;
+            assert_ne!(
+                strong_of(&flipped),
+                h,
+                "position {i} did not change the hash"
+            );
+        }
+    }
+
+    #[test]
+    fn length_is_folded_in() {
+        // Prefixes of a constant run all hash differently even though
+        // every processed word is identical.
+        let run = [7u8; 64];
+        let mut seen = std::collections::BTreeSet::new();
+        for n in 0..=run.len() {
+            assert!(seen.insert(strong_of(&run[..n])), "length {n} collided");
+        }
+    }
+
+    #[test]
+    fn no_collisions_over_random_ish_corpus() {
+        // Smoke-level birthday check: 40k distinct short inputs.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..40_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = (x >> 56) as usize % 24;
+            let bytes: Vec<u8> = (0..len).map(|i| (x >> (i % 8)) as u8).collect();
+            seen.insert(strong_of(&bytes));
+        }
+        // Many generated inputs repeat; the set only has to show that
+        // distinct inputs did not collapse. Re-derive distinct inputs.
+        let mut inputs = std::collections::BTreeSet::new();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..40_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = (x >> 56) as usize % 24;
+            let bytes: Vec<u8> = (0..len).map(|i| (x >> (i % 8)) as u8).collect();
+            inputs.insert(bytes);
+        }
+        assert_eq!(seen.len(), inputs.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! The weak 32-bit rolling block checksum (Adler/Fletcher family).
+//!
+//! This is the first level of the rsync-style two-level match: a
+//! checksum cheap enough to maintain over a window sliding one byte at
+//! a time (three adds and two subtracts per step), strong enough to
+//! reject almost every non-matching window before the strong hash is
+//! consulted. Following rsync, the window `x_k .. x_l` is summarised by
+//!
+//! ```text
+//! a(k, l) = Σ x_i                 (mod 2^16)
+//! b(k, l) = Σ (l - i + 1) · x_i   (mod 2^16)
+//! s(k, l) = a(k, l) + 2^16 · b(k, l)
+//! ```
+//!
+//! and both components update in O(1) when the window slides
+//! ([`RollingWeak::roll`]) or loses its front byte
+//! ([`RollingWeak::shrink_front`], used for the shrinking tail window
+//! at end of stream). All arithmetic is wrapping `u32`; because
+//! 2^16 divides 2^32, masking to 16 bits at digest time yields the
+//! exact mod-2^16 sums.
+
+/// Rolling Adler32-style weak checksum over a byte window.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::{weak_of, RollingWeak};
+///
+/// let data = b"the quick brown fox jumps over the lazy dog";
+/// let mut w = RollingWeak::seeded(&data[0..8]);
+/// for i in 1..=data.len() - 8 {
+///     w.roll(data[i - 1], data[i + 7]);
+///     assert_eq!(w.digest(), weak_of(&data[i..i + 8]));
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RollingWeak {
+    a: u32,
+    b: u32,
+    len: u32,
+}
+
+impl RollingWeak {
+    /// An empty-window checksum (digest 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { a: 0, b: 0, len: 0 }
+    }
+
+    /// Seeds the checksum over `window`.
+    #[must_use]
+    pub fn seeded(window: &[u8]) -> Self {
+        let mut w = Self::new();
+        w.reseed(window);
+        w
+    }
+
+    /// Replaces the window contents with `window`.
+    pub fn reseed(&mut self, window: &[u8]) {
+        let mut a = 0u32;
+        let mut b = 0u32;
+        for &x in window {
+            a = a.wrapping_add(u32::from(x));
+            b = b.wrapping_add(a);
+        }
+        self.a = a;
+        self.b = b;
+        self.len = window.len() as u32;
+    }
+
+    /// Current window length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slides the window one byte: `out` leaves at the front, `entering`
+    /// arrives at the back. The window length is unchanged.
+    #[inline]
+    pub fn roll(&mut self, out: u8, entering: u8) {
+        let out = u32::from(out);
+        self.a = self.a.wrapping_add(u32::from(entering)).wrapping_sub(out);
+        self.b = self
+            .b
+            .wrapping_add(self.a)
+            .wrapping_sub(self.len.wrapping_mul(out));
+    }
+
+    /// Removes the front byte without adding one at the back, shrinking
+    /// the window by one (the end-of-stream tail walk).
+    #[inline]
+    pub fn shrink_front(&mut self, out: u8) {
+        debug_assert!(self.len > 0, "cannot shrink an empty window");
+        let out = u32::from(out);
+        // The front element carries weight `len`; the survivors' weights
+        // (len - i) are already correct for the shortened window.
+        self.b = self.b.wrapping_sub(self.len.wrapping_mul(out));
+        self.a = self.a.wrapping_sub(out);
+        self.len -= 1;
+    }
+
+    /// The 32-bit digest `a + 2^16·b` of the current window.
+    #[inline]
+    #[must_use]
+    pub fn digest(&self) -> u32 {
+        (self.a & 0xffff) | (self.b << 16)
+    }
+}
+
+impl Default for RollingWeak {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot weak checksum of `data`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ipr_delta::remote::weak_of(b""), 0);
+/// assert_ne!(ipr_delta::remote::weak_of(b"ab"), ipr_delta::remote::weak_of(b"ba"));
+/// ```
+#[must_use]
+pub fn weak_of(data: &[u8]) -> u32 {
+    RollingWeak::seeded(data).digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_matches_reseed_everywhere() {
+        let data: Vec<u8> = (0..997u32)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        for window in [1usize, 2, 7, 16, 64] {
+            let mut w = RollingWeak::seeded(&data[..window]);
+            for i in 1..=data.len() - window {
+                w.roll(data[i - 1], data[i + window - 1]);
+                assert_eq!(
+                    w.digest(),
+                    weak_of(&data[i..i + window]),
+                    "window {window} at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_front_matches_reseed() {
+        let data = b"a shrinking tail window at end of stream";
+        let mut w = RollingWeak::seeded(data);
+        for i in 1..data.len() {
+            w.shrink_front(data[i - 1]);
+            assert_eq!(w.digest(), weak_of(&data[i..]), "at {i}");
+            assert_eq!(w.len() as usize, data.len() - i);
+        }
+    }
+
+    #[test]
+    fn order_sensitive() {
+        // Fletcher's b-component distinguishes permutations a plain sum
+        // cannot.
+        assert_ne!(weak_of(b"abcd"), weak_of(b"dcba"));
+    }
+}

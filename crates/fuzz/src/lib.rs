@@ -5,7 +5,7 @@
 //! survives unit tests and dies on adversarial inputs. This crate
 //! generates those inputs — structured delta scripts and hostile wire
 //! bytes — from a single `u64` seed with the vendored [`rand`] crate,
-//! and judges them with five differential oracles:
+//! and judges them with six differential oracles:
 //!
 //! * **codec** ([`oracles::check_codec_case`] +
 //!   [`oracles::check_decoder_robustness`]): every format round-trips
@@ -22,6 +22,11 @@
 //!   (`apply(diff(r, v), r) == v`) and are deterministic — identical
 //!   commands for repeated runs and across thread counts — for every
 //!   wrapped differ, over a seed-driven sweep of chunk sizes;
+//! * **remote** ([`oracles::check_remote_case`]): the signature-based
+//!   streaming generator — `apply(generate_delta(sign(r), v), r) == v`
+//!   byte for byte, over a seed-driven sweep of fixed block sizes and
+//!   CDC parameters, with the signature round-tripped through its wire
+//!   encoding and the version streamed at hostile read granularities;
 //! * **engine** ([`oracles::check_engine_case`]): the session-layer
 //!   [`Engine`](ipr_pipeline::Engine) path — diff through its arenas,
 //!   pooled conversion, checked encoding, wave-parallel apply — emits
@@ -52,7 +57,7 @@ use std::str::FromStr;
 /// cases within one case seed.
 const HOSTILE_SALT: u64 = 0x686f7374; // "host"
 
-/// One of the five differential oracles.
+/// One of the six differential oracles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Oracle {
     /// Codec round-trip + decoder robustness.
@@ -65,16 +70,19 @@ pub enum Oracle {
     Diff,
     /// Session-layer `Engine` path vs the legacy free-function pipeline.
     Engine,
+    /// Signature-based streaming remote diff reconstructs byte-exactly.
+    Remote,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::Codec,
         Oracle::Convert,
         Oracle::Crwi,
         Oracle::Diff,
         Oracle::Engine,
+        Oracle::Remote,
     ];
 
     /// The `ipr-trace` span name covering one iteration of this oracle
@@ -87,6 +95,7 @@ impl Oracle {
             Oracle::Crwi => "fuzz.crwi",
             Oracle::Diff => "fuzz.diff",
             Oracle::Engine => "fuzz.engine",
+            Oracle::Remote => "fuzz.remote",
         }
     }
 }
@@ -99,6 +108,7 @@ impl fmt::Display for Oracle {
             Oracle::Crwi => "crwi",
             Oracle::Diff => "diff",
             Oracle::Engine => "engine",
+            Oracle::Remote => "remote",
         })
     }
 }
@@ -113,8 +123,10 @@ impl FromStr for Oracle {
             "crwi" => Ok(Oracle::Crwi),
             "diff" => Ok(Oracle::Diff),
             "engine" => Ok(Oracle::Engine),
+            "remote" => Ok(Oracle::Remote),
             other => Err(format!(
-                "unknown oracle `{other}` (expected codec, convert, crwi, diff, engine or all)"
+                "unknown oracle `{other}` (expected codec, convert, crwi, diff, engine, \
+                 remote or all)"
             )),
         }
     }
@@ -259,6 +271,7 @@ pub fn run_case(oracle: Oracle, seed: u64) -> Result<(), String> {
         Oracle::Crwi => oracles::check_crwi_case(&case_for(seed), seed),
         Oracle::Diff => oracles::check_diff_case(&case_for(seed), seed),
         Oracle::Engine => oracles::check_engine_case(&case_for(seed), seed),
+        Oracle::Remote => oracles::check_remote_case(&case_for(seed), seed),
     }
 }
 
@@ -326,6 +339,11 @@ fn shrink_failure(oracle: Oracle, seed: u64) -> String {
         }
         Oracle::Engine => {
             let check = move |c: &FuzzCase| oracles::check_engine_case(c, seed);
+            let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
+            format!("{} — {detail}", describe_case(&small))
+        }
+        Oracle::Remote => {
+            let check = move |c: &FuzzCase| oracles::check_remote_case(c, seed);
             let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
             format!("{} — {detail}", describe_case(&small))
         }

@@ -29,6 +29,12 @@
 //!   wave-parallel apply) is byte-identical to the legacy free-function
 //!   pipeline, including on the second run of the *same* engine, whose
 //!   arenas now hold recycled storage from the first.
+//! * [`check_remote_case`] — the signature-based streaming generator:
+//!   `apply(generate_delta(sign(r), v), r) == v` byte for byte across a
+//!   salt-swept set of fixed block sizes and CDC parameters, with the
+//!   signature surviving its wire round-trip, the streaming signature
+//!   builder agreeing with the in-memory one, and the generator's
+//!   output invariant under hostile read granularities.
 
 use crate::check;
 use crate::gen::FuzzCase;
@@ -43,6 +49,7 @@ use ipr_delta::codec::{decode, encode, encode_checked, DecodeError, EncodeError,
 use ipr_delta::diff::{
     CorrectingDiffer, Differ, GreedyDiffer, IndexedDiffer, OnePassDiffer, ParallelDiffer,
 };
+use ipr_delta::remote::{generate_delta, generate_delta_bytes, CdcParams, Chunking, Signature};
 use ipr_delta::{Command, DeltaScript};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -732,6 +739,144 @@ pub fn check_engine_case(case: &FuzzCase, salt: u64) -> CheckResult {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 6: remote signature-based streaming diff
+// ---------------------------------------------------------------------------
+
+/// Chunkings swept by the remote oracle. Fixed sizes run from
+/// single-byte blocks (every window is a candidate) past most generated
+/// files; the CDC entries include degenerate bounds (`min = 1`) the
+/// stability guarantee does not cover — reconstruction must hold anyway.
+const REMOTE_CHUNKINGS: [Chunking; 8] = [
+    Chunking::Fixed(1),
+    Chunking::Fixed(3),
+    Chunking::Fixed(16),
+    Chunking::Fixed(64),
+    Chunking::Fixed(512),
+    Chunking::Cdc(CdcParams {
+        min: 1,
+        avg: 8,
+        max: 32,
+    }),
+    Chunking::Cdc(CdcParams {
+        min: 16,
+        avg: 64,
+        max: 256,
+    }),
+    Chunking::Cdc(CdcParams {
+        min: 64,
+        avg: 256,
+        max: 1024,
+    }),
+];
+
+/// Read granularities the remote oracle streams the version at.
+const REMOTE_TRICKLES: [usize; 4] = [1, 7, 64, 4096];
+
+/// A reader that serves at most `step` bytes per `read` call, however
+/// large the caller's buffer — the hostile end of what an arbitrary
+/// `Read` implementation is allowed to do.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    step: usize,
+}
+
+impl std::io::Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.step).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Checks the remote-diff oracle on one valid case.
+///
+/// The case's reference is signed with a salt-chosen chunking and the
+/// (scratch-applied) version streamed against the signature at a
+/// salt-chosen read granularity. Five properties must hold:
+///
+/// 1. **reconstruction** — the generated script applies back to the
+///    version byte-identically, like any local diff;
+/// 2. **wire round-trip** — `decode(encode(sig)) == sig`, and the
+///    decoded signature drives the generator to the same commands;
+/// 3. **streaming signature** — [`Signature::build_streaming`] over a
+///    trickle reader equals [`Signature::build`] over the slice;
+/// 4. **read-granularity independence** — the generator emits identical
+///    commands whether the version arrives one byte or 4 KiB at a time;
+/// 5. **consistency envelope** — matched + literal bytes in the script
+///    cover the version exactly (no command is lost or duplicated),
+///    enforced implicitly by 1 plus the codec's target-length check.
+pub fn check_remote_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    let version = scratch_apply(case)?;
+    let chunking = REMOTE_CHUNKINGS[(salt % REMOTE_CHUNKINGS.len() as u64) as usize];
+    let trickle = REMOTE_TRICKLES
+        [(salt / REMOTE_CHUNKINGS.len() as u64 % REMOTE_TRICKLES.len() as u64) as usize];
+    let tag = format!("remote(chunking={chunking},trickle={trickle})");
+
+    let signature = Signature::build(&case.reference, chunking)
+        .map_err(|e| format!("{tag}: signature build failed: {e}"))?;
+
+    // Streaming build over a hostile reader must agree byte-for-byte.
+    let streamed = Signature::build_streaming(
+        Trickle {
+            data: &case.reference,
+            pos: 0,
+            step: trickle,
+        },
+        chunking,
+    )
+    .map_err(|e| format!("{tag}: streaming signature build failed: {e}"))?;
+    if streamed != signature {
+        return fail(format!(
+            "{tag}: streaming signature differs from the in-memory build"
+        ));
+    }
+
+    // Wire round-trip.
+    let decoded = Signature::decode(&signature.encode())
+        .map_err(|e| format!("{tag}: signature wire round-trip failed: {e}"))?;
+    if decoded != signature {
+        return fail(format!(
+            "{tag}: decoded signature differs from the original"
+        ));
+    }
+
+    // Generate from the decoded signature over a trickle reader …
+    let script = generate_delta(
+        &decoded,
+        Trickle {
+            data: &version,
+            pos: 0,
+            step: trickle,
+        },
+    )
+    .map_err(|e| format!("{tag}: generate_delta failed: {e}"))?;
+
+    // … and it must reconstruct the version exactly.
+    let rebuilt = ipr_delta::apply(&script, &case.reference)
+        .map_err(|e| format!("{tag}: generated script failed to apply: {e}"))?;
+    if rebuilt != version {
+        return fail(format!(
+            "{tag}: reconstruction differs from the version file \
+             ({} vs {} bytes)",
+            rebuilt.len(),
+            version.len()
+        ));
+    }
+
+    // Read granularity must not leak into the output.
+    let whole = generate_delta_bytes(&signature, &version);
+    if whole.commands() != script.commands() {
+        return fail(format!(
+            "{tag}: trickle-fed generator emitted different commands than \
+             the whole-slice generator"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,6 +930,50 @@ mod tests {
             let c = case(&mut rng_for(seed));
             check_engine_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
+    }
+
+    #[test]
+    fn remote_oracle_clean_on_seeds() {
+        // 32 consecutive seeds cover every (chunking, trickle) pair the
+        // salt sweep can pick.
+        for seed in 0..32u64 {
+            let c = case(&mut rng_for(seed));
+            check_remote_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn remote_oracle_catches_a_corrupted_signature() {
+        // Tampering with one strong hash must surface as a violation
+        // (the generator matches a block whose content changed).
+        let mut hits = 0;
+        for seed in 0..20u64 {
+            let c = case(&mut rng_for(seed));
+            let Ok(version) = ipr_delta::apply(&c.script, &c.reference) else {
+                continue;
+            };
+            let chunking = Chunking::Fixed(16);
+            let signature = Signature::build(&c.reference, chunking).unwrap();
+            if signature.blocks().is_empty() || version.is_empty() {
+                continue;
+            }
+            // Rebuild a signature whose first block lies about its
+            // content: claim the weak/strong of the version's first
+            // 16 bytes while the reference holds something else.
+            let window = &version[..version.len().min(16)];
+            if window.len() < 16 || c.reference.len() < 16 || c.reference[..16] == *window {
+                continue;
+            }
+            let mut forged = c.reference.clone();
+            forged[..16].copy_from_slice(window);
+            let lying = Signature::build(&forged, chunking).unwrap();
+            let script = generate_delta_bytes(&lying, &version);
+            let rebuilt = ipr_delta::apply(&script, &c.reference).unwrap();
+            if rebuilt != version {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "no forged signature produced a detectable miss");
     }
 
     #[test]

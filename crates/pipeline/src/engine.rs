@@ -11,6 +11,7 @@ use ipr_delta::compose_chain;
 use ipr_delta::diff::{
     DiffScratch, GreedyDiffer, IndexedDiffer, ParallelDiffer, DEFAULT_CHUNK_BYTES,
 };
+use ipr_delta::remote::{self, Chunking, Signature, SignatureError};
 use ipr_delta::DeltaScript;
 
 /// Configuration shared by every stage of an [`Engine`].
@@ -32,6 +33,9 @@ pub struct EngineConfig {
     /// Waves moving fewer payload bytes than this run inline on the
     /// calling thread.
     pub serial_wave_bytes: usize,
+    /// Block chunking for [`Engine::sign`] — the remote-differencing
+    /// signature path (docs/REMOTE.md).
+    pub chunking: Chunking,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +48,7 @@ impl Default for EngineConfig {
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             read_mode: parallel.read_mode,
             serial_wave_bytes: parallel.serial_wave_bytes,
+            chunking: Chunking::default(),
         }
     }
 }
@@ -181,6 +186,38 @@ impl<D: IndexedDiffer> Engine<D> {
     pub fn diff(&mut self, reference: &[u8], version: &[u8]) -> DeltaScript {
         self.differ
             .diff_with(&mut self.diff_scratch, reference, version)
+    }
+
+    /// Builds the remote-differencing [`Signature`] of `reference` under
+    /// the engine's [`chunking`](EngineConfig::chunking) — the device
+    /// side of the signature/streaming flow (docs/REMOTE.md).
+    ///
+    /// # Errors
+    ///
+    /// [`SignatureError::BadChunking`] when the configured chunking
+    /// parameters are invalid.
+    pub fn sign(&mut self, reference: &[u8]) -> Result<Signature, SignatureError> {
+        Signature::build(reference, self.config.chunking)
+    }
+
+    /// Stage 1, remote flavour: differences a *streamed* version against
+    /// a reference known only by its [`Signature`]. Resident memory is
+    /// the signature plus one block-sized window — neither file — so
+    /// this is the diff stage for references that live on a device.
+    ///
+    /// The output is an ordinary write-ordered [`DeltaScript`]: feed it
+    /// to [`Engine::convert`] / [`Engine::apply_in_place`] exactly like
+    /// a local diff.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors.
+    pub fn remote_diff<R: std::io::Read>(
+        &mut self,
+        signature: &Signature,
+        version: R,
+    ) -> std::io::Result<DeltaScript> {
+        remote::generate_delta(signature, version)
     }
 
     /// Stage 2: converts `script` for in-place reconstruction, consuming

@@ -1,0 +1,184 @@
+//! Property tests for content-defined chunking boundary stability: a
+//! single random insertion or deletion may disturb only the O(1) cut
+//! points whose deciding window overlaps the edit — every earlier
+//! boundary is untouched and the chunkings re-align at the first cut
+//! site they share past the edit.
+//!
+//! The guarantees tested here require `min >= 64` (the Gear hash's
+//! effective window), per the [`CdcParams`] docs; the fuzz oracle
+//! separately covers degenerate parameters where re-alignment is only
+//! probabilistic.
+
+use ipr::delta::remote::{cut_points, CdcParams};
+use proptest::prelude::*;
+
+/// The parameter set under test: small enough that kilobyte inputs
+/// span many chunks, with `min` at the 64-byte stability threshold.
+const PARAMS: CdcParams = CdcParams {
+    min: 64,
+    avg: 256,
+    max: 1024,
+};
+
+/// Generous ceiling on how many boundaries one edit may disturb. The
+/// theory says O(1): past the edit, both chunkings cut at the same
+/// content-determined sites and disagree only while one suppresses a
+/// site inside its post-cut `min` window (probability ~ min/avg = 1/4
+/// per site), so disagreement beyond a handful of sites is vanishingly
+/// rare. 64 gives the probabilistic tail no realistic way to flake
+/// while still failing loudly if an edit ever rewrote boundaries
+/// wholesale (a 48 KiB input has ~150 boundaries).
+const MAX_DISTURBED: usize = 64;
+
+/// Asserts the stability contract between an original byte string and
+/// an edited copy: `edit_pos` is where the files first differ and
+/// `shift` is `edited.len() - original.len()` (±1 for single-byte
+/// edits).
+fn assert_stable(
+    original: &[u8],
+    edited: &[u8],
+    edit_pos: usize,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let shift = edited.len() as i64 - original.len() as i64;
+    let cuts_a = cut_points(original, PARAMS);
+    let cuts_b = cut_points(edited, PARAMS);
+
+    // 1. Boundaries strictly before the edit are byte-identical: cut
+    //    decisions never look forward, so the shared prefix chunks
+    //    identically.
+    let prefix_a: Vec<usize> = cuts_a.iter().copied().filter(|&c| c < edit_pos).collect();
+    let prefix_b: Vec<usize> = cuts_b.iter().copied().filter(|&c| c < edit_pos).collect();
+    prop_assert_eq!(&prefix_a, &prefix_b, "{}: prefix boundaries moved", label);
+
+    // 2. Re-alignment: map the edited file's boundaries back into the
+    //    original's coordinates. Once the two sequences share one
+    //    boundary past the edit's influence, every boundary after it
+    //    must be shared too — the chunkers are in identical states on
+    //    identical content.
+    let tail_a: Vec<i64> = cuts_a
+        .iter()
+        .map(|&c| c as i64)
+        .filter(|&c| c > edit_pos as i64)
+        .collect();
+    let tail_b: Vec<i64> = cuts_b
+        .iter()
+        .map(|&c| c as i64 - shift)
+        .filter(|&c| c > edit_pos as i64)
+        .collect();
+    // Exclude the final (forced, end-of-data) boundary from the resync
+    // search: it coincides only when the shift maps it exactly.
+    let last_a = *cuts_a.last().unwrap_or(&0) as i64;
+    if let Some(&resync) = tail_a.iter().find(|&&c| c < last_a && tail_b.contains(&c)) {
+        let after_a: Vec<i64> = tail_a.iter().copied().filter(|&c| c >= resync).collect();
+        let after_b: Vec<i64> = tail_b.iter().copied().filter(|&c| c >= resync).collect();
+        prop_assert_eq!(
+            &after_a,
+            &after_b,
+            "{}: boundaries diverged again after re-aligning at {}",
+            label,
+            resync
+        );
+    }
+
+    // 3. O(1) disturbance: the symmetric difference of the two
+    //    boundary sets (edit-shifted) stays under a constant that does
+    //    not grow with input length.
+    let set_a: std::collections::BTreeSet<i64> = tail_a.iter().copied().collect();
+    let set_b: std::collections::BTreeSet<i64> = tail_b.iter().copied().collect();
+    let disturbed =
+        prefix_a.len().abs_diff(prefix_b.len()) + set_a.symmetric_difference(&set_b).count();
+    prop_assert!(
+        disturbed <= MAX_DISTURBED,
+        "{}: one edit disturbed {} boundaries (of {} / {})",
+        label,
+        disturbed,
+        cuts_a.len(),
+        cuts_b.len()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One inserted byte moves only O(1) boundaries.
+    #[test]
+    fn single_insertion_disturbs_o1_boundaries(
+        data in proptest::collection::vec(any::<u8>(), 8_192..49_152),
+        pos in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let at = pos.index(data.len());
+        let mut edited = data.clone();
+        edited.insert(at, byte);
+        assert_stable(&data, &edited, at, "insert")?;
+    }
+
+    /// One deleted byte moves only O(1) boundaries.
+    #[test]
+    fn single_deletion_disturbs_o1_boundaries(
+        data in proptest::collection::vec(any::<u8>(), 8_192..49_152),
+        pos in any::<prop::sample::Index>(),
+    ) {
+        let at = pos.index(data.len());
+        let mut edited = data.clone();
+        edited.remove(at);
+        assert_stable(&data, &edited, at, "delete")?;
+    }
+
+    /// A short inserted run (the common "patch a config value" shape)
+    /// still disturbs only O(1) boundaries.
+    #[test]
+    fn short_run_insertion_disturbs_o1_boundaries(
+        data in proptest::collection::vec(any::<u8>(), 8_192..32_768),
+        pos in any::<prop::sample::Index>(),
+        run in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let at = pos.index(data.len());
+        let mut edited = data.clone();
+        edited.splice(at..at, run);
+        assert_stable(&data, &edited, at, "run-insert")?;
+    }
+}
+
+/// Deterministic spot check with pinned inputs, so a regression in the
+/// Gear table or cut rule fails here with concrete numbers even before
+/// the property tests run.
+#[test]
+fn insertion_in_structured_data_keeps_most_boundaries() {
+    let mut x = 0x6a09_e667_f3bc_c908u64;
+    let data: Vec<u8> = (0..48 * 1024)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect();
+    let cuts = cut_points(&data, PARAMS);
+    assert!(cuts.len() > 100, "corpus must span many chunks");
+
+    let mut edited = data.clone();
+    edited.splice(24_000..24_000, b"one small edit".iter().copied());
+    let cuts_edited = cut_points(&edited, PARAMS);
+
+    let set_a: std::collections::BTreeSet<i64> = cuts.iter().map(|&c| c as i64).collect();
+    let set_b: std::collections::BTreeSet<i64> = cuts_edited
+        .iter()
+        .map(|&c| c as i64 - 14)
+        .filter(|&c| c > 24_000)
+        .chain(
+            cuts_edited
+                .iter()
+                .map(|&c| c as i64)
+                .filter(|&c| c <= 24_000),
+        )
+        .collect();
+    let disturbed = set_a.symmetric_difference(&set_b).count();
+    assert!(
+        disturbed <= 16,
+        "14-byte insertion disturbed {disturbed} of {} boundaries",
+        cuts.len()
+    );
+}
