@@ -1,0 +1,364 @@
+//! Versioned object store: chain depth vs reconstruct latency,
+//! compaction ratio, fsck throughput.
+//!
+//! A drifting release history (`IPR_BENCH_STORE_VERSIONS` versions of
+//! `IPR_BENCH_STORE_BYTES` bytes each) is put into a throwaway
+//! [`Store`] whose chain-depth cap (`IPR_BENCH_STORE_DEPTH_CAP`) is
+//! deliberately smaller than the history, so compaction has work to do.
+//! Three regions are measured:
+//!
+//! * **put** — delta-or-full staging plus the fsynced commit of every
+//!   version (the write path, including all durability barriers);
+//! * **get** — reconstruction of every version, bucketed by chain
+//!   depth, before and after compaction (the paper's access-time /
+//!   storage trade-off, here as delta-chain depth vs read latency);
+//! * **fsck** — the full CRC + reachability sweep over the compacted
+//!   store, reported as bytes verified per second.
+//!
+//! Results land in `results/BENCH_store_chains.json`. Timing numbers
+//! are host-dependent and never gated; the structural numbers (object
+//! counts, chain depths, stored byte totals, fsck findings) are
+//! deterministic functions of the seed and the differ, identical on
+//! every machine.
+//!
+//! Run: `cargo run -p ipr-bench --release --bin store_chains`
+//!
+//! With `--compare <baseline.json>` the run gates instead of writing,
+//! checking only machine-independent invariants, each exactly:
+//!
+//! * version and object counts match the baseline;
+//! * `max_depth_after` ≤ the depth cap (absolute, within-run);
+//! * live delta/full byte totals match the baseline;
+//! * fsck finds zero findings and sweeps every live byte.
+
+use ipr_store::{fsck, Store};
+use ipr_workloads::chain::{ChainPattern, VersionChain};
+use ipr_workloads::content::ContentKind;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Per-depth reconstruct latency bucket.
+#[derive(Clone, Copy, Default)]
+struct DepthBucket {
+    versions: u64,
+    total_ns: u128,
+    bytes: u64,
+}
+
+/// Reads back every version, bucketing latency by chain depth.
+/// Returns buckets indexed by depth (index 0 = full images).
+fn read_sweep(store: &mut Store) -> Vec<DepthBucket> {
+    let log: Vec<_> = store.log().to_vec();
+    let mut buckets: Vec<DepthBucket> = Vec::new();
+    for record in log {
+        let depth = store
+            .manifest()
+            .depth(record.oid)
+            .expect("logged version has a depth") as usize;
+        if buckets.len() <= depth {
+            buckets.resize(depth + 1, DepthBucket::default());
+        }
+        let t = Instant::now();
+        let bytes = store.get(record.oid).expect("version reconstructs");
+        let elapsed = t.elapsed().as_nanos();
+        assert_eq!(bytes.len() as u64, record.len, "length drift");
+        let bucket = &mut buckets[depth];
+        bucket.versions += 1;
+        bucket.total_ns += elapsed;
+        bucket.bytes += record.len;
+    }
+    buckets
+}
+
+fn print_buckets(label: &str, buckets: &[DepthBucket]) {
+    println!("\n{label}:");
+    println!(
+        "{:<7} {:>9} {:>14} {:>14}",
+        "depth", "versions", "avg µs/get", "MiB/s"
+    );
+    for (depth, b) in buckets.iter().enumerate() {
+        if b.versions == 0 {
+            continue;
+        }
+        let avg_us = b.total_ns as f64 / b.versions as f64 / 1e3;
+        let mib_s = b.bytes as f64 / 1024.0 / 1024.0 / (b.total_ns as f64 / 1e9).max(1e-9);
+        println!("{depth:<7} {:>9} {avg_us:>14.1} {mib_s:>14.1}", b.versions);
+    }
+}
+
+fn buckets_json(buckets: &[DepthBucket]) -> String {
+    let rows: Vec<String> = buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.versions > 0)
+        .map(|(depth, b)| {
+            format!(
+                "    {{\"depth\": {depth}, \"versions\": {}, \"total_ns\": {}, \"bytes\": {}}}",
+                b.versions, b.total_ns, b.bytes
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--compare" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare needs a baseline JSON path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; usage: store_chains [--compare <baseline.json>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let versions = env_usize("IPR_BENCH_STORE_VERSIONS", 48);
+    let version_bytes = env_usize("IPR_BENCH_STORE_BYTES", 64 * 1024);
+    let depth_cap = env_usize("IPR_BENCH_STORE_DEPTH_CAP", 8) as u32;
+    let chain = VersionChain::generate(
+        4242,
+        ContentKind::BinaryLike,
+        version_bytes,
+        versions,
+        ChainPattern::Patches,
+    );
+
+    let root = ipr_store::scratch_dir(&std::env::temp_dir(), "bench");
+    let mut store = Store::init(&root, depth_cap).expect("store init");
+
+    // Put the whole history, head-chained: every version deltas off
+    // the previous one, so the chain grows one hop per put until
+    // compaction enforces the cap.
+    let mut put_ns: u128 = 0;
+    let mut delta_bytes_put: u64 = 0;
+    let mut full_bytes_put: u64 = 0;
+    for release in chain.releases() {
+        let t = Instant::now();
+        let outcome = store.put(release, None).expect("put succeeds");
+        put_ns += t.elapsed().as_nanos();
+        assert!(outcome.created, "workload versions are distinct");
+        match outcome.kind {
+            ipr_store::ObjectKind::Delta => delta_bytes_put += outcome.stored_bytes,
+            ipr_store::ObjectKind::Full => full_bytes_put += outcome.stored_bytes,
+        }
+    }
+    let objects_before = store.manifest().objects.len();
+    let max_depth_before = store.manifest().max_depth();
+
+    // Read path before compaction: latency as a function of depth.
+    let buckets_before = read_sweep(&mut store);
+
+    // Compact down to the cap, then read again.
+    let t = Instant::now();
+    let report = store.compact().expect("compact succeeds");
+    let compact_ns = t.elapsed().as_nanos();
+    let objects_after = store.manifest().objects.len();
+    let buckets_after = read_sweep(&mut store);
+
+    // fsck throughput over the compacted store.
+    drop(store);
+    let t = Instant::now();
+    let fsck_report = fsck(&root, false).expect("fsck runs");
+    let fsck_ns = t.elapsed().as_nanos();
+    let fsck_mib_s =
+        fsck_report.bytes_checked as f64 / 1024.0 / 1024.0 / (fsck_ns as f64 / 1e9).max(1e-9);
+
+    println!(
+        "Store chains: {versions} versions of {} KiB, depth cap {depth_cap}\n",
+        version_bytes / 1024
+    );
+    println!(
+        "put: {:.2} ms total ({} B delta + {} B full stored)",
+        put_ns as f64 / 1e6,
+        delta_bytes_put,
+        full_bytes_put
+    );
+    print_buckets("reconstruct before compaction", &buckets_before);
+    print_buckets("reconstruct after compaction", &buckets_after);
+    let ratio = report.bytes_after as f64 / report.bytes_before.max(1) as f64;
+    println!(
+        "\ncompact: {:.2} ms, depth {} -> {}, {} chains collapsed, \
+         {} objects dropped, {} -> {} live bytes ({ratio:.3}x)",
+        compact_ns as f64 / 1e6,
+        report.max_depth_before,
+        report.max_depth_after,
+        report.collapsed,
+        report.dropped_objects,
+        report.bytes_before,
+        report.bytes_after
+    );
+    println!(
+        "fsck: {} findings, {} versions, {} objects, {} B in {:.2} ms ({fsck_mib_s:.1} MiB/s)",
+        fsck_report.findings.len(),
+        fsck_report.versions_checked,
+        fsck_report.objects_checked,
+        fsck_report.bytes_checked,
+        fsck_ns as f64 / 1e6
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+
+    if let Some(path) = baseline_path {
+        let breaches = gate(
+            &path,
+            versions,
+            depth_cap,
+            objects_before,
+            objects_after,
+            max_depth_before,
+            &report,
+            delta_bytes_put,
+            full_bytes_put,
+            &fsck_report,
+        );
+        if breaches > 0 {
+            eprintln!("\n{breaches} invariant breach(es) against the baseline");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"store_chains\",\n");
+    json.push_str("  \"command\": \"cargo run -p ipr-bench --release --bin store_chains\",\n");
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"versions\": {versions},\n"));
+    json.push_str(&format!("  \"version_bytes\": {version_bytes},\n"));
+    json.push_str(&format!("  \"depth_cap\": {depth_cap},\n"));
+    json.push_str(&format!("  \"put_total_ns\": {put_ns},\n"));
+    json.push_str(&format!("  \"delta_bytes_put\": {delta_bytes_put},\n"));
+    json.push_str(&format!("  \"full_bytes_put\": {full_bytes_put},\n"));
+    json.push_str(&format!("  \"objects_before\": {objects_before},\n"));
+    json.push_str(&format!("  \"objects_after\": {objects_after},\n"));
+    json.push_str(&format!("  \"max_depth_before\": {max_depth_before},\n"));
+    json.push_str(&format!(
+        "  \"max_depth_after\": {},\n",
+        report.max_depth_after
+    ));
+    json.push_str(&format!("  \"chains_collapsed\": {},\n", report.collapsed));
+    json.push_str(&format!(
+        "  \"objects_dropped\": {},\n",
+        report.dropped_objects
+    ));
+    json.push_str(&format!(
+        "  \"live_bytes_before\": {},\n",
+        report.bytes_before
+    ));
+    json.push_str(&format!(
+        "  \"live_bytes_after\": {},\n",
+        report.bytes_after
+    ));
+    json.push_str(&format!("  \"compact_ns\": {compact_ns},\n"));
+    json.push_str(&format!(
+        "  \"reconstruct_before\": {},\n",
+        buckets_json(&buckets_before)
+    ));
+    json.push_str(&format!(
+        "  \"reconstruct_after\": {},\n",
+        buckets_json(&buckets_after)
+    ));
+    json.push_str(&format!(
+        "  \"fsck\": {{\"findings\": {}, \"versions_checked\": {}, \"objects_checked\": {}, \
+         \"bytes_checked\": {}, \"total_ns\": {}}}\n",
+        fsck_report.findings.len(),
+        fsck_report.versions_checked,
+        fsck_report.objects_checked,
+        fsck_report.bytes_checked,
+        fsck_ns
+    ));
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_store_chains.json", &json).expect("write results");
+    println!("\nwrote results/BENCH_store_chains.json");
+}
+
+/// Gates the run against a stored report; returns the breach count.
+/// Only machine-independent invariants are checked — counts, depths
+/// and stored byte totals are exact functions of the seed and the
+/// differ, so any drift is a real behavioural change, never noise.
+#[allow(clippy::too_many_arguments)]
+fn gate(
+    path: &str,
+    versions: usize,
+    depth_cap: u32,
+    objects_before: usize,
+    objects_after: usize,
+    max_depth_before: u32,
+    report: &ipr_store::CompactReport,
+    delta_bytes_put: u64,
+    full_bytes_put: u64,
+    fsck_report: &ipr_store::FsckReport,
+) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let baseline = ipr_trace::json::parse(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+    let field = |key: &str| -> u64 {
+        baseline
+            .get(key)
+            .and_then(ipr_trace::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("baseline {path} has no {key} field"))
+    };
+    let mut breaches = 0;
+    println!(
+        "\nComparison against {path} (gates: exact structural invariants; timing never gated)\n"
+    );
+
+    // Absolute within-run gates: the store's own contract.
+    let mut check = |label: &str, ok: bool, detail: String| {
+        let status = if ok {
+            "ok"
+        } else {
+            breaches += 1;
+            "REGRESSED"
+        };
+        println!("{label}: {detail} {status}");
+    };
+    check(
+        "depth cap honoured",
+        report.max_depth_after <= depth_cap,
+        format!("max depth {} vs cap {depth_cap}", report.max_depth_after),
+    );
+    check(
+        "fsck clean",
+        fsck_report.findings.is_empty(),
+        format!("{} finding(s)", fsck_report.findings.len()),
+    );
+
+    // Exact gates against the baseline: structural drift detection.
+    for (key, got) in [
+        ("versions", versions as u64),
+        ("depth_cap", u64::from(depth_cap)),
+        ("objects_before", objects_before as u64),
+        ("objects_after", objects_after as u64),
+        ("max_depth_before", u64::from(max_depth_before)),
+        ("max_depth_after", u64::from(report.max_depth_after)),
+        ("chains_collapsed", report.collapsed as u64),
+        ("objects_dropped", report.dropped_objects as u64),
+        ("delta_bytes_put", delta_bytes_put),
+        ("full_bytes_put", full_bytes_put),
+        ("live_bytes_before", report.bytes_before),
+        ("live_bytes_after", report.bytes_after),
+    ] {
+        let want = field(key);
+        check(key, got == want, format!("{got} vs baseline {want}"));
+    }
+    breaches
+}

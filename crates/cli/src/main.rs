@@ -9,6 +9,7 @@
 //!                    [--threads N] [--read-mode snapshot|zero-copy]
 //! ipr info <delta>                            print header and statistics
 //! ipr verify <delta>                          check Equation 2 safety
+//! ipr store <init|put|get|log|compact|fsck>   versioned delta object store
 //! ```
 //!
 //! Every subcommand also accepts `--stats` (human-readable per-phase
@@ -22,6 +23,7 @@
 //! scratch state for the duration of the command.
 
 mod engine_cli;
+mod store_cli;
 #[cfg(test)]
 mod tests;
 
@@ -132,6 +134,7 @@ fn dispatch(args: &[String]) -> CliResult {
         "dump" => cmd_dump(rest),
         "verify" => cmd_verify(rest),
         "fuzz" => cmd_fuzz(rest),
+        "store" => store_cli::cmd_store(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -159,8 +162,10 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
-         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine|remote] [--seed S] [--iters N]\n\
-         \x20       [--shrink on|off]  (differential fuzzing; failures print a replay seed)\n\
+         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine|remote|store] [--seed S]\n\
+         \x20       [--iters N] [--shrink on|off]  (differential fuzzing; failures print a seed)\n\
+         \x20 store <init|put|get|log|compact|fsck> <dir> [...]\n\
+         \x20       (versioned delta object store: crash-safe transactions, chain compaction)\n\
          \n\
          every subcommand accepts: --stats | --stats=json | --stats-out <file>\n\
          \x20 (per-phase spans/counters report, printed to stderr or written as JSON)\n\
@@ -539,7 +544,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     }
     cli.finish_options()?;
     cli.no_positional(
-        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine|remote] [--seed S] \
+        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine|remote|store] [--seed S] \
          [--iters N] [--shrink on|off] [--max-failures N]",
     )?;
     let report = ipr_fuzz::run(&config);

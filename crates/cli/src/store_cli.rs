@@ -1,0 +1,194 @@
+//! `ipr store` — the versioned delta object store's command surface.
+//!
+//! ```text
+//! ipr store init <dir> [--depth-cap N]
+//! ipr store put <dir> <file> [--parent OID]
+//! ipr store get <dir> <oid-prefix> <out>
+//! ipr store log <dir>
+//! ipr store compact <dir>
+//! ipr store fsck <dir> [--repair]
+//! ```
+//!
+//! Every mutation commits through the store's crash-safe transaction
+//! layer; `fsck` exits non-zero whenever the store needs attention (and
+//! with `--repair` only if something unrepairable remains).
+
+use crate::engine_cli::EngineCli;
+use ipr_store::{fsck, ObjectKind, Oid, Store, DEFAULT_DEPTH_CAP};
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+pub fn cmd_store(args: &[String]) -> CliResult {
+    let Some(sub) = args.first() else {
+        return Err(USAGE.into());
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "init" => cmd_init(rest),
+        "put" => cmd_put(rest),
+        "get" => cmd_get(rest),
+        "log" => cmd_log(rest),
+        "compact" => cmd_compact(rest),
+        "fsck" => cmd_fsck(rest),
+        other => Err(format!("unknown store subcommand `{other}`\n{USAGE}").into()),
+    }
+}
+
+const USAGE: &str = "usage: ipr store <init|put|get|log|compact|fsck> <dir> [...]\n\
+                     \x20 init <dir> [--depth-cap N]     create an empty store\n\
+                     \x20 put <dir> <file> [--parent OID]  store a version (delta vs parent/head)\n\
+                     \x20 get <dir> <oid-prefix> <out>   reconstruct a version\n\
+                     \x20 log <dir>                      list versions, chains and depths\n\
+                     \x20 compact <dir>                  cap chain depth via delta composition\n\
+                     \x20 fsck <dir> [--repair]          integrity sweep (repair crash debris)";
+
+fn cmd_init(args: &[String]) -> CliResult {
+    let mut cli = EngineCli::parse(args)?;
+    let depth_cap = cli
+        .take_with("depth-cap", |v| {
+            v.parse::<u32>()
+                .map_err(|_| format!("--depth-cap needs a number, got `{v}`"))
+        })?
+        .unwrap_or(DEFAULT_DEPTH_CAP);
+    cli.finish_options()?;
+    let [dir] = cli.positional("usage: ipr store init <dir> [--depth-cap N]")?;
+    let store = Store::init(dir.as_ref(), depth_cap)?;
+    println!(
+        "initialized store at {} (depth cap {})",
+        store.root().display(),
+        depth_cap
+    );
+    Ok(())
+}
+
+fn cmd_put(args: &[String]) -> CliResult {
+    let mut cli = EngineCli::parse(args)?;
+    let parent = cli.take_with("parent", |v| v.parse::<Oid>().map_err(|e| e.to_string()))?;
+    cli.finish_options()?;
+    let [dir, file] = cli.positional("usage: ipr store put <dir> <file> [--parent OID]")?;
+    let bytes = std::fs::read(file)?;
+    let mut store = Store::open(dir.as_ref())?;
+    let out = store.put(&bytes, parent)?;
+    if out.created {
+        println!(
+            "{} <- {} ({} B) stored as {} ({} B on disk, depth {})",
+            out.oid,
+            file,
+            bytes.len(),
+            match out.kind {
+                ObjectKind::Full => "full image",
+                ObjectKind::Delta => "delta",
+            },
+            out.stored_bytes,
+            out.depth
+        );
+    } else {
+        println!("{} already stored (content match, no-op)", out.oid);
+    }
+    Ok(())
+}
+
+fn cmd_get(args: &[String]) -> CliResult {
+    let cli = EngineCli::parse(args)?;
+    cli.finish_options()?;
+    let [dir, prefix, out_path] =
+        cli.positional("usage: ipr store get <dir> <oid-prefix> <out>")?;
+    let mut store = Store::open(dir.as_ref())?;
+    let oid = store.resolve_prefix(prefix)?;
+    let depth = store.manifest().depth(oid).unwrap_or(0);
+    let bytes = store.get(oid)?;
+    std::fs::write(out_path, &bytes)?;
+    println!(
+        "{} -> {} ({} B, reconstructed through {} delta{})",
+        oid,
+        out_path,
+        bytes.len(),
+        depth,
+        if depth == 1 { "" } else { "s" }
+    );
+    Ok(())
+}
+
+fn cmd_log(args: &[String]) -> CliResult {
+    let cli = EngineCli::parse(args)?;
+    cli.finish_options()?;
+    let [dir] = cli.positional("usage: ipr store log <dir>")?;
+    let store = Store::open(dir.as_ref())?;
+    let manifest = store.manifest();
+    println!(
+        "store at {}: gen {}, {} version(s), depth cap {}",
+        store.root().display(),
+        manifest.gen,
+        manifest.versions.len(),
+        manifest.depth_cap
+    );
+    for v in store.log() {
+        let depth = manifest.depth(v.oid).unwrap_or(0);
+        let storage = match manifest.edges.get(&v.oid) {
+            Some(edge) => format!("delta of {:.12}", edge.from.to_string()),
+            None => "full".to_string(),
+        };
+        println!(
+            "{:4}  {}  {:>10} B  depth {}  {}",
+            v.seq, v.oid, v.len, depth, storage
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> CliResult {
+    let cli = EngineCli::parse(args)?;
+    cli.finish_options()?;
+    let [dir] = cli.positional("usage: ipr store compact <dir>")?;
+    let mut store = Store::open(dir.as_ref())?;
+    let r = store.compact()?;
+    println!(
+        "compacted: {} chain(s) collapsed, {} object(s) dropped, \
+         max depth {} -> {}, {} B -> {} B",
+        r.collapsed,
+        r.dropped_objects,
+        r.max_depth_before,
+        r.max_depth_after,
+        r.bytes_before,
+        r.bytes_after
+    );
+    Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> CliResult {
+    // `--repair` is a bare flag; strip it before the key-value parser.
+    let mut repair = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--repair" {
+                repair = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let cli = EngineCli::parse(&rest)?;
+    cli.finish_options()?;
+    let [dir] = cli.positional("usage: ipr store fsck <dir> [--repair]")?;
+    let report = fsck(dir.as_ref(), repair)?;
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "fsck: {} finding(s), {} version(s) reconstructed, {} object(s) verified, {} B checked",
+        report.findings.len(),
+        report.versions_checked,
+        report.objects_checked,
+        report.bytes_checked
+    );
+    if report.is_clean() || (repair && report.fully_repaired() && !report.has_corruption()) {
+        Ok(())
+    } else if report.has_corruption() {
+        Err("store is corrupt".into())
+    } else {
+        Err("store needs repair (rerun with --repair)".into())
+    }
+}

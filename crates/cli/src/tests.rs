@@ -77,6 +77,85 @@ fn fuzz_subcommand_emits_stats() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `ipr store` end to end: init, put a drifting history, get each
+/// version back byte-identically, compact under the depth cap, and a
+/// clean fsck throughout — plus the error paths.
+#[test]
+fn store_subcommand_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("ipr-cli-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let store = p("store");
+
+    run(&s(&["store", "init", &store, "--depth-cap", "2"])).unwrap();
+    // A drifting three-version history.
+    let mut v = (0..4096u32)
+        .map(|i| (i * 11 % 239) as u8)
+        .collect::<Vec<u8>>();
+    let mut files = Vec::new();
+    for i in 0..4 {
+        v[i * 700] ^= 0x2a;
+        v.extend_from_slice(b"more");
+        let path = p(&format!("v{i}"));
+        std::fs::write(&path, &v).unwrap();
+        files.push((path, v.clone()));
+    }
+    for (path, _) in &files {
+        run(&s(&["store", "put", &store, path])).unwrap();
+    }
+    run(&s(&["store", "log", &store])).unwrap();
+    run(&s(&["store", "fsck", &store])).unwrap();
+    run(&s(&["store", "compact", &store])).unwrap();
+    run(&s(&["store", "fsck", &store])).unwrap();
+
+    // Every version reconstructs byte-identically via its oid.
+    let st = ipr_store::Store::open(store.as_ref()).unwrap();
+    let oids: Vec<String> = st.log().iter().map(|r| r.oid.to_string()).collect();
+    assert!(st.manifest().max_depth() <= 2);
+    drop(st);
+    for (oid, (_, want)) in oids.iter().zip(&files) {
+        let out = p("out");
+        // Full id and an abbreviated prefix both resolve.
+        run(&s(&["store", "get", &store, oid, &out])).unwrap();
+        assert_eq!(&std::fs::read(&out).unwrap(), want);
+        run(&s(&["store", "get", &store, &oid[..12], &out])).unwrap();
+        assert_eq!(&std::fs::read(&out).unwrap(), want);
+    }
+
+    // Error paths: re-init over a live store, unknown id, bad parent,
+    // wrong arity, unknown subcommand.
+    assert!(run(&s(&["store", "init", &store])).is_err());
+    assert!(run(&s(&["store", "get", &store, "ffffffffffff", &p("x")])).is_err());
+    assert!(run(&s(&[
+        "store",
+        "put",
+        &store,
+        &files[0].0,
+        "--parent",
+        "not-an-oid"
+    ]))
+    .is_err());
+    assert!(run(&s(&["store", "put", &store])).is_err());
+    assert!(run(&s(&["store"])).is_err());
+    assert!(run(&s(&["store", "frobnicate", &store])).is_err());
+    assert!(run(&s(&["store", "init", &p("capless"), "--depth-cap", "0"])).is_err());
+
+    // Damage an object: fsck reports corruption and exits non-zero.
+    let objects = std::path::Path::new(&store).join("objects");
+    let victim = std::fs::read_dir(&objects)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "full"))
+        .unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[0] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+    assert!(run(&s(&["store", "fsck", &store])).is_err());
+    assert!(run(&s(&["store", "fsck", &store, "--repair"])).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn unknown_subcommand_errors() {
     assert!(run(&s(&["frobnicate"])).is_err());

@@ -5,7 +5,7 @@
 //! survives unit tests and dies on adversarial inputs. This crate
 //! generates those inputs — structured delta scripts and hostile wire
 //! bytes — from a single `u64` seed with the vendored [`rand`] crate,
-//! and judges them with six differential oracles:
+//! and judges them with seven differential oracles:
 //!
 //! * **codec** ([`oracles::check_codec_case`] +
 //!   [`oracles::check_decoder_robustness`]): every format round-trips
@@ -33,7 +33,12 @@
 //!   byte-identical commands, wire bytes and applied buffers to the
 //!   legacy free-function pipeline, over a seed-driven sweep of cycle
 //!   policies, thread counts and wire formats, and stays identical when
-//!   the same engine (with its recycled arenas) runs the case again.
+//!   the same engine (with its recycled arenas) runs the case again;
+//! * **store** ([`oracles::check_store_case`]): the versioned object
+//!   store — a drifting version history written into a throwaway
+//!   on-disk store reads back byte-identically after every put, after
+//!   compaction under a salt-chosen depth cap, and after a fresh
+//!   reopen, with a full `fsck` sweep clean at every checkpoint.
 //!
 //! Everything is reproducible: iteration `i` of a run seeded `s` uses
 //! case seed `s + i`, printed with every failure, so
@@ -57,7 +62,7 @@ use std::str::FromStr;
 /// cases within one case seed.
 const HOSTILE_SALT: u64 = 0x686f7374; // "host"
 
-/// One of the six differential oracles.
+/// One of the seven differential oracles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Oracle {
     /// Codec round-trip + decoder robustness.
@@ -72,17 +77,20 @@ pub enum Oracle {
     Engine,
     /// Signature-based streaming remote diff reconstructs byte-exactly.
     Remote,
+    /// Versioned object store round-trips, compacts and fscks clean.
+    Store,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::Codec,
         Oracle::Convert,
         Oracle::Crwi,
         Oracle::Diff,
         Oracle::Engine,
         Oracle::Remote,
+        Oracle::Store,
     ];
 
     /// The `ipr-trace` span name covering one iteration of this oracle
@@ -96,6 +104,7 @@ impl Oracle {
             Oracle::Diff => "fuzz.diff",
             Oracle::Engine => "fuzz.engine",
             Oracle::Remote => "fuzz.remote",
+            Oracle::Store => "fuzz.store",
         }
     }
 }
@@ -109,6 +118,7 @@ impl fmt::Display for Oracle {
             Oracle::Diff => "diff",
             Oracle::Engine => "engine",
             Oracle::Remote => "remote",
+            Oracle::Store => "store",
         })
     }
 }
@@ -124,9 +134,10 @@ impl FromStr for Oracle {
             "diff" => Ok(Oracle::Diff),
             "engine" => Ok(Oracle::Engine),
             "remote" => Ok(Oracle::Remote),
+            "store" => Ok(Oracle::Store),
             other => Err(format!(
                 "unknown oracle `{other}` (expected codec, convert, crwi, diff, engine, \
-                 remote or all)"
+                 remote, store or all)"
             )),
         }
     }
@@ -272,6 +283,7 @@ pub fn run_case(oracle: Oracle, seed: u64) -> Result<(), String> {
         Oracle::Diff => oracles::check_diff_case(&case_for(seed), seed),
         Oracle::Engine => oracles::check_engine_case(&case_for(seed), seed),
         Oracle::Remote => oracles::check_remote_case(&case_for(seed), seed),
+        Oracle::Store => oracles::check_store_case(&case_for(seed), seed),
     }
 }
 
@@ -344,6 +356,11 @@ fn shrink_failure(oracle: Oracle, seed: u64) -> String {
         }
         Oracle::Remote => {
             let check = move |c: &FuzzCase| oracles::check_remote_case(c, seed);
+            let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
+            format!("{} — {detail}", describe_case(&small))
+        }
+        Oracle::Store => {
+            let check = move |c: &FuzzCase| oracles::check_store_case(c, seed);
             let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
             format!("{} — {detail}", describe_case(&small))
         }

@@ -35,6 +35,11 @@
 //!   signature surviving its wire round-trip, the streaming signature
 //!   builder agreeing with the in-memory one, and the generator's
 //!   output invariant under hostile read granularities.
+//! * [`check_store_case`] — the versioned object store: a drifting
+//!   version history put into a throwaway on-disk store reads back
+//!   byte-identically after every put, after compaction under a
+//!   salt-chosen depth cap, and after a fresh reopen, with a full
+//!   `fsck` sweep clean at every checkpoint.
 
 use crate::check;
 use crate::gen::FuzzCase;
@@ -877,6 +882,124 @@ pub fn check_remote_case(case: &FuzzCase, salt: u64) -> CheckResult {
     Ok(())
 }
 
+/// Checks the object-store oracle on one valid case.
+///
+/// The case spawns a small drifting version history (the reference, the
+/// scratch-applied version, then salt-driven mutations of it) written
+/// into a throwaway on-disk store with a salt-chosen depth cap. The
+/// in-memory history is ground truth; the store must agree with it at
+/// every step:
+///
+/// 1. **round-trip** — after every `put`, `get` of *every* version so
+///    far is byte-identical to the in-memory copy (reads through
+///    `Engine::apply_chain` over the stored delta chain);
+/// 2. **dedup** — re-putting an existing version is a no-op that
+///    commits nothing;
+/// 3. **fsck-clean** — after every mutation batch (all puts, then
+///    compaction) a full `fsck` sweep reports zero findings;
+/// 4. **compaction** — `compact` caps every chain at the depth bound
+///    and changes no reconstructed byte;
+/// 5. **persistence** — a fresh `open` of the directory reconstructs
+///    the same bytes (nothing lived only in session state).
+pub fn check_store_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    use rand::Rng;
+    let version = scratch_apply(case)?;
+    let depth_cap = 1 + (salt % 4) as u32;
+    let tag = format!("store(depth_cap={depth_cap})");
+
+    // Ground truth: reference, version, and two salt-driven drifts.
+    let mut rng = crate::gen::rng_for(salt ^ 0x73746f7265); // "store"
+    let mut history = vec![case.reference.clone(), version];
+    for _ in 0..2 {
+        let mut next = history.last().unwrap().clone();
+        for _ in 0..rng.random_range(1u32..8) {
+            if next.is_empty() || rng.random_range(0u32..4) == 0 {
+                let extra = rng.random_range(1usize..64);
+                next.extend((0..extra).map(|_| rng.random_range(0u32..256) as u8));
+            } else {
+                let at = rng.random_range(0usize..next.len());
+                next[at] ^= 1 + rng.random_range(0u32..255) as u8;
+            }
+        }
+        history.push(next);
+    }
+    history.dedup_by(|a, b| a == b); // identical neighbours would dedup in the store
+
+    let dir = ipr_store::scratch_dir(&std::env::temp_dir(), "fuzz");
+    let result = (|| -> CheckResult {
+        let mut store = ipr_store::Store::init(&dir, depth_cap)
+            .map_err(|e| format!("{tag}: init failed: {e}"))?;
+        let mut oids = Vec::new();
+        for (i, bytes) in history.iter().enumerate() {
+            let out = store
+                .put(bytes, None)
+                .map_err(|e| format!("{tag}: put #{i} failed: {e}"))?;
+            oids.push(out.oid);
+            for (j, (oid, want)) in oids.iter().zip(&history).enumerate() {
+                let got = store
+                    .get(*oid)
+                    .map_err(|e| format!("{tag}: get #{j} after put #{i} failed: {e}"))?;
+                if &got != want {
+                    return fail(format!(
+                        "{tag}: version #{j} read back {} bytes, expected {}",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+            let gen_before = store.manifest().gen;
+            let replay = store
+                .put(bytes, None)
+                .map_err(|e| format!("{tag}: duplicate put #{i} failed: {e}"))?;
+            if replay.created || store.manifest().gen != gen_before {
+                return fail(format!("{tag}: duplicate put #{i} was not a no-op"));
+            }
+        }
+        let report = ipr_store::fsck(&dir, false)
+            .map_err(|e| format!("{tag}: fsck after puts failed: {e}"))?;
+        if !report.is_clean() {
+            return fail(format!(
+                "{tag}: fsck after puts found {:?}",
+                report.findings
+            ));
+        }
+        let compact = store
+            .compact()
+            .map_err(|e| format!("{tag}: compact failed: {e}"))?;
+        if compact.max_depth_after > depth_cap {
+            return fail(format!(
+                "{tag}: compaction left depth {} over the cap",
+                compact.max_depth_after
+            ));
+        }
+        drop(store);
+        // A fresh session over the same directory must agree.
+        let mut reopened =
+            ipr_store::Store::open(&dir).map_err(|e| format!("{tag}: reopen failed: {e}"))?;
+        for (j, (oid, want)) in oids.iter().zip(&history).enumerate() {
+            let got = reopened
+                .get(*oid)
+                .map_err(|e| format!("{tag}: get #{j} after compaction failed: {e}"))?;
+            if &got != want {
+                return fail(format!(
+                    "{tag}: version #{j} changed across compaction + reopen"
+                ));
+            }
+        }
+        let report = ipr_store::fsck(&dir, false)
+            .map_err(|e| format!("{tag}: fsck after compaction failed: {e}"))?;
+        if !report.is_clean() {
+            return fail(format!(
+                "{tag}: fsck after compaction found {:?}",
+                report.findings
+            ));
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -939,6 +1062,16 @@ mod tests {
         for seed in 0..32u64 {
             let c = case(&mut rng_for(seed));
             check_remote_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn store_oracle_clean_on_seeds() {
+        // 8 consecutive seeds cover every depth cap (1..=4) the salt
+        // sweep can pick, twice; each case does real disk I/O.
+        for seed in 0..8u64 {
+            let c = case(&mut rng_for(seed));
+            check_store_case(&c, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

@@ -377,6 +377,27 @@ impl<D: IndexedDiffer> Engine<D> {
         Ok(ApplyOutcome { conversion, apply })
     }
 
+    /// Composes a chain of consecutive deltas into one equivalent
+    /// script ([`ipr_delta::compose_chain`]) without applying it. This
+    /// is the storage-side dual of [`Engine::apply_chain`]: the object
+    /// store's compaction uses it to collapse a deep reconstruction
+    /// chain into a single delta while readers keep using
+    /// `apply_chain`.
+    ///
+    /// # Panics
+    ///
+    /// On an empty chain — there is no identity delta without a length.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Compose`] when the chain is not consecutive.
+    pub fn compose(&mut self, scripts: &[DeltaScript]) -> Result<DeltaScript, EngineError> {
+        let _span = ipr_trace::span("engine.compose");
+        assert!(!scripts.is_empty(), "cannot compose an empty chain");
+        ipr_trace::add("engine.compose_hops", scripts.len() as u64);
+        Ok(compose_chain(scripts)?)
+    }
+
     /// Returns a finished delta's storage to the engine's pool, so later
     /// updates build their scripts and payloads out of it instead of
     /// allocating.

@@ -1,0 +1,156 @@
+//! Durability boundaries with deterministic crash and fault injection.
+//!
+//! Every fsync and rename the transaction layer performs flows through
+//! this module, and each one is bracketed by two numbered *boundaries*
+//! (just before and just after the operation). A boundary is where a
+//! crash is interesting: killing before an fsync models "the write never
+//! reached the platter", killing after a rename models "the new name is
+//! durable but nothing later is". Sweeping a kill over every boundary
+//! therefore exercises every crash interleaving the on-disk format has
+//! to survive — that sweep is `tests/store_crash.rs` and the CI
+//! `store-smoke` job.
+//!
+//! Two injection modes share one counter:
+//!
+//! * **process kill** — when the environment variable
+//!   [`KILL_ENV`]`=<n>` is set, the process exits with [`KILL_EXIT_CODE`]
+//!   at the `n`-th boundary crossed on the calling thread. This is the
+//!   mode the child-process crash sweep uses: a real `exit` mid-commit,
+//!   observed by a fresh process reopening the store.
+//! * **in-process fault** — [`fail_after`]`(n)` makes the `n`-th
+//!   upcoming boundary on the calling thread return an injected
+//!   [`std::io::Error`] instead of exiting, so property tests can
+//!   interrupt a transaction, watch the typed error propagate, and
+//!   reopen the store in the same process.
+//!
+//! Counters are thread-local: a store session is single-threaded
+//! (`&mut self`), so the boundaries of one scripted operation are
+//! numbered deterministically no matter what other test threads do.
+
+use std::cell::Cell;
+use std::io;
+use std::sync::OnceLock;
+
+/// Environment variable selecting the process-kill boundary (1-based).
+pub const KILL_ENV: &str = "IPR_STORE_KILL";
+
+/// Exit code of a process killed at a boundary, distinguishable from
+/// both success and ordinary test failure.
+pub const KILL_EXIT_CODE: i32 = 86;
+
+thread_local! {
+    static CROSSED: Cell<u64> = const { Cell::new(0) };
+    static FAIL_AT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn kill_at() -> Option<u64> {
+    static KILL: OnceLock<Option<u64>> = OnceLock::new();
+    *KILL.get_or_init(|| {
+        std::env::var(KILL_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+    })
+}
+
+/// Crosses one durability boundary: increments the thread's counter and
+/// fires whichever injection is armed for this crossing.
+///
+/// # Errors
+///
+/// The injected fault, when [`fail_after`] armed this boundary.
+pub(crate) fn boundary(what: &str) -> io::Result<()> {
+    let crossed = CROSSED.with(|c| {
+        let n = c.get() + 1;
+        c.set(n);
+        n
+    });
+    if kill_at() == Some(crossed) {
+        // A real crash for the sweep: no unwinding, no destructors that
+        // could tidy up state a power cut would have left behind.
+        std::process::exit(KILL_EXIT_CODE);
+    }
+    if FAIL_AT.with(Cell::get) == Some(crossed) {
+        FAIL_AT.with(|f| f.set(None));
+        return Err(io::Error::other(format!(
+            "injected fault at boundary {crossed} ({what})"
+        )));
+    }
+    Ok(())
+}
+
+/// Arms an injected failure at the `n`-th boundary (1-based) the calling
+/// thread crosses from now on. The fault fires once, then disarms.
+pub fn fail_after(n: u64) {
+    assert!(n > 0, "boundaries are numbered from 1");
+    let at = CROSSED.with(Cell::get) + n;
+    FAIL_AT.with(|f| f.set(Some(at)));
+}
+
+/// Disarms any pending [`fail_after`] injection on the calling thread.
+pub fn clear() {
+    FAIL_AT.with(|f| f.set(None));
+}
+
+/// Boundaries the calling thread has crossed so far (monotonic; the
+/// crash sweep uses the delta across one operation as its sweep width).
+#[must_use]
+pub fn crossed() -> u64 {
+    CROSSED.with(Cell::get)
+}
+
+/// Fsyncs an open file, crossing a boundary on each side.
+pub(crate) fn fsync_file(file: &std::fs::File, what: &str) -> io::Result<()> {
+    boundary(&format!("before fsync {what}"))?;
+    file.sync_all()?;
+    boundary(&format!("after fsync {what}"))
+}
+
+/// Opens `path` and fsyncs it — used for directories, whose entries
+/// (created by rename) need their own durability point on Linux.
+pub(crate) fn fsync_dir(path: &std::path::Path) -> io::Result<()> {
+    boundary(&format!("before fsync dir {}", path.display()))?;
+    std::fs::File::open(path)?.sync_all()?;
+    boundary(&format!("after fsync dir {}", path.display()))
+}
+
+/// Renames `from` to `to`, crossing a boundary on each side. The rename
+/// itself is atomic (POSIX): a crash between the two boundaries leaves
+/// exactly one of the names present.
+pub(crate) fn rename(from: &std::path::Path, to: &std::path::Path) -> io::Result<()> {
+    boundary(&format!("before rename {}", to.display()))?;
+    std::fs::rename(from, to)?;
+    boundary(&format!("after rename {}", to.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_count_and_injection_fires_once() {
+        let start = crossed();
+        boundary("a").unwrap();
+        boundary("b").unwrap();
+        assert_eq!(crossed(), start + 2);
+
+        fail_after(2);
+        boundary("c").unwrap();
+        let err = boundary("d").unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        // Disarmed after firing.
+        boundary("e").unwrap();
+    }
+
+    #[test]
+    fn clear_disarms() {
+        fail_after(1);
+        clear();
+        boundary("x").unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn fail_after_zero_rejected() {
+        fail_after(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! The transaction journal: a framed, append-only intent log.
+//!
+//! The manifest swap is what makes a commit *real*; the journal records
+//! what the store was *trying* to do around it, so a reopen after a
+//! crash can tell "mid-transaction debris" from "corruption". Each
+//! record is a CRC-framed text payload:
+//!
+//! ```text
+//! [u32 le payload length][payload bytes][u32 le crc32(payload)]
+//! ```
+//!
+//! with payloads `begin <gen>`, `commit <gen>` and `abort <gen>`. A
+//! transaction appends `begin` (fsynced) before touching anything,
+//! `commit` after the manifest swap is durable, and `abort` when it
+//! unwinds cleanly. A crash can therefore leave exactly two benign
+//! shapes the scanner recognises:
+//!
+//! * a **torn tail** — the final frame is truncated or fails its CRC
+//!   because the crash landed mid-append. Everything before it is
+//!   intact; repair truncates the tail.
+//! * an **open transaction** — a trailing `begin <g>` without its
+//!   `commit`/`abort`. Whether generation `g` actually committed is
+//!   decided by the manifest (the single source of truth), not the
+//!   journal; repair appends the missing resolution record.
+//!
+//! Anything else (a bad CRC *before* the last frame, garbage payloads)
+//! is real corruption and is reported as such by `fsck`.
+
+use crate::fault;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// One journal record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A transaction targeting `gen` has started.
+    Begin(u64),
+    /// The manifest swap to `gen` is durable.
+    Commit(u64),
+    /// The transaction targeting `gen` unwound without committing.
+    Abort(u64),
+}
+
+impl Record {
+    /// The generation this record refers to.
+    #[must_use]
+    pub fn gen(self) -> u64 {
+        match self {
+            Record::Begin(g) | Record::Commit(g) | Record::Abort(g) => g,
+        }
+    }
+
+    fn payload(self) -> String {
+        match self {
+            Record::Begin(g) => format!("begin {g}"),
+            Record::Commit(g) => format!("commit {g}"),
+            Record::Abort(g) => format!("abort {g}"),
+        }
+    }
+
+    fn parse(payload: &[u8]) -> Option<Record> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let (verb, gen) = text.split_once(' ')?;
+        let gen = gen.parse().ok()?;
+        match verb {
+            "begin" => Some(Record::Begin(gen)),
+            "commit" => Some(Record::Commit(gen)),
+            "abort" => Some(Record::Abort(gen)),
+            _ => None,
+        }
+    }
+
+    /// The framed wire bytes of this record.
+    #[must_use]
+    pub fn frame(self) -> Vec<u8> {
+        let payload = self.payload().into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&ipr_delta::checksum::crc32(&payload).to_le_bytes());
+        out
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.payload())
+    }
+}
+
+/// What a journal scan found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scan {
+    /// Every intact record, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset where the intact prefix ends. Equal to the file
+    /// length for a clean journal; shorter when the tail is torn.
+    pub intact_len: u64,
+    /// Whether bytes past `intact_len` exist (a torn final frame — the
+    /// expected residue of a crash mid-append).
+    pub torn_tail: bool,
+}
+
+impl Scan {
+    /// The trailing `begin` left open by a crash, if any: the last
+    /// record is a `Begin` with no resolution after it.
+    #[must_use]
+    pub fn open_transaction(&self) -> Option<u64> {
+        match self.records.last() {
+            Some(Record::Begin(g)) => Some(*g),
+            _ => None,
+        }
+    }
+}
+
+/// A journal whose intact prefix is itself inconsistent — damage no
+/// crash of a correct writer can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalError {
+    /// Byte offset of the offending frame.
+    pub offset: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Largest payload the scanner will accept; real payloads are tens of
+/// bytes, so a huge declared length means the length word itself is
+/// damaged.
+const MAX_PAYLOAD: u32 = 4096;
+
+/// Scans raw journal bytes into records, stopping cleanly at a torn
+/// final frame.
+///
+/// # Errors
+///
+/// [`JournalError`] when an *interior* frame is damaged or a payload is
+/// unparseable — states a crashed-but-correct writer cannot produce.
+pub fn scan(bytes: &[u8]) -> Result<Scan, JournalError> {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            return Ok(Scan {
+                records,
+                intact_len: at as u64,
+                torn_tail: false,
+            });
+        }
+        let torn = |records: Vec<Record>| {
+            Ok(Scan {
+                records,
+                intact_len: at as u64,
+                torn_tail: true,
+            })
+        };
+        if rest.len() < 4 {
+            return torn(records);
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            // An absurd length word in the *final* frame is a torn tail;
+            // anywhere it is followed by further intact data it would
+            // already have desynchronized the stream, so treating it as
+            // tail damage is the only consistent reading.
+            return torn(records);
+        }
+        let frame_len = 4 + len as usize + 4;
+        if rest.len() < frame_len {
+            return torn(records);
+        }
+        let payload = &rest[4..4 + len as usize];
+        let declared = u32::from_le_bytes(rest[4 + len as usize..frame_len].try_into().unwrap());
+        if ipr_delta::checksum::crc32(payload) != declared {
+            if rest.len() == frame_len {
+                return torn(records); // crash mid-append of the last frame
+            }
+            return Err(JournalError {
+                offset: at as u64,
+                message: "interior frame fails its crc".into(),
+            });
+        }
+        let record = Record::parse(payload).ok_or_else(|| JournalError {
+            offset: at as u64,
+            message: format!(
+                "unrecognized payload `{}`",
+                String::from_utf8_lossy(payload)
+            ),
+        })?;
+        records.push(record);
+        at += frame_len;
+    }
+}
+
+/// Reads and scans the journal at `path`; a missing file is an empty
+/// journal.
+///
+/// # Errors
+///
+/// I/O failure, or [`JournalError`] (as [`io::Error`]) for interior
+/// damage.
+pub fn scan_file(path: &Path) -> io::Result<Scan> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    scan(&bytes).map_err(io::Error::other)
+}
+
+/// Appends one record to the journal and fsyncs it, crossing durability
+/// boundaries on the fsync.
+///
+/// # Errors
+///
+/// I/O failure or an injected fault at a boundary.
+pub fn append(path: &Path, record: Record) -> io::Result<()> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(&record.frame())?;
+    fault::fsync_file(&file, &format!("journal ({record})"))
+}
+
+/// Truncates the journal to its intact prefix, discarding a torn tail.
+///
+/// # Errors
+///
+/// I/O failure.
+pub fn truncate_to(path: &Path, intact_len: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(intact_len)?;
+    fault::fsync_file(&file, "journal (truncate)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(records: &[Record]) -> Vec<u8> {
+        records.iter().flat_map(|r| r.frame()).collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            Record::Begin(1),
+            Record::Commit(1),
+            Record::Begin(2),
+            Record::Abort(2),
+        ];
+        let scan = scan(&bytes_of(&records)).unwrap();
+        assert_eq!(scan.records, records);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.intact_len, bytes_of(&records).len() as u64);
+        assert_eq!(scan.open_transaction(), None);
+    }
+
+    #[test]
+    fn empty_journal() {
+        let scan = scan(&[]).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(!scan.torn_tail);
+    }
+
+    #[test]
+    fn trailing_begin_is_open() {
+        let scan = scan(&bytes_of(&[Record::Commit(3), Record::Begin(4)])).unwrap();
+        assert_eq!(scan.open_transaction(), Some(4));
+    }
+
+    #[test]
+    fn every_truncation_of_the_tail_is_recognised() {
+        let records = vec![Record::Begin(1), Record::Commit(1), Record::Begin(2)];
+        let full = bytes_of(&records);
+        let last_frame = Record::Begin(2).frame().len();
+        let intact = full.len() - last_frame;
+        for cut in intact + 1..full.len() {
+            let scan = scan(&full[..cut]).unwrap();
+            assert!(scan.torn_tail, "cut at {cut} not seen as torn");
+            assert_eq!(scan.intact_len, intact as u64);
+            assert_eq!(scan.records.len(), 2);
+        }
+    }
+
+    #[test]
+    fn corrupt_final_frame_is_torn_not_fatal() {
+        let mut bytes = bytes_of(&[Record::Begin(1), Record::Commit(1)]);
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // damage the last frame's crc
+        let scan = scan(&bytes).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records, vec![Record::Begin(1)]);
+    }
+
+    #[test]
+    fn interior_damage_is_fatal() {
+        let mut bytes = bytes_of(&[Record::Begin(1), Record::Commit(1)]);
+        bytes[5] ^= 0xff; // damage the first payload
+        assert!(scan(&bytes).is_err());
+    }
+
+    #[test]
+    fn absurd_length_word_is_torn_tail() {
+        let mut bytes = bytes_of(&[Record::Begin(1)]);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let scan = scan(&bytes).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records, vec![Record::Begin(1)]);
+    }
+
+    #[test]
+    fn append_and_scan_file() {
+        let dir = std::env::temp_dir().join(format!("ipr-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(scan_file(&path).unwrap().records, vec![]);
+        append(&path, Record::Begin(7)).unwrap();
+        append(&path, Record::Commit(7)).unwrap();
+        let scan = scan_file(&path).unwrap();
+        assert_eq!(scan.records, vec![Record::Begin(7), Record::Commit(7)]);
+        // Torn tail on disk: write half a frame, then repair by truncation.
+        let half = &Record::Begin(8).frame()[..3];
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(half).unwrap();
+        drop(f);
+        let scan2 = scan_file(&path).unwrap();
+        assert!(scan2.torn_tail);
+        truncate_to(&path, scan2.intact_len).unwrap();
+        assert_eq!(scan_file(&path).unwrap(), scan);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,672 @@
+//! The manifest: one self-checking text file that *is* the store's
+//! committed state.
+//!
+//! Everything the store knows — the version log, the object table, the
+//! reconstruction edges, the chain-depth cap — lives in one
+//! line-oriented document, rewritten wholesale and swapped into place
+//! atomically by every transaction ([`txn`](crate::txn)). There is no
+//! mutable state outside it: an object file not named here is garbage,
+//! and a crash can only ever leave the previous manifest or the next
+//! one, never a blend.
+//!
+//! The format is deliberately human-readable (the same `key = value`
+//! style as the fuzz corpus) and closed by a `crc` line sealing every
+//! preceding byte, so torn or bit-flipped manifests are always detected:
+//!
+//! ```text
+//! ipr-manifest/1
+//! gen = 3
+//! depth-cap = 8
+//! version = 1 <oid> parent=- len=1024 crc=59bcb71c
+//! version = 2 <oid> parent=<oid> len=1040 crc=11f9ad2a
+//! object = <oid> kind=full len=1024 crc=59bcb71c
+//! object = <oid> kind=delta len=184 crc=8f0c7713
+//! edge = <to> from=<from> delta=<delta-oid>
+//! crc = 5f9e0d21
+//! ```
+
+use crate::oid::Oid;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// First line of every manifest.
+pub const MANIFEST_HEADER: &str = "ipr-manifest/1";
+
+/// What an object file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A complete version image, byte for byte.
+    Full,
+    /// An encoded [`DeltaScript`](ipr_delta::DeltaScript) delta file.
+    Delta,
+}
+
+impl ObjectKind {
+    /// The file extension under `objects/`.
+    #[must_use]
+    pub fn extension(self) -> &'static str {
+        match self {
+            ObjectKind::Full => "full",
+            ObjectKind::Delta => "delta",
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.extension())
+    }
+}
+
+/// One entry of the version log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// 1-based insertion order; the log is append-only.
+    pub seq: u64,
+    /// Content address of the version image.
+    pub oid: Oid,
+    /// The version this one was diffed against at `put` time (lineage,
+    /// not necessarily the current reconstruction base).
+    pub parent: Option<Oid>,
+    /// Version length in bytes.
+    pub len: u64,
+    /// CRC-32 of the version image — every reconstruction is checked
+    /// against it.
+    pub crc: u32,
+}
+
+/// One entry of the object table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Full image or delta file.
+    pub kind: ObjectKind,
+    /// Exact file length in bytes.
+    pub len: u64,
+    /// CRC-32 of the file bytes.
+    pub crc: u32,
+}
+
+/// One reconstruction edge: version `to` is rebuilt by applying the
+/// delta object `delta` to version `from`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// The version the delta reads from.
+    pub from: Oid,
+    /// The delta object materializing `to` over `from`.
+    pub delta: Oid,
+}
+
+/// A manifest that failed to parse or validate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line number, 0 for whole-document problems.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "manifest: {}", self.message)
+        } else {
+            write!(f, "manifest line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// The store's committed state: version log, object table,
+/// reconstruction edges and configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Commit generation, bumped by every transaction.
+    pub gen: u64,
+    /// The chain-depth bound `compact` enforces.
+    pub depth_cap: u32,
+    /// The version log in insertion order.
+    pub versions: Vec<VersionRecord>,
+    /// Every object file the store owns.
+    pub objects: BTreeMap<Oid, ObjectRecord>,
+    /// Reconstruction edges, keyed by the version they produce.
+    pub edges: BTreeMap<Oid, EdgeRecord>,
+}
+
+impl Manifest {
+    /// An empty manifest at generation 0.
+    #[must_use]
+    pub fn new(depth_cap: u32) -> Self {
+        Self {
+            gen: 0,
+            depth_cap,
+            versions: Vec::new(),
+            objects: BTreeMap::new(),
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up a version by content address.
+    #[must_use]
+    pub fn version(&self, oid: Oid) -> Option<&VersionRecord> {
+        self.versions.iter().find(|v| v.oid == oid)
+    }
+
+    /// The most recently inserted version.
+    #[must_use]
+    pub fn head(&self) -> Option<&VersionRecord> {
+        self.versions.last()
+    }
+
+    /// The reconstruction chain of `oid`: the base version holding a
+    /// full object, then the delta object ids to apply in order.
+    /// `None` when `oid` is not a version.
+    #[must_use]
+    pub fn chain(&self, oid: Oid) -> Option<Chain> {
+        self.version(oid)?;
+        let mut deltas = Vec::new();
+        let mut at = oid;
+        while let Some(edge) = self.edges.get(&at) {
+            deltas.push(edge.delta);
+            at = edge.from;
+        }
+        deltas.reverse();
+        Some(Chain { base: at, deltas })
+    }
+
+    /// Chain depth of a version: 0 when it has a full object, else the
+    /// number of deltas applied to reach it.
+    #[must_use]
+    pub fn depth(&self, oid: Oid) -> Option<u32> {
+        self.chain(oid).map(|c| c.deltas.len() as u32)
+    }
+
+    /// The deepest chain over all versions.
+    #[must_use]
+    pub fn max_depth(&self) -> u32 {
+        self.versions
+            .iter()
+            .filter_map(|v| self.depth(v.oid))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Object ids actually referenced by the version log and its edges:
+    /// the reachable set. Anything in [`Manifest::objects`] outside this
+    /// set is a dangling object `fsck` will flag.
+    #[must_use]
+    pub fn referenced_objects(&self) -> BTreeSet<Oid> {
+        let mut live = BTreeSet::new();
+        for v in &self.versions {
+            if self.edges.contains_key(&v.oid) {
+                continue; // rebuilt via its edge, not a full object
+            }
+            live.insert(v.oid);
+        }
+        for edge in self.edges.values() {
+            live.insert(edge.delta);
+        }
+        live
+    }
+
+    /// Renders the manifest, sealed by its `crc` line.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("gen = {}\n", self.gen));
+        out.push_str(&format!("depth-cap = {}\n", self.depth_cap));
+        for v in &self.versions {
+            let parent = v.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+            out.push_str(&format!(
+                "version = {} {} parent={} len={} crc={:08x}\n",
+                v.seq, v.oid, parent, v.len, v.crc
+            ));
+        }
+        for (oid, o) in &self.objects {
+            out.push_str(&format!(
+                "object = {} kind={} len={} crc={:08x}\n",
+                oid, o.kind, o.len, o.crc
+            ));
+        }
+        for (to, e) in &self.edges {
+            out.push_str(&format!(
+                "edge = {} from={} delta={}\n",
+                to, e.from, e.delta
+            ));
+        }
+        let crc = ipr_delta::checksum::crc32(out.as_bytes());
+        out.push_str(&format!("crc = {crc:08x}\n"));
+        out
+    }
+
+    /// Parses and fully validates a manifest document, including its
+    /// sealing CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] naming the offending line or invariant.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let err = |line: usize, message: String| ManifestError { line, message };
+        // Split off and verify the sealing crc line first: it must be
+        // the final line, covering every byte before it.
+        let body_len = text
+            .trim_end_matches('\n')
+            .rfind('\n')
+            .map(|i| i + 1)
+            .ok_or_else(|| err(0, "document too short".into()))?;
+        let (body, crc_line) = text.split_at(body_len);
+        let crc_line = crc_line.trim_end_matches('\n');
+        let declared = crc_line
+            .strip_prefix("crc = ")
+            .ok_or_else(|| err(0, "missing final `crc = <hex>` line".into()))?;
+        let declared = u32::from_str_radix(declared, 16)
+            .map_err(|_| err(0, format!("bad crc value `{declared}`")))?;
+        let actual = ipr_delta::checksum::crc32(body.as_bytes());
+        if actual != declared {
+            return Err(err(
+                0,
+                format!("crc mismatch: computed {actual:08x}, sealed {declared:08x}"),
+            ));
+        }
+
+        let mut lines = body.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| err(0, "empty document".into()))?;
+        if header != MANIFEST_HEADER {
+            return Err(err(1, format!("bad header `{header}`")));
+        }
+        let mut manifest = Manifest::new(0);
+        let mut saw_gen = false;
+        let mut saw_cap = false;
+        for (i, raw) in lines {
+            let line = i + 1;
+            let (key, value) = raw
+                .split_once(" = ")
+                .ok_or_else(|| err(line, format!("expected `key = value`, got `{raw}`")))?;
+            match key {
+                "gen" => {
+                    manifest.gen = value
+                        .parse()
+                        .map_err(|_| err(line, format!("bad gen `{value}`")))?;
+                    saw_gen = true;
+                }
+                "depth-cap" => {
+                    manifest.depth_cap = value
+                        .parse()
+                        .map_err(|_| err(line, format!("bad depth-cap `{value}`")))?;
+                    saw_cap = true;
+                }
+                "version" => {
+                    let v = parse_version(value).map_err(|m| err(line, m))?;
+                    manifest.versions.push(v);
+                }
+                "object" => {
+                    let (oid, o) = parse_object(value).map_err(|m| err(line, m))?;
+                    if manifest.objects.insert(oid, o).is_some() {
+                        return Err(err(line, format!("duplicate object {oid}")));
+                    }
+                }
+                "edge" => {
+                    let (to, e) = parse_edge(value).map_err(|m| err(line, m))?;
+                    if manifest.edges.insert(to, e).is_some() {
+                        return Err(err(line, format!("duplicate edge for {to}")));
+                    }
+                }
+                other => return Err(err(line, format!("unknown key `{other}`"))),
+            }
+        }
+        if !saw_gen || !saw_cap {
+            return Err(err(0, "missing gen or depth-cap".into()));
+        }
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Checks the structural invariants that make every version
+    /// reconstructible:
+    ///
+    /// * sequence numbers are `1..=n` in order, version ids unique;
+    /// * parents name earlier versions;
+    /// * each version has exactly one of: a `full` object under its own
+    ///   id, or one incoming edge;
+    /// * edges read from strictly earlier versions (so chains terminate)
+    ///   and apply `delta` objects that exist in the object table;
+    /// * full objects under a version id match that version's length and
+    ///   CRC.
+    ///
+    /// Dangling (unreferenced) objects are *not* an error here — they
+    /// are exactly what a crashed compaction may leave behind and what
+    /// `fsck` reports and repairs.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        let err = |message: String| ManifestError { line: 0, message };
+        let mut seq_of: BTreeMap<Oid, u64> = BTreeMap::new();
+        for (i, v) in self.versions.iter().enumerate() {
+            if v.seq != i as u64 + 1 {
+                return Err(err(format!(
+                    "version {} has seq {}, expected {}",
+                    v.oid,
+                    v.seq,
+                    i + 1
+                )));
+            }
+            if seq_of.insert(v.oid, v.seq).is_some() {
+                return Err(err(format!("duplicate version {}", v.oid)));
+            }
+        }
+        for v in &self.versions {
+            if let Some(parent) = v.parent {
+                match seq_of.get(&parent) {
+                    Some(&p) if p < v.seq => {}
+                    Some(_) => {
+                        return Err(err(format!("version {} parents a later version", v.oid)))
+                    }
+                    None => {
+                        return Err(err(format!(
+                            "version {} parents unknown version {parent}",
+                            v.oid
+                        )))
+                    }
+                }
+            }
+            let full = self
+                .objects
+                .get(&v.oid)
+                .filter(|o| o.kind == ObjectKind::Full);
+            let edge = self.edges.get(&v.oid);
+            match (full, edge) {
+                (Some(o), None) => {
+                    if o.len != v.len || o.crc != v.crc {
+                        return Err(err(format!(
+                            "full object of {} disagrees with its version record",
+                            v.oid
+                        )));
+                    }
+                }
+                (None, Some(e)) => {
+                    match seq_of.get(&e.from) {
+                        Some(&p) if p < v.seq => {}
+                        _ => {
+                            return Err(err(format!(
+                                "edge of {} reads from {} which is not an earlier version",
+                                v.oid, e.from
+                            )))
+                        }
+                    }
+                    match self.objects.get(&e.delta) {
+                        Some(o) if o.kind == ObjectKind::Delta => {}
+                        _ => {
+                            return Err(err(format!(
+                                "edge of {} applies missing delta object {}",
+                                v.oid, e.delta
+                            )))
+                        }
+                    }
+                }
+                (Some(_), Some(_)) => {
+                    return Err(err(format!(
+                        "version {} has both a full object and an edge",
+                        v.oid
+                    )))
+                }
+                (None, None) => {
+                    return Err(err(format!(
+                        "version {} has neither a full object nor an edge",
+                        v.oid
+                    )))
+                }
+            }
+        }
+        for to in self.edges.keys() {
+            if !seq_of.contains_key(to) {
+                return Err(err(format!("edge produces unknown version {to}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A reconstruction chain: apply `deltas` in order to the full object of
+/// `base`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    /// The version whose full object starts the chain.
+    pub base: Oid,
+    /// Delta object ids, in application order (base → target).
+    pub deltas: Vec<Oid>,
+}
+
+fn parse_oid(s: &str) -> Result<Oid, String> {
+    s.parse()
+        .map_err(|e: crate::oid::ParseOidError| e.to_string())
+}
+
+fn parse_field<'a>(field: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let field = field.ok_or_else(|| format!("missing {key}"))?;
+    field
+        .strip_prefix(key)
+        .and_then(|f| f.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=<value>, got `{field}`"))
+}
+
+fn parse_version(value: &str) -> Result<VersionRecord, String> {
+    let mut fields = value.split(' ');
+    let seq = fields
+        .next()
+        .ok_or("missing seq")?
+        .parse()
+        .map_err(|_| "bad seq".to_string())?;
+    let oid = parse_oid(fields.next().ok_or("missing oid")?)?;
+    let parent = parse_field(fields.next(), "parent")?;
+    let parent = if parent == "-" {
+        None
+    } else {
+        Some(parse_oid(parent)?)
+    };
+    let len = parse_field(fields.next(), "len")?
+        .parse()
+        .map_err(|_| "bad len".to_string())?;
+    let crc = u32::from_str_radix(parse_field(fields.next(), "crc")?, 16)
+        .map_err(|_| "bad crc".to_string())?;
+    if fields.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    Ok(VersionRecord {
+        seq,
+        oid,
+        parent,
+        len,
+        crc,
+    })
+}
+
+fn parse_object(value: &str) -> Result<(Oid, ObjectRecord), String> {
+    let mut fields = value.split(' ');
+    let oid = parse_oid(fields.next().ok_or("missing oid")?)?;
+    let kind = match parse_field(fields.next(), "kind")? {
+        "full" => ObjectKind::Full,
+        "delta" => ObjectKind::Delta,
+        other => return Err(format!("unknown object kind `{other}`")),
+    };
+    let len = parse_field(fields.next(), "len")?
+        .parse()
+        .map_err(|_| "bad len".to_string())?;
+    let crc = u32::from_str_radix(parse_field(fields.next(), "crc")?, 16)
+        .map_err(|_| "bad crc".to_string())?;
+    if fields.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    Ok((oid, ObjectRecord { kind, len, crc }))
+}
+
+fn parse_edge(value: &str) -> Result<(Oid, EdgeRecord), String> {
+    let mut fields = value.split(' ');
+    let to = parse_oid(fields.next().ok_or("missing to")?)?;
+    let from = parse_oid(parse_field(fields.next(), "from")?)?;
+    let delta = parse_oid(parse_field(fields.next(), "delta")?)?;
+    if fields.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    Ok((to, EdgeRecord { from, delta }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u8) -> Oid {
+        Oid::of(&[n])
+    }
+
+    /// A two-version manifest: v1 full, v2 via a delta edge.
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(4);
+        m.gen = 2;
+        m.versions.push(VersionRecord {
+            seq: 1,
+            oid: oid(1),
+            parent: None,
+            len: 100,
+            crc: 0xdead_beef,
+        });
+        m.versions.push(VersionRecord {
+            seq: 2,
+            oid: oid(2),
+            parent: Some(oid(1)),
+            len: 120,
+            crc: 0x1234_5678,
+        });
+        m.objects.insert(
+            oid(1),
+            ObjectRecord {
+                kind: ObjectKind::Full,
+                len: 100,
+                crc: 0xdead_beef,
+            },
+        );
+        m.objects.insert(
+            oid(9),
+            ObjectRecord {
+                kind: ObjectKind::Delta,
+                len: 30,
+                crc: 0x0bad_cafe,
+            },
+        );
+        m.edges.insert(
+            oid(2),
+            EdgeRecord {
+                from: oid(1),
+                delta: oid(9),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let m = sample();
+        let text = m.serialize();
+        assert_eq!(Manifest::parse(&text).unwrap(), m);
+        // Empty manifests round-trip too.
+        let empty = Manifest::new(8);
+        assert_eq!(Manifest::parse(&empty.serialize()).unwrap(), empty);
+    }
+
+    #[test]
+    fn any_byte_flip_is_detected() {
+        let text = sample().serialize();
+        let bytes = text.as_bytes();
+        for i in (0..bytes.len()).step_by(7) {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(flipped) else {
+                continue; // non-UTF-8 cannot even be read as a manifest
+            };
+            assert!(
+                Manifest::parse(&s).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_and_depth() {
+        let m = sample();
+        assert_eq!(m.depth(oid(1)), Some(0));
+        assert_eq!(m.depth(oid(2)), Some(1));
+        assert_eq!(m.max_depth(), 1);
+        let chain = m.chain(oid(2)).unwrap();
+        assert_eq!(chain.base, oid(1));
+        assert_eq!(chain.deltas, vec![oid(9)]);
+        assert_eq!(m.chain(oid(77)), None);
+    }
+
+    #[test]
+    fn referenced_objects_excludes_dangling() {
+        let mut m = sample();
+        m.objects.insert(
+            oid(50),
+            ObjectRecord {
+                kind: ObjectKind::Delta,
+                len: 10,
+                crc: 0,
+            },
+        );
+        let live = m.referenced_objects();
+        assert!(live.contains(&oid(1)));
+        assert!(live.contains(&oid(9)));
+        assert!(!live.contains(&oid(50)));
+        // Dangling objects are tolerated by validation (fsck's business).
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_broken_structure() {
+        // Version with neither full object nor edge.
+        let mut m = sample();
+        m.edges.clear();
+        assert!(m.validate().is_err());
+
+        // Edge reading from a later version.
+        let mut m = sample();
+        m.edges.get_mut(&oid(2)).unwrap().from = oid(2);
+        assert!(m.validate().is_err());
+
+        // Edge applying a full object as a delta.
+        let mut m = sample();
+        m.edges.get_mut(&oid(2)).unwrap().delta = oid(1);
+        assert!(m.validate().is_err());
+
+        // Out-of-order sequence numbers.
+        let mut m = sample();
+        m.versions[1].seq = 7;
+        assert!(m.validate().is_err());
+
+        // Parent pointing at an unknown version.
+        let mut m = sample();
+        m.versions[1].parent = Some(oid(99));
+        assert!(m.validate().is_err());
+
+        // Full object disagreeing with the version record.
+        let mut m = sample();
+        m.objects.get_mut(&oid(1)).unwrap().len = 1;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Manifest::parse("").is_err());
+        assert!(Manifest::parse("not a manifest\ncrc = 0\n").is_err());
+        let good = sample().serialize();
+        // Truncations lose the crc seal.
+        for cut in [1, good.len() / 2, good.len() - 2] {
+            assert!(Manifest::parse(&good[..cut]).is_err());
+        }
+    }
+}

@@ -9,6 +9,7 @@ pub use ipr_device as device;
 pub use ipr_digraph as digraph;
 pub use ipr_fuzz as fuzz;
 pub use ipr_pipeline as pipeline;
+pub use ipr_store as store;
 pub use ipr_trace as trace;
 pub use ipr_workloads as workloads;
 
