@@ -19,10 +19,12 @@
 //!   allocator traffic is attributed per stage.
 //!
 //! Allocations are counted by a `#[global_allocator]` wrapper around the
-//! system allocator. The contract: at steady state the diff, convert and
-//! schedule stages perform **zero** heap allocations per update — only
-//! the encode stage, which hands a fresh wire buffer to the caller, may
-//! allocate.
+//! system allocator. The contract: at steady state **every** stage —
+//! diff, convert, schedule and encode — performs **zero** heap
+//! allocations per update. The encode stage draws its wire buffer from
+//! the engine's pool ([`Engine::encode`]) and [`Engine::recycle`]
+//! returns it, so even the caller-visible payload costs nothing once
+//! warm.
 //!
 //! Results land in `results/BENCH_pipeline_reuse.json`.
 //!
@@ -31,8 +33,8 @@
 //! With `--compare <baseline.json>` the run gates instead of writing:
 //!
 //! * **steady-stage allocations** — any allocation in the steady-state
-//!   diff/convert/schedule stages fails the run (an absolute, within-run
-//!   gate: it holds on any host and any chain size);
+//!   diff/convert/schedule/encode stages fails the run (an absolute,
+//!   within-run gate: it holds on any host and any chain size);
 //! * **allocator traffic** — steady-state allocations per update may not
 //!   exceed the baseline's by more than [`ALLOC_TOLERANCE`] (counts are
 //!   deterministic, so growth is a real buffering regression, not noise).
@@ -40,7 +42,6 @@
 //! Absolute times are printed but never gated. The baseline file is left
 //! untouched in this mode.
 
-use ipr_delta::codec;
 use ipr_pipeline::{Engine, EngineConfig, InPlaceDelta};
 use ipr_workloads::chain::{ChainPattern, VersionChain};
 use ipr_workloads::content::ContentKind;
@@ -193,7 +194,6 @@ fn main() {
     // `update` never plans, so the first pass grows the schedule scratch
     // to its high-water mark; only the second is steady state.
     let mut stages = [Measure::default(); 4];
-    let format = engine.config().format;
     for _pass in 0..2 {
         stages = [Measure::default(); 4];
         for (reference, version) in chain.hops() {
@@ -209,7 +209,9 @@ fn main() {
                     .expect("converted script is safe");
             });
             let (payload, m_encode) = measured(|| {
-                codec::encode_checked(&outcome.script, format, version).expect("encodable script")
+                engine
+                    .encode(&outcome.script, version)
+                    .expect("encodable script")
             });
             engine.recycle(InPlaceDelta {
                 script: outcome.script,
@@ -269,7 +271,15 @@ fn main() {
     }
 
     if let Some(path) = baseline_path {
-        let breaches = gate(&path, &warm_steady, &diff, &convert, &schedule, hops);
+        let breaches = gate(
+            &path,
+            &warm_steady,
+            &diff,
+            &convert,
+            &schedule,
+            &encode,
+            hops,
+        );
         if breaches > 0 {
             eprintln!("\n{breaches} regression(s) past the gates");
             std::process::exit(1);
@@ -320,6 +330,7 @@ fn gate(
     diff: &Measure,
     convert: &Measure,
     schedule: &Measure,
+    encode: &Measure,
     hops: usize,
 ) -> usize {
     let text = std::fs::read_to_string(path)
@@ -329,11 +340,16 @@ fn gate(
     let mut breaches = 0;
 
     println!(
-        "\nComparison against {path} (gates: zero steady diff/convert/schedule allocations, \
-         steady allocs/update ≤ {ALLOC_TOLERANCE}x baseline)\n"
+        "\nComparison against {path} (gates: zero steady diff/convert/schedule/encode \
+         allocations, steady allocs/update ≤ {ALLOC_TOLERANCE}x baseline)\n"
     );
     // Absolute within-run gate: the acceptance contract of the engine.
-    for (label, m) in [("diff", diff), ("convert", convert), ("schedule", schedule)] {
+    for (label, m) in [
+        ("diff", diff),
+        ("convert", convert),
+        ("schedule", schedule),
+        ("encode", encode),
+    ] {
         let status = if m.allocs > 0 {
             breaches += 1;
             "REGRESSED"

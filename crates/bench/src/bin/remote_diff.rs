@@ -31,11 +31,20 @@
 //!   within-run gate that holds on the quick CI pair too);
 //! * **memory** — resident signature-side bytes exceed
 //!   [`RESIDENT_FIXED_ALLOWANCE`] plus [`RESIDENT_CAP_PER_BLOCK`] bytes
-//!   per signature block, the constant-memory contract (docs/REMOTE.md).
+//!   per signature block, the constant-memory contract (docs/REMOTE.md);
+//! * **throughput** — on the same corpus, any chunking's generation
+//!   MiB/s falls below [`THROUGHPUT_FLOOR_RATIO`] of the baseline's
+//!   (loose enough for machine noise, tight enough to catch the batched
+//!   scan kernel silently degrading to the scalar path). On a different
+//!   corpus the comparison is printed informationally only.
+//!
+//! Every row also regenerates its delta through the byte-at-a-time
+//! scalar generator and asserts the command streams identical: the
+//! batched kernel must be a pure speedup, never an output change.
 
 use ipr_delta::codec::{encode, Format};
 use ipr_delta::diff::{Differ, GreedyDiffer};
-use ipr_delta::remote::{generate_delta, Chunking, MatchTable, Signature};
+use ipr_delta::remote::{generate_delta, generate_delta_scalar, Chunking, MatchTable, Signature};
 use std::time::Instant;
 
 /// Within-run gate: remote delta bytes may cost at most this many times
@@ -54,8 +63,16 @@ const OVERHEAD_CAP: f64 = 50.0;
 const RESIDENT_CAP_PER_BLOCK: usize = 96;
 
 /// Block-count-independent part of the memory gate: the match table's
-/// 8 KiB presence filter plus struct overhead.
+/// presence filter plus struct overhead.
 const RESIDENT_FIXED_ALLOWANCE: usize = 16 * 1024;
+
+/// Same-corpus throughput gate: generation MiB/s may fall to at most
+/// this fraction of the baseline's before the run fails. The scan
+/// rework (batched kernel + full-digest filter + bucketed candidates)
+/// bought ~2.8x on small blocks; regressing to the old per-byte
+/// saturated-filter loop lands near 0.35x baseline — well under this
+/// floor — while ordinary machine noise stays well above it.
+const THROUGHPUT_FLOOR_RATIO: f64 = 0.6;
 
 struct Row {
     chunking: Chunking,
@@ -66,6 +83,7 @@ struct Row {
     resident_bytes: usize,
     gen_ns: u128,
     gen_mib_s: f64,
+    scalar_gen_mib_s: f64,
     delta_bytes: u64,
     overhead: f64,
 }
@@ -151,6 +169,19 @@ fn bench_chunking(
     let gen_ns = t.elapsed().as_nanos();
     let gen_mib_s = version.len() as f64 / (1024.0 * 1024.0) / (gen_ns as f64 / 1e9);
 
+    // The batched scan kernel must be a pure speedup: the byte-at-a-time
+    // reference generator has to emit the identical command stream.
+    let t = Instant::now();
+    let scalar = generate_delta_scalar(&signature, version).expect("in-memory reader cannot fail");
+    let scalar_gen_ns = t.elapsed().as_nanos();
+    let scalar_gen_mib_s = version.len() as f64 / (1024.0 * 1024.0) / (scalar_gen_ns as f64 / 1e9);
+    assert_eq!(
+        script.commands(),
+        scalar.commands(),
+        "{chunking}: batched and scalar generators diverged"
+    );
+    drop(scalar);
+
     let rebuilt = ipr_delta::apply(&script, reference).expect("generated script applies");
     assert_eq!(rebuilt, version, "{chunking}: reconstruction differs");
 
@@ -167,6 +198,7 @@ fn bench_chunking(
         resident_bytes,
         gen_ns,
         gen_mib_s,
+        scalar_gen_mib_s,
         delta_bytes,
         overhead: delta_bytes as f64 / local_delta_bytes.max(1) as f64,
     }
@@ -227,25 +259,27 @@ fn main() {
         version.len() as f64 / (1024.0 * 1024.0) / (local_ns as f64 / 1e9),
     );
     println!(
-        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>10} {:>12} {:>9}",
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>10} {:>12} {:>12} {:>9}",
         "chunking",
         "blocks",
         "sign ms",
         "sig bytes",
         "resident B",
         "gen MiB/s",
+        "scalar MiB/s",
         "delta bytes",
         "overhead"
     );
     for r in &rows {
         println!(
-            "{:<22} {:>8} {:>10.1} {:>10} {:>12} {:>10.1} {:>12} {:>8.2}x",
+            "{:<22} {:>8} {:>10.1} {:>10} {:>12} {:>10.1} {:>12.1} {:>12} {:>8.2}x",
             r.label,
             r.blocks,
             r.sign_ns as f64 / 1e6,
             r.sig_bytes,
             r.resident_bytes,
             r.gen_mib_s,
+            r.scalar_gen_mib_s,
             r.delta_bytes,
             r.overhead
         );
@@ -266,6 +300,8 @@ fn main() {
     json.push_str("  \"command\": \"cargo run -p ipr-bench --release --bin remote_diff\",\n");
     json.push_str(&format!("  \"reference_mib\": {mib},\n"));
     json.push_str(&format!("  \"version_bytes\": {},\n", version.len()));
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!(
         "  \"local_greedy_delta_bytes\": {local_delta_bytes},\n"
     ));
@@ -275,7 +311,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"chunking\": \"{}\", \"blocks\": {}, \"sign_ns\": {}, \"sig_bytes\": {}, \
              \"resident_bytes\": {}, \"gen_ns\": {}, \"gen_mib_per_s\": {:.1}, \
-             \"delta_bytes\": {}, \"overhead_vs_local\": {:.4}}}{}\n",
+             \"scalar_gen_mib_per_s\": {:.1}, \"delta_bytes\": {}, \
+             \"overhead_vs_local\": {:.4}}}{}\n",
             r.label,
             r.blocks,
             r.sign_ns,
@@ -283,6 +320,7 @@ fn main() {
             r.resident_bytes,
             r.gen_ns,
             r.gen_mib_s,
+            r.scalar_gen_mib_s,
             r.delta_bytes,
             r.overhead,
             if i + 1 < rows.len() { "," } else { "" }
@@ -304,17 +342,20 @@ fn compare_to_baseline(rows: &[Row], path: &str, mib: usize, version_bytes: u64)
         .get("results")
         .and_then(|r| r.as_array())
         .unwrap_or_else(|| panic!("baseline {path} has no results array"));
-    let baseline_delta = |label: &str| -> Option<u64> {
+    let baseline_row = |label: &str| {
         results
             .iter()
-            .find(|r| r.get("chunking").and_then(|v| v.as_str()) == Some(label))?
-            .get("delta_bytes")?
-            .as_u64()
+            .find(|r| r.get("chunking").and_then(|v| v.as_str()) == Some(label))
     };
+    let baseline_delta =
+        |label: &str| -> Option<u64> { baseline_row(label)?.get("delta_bytes")?.as_u64() };
+    let baseline_mib_s =
+        |label: &str| -> Option<f64> { baseline_row(label)?.get("gen_mib_per_s")?.as_f64() };
 
     println!(
         "\nComparison against {path} (gates: delta bytes ≤ baseline, delta ≤ \
-         {OVERHEAD_CAP}x local greedy, resident ≤ {RESIDENT_CAP_PER_BLOCK} B/block)\n"
+         {OVERHEAD_CAP}x local greedy, resident ≤ {RESIDENT_CAP_PER_BLOCK} B/block, \
+         throughput ≥ {THROUGHPUT_FLOOR_RATIO}x baseline)\n"
     );
     let mut breaches = 0;
     let get_u64 = |key: &str| {
@@ -348,9 +389,33 @@ fn compare_to_baseline(rows: &[Row], path: &str, mib: usize, version_bytes: u64)
     } else {
         println!(
             "baseline corpus differs ({} MiB / {} bytes vs this run's {mib} / {version_bytes}) \
-             — cross-run delta gates skipped; within-run gates still apply",
+             — cross-run delta and throughput gates informational only; within-run gates \
+             still apply",
             get_u64("reference_mib"),
             get_u64("version_bytes")
+        );
+    }
+    // Per-block-size throughput floor. Absolute MiB/s only compares on
+    // the same corpus (and, implicitly, the machine that recorded the
+    // baseline); elsewhere the ratio is still printed so a CI log shows
+    // the small-corpus numbers next to the committed ones.
+    for r in rows {
+        let Some(base) = baseline_mib_s(&r.label) else {
+            println!("{}: no baseline throughput (ungated)", r.label);
+            continue;
+        };
+        let ratio = r.gen_mib_s / base.max(f64::MIN_POSITIVE);
+        let status = if !same_corpus {
+            "info"
+        } else if ratio < THROUGHPUT_FLOOR_RATIO {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{}: generated at {:.1} MiB/s vs baseline {:.1} ({:.2}x) {status}",
+            r.label, r.gen_mib_s, base, ratio
         );
     }
     for r in rows {

@@ -536,8 +536,60 @@ fn signature_and_remote_diff_round_trip() {
     .unwrap();
     assert_eq!(std::fs::read(p("rebuilt-cdc")).unwrap(), version);
 
+    // Budget-driven block sizing: a 2 KiB budget over the 64 KiB
+    // reference resolves to 1 KiB blocks (512 B blocks would need a
+    // ~2.8 KiB signature), and the remote delta still applies cleanly.
+    run(&s(&[
+        "signature",
+        &p("old"),
+        &p("sig-auto"),
+        "--block-size",
+        "auto:2048",
+    ]))
+    .unwrap();
+    let sig_auto = Signature::decode(&std::fs::read(p("sig-auto")).unwrap()).unwrap();
+    assert_eq!(
+        sig_auto.chunking(),
+        ipr_delta::remote::Chunking::Fixed(1024)
+    );
+    assert!(std::fs::metadata(p("sig-auto")).unwrap().len() <= 2048);
+    run(&s(&[
+        "diff",
+        "--signature",
+        &p("sig-auto"),
+        &p("new"),
+        &p("delta-auto"),
+    ]))
+    .unwrap();
+    run(&s(&[
+        "apply",
+        &p("old"),
+        &p("delta-auto"),
+        &p("rebuilt-auto"),
+    ]))
+    .unwrap();
+    assert_eq!(std::fs::read(p("rebuilt-auto")).unwrap(), version);
+
     // Error paths: bad chunking flags, junk signature, wrong arity.
     assert!(run(&s(&["signature", &p("old"), &p("x"), "--block", "0"])).is_err());
+    assert!(run(&s(&[
+        "signature",
+        &p("old"),
+        &p("x"),
+        "--block-size",
+        "auto:0"
+    ]))
+    .is_err());
+    assert!(run(&s(&[
+        "signature",
+        &p("old"),
+        &p("x"),
+        "--block-size",
+        "auto",
+        "--block",
+        "512",
+    ]))
+    .is_err());
     assert!(run(&s(&[
         "signature",
         &p("old"),

@@ -20,8 +20,10 @@ use crate::varint;
 const KIND_ADD: u8 = 0x01;
 const CHAINED: u8 = 0x02;
 
-pub(super) fn encode_commands(script: &DeltaScript) -> Result<(Vec<u8>, u64), super::EncodeError> {
-    let mut out = Vec::new();
+pub(super) fn encode_commands_into(
+    script: &DeltaScript,
+    out: &mut Vec<u8>,
+) -> Result<(), super::EncodeError> {
     let mut write_end = 0u64;
     for cmd in script.commands() {
         let chained = cmd.to() == write_end;
@@ -35,23 +37,23 @@ pub(super) fn encode_commands(script: &DeltaScript) -> Result<(Vec<u8>, u64), su
         out.push(tag);
         match cmd {
             Command::Copy(c) => {
-                varint::encode(c.from, &mut out);
+                varint::encode(c.from, out);
                 if !chained {
-                    varint::encode(c.to, &mut out);
+                    varint::encode(c.to, out);
                 }
-                varint::encode(c.len, &mut out);
+                varint::encode(c.len, out);
             }
             Command::Add(a) => {
                 if !chained {
-                    varint::encode(a.to, &mut out);
+                    varint::encode(a.to, out);
                 }
-                varint::encode(a.len(), &mut out);
+                varint::encode(a.len(), out);
                 out.extend_from_slice(&a.data);
             }
         }
         write_end = cmd.write_interval().end();
     }
-    Ok((out, script.len() as u64))
+    Ok(())
 }
 
 /// Decodes one codeword; `write_end` carries the chain state.

@@ -7,25 +7,27 @@ use crate::command::Command;
 use crate::script::DeltaScript;
 use crate::varint;
 
-pub(super) fn encode_commands(script: &DeltaScript) -> Result<(Vec<u8>, u64), EncodeError> {
-    let mut out = Vec::new();
+pub(super) fn encode_commands_into(
+    script: &DeltaScript,
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
     for cmd in script.commands() {
         match cmd {
             Command::Copy(c) => {
                 out.push(TAG_COPY);
-                varint::encode(c.from, &mut out);
-                varint::encode(c.to, &mut out);
-                varint::encode(c.len, &mut out);
+                varint::encode(c.from, out);
+                varint::encode(c.to, out);
+                varint::encode(c.len, out);
             }
             Command::Add(a) => {
                 out.push(TAG_ADD);
-                varint::encode(a.to, &mut out);
-                varint::encode(a.len(), &mut out);
+                varint::encode(a.to, out);
+                varint::encode(a.len(), out);
                 out.extend_from_slice(&a.data);
             }
         }
     }
-    Ok((out, script.len() as u64))
+    Ok(())
 }
 
 /// Decodes one command (write offsets are explicit; no carried state).

@@ -336,7 +336,28 @@ pub struct DecodedDelta {
 ///
 /// See [`EncodeError`].
 pub fn encode(script: &DeltaScript, format: Format) -> Result<Vec<u8>, EncodeError> {
-    encode_inner(script, format, None)
+    let mut out = Vec::new();
+    encode_inner_into(script, format, None, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode`] into a caller-supplied buffer, reusing its capacity.
+///
+/// `out` is cleared first; header and commands are written into it in
+/// one pass (every format's exact command count is known up front), so
+/// a warm buffer — e.g. one drawn from a
+/// [`ScriptPool`](crate::pool::ScriptPool) — encodes without touching
+/// the allocator. On error `out`'s contents are unspecified.
+///
+/// # Errors
+///
+/// See [`EncodeError`].
+pub fn encode_into(
+    script: &DeltaScript,
+    format: Format,
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
+    encode_inner_into(script, format, None, out)
 }
 
 /// Encodes `script` in `format` and embeds a CRC-32 of `target` so the
@@ -351,13 +372,31 @@ pub fn encode_checked(
     format: Format,
     target: &[u8],
 ) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::new();
+    encode_checked_into(script, format, target, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode_checked`] into a caller-supplied buffer (cleared first),
+/// reusing its capacity — the allocation-free encode path of
+/// `Engine::update`.
+///
+/// # Errors
+///
+/// As [`encode_checked`]. On error `out`'s contents are unspecified.
+pub fn encode_checked_into(
+    script: &DeltaScript,
+    format: Format,
+    target: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
     if target.len() as u64 != script.target_len() {
         return Err(EncodeError::TargetLenMismatch {
             expected: script.target_len(),
             actual: target.len() as u64,
         });
     }
-    encode_inner(script, format, Some(crc32(target)))
+    encode_inner_into(script, format, Some(crc32(target)), out)
 }
 
 /// Encodes `script` in `format`, embedding an already-known target
@@ -372,7 +411,9 @@ pub fn encode_with_crc(
     format: Format,
     target_crc: u32,
 ) -> Result<Vec<u8>, EncodeError> {
-    encode_inner(script, format, Some(target_crc))
+    let mut out = Vec::new();
+    encode_inner_into(script, format, Some(target_crc), &mut out)?;
+    Ok(out)
 }
 
 /// Encoded size of `script` under `format`, without materializing the file.
@@ -386,23 +427,25 @@ pub fn encoded_size(script: &DeltaScript, format: Format) -> Result<u64, EncodeE
     Ok(bytes.len() as u64)
 }
 
-fn encode_inner(
+fn encode_inner_into(
     script: &DeltaScript,
     format: Format,
     target_crc: Option<u32>,
-) -> Result<Vec<u8>, EncodeError> {
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
     let _span = ipr_trace::span("codec.encode");
     if !format.supports_out_of_order() && !script.is_write_ordered() {
         return Err(EncodeError::NotWriteOrdered);
     }
-    let (payload, count) = match format {
-        Format::Ordered => ordered::encode_commands(script)?,
-        Format::InPlace => inplace::encode_commands(script)?,
-        Format::PaperOrdered => paper::encode_commands(script, false)?,
-        Format::PaperInPlace => paper::encode_commands(script, true)?,
-        Format::Improved => improved::encode_commands(script)?,
+    // Every format's wire command count is known before encoding (the
+    // varint formats emit one codeword per command; the paper formats
+    // split by fixed-width length fields), so header and payload write
+    // into one buffer in a single pass — no intermediate payload vec.
+    let count = match format {
+        Format::Ordered | Format::InPlace | Format::Improved => script.len() as u64,
+        Format::PaperOrdered | Format::PaperInPlace => paper::wire_count(script),
     };
-    let mut out = Vec::with_capacity(payload.len() + 32);
+    out.clear();
     out.extend_from_slice(&MAGIC);
     out.push(format.wire_byte());
     out.push(if target_crc.is_some() {
@@ -410,15 +453,21 @@ fn encode_inner(
     } else {
         0
     });
-    varint::encode(script.source_len(), &mut out);
-    varint::encode(script.target_len(), &mut out);
-    varint::encode(count, &mut out);
+    varint::encode(script.source_len(), out);
+    varint::encode(script.target_len(), out);
+    varint::encode(count, out);
     if let Some(crc) = target_crc {
         out.extend_from_slice(&crc.to_le_bytes());
     }
-    out.extend_from_slice(&payload);
+    match format {
+        Format::Ordered => ordered::encode_commands_into(script, out)?,
+        Format::InPlace => inplace::encode_commands_into(script, out)?,
+        Format::PaperOrdered => paper::encode_commands_into(script, false, out)?,
+        Format::PaperInPlace => paper::encode_commands_into(script, true, out)?,
+        Format::Improved => improved::encode_commands_into(script, out)?,
+    }
     ipr_trace::add("codec.encoded_bytes", out.len() as u64);
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes an encoded delta file.
@@ -569,6 +618,39 @@ mod tests {
                 actual: 3
             }
         );
+    }
+
+    #[test]
+    fn encode_into_reuses_dirty_buffers() {
+        // A pooled buffer arrives with stale content and capacity; the
+        // into-variants must clear it and produce the exact bytes of the
+        // allocating encode — including the paper formats, whose command
+        // count is a split pre-pass rather than script.len().
+        let long_add = DeltaScript::new(
+            10,
+            70_000,
+            vec![
+                Command::add(0, vec![0x5a; 66_000]),
+                Command::copy(0, 66_000, 10),
+                Command::add(66_010, vec![0xa5; 3_990]),
+            ],
+        )
+        .unwrap();
+        let mut buf = vec![0xffu8; 7]; // dirty, undersized
+        for s in [&sample_script(), &out_of_order_script(), &long_add] {
+            for format in [Format::InPlace, Format::PaperInPlace, Format::Improved] {
+                encode_into(s, format, &mut buf).unwrap();
+                assert_eq!(buf, encode(s, format).unwrap(), "{format}");
+                encode_checked_into(s, format, &vec![1; s.target_len() as usize], &mut buf)
+                    .unwrap();
+                assert_eq!(
+                    buf,
+                    encode_checked(s, format, &vec![1; s.target_len() as usize]).unwrap()
+                );
+                // The pre-declared count matches what decode walks.
+                assert!(decode(&buf).is_ok(), "{format}");
+            }
+        }
     }
 
     #[test]

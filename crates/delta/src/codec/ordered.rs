@@ -6,24 +6,26 @@ use crate::command::Command;
 use crate::script::DeltaScript;
 use crate::varint;
 
-pub(super) fn encode_commands(script: &DeltaScript) -> Result<(Vec<u8>, u64), EncodeError> {
+pub(super) fn encode_commands_into(
+    script: &DeltaScript,
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
     debug_assert!(script.is_write_ordered());
-    let mut out = Vec::new();
     for cmd in script.commands() {
         match cmd {
             Command::Copy(c) => {
                 out.push(TAG_COPY);
-                varint::encode(c.from, &mut out);
-                varint::encode(c.len, &mut out);
+                varint::encode(c.from, out);
+                varint::encode(c.len, out);
             }
             Command::Add(a) => {
                 out.push(TAG_ADD);
-                varint::encode(a.len(), &mut out);
+                varint::encode(a.len(), out);
                 out.extend_from_slice(&a.data);
             }
         }
     }
-    Ok((out, script.len() as u64))
+    Ok(())
 }
 
 /// Decodes one command; `next_write` carries the implicit write offset.

@@ -34,12 +34,25 @@ fn fit_u32(v: u64, index: usize) -> Result<u32, EncodeError> {
     u32::try_from(v).map_err(|_| EncodeError::OffsetTooLarge { index })
 }
 
-pub(super) fn encode_commands(
+/// Exact number of wire codewords `script` encodes to, splits included —
+/// computable before encoding, so the header's count varint can be
+/// written into the same output buffer the payload follows it in.
+pub(super) fn wire_count(script: &DeltaScript) -> u64 {
+    script
+        .commands()
+        .iter()
+        .map(|cmd| match cmd {
+            Command::Copy(c) => split_count(c.len, MAX_COPY_LEN),
+            Command::Add(a) => split_count(a.len(), MAX_ADD_LEN),
+        })
+        .sum()
+}
+
+pub(super) fn encode_commands_into(
     script: &DeltaScript,
     explicit_to: bool,
-) -> Result<(Vec<u8>, u64), EncodeError> {
-    let mut out = Vec::new();
-    let mut count = 0u64;
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
     for (index, cmd) in script.commands().iter().enumerate() {
         match cmd {
             Command::Copy(c) => {
@@ -53,7 +66,6 @@ pub(super) fn encode_commands(
                     }
                     out.extend_from_slice(&(piece as u16).to_be_bytes());
                     done += piece;
-                    count += 1;
                 }
             }
             Command::Add(a) => {
@@ -69,12 +81,11 @@ pub(super) fn encode_commands(
                     let start = done as usize;
                     out.extend_from_slice(&a.data[start..start + piece as usize]);
                     done += piece;
-                    count += 1;
                 }
             }
         }
     }
-    Ok((out, count))
+    Ok(())
 }
 
 /// Decodes one codeword; `implicit_to` carries the write cursor for the

@@ -164,6 +164,39 @@ pub fn load_le(chunk: &[u8]) -> u64 {
     u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
 }
 
+/// Running byte sums of one little-endian word: `sums[k]` is the sum of
+/// the first `k` bytes in slice order (`sums[0] == 0`, `sums[8]` is the
+/// whole-word byte sum).
+///
+/// This is the building block of the multi-byte Adler/Fletcher roll in
+/// [`crate::remote::scan`]: both checksum components advance `k`
+/// positions in closed form from the prefix sums of the bytes leaving
+/// and entering the window, so the weak scan consumes eight bytes per
+/// word load instead of one per roll. The maximum value is `8 × 255`,
+/// far below `u32`, so the sums are exact.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::diff::kernel::{load_le, prefix_sums};
+///
+/// let sums = prefix_sums(load_le(&[1, 2, 3, 4, 5, 6, 7, 8]));
+/// assert_eq!(sums[0], 0);
+/// assert_eq!(sums[3], 1 + 2 + 3);
+/// assert_eq!(sums[8], 36);
+/// ```
+#[inline]
+#[must_use]
+pub fn prefix_sums(word: u64) -> [u32; 9] {
+    let mut sums = [0u32; 9];
+    let mut acc = 0u32;
+    for k in 0..8 {
+        acc += ((word >> (8 * k)) & 0xff) as u32;
+        sums[k + 1] = acc;
+    }
+    sums
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +274,15 @@ mod tests {
     fn windows_eq_rejects_length_mismatch() {
         assert!(!windows_eq(b"12345678", b"1234567"));
         assert!(windows_eq(b"", b""));
+    }
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let bytes = [255u8, 0, 17, 255, 1, 2, 254, 128];
+        let sums = prefix_sums(load_le(&bytes));
+        for k in 0..=8 {
+            let naive: u32 = bytes[..k].iter().map(|&x| u32::from(x)).sum();
+            assert_eq!(sums[k], naive, "prefix {k}");
+        }
     }
 }

@@ -26,9 +26,12 @@
 //!   never needs to slide.
 //!
 //! Negative weak lookups — almost every position when files diverge —
-//! cost one bit probe in a 64 KiB filter before touching the block
-//! table (rsync's tag table).
+//! cost one bit probe in a scaled [`WeakFilter`] before touching the
+//! block table (rsync's tag table), and the batched kernel in
+//! [`super::scan`] probes eight positions per word pair so miss-runs
+//! skip in bulk.
 
+use super::scan::{self, WeakFilter, LANES};
 use super::signature::{BlockSignature, Chunking, Signature};
 use super::strong::strong_of;
 use super::weak::{weak_of, RollingWeak};
@@ -41,18 +44,26 @@ const READ_CHUNK: usize = 64 * 1024;
 
 /// Weak-checksum lookup structure over a signature's blocks.
 ///
-/// A 2^16-bit presence filter indexed by the low 16 checksum bits
-/// rejects almost every non-matching window in one probe; survivors
-/// binary-search a table of block indices sorted by weak checksum.
+/// A scaled [`WeakFilter`] rejects almost every non-matching window in
+/// one probe; survivors binary-search an equal range inside a small
+/// bucket of a contiguous key table (bucketed by the top weak bits, so
+/// the search never chases the block table through an indirection).
 /// Candidates preserve reference order within equal checksums, so the
 /// generator deterministically prefers the earliest matching block.
 #[derive(Clone, Debug)]
 pub struct MatchTable<'a> {
     signature: &'a Signature,
-    /// 2^16-bit presence filter over `weak & 0xffff`.
-    filter: Vec<u64>,
+    filter: WeakFilter,
     /// Block indices sorted by (weak, index).
     sorted: Vec<u32>,
+    /// `keys[k]` is the weak checksum of block `sorted[k]` — contiguous
+    /// and ascending, so equal-range searches touch only this array.
+    keys: Vec<u32>,
+    /// Bucket boundaries over `keys`: bucket `q` spans
+    /// `keys[starts[q]..starts[q + 1]]`, where `q = weak >> bucket_shift`
+    /// (monotone in the sort order).
+    starts: Vec<u32>,
+    bucket_shift: u32,
 }
 
 impl<'a> MatchTable<'a> {
@@ -60,17 +71,34 @@ impl<'a> MatchTable<'a> {
     #[must_use]
     pub fn build(signature: &'a Signature) -> Self {
         let blocks = signature.blocks();
-        let mut filter = vec![0u64; 1024];
+        let mut filter = WeakFilter::with_capacity(blocks.len());
         let mut sorted: Vec<u32> = (0..blocks.len() as u32).collect();
         sorted.sort_by_key(|&i| blocks[i as usize].weak);
+        let keys: Vec<u32> = sorted.iter().map(|&i| blocks[i as usize].weak).collect();
         for block in blocks {
-            let bit = (block.weak & 0xffff) as usize;
-            filter[bit >> 6] |= 1u64 << (bit & 63);
+            filter.insert(block.weak);
+        }
+        // ~8 keys per bucket: the equal-range search stays within a
+        // couple of cache lines while the boundary table stays small
+        // relative to the per-block residency cap.
+        let buckets = (blocks.len() / 8)
+            .next_power_of_two()
+            .clamp(1 << 10, 1 << 16);
+        let bucket_shift = 32 - buckets.trailing_zeros();
+        let mut starts = vec![0u32; buckets + 1];
+        for &k in &keys {
+            starts[(k >> bucket_shift) as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
         }
         Self {
             signature,
             filter,
             sorted,
+            keys,
+            starts,
+            bucket_shift,
         }
     }
 
@@ -78,24 +106,33 @@ impl<'a> MatchTable<'a> {
     /// order. Usually empty, decided by one filter probe.
     #[must_use]
     pub fn candidates(&self, weak: u32) -> &[u32] {
-        let bit = (weak & 0xffff) as usize;
-        if self.filter[bit >> 6] & (1u64 << (bit & 63)) == 0 {
+        if !self.filter.contains(weak) {
             return &[];
         }
-        let blocks = self.signature.blocks();
-        let start = self
-            .sorted
-            .partition_point(|&i| blocks[i as usize].weak < weak);
-        let end =
-            start + self.sorted[start..].partition_point(|&i| blocks[i as usize].weak == weak);
-        &self.sorted[start..end]
+        let bucket = (weak >> self.bucket_shift) as usize;
+        let lo = self.starts[bucket] as usize;
+        let hi = self.starts[bucket + 1] as usize;
+        // One shared slice: both equal-range bounds come off the same
+        // contiguous key run instead of re-deriving the start bound.
+        let keys = &self.keys[lo..hi];
+        let start = keys.partition_point(|&k| k < weak);
+        let end = start + keys[start..].partition_point(|&k| k == weak);
+        &self.sorted[lo + start..lo + end]
+    }
+
+    /// The presence filter the batched scan kernel probes.
+    #[must_use]
+    pub fn filter(&self) -> &WeakFilter {
+        &self.filter
     }
 
     /// In-memory footprint of signature + lookup structures — the
     /// generator's whole per-reference residency.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
-        self.signature.resident_bytes() + self.filter.capacity() * 8 + self.sorted.capacity() * 4
+        self.signature.resident_bytes()
+            + self.filter.resident_bytes()
+            + (self.sorted.capacity() + self.keys.capacity() + self.starts.capacity()) * 4
     }
 }
 
@@ -163,7 +200,8 @@ impl<R: Read> StreamWindow<R> {
 ///
 /// Emits a `remote.diff` span and the `remote.weak_hits` /
 /// `remote.strong_matches` / `remote.false_weak` /
-/// `remote.matched_bytes` / `remote.literal_bytes` counters.
+/// `remote.matched_bytes` / `remote.literal_bytes` /
+/// `remote.scan_batches` / `remote.skip_bytes` counters.
 ///
 /// [`Engine`]: https://docs.rs/ipr-pipeline
 ///
@@ -187,12 +225,39 @@ impl<R: Read> StreamWindow<R> {
 /// assert!(script.added_bytes() < 200);
 /// ```
 pub fn generate_delta<R: Read>(signature: &Signature, version: R) -> std::io::Result<DeltaScript> {
+    generate(signature, version, true)
+}
+
+/// Byte-at-a-time reference implementation of [`generate_delta`].
+///
+/// Identical to [`generate_delta`] except that the fixed-block path
+/// never enters the batched [`scan`] kernel: every window position is
+/// probed by one scalar [`RollingWeak::roll`]. The two must emit
+/// byte-identical command streams — `tests/remote_scan.rs`, the
+/// `remote` fuzz oracle and the `remote_diff` bench all pin the batched
+/// path to this one.
+///
+/// # Errors
+///
+/// Propagates reader errors; generation itself cannot fail.
+pub fn generate_delta_scalar<R: Read>(
+    signature: &Signature,
+    version: R,
+) -> std::io::Result<DeltaScript> {
+    generate(signature, version, false)
+}
+
+fn generate<R: Read>(
+    signature: &Signature,
+    version: R,
+    batched: bool,
+) -> std::io::Result<DeltaScript> {
     let _span = ipr_trace::span("remote.diff");
     let table = MatchTable::build(signature);
     let mut builder = ScriptBuilder::new();
     match signature.chunking() {
         Chunking::Fixed(block_len) => {
-            generate_fixed(&table, version, block_len, &mut builder)?;
+            generate_fixed(&table, version, block_len, &mut builder, batched)?;
         }
         Chunking::Cdc(_) => generate_cdc(&table, version, &mut builder)?,
     }
@@ -214,6 +279,7 @@ fn generate_fixed<R: Read>(
     version: R,
     block_len: usize,
     builder: &mut ScriptBuilder,
+    batched: bool,
 ) -> std::io::Result<()> {
     let mut window = StreamWindow::new(version, block_len);
     let mut weak = RollingWeak::new();
@@ -230,6 +296,21 @@ fn generate_fixed<R: Read>(
         if !seeded || weak.len() as usize != win_len {
             weak.reseed(&avail[..win_len]);
             seeded = true;
+        }
+        if batched && avail.len() >= win_len + LANES {
+            // Full window with ≥ one stride of look-ahead: let the
+            // batched kernel skip the miss-run in bulk. It stops with
+            // the rolling state exactly where the scalar loop would be,
+            // so everything below is unchanged.
+            let skip = scan::skip_misses(&mut weak, avail, table.filter());
+            stats.scan_batches += skip.batches as u64;
+            if skip.skipped > 0 {
+                builder.push_literal(&avail[..skip.skipped]);
+                stats.literal += skip.skipped as u64;
+                stats.skip_bytes += skip.skipped as u64;
+                window.consume(skip.skipped);
+                continue;
+            }
         }
         if let Some(block) = confirm(table, weak.digest(), &avail[..win_len], &mut stats) {
             builder.push_copy(block.offset, u64::from(block.len));
@@ -335,6 +416,8 @@ struct MatchStats {
     false_weak: u64,
     matched: u64,
     literal: u64,
+    scan_batches: u64,
+    skip_bytes: u64,
 }
 
 impl MatchStats {
@@ -345,6 +428,8 @@ impl MatchStats {
             r.add("remote.false_weak", self.false_weak);
             r.add("remote.matched_bytes", self.matched);
             r.add("remote.literal_bytes", self.literal);
+            r.add("remote.scan_batches", self.scan_batches);
+            r.add("remote.skip_bytes", self.skip_bytes);
         });
     }
 }
@@ -447,6 +532,13 @@ mod tests {
             version.len()
         );
         assert!(script.is_write_ordered());
+        // The batched scan must emit the scalar scan's command stream.
+        let scalar = generate_delta_scalar(&sig, version).unwrap();
+        assert_eq!(
+            scalar.commands(),
+            script.commands(),
+            "{chunking} batched scan diverged from scalar"
+        );
         // Stream granularity must not change the output.
         for chunk in [1, 7, 1024] {
             let streamed = generate_delta(
@@ -566,5 +658,37 @@ mod tests {
                 .any(|&i| sig.blocks()[i as usize].offset == block.offset));
         }
         assert!(table.resident_bytes() > sig.resident_bytes());
+    }
+
+    #[test]
+    fn candidates_return_the_exact_equal_range() {
+        // A reference of repeated pages: many blocks share one weak
+        // checksum, and `candidates` must return all of them, in
+        // reference order, with nothing else — the equal-range bounds
+        // off the hoisted bucket slice.
+        let page = pseudo(64, 11);
+        let reference: Vec<u8> = page
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 37)
+            .chain(pseudo(64 * 5, 12))
+            .collect();
+        let sig = Signature::build(&reference, Chunking::Fixed(64)).unwrap();
+        let table = MatchTable::build(&sig);
+        for weak in sig.blocks().iter().map(|b| b.weak) {
+            let expected: Vec<u32> = (0..sig.blocks().len() as u32)
+                .filter(|&i| sig.blocks()[i as usize].weak == weak)
+                .collect();
+            assert_eq!(table.candidates(weak), expected, "weak {weak:#010x}");
+        }
+        // The repeated page shares one equal range of 37 entries.
+        assert_eq!(table.candidates(sig.blocks()[0].weak).len(), 37);
+        // An absent checksum that may pass the filter still resolves to
+        // an empty range through the same bucket search.
+        let absent = (0..u32::MAX)
+            .find(|w| sig.blocks().iter().all(|b| b.weak != *w))
+            .unwrap();
+        assert!(table.candidates(absent).is_empty());
     }
 }

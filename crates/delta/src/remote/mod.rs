@@ -61,14 +61,19 @@
 
 pub mod cdc;
 mod generate;
+pub mod scan;
 mod signature;
 mod strong;
 mod weak;
 
 pub use cdc::{cut_points, CdcParams, Chunker, GEAR};
-pub use generate::{generate_delta, generate_delta_bytes, CrcReader, MatchTable};
+pub use generate::{
+    generate_delta, generate_delta_bytes, generate_delta_scalar, CrcReader, MatchTable,
+};
+pub use scan::{skip_misses, BatchSkip, WeakFilter};
 pub use signature::{
-    BlockSignature, Chunking, Signature, SignatureError, DEFAULT_BLOCK_LEN, SIGNATURE_MAGIC,
+    fixed_signature_wire_len, BlockSignature, BlockSize, Chunking, Signature, SignatureError,
+    DEFAULT_BLOCK_LEN, DEFAULT_SIGNATURE_BUDGET, SIGNATURE_MAGIC,
 };
 pub use strong::strong_of;
 pub use weak::{weak_of, RollingWeak};

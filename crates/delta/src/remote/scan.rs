@@ -1,0 +1,361 @@
+//! The batched weak-scan kernel: advance the rolling checksum eight
+//! positions per word pair and skip miss-runs in bulk.
+//!
+//! The fixed-block generator spends almost all of its time in divergent
+//! regions, where every window position probes the presence filter,
+//! misses, and slides one byte. The scalar loop pays a load, a roll
+//! (three adds, two subtracts, one multiply) and a filter probe per
+//! byte. This kernel restates the roll as a *closed form over a batch*:
+//! sliding the window `k ≤ 8` positions from state `(a, b)` with window
+//! length `L`, where `S_out(k)` / `S_in(k)` are prefix sums of the
+//! bytes leaving the front and entering the back,
+//!
+//! ```text
+//! a(k) = a + S_in(k) − S_out(k)
+//! b(k) = b + k·a + V(k) − L·S_out(k),   V(k) = Σ_{j=1..k} (S_in(j) − S_out(j))
+//! ```
+//!
+//! Both identities are exact under wrapping `u32` arithmetic (they are
+//! the scalar recurrence unrolled and regrouped; wrapping addition is
+//! associative and commutative, and `L·S_out(k)` distributes over the
+//! per-step `L·out_j` terms). One iteration therefore costs two word
+//! loads ([`kernel::load_le`]), two prefix-sum evaluations
+//! ([`kernel::prefix_sums`]) and eight filter probes — and when all
+//! eight lanes miss, the state jumps the whole stride in O(1) and the
+//! skipped bytes are later emitted as one bulk literal.
+//!
+//! Because [`skip_misses`] stops *at* the first filter hit with exactly
+//! the state the scalar loop would carry there, and skipped positions
+//! are precisely those the scalar loop would have probed negative, the
+//! generator's emitted command stream is byte-identical to the scalar
+//! scan (pinned by `tests/remote_scan.rs` and the `remote` fuzz
+//! oracle).
+//!
+//! [`WeakFilter`] is the other half of the speedup: the old 2^16-bit
+//! filter over `weak & 0xffff` saturates on small-block signatures
+//! (65 536 blocks fill ~63% of it), letting most divergent positions
+//! through to the candidate table. The filter here scales with the
+//! block count (~32 bits per block) and indexes by a multiplicative mix
+//! of the *full* 32-bit digest, keeping the false-positive rate low at
+//! every signature size.
+
+use super::weak::RollingWeak;
+use crate::diff::kernel;
+
+/// Positions advanced per batch iteration — one word of leaving bytes
+/// and one word of entering bytes.
+pub const LANES: usize = 8;
+
+/// A scaled presence filter over weak block checksums.
+///
+/// One bit per slot, sized at ~32 bits per signature block (clamped to
+/// [2^16, 2^22] bits) and indexed by a Fibonacci multiplicative mix of
+/// the full 32-bit digest. Purely conservative: [`WeakFilter::contains`]
+/// never returns `false` for an inserted value, so a filter miss proves
+/// the checksum is absent while a hit merely forwards to the exact
+/// candidate search.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::WeakFilter;
+///
+/// let mut filter = WeakFilter::with_capacity(2);
+/// filter.insert(0xdead_beef);
+/// assert!(filter.contains(0xdead_beef));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeakFilter {
+    bits: Vec<u64>,
+    shift: u32,
+}
+
+impl WeakFilter {
+    /// Smallest filter size in bits (the old fixed-size filter).
+    pub const MIN_BITS: usize = 1 << 16;
+    /// Largest filter size in bits (512 KiB of filter).
+    pub const MAX_BITS: usize = 1 << 22;
+
+    /// An empty filter sized for `blocks` entries.
+    #[must_use]
+    pub fn with_capacity(blocks: usize) -> Self {
+        let bits = blocks
+            .saturating_mul(32)
+            .next_power_of_two()
+            .clamp(Self::MIN_BITS, Self::MAX_BITS);
+        Self {
+            bits: vec![0u64; bits / 64],
+            shift: 32 - bits.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, weak: u32) -> (usize, u64) {
+        // Fibonacci mixing spreads the whole digest over the top bits;
+        // indexing by `weak & mask` would ignore the b-component half.
+        let idx = (weak.wrapping_mul(0x9e37_79b1) >> self.shift) as usize;
+        (idx >> 6, 1u64 << (idx & 63))
+    }
+
+    /// Marks `weak` present.
+    pub fn insert(&mut self, weak: u32) {
+        let (word, bit) = self.slot(weak);
+        self.bits[word] |= bit;
+    }
+
+    /// Whether `weak` may be present (exact for inserted values, false
+    /// positives possible, false negatives impossible).
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, weak: u32) -> bool {
+        let (word, bit) = self.slot(weak);
+        self.bits[word] & bit != 0
+    }
+
+    /// Heap footprint of the filter in bytes.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.bits.capacity() * 8
+    }
+}
+
+/// Outcome of one [`skip_misses`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSkip {
+    /// Bytes skipped: every window position in `0..skipped` probed the
+    /// filter negative, so the scalar loop would have emitted each as a
+    /// literal.
+    pub skipped: usize,
+    /// Number of eight-lane batch iterations evaluated.
+    pub batches: usize,
+}
+
+/// Slides `weak` (seeded over `data[..weak.len()]`) forward in
+/// eight-position batches while the filter keeps missing.
+///
+/// Returns how far the window front advanced; `weak` is left in exactly
+/// the state the scalar [`RollingWeak::roll`] loop would carry at that
+/// position. Stops at the first position whose digest hits `filter`
+/// (the caller then runs the exact candidate search there) or when
+/// fewer than `weak.len() + LANES` look-ahead bytes remain in `data`
+/// (the caller falls back to scalar rolls near the stream tail).
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::{skip_misses, weak_of, RollingWeak, WeakFilter};
+///
+/// let data: Vec<u8> = (0..200u8).collect();
+/// let filter = WeakFilter::with_capacity(4); // empty: everything misses
+/// let mut weak = RollingWeak::seeded(&data[..16]);
+/// let skip = skip_misses(&mut weak, &data, &filter);
+/// assert!(skip.skipped >= data.len() - 16 - 8);
+/// assert_eq!(weak.digest(), weak_of(&data[skip.skipped..skip.skipped + 16]));
+/// ```
+#[must_use]
+pub fn skip_misses(weak: &mut RollingWeak, data: &[u8], filter: &WeakFilter) -> BatchSkip {
+    let window = weak.len() as usize;
+    debug_assert!(window > 0 && window <= data.len());
+    let Some(limit) = data.len().checked_sub(window + LANES) else {
+        return BatchSkip::default();
+    };
+    let (mut a, mut b) = weak.parts();
+    let wlen = window as u32;
+    let mut p = 0usize;
+    let mut batches = 0usize;
+    while p <= limit {
+        batches += 1;
+        let leaving = kernel::prefix_sums(kernel::load_le(&data[p..p + LANES]));
+        let entering = kernel::prefix_sums(kernel::load_le(&data[p + window..p + window + LANES]));
+        // `weighted` walks V(m); at lane m it holds V(m) before the
+        // update below rolls it to V(m + 1).
+        let mut weighted = 0u32;
+        let mut mask = 0u32;
+        for m in 0..LANES {
+            let am = a.wrapping_add(entering[m]).wrapping_sub(leaving[m]);
+            let bm = b
+                .wrapping_add(a.wrapping_mul(m as u32))
+                .wrapping_add(weighted)
+                .wrapping_sub(wlen.wrapping_mul(leaving[m]));
+            let digest = (am & 0xffff) | (bm << 16);
+            mask |= u32::from(filter.contains(digest)) << m;
+            weighted = weighted
+                .wrapping_add(entering[m + 1])
+                .wrapping_sub(leaving[m + 1]);
+        }
+        let hit = mask.trailing_zeros() as usize;
+        if hit >= LANES {
+            // All eight lanes missed: jump the whole stride in O(1).
+            b = b
+                .wrapping_add(a.wrapping_mul(LANES as u32))
+                .wrapping_add(weighted)
+                .wrapping_sub(wlen.wrapping_mul(leaving[LANES]));
+            a = a.wrapping_add(entering[LANES]).wrapping_sub(leaving[LANES]);
+            p += LANES;
+            continue;
+        }
+        // Land the state exactly on the first hit lane.
+        let mut v = 0u32;
+        for k in 1..=hit {
+            v = v.wrapping_add(entering[k]).wrapping_sub(leaving[k]);
+        }
+        b = b
+            .wrapping_add(a.wrapping_mul(hit as u32))
+            .wrapping_add(v)
+            .wrapping_sub(wlen.wrapping_mul(leaving[hit]));
+        a = a.wrapping_add(entering[hit]).wrapping_sub(leaving[hit]);
+        p += hit;
+        break;
+    }
+    weak.set_parts(a, b);
+    BatchSkip {
+        skipped: p,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::weak_of;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filter_has_no_false_negatives() {
+        for blocks in [0usize, 1, 100, 70_000] {
+            let mut filter = WeakFilter::with_capacity(blocks);
+            let values: Vec<u32> = (0..1000u32)
+                .map(|i| i.wrapping_mul(2_654_435_761))
+                .collect();
+            for &v in &values {
+                filter.insert(v);
+            }
+            for &v in &values {
+                assert!(filter.contains(v), "{v:#010x} lost at {blocks} blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_scales_with_block_count() {
+        assert_eq!(
+            WeakFilter::with_capacity(0).resident_bytes(),
+            WeakFilter::MIN_BITS / 8
+        );
+        assert_eq!(
+            WeakFilter::with_capacity(1 << 16).resident_bytes(),
+            (32 << 16) / 8
+        );
+        assert_eq!(
+            WeakFilter::with_capacity(1 << 30).resident_bytes(),
+            WeakFilter::MAX_BITS / 8
+        );
+    }
+
+    #[test]
+    fn empty_filter_skips_to_the_runway_end() {
+        let data = pseudo(4_096, 1);
+        for window in [1usize, 5, 8, 64, 1000] {
+            let filter = WeakFilter::with_capacity(8);
+            let mut weak = RollingWeak::seeded(&data[..window]);
+            let skip = skip_misses(&mut weak, &data, &filter);
+            // Whole-stride jumps stop within one stride of the runway end.
+            let limit = data.len() - window - LANES;
+            assert!(skip.skipped > limit.saturating_sub(LANES) && skip.skipped <= limit + LANES);
+            assert_eq!(skip.batches, skip.skipped.div_ceil(LANES));
+            assert_eq!(
+                weak.digest(),
+                weak_of(&data[skip.skipped..skip.skipped + window]),
+                "window {window}"
+            );
+            assert_eq!(weak.len() as usize, window);
+        }
+    }
+
+    #[test]
+    fn stops_exactly_on_the_first_filter_hit() {
+        let data = pseudo(2_000, 2);
+        let window = 32usize;
+        // Plant hits at positions that land on every lane phase of a
+        // batch, including lane 0 (no progress) and mid-stride stops.
+        for target in [0usize, 1, 3, 7, 8, 9, 15, 100, 1023] {
+            let mut filter = WeakFilter::with_capacity(8);
+            filter.insert(weak_of(&data[target..target + window]));
+            let mut weak = RollingWeak::seeded(&data[..window]);
+            let skip = skip_misses(&mut weak, &data, &filter);
+            assert!(
+                skip.skipped <= target,
+                "skipped past the planted hit at {target}"
+            );
+            // Every skipped position truly missed the filter, and the
+            // stop position (when short of the runway end) is a hit.
+            for q in 0..skip.skipped {
+                assert!(
+                    !filter.contains(weak_of(&data[q..q + window])),
+                    "skipped a filter hit at {q} (target {target})"
+                );
+            }
+            assert!(
+                filter.contains(weak.digest()),
+                "stop at {} is no hit",
+                skip.skipped
+            );
+            assert_eq!(
+                weak.digest(),
+                weak_of(&data[skip.skipped..skip.skipped + window])
+            );
+        }
+    }
+
+    #[test]
+    fn short_runway_is_a_no_op() {
+        let data = pseudo(64, 3);
+        let filter = WeakFilter::with_capacity(8);
+        // window + LANES exceeds the data: nothing to batch over.
+        let mut weak = RollingWeak::seeded(&data[..60]);
+        let before = weak;
+        assert_eq!(skip_misses(&mut weak, &data, &filter), BatchSkip::default());
+        assert_eq!(weak, before);
+    }
+
+    #[test]
+    fn state_matches_scalar_rolls_at_every_stop() {
+        // Adversarial filter: every 4th digest present, forcing stops at
+        // many lane phases; resume from each stop with one scalar roll.
+        let data = pseudo(3_000, 4);
+        let window = 16usize;
+        let mut filter = WeakFilter::with_capacity(8);
+        for q in 0..data.len() - window {
+            let w = weak_of(&data[q..q + window]);
+            if q % 4 == 0 {
+                filter.insert(w);
+            }
+        }
+        let mut weak = RollingWeak::seeded(&data[..window]);
+        let mut pos = 0usize;
+        while pos + window + LANES <= data.len() {
+            let skip = skip_misses(&mut weak, &data[pos..], &filter);
+            pos += skip.skipped;
+            assert_eq!(weak.digest(), weak_of(&data[pos..pos + window]), "at {pos}");
+            if pos + window < data.len() {
+                // The scalar generator's next step: roll one byte.
+                weak.roll(data[pos], data[pos + window]);
+                pos += 1;
+                assert_eq!(weak.digest(), weak_of(&data[pos..pos + window]));
+            } else {
+                break;
+            }
+        }
+    }
+}

@@ -99,6 +99,119 @@ impl fmt::Display for Chunking {
     }
 }
 
+/// Default wire-signature byte budget for [`BlockSize::Auto`]: 512 KiB
+/// of signature buys ≈ 24 000 blocks, i.e. 1 KiB resolution on a
+/// 24 MiB reference.
+pub const DEFAULT_SIGNATURE_BUDGET: usize = 512 * 1024;
+
+/// Fixed-block size selection: a concrete length, or the smallest block
+/// whose wire signature fits a byte budget.
+///
+/// Small blocks give high match resolution (less literal spill around
+/// each edit) but cost ~22 wire bytes per block; [`BlockSize::Auto`]
+/// resolves the tension per reference by walking the power-of-two
+/// ladder `[256, 1 MiB]` and picking the smallest block length whose
+/// exact encoded signature ([`fixed_signature_wire_len`]) fits the
+/// budget — largest if none fit.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::{BlockSize, Chunking};
+///
+/// let auto = BlockSize::Auto { budget: 64 * 1024 };
+/// // A small reference affords the finest block.
+/// assert_eq!(auto.resolve(100_000), 256);
+/// // A large one is coarsened until the signature fits 64 KiB.
+/// assert_eq!(auto.resolve(100_000_000), 65_536);
+/// assert_eq!(auto.chunking(100_000_000), Chunking::Fixed(65_536));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockSize {
+    /// Use exactly this block length.
+    Fixed(usize),
+    /// Pick the smallest power-of-two block length in
+    /// `[MIN_AUTO, MAX_AUTO]` whose encoded signature fits `budget`
+    /// bytes.
+    Auto {
+        /// Wire-signature byte budget.
+        budget: usize,
+    },
+}
+
+impl BlockSize {
+    /// Finest block length [`BlockSize::Auto`] will pick.
+    pub const MIN_AUTO: usize = 256;
+    /// Coarsest block length [`BlockSize::Auto`] will pick.
+    pub const MAX_AUTO: usize = 1 << 20;
+
+    /// The block length to use for a `source_len`-byte reference.
+    #[must_use]
+    pub fn resolve(self, source_len: u64) -> usize {
+        match self {
+            BlockSize::Fixed(len) => len,
+            BlockSize::Auto { budget } => {
+                let mut len = Self::MIN_AUTO;
+                while len < Self::MAX_AUTO
+                    && fixed_signature_wire_len(source_len, len as u64) > budget as u64
+                {
+                    len *= 2;
+                }
+                len
+            }
+        }
+    }
+
+    /// The [`Chunking`] to build the signature with.
+    #[must_use]
+    pub fn chunking(self, source_len: u64) -> Chunking {
+        Chunking::Fixed(self.resolve(source_len))
+    }
+}
+
+impl Default for BlockSize {
+    fn default() -> Self {
+        BlockSize::Fixed(DEFAULT_BLOCK_LEN)
+    }
+}
+
+impl fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockSize::Fixed(len) => write!(f, "{len}"),
+            BlockSize::Auto { budget } => write!(f, "auto:{budget}"),
+        }
+    }
+}
+
+/// Exact encoded size ([`Signature::encoded_len`]) of a fixed-block
+/// signature over a `source_len`-byte reference, without building it.
+///
+/// # Example
+///
+/// ```
+/// use ipr_delta::remote::{fixed_signature_wire_len, Chunking, Signature};
+///
+/// let sig = Signature::build(&[7u8; 10_000], Chunking::Fixed(4096)).unwrap();
+/// assert_eq!(fixed_signature_wire_len(10_000, 4096), sig.encoded_len() as u64);
+/// ```
+#[must_use]
+pub fn fixed_signature_wire_len(source_len: u64, block_len: u64) -> u64 {
+    debug_assert!(block_len > 0);
+    let full = source_len / block_len;
+    let tail = source_len % block_len;
+    let count = full + u64::from(tail != 0);
+    let mut len = (SIGNATURE_MAGIC.len() + 1 + 4) as u64
+        + varint::encoded_len(source_len) as u64
+        + varint::encoded_len(block_len) as u64
+        + varint::encoded_len(count) as u64;
+    len += full.saturating_mul((varint::encoded_len(block_len) + 4 + 16) as u64);
+    if tail != 0 {
+        len += (varint::encoded_len(tail) + 4 + 16) as u64;
+    }
+    len
+}
+
 /// The signature of one reference block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockSignature {
@@ -655,6 +768,52 @@ mod tests {
         let digest = crc.finish();
         hostile.extend_from_slice(&digest.to_le_bytes());
         assert_eq!(Signature::decode(&hostile), Err(SignatureError::TooShort));
+    }
+
+    #[test]
+    fn wire_len_predictor_is_exact() {
+        for (len, block) in [
+            (0usize, 256u64),
+            (1, 256),
+            (255, 256),
+            (256, 256),
+            (257, 256),
+            (10_000, 4096),
+            (100_000, 700),
+            (65_536, 65_536),
+        ] {
+            let sig = Signature::build(&pseudo(len, 6), Chunking::Fixed(block as usize)).unwrap();
+            assert_eq!(
+                fixed_signature_wire_len(len as u64, block),
+                sig.encoded_len() as u64,
+                "{len}B at block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_block_size_fits_the_budget() {
+        let auto = BlockSize::Auto { budget: 4096 };
+        for source_len in [0u64, 1, 1000, 100_000, 1 << 24, 1 << 32] {
+            let block = auto.resolve(source_len);
+            assert!(block.is_power_of_two());
+            assert!((BlockSize::MIN_AUTO..=BlockSize::MAX_AUTO).contains(&block));
+            let wire = fixed_signature_wire_len(source_len, block as u64);
+            if block < BlockSize::MAX_AUTO {
+                assert!(wire <= 4096, "{source_len}: {wire} over budget at {block}");
+                // Smallest such block: one step finer must overflow.
+                if block > BlockSize::MIN_AUTO {
+                    assert!(fixed_signature_wire_len(source_len, block as u64 / 2) > 4096);
+                }
+            }
+        }
+        // Fixed ignores the source length entirely.
+        assert_eq!(BlockSize::Fixed(1234).resolve(u64::MAX), 1234);
+        assert_eq!(BlockSize::default().resolve(0), DEFAULT_BLOCK_LEN);
+        // Impossible budget: clamps to the coarsest rung.
+        let starved = BlockSize::Auto { budget: 0 };
+        assert_eq!(starved.resolve(u64::MAX), BlockSize::MAX_AUTO);
+        assert_eq!(format!("{starved}"), "auto:0");
     }
 
     #[test]

@@ -56,10 +56,24 @@ impl RollingWeak {
     }
 
     /// Replaces the window contents with `window`.
+    ///
+    /// Consumes eight bytes per word load: appending a word of bytes
+    /// with running prefix sums `S(1)..S(8)` to state `(a, b)` gives
+    /// `a' = a + S(8)` and `b' = b + 8a + Σₖ S(k)` — the same closed
+    /// form the batched scan kernel uses to advance the pair, exact
+    /// under wrapping `u32` arithmetic.
     pub fn reseed(&mut self, window: &[u8]) {
+        use crate::diff::kernel;
         let mut a = 0u32;
         let mut b = 0u32;
-        for &x in window {
+        let mut chunks = window.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let sums = kernel::prefix_sums(kernel::load_le(chunk));
+            let weighted: u32 = sums[1..].iter().sum();
+            b = b.wrapping_add(a.wrapping_mul(8)).wrapping_add(weighted);
+            a = a.wrapping_add(sums[8]);
+        }
+        for &x in chunks.remainder() {
             a = a.wrapping_add(u32::from(x));
             b = b.wrapping_add(a);
         }
@@ -110,6 +124,22 @@ impl RollingWeak {
     #[must_use]
     pub fn digest(&self) -> u32 {
         (self.a & 0xffff) | (self.b << 16)
+    }
+
+    /// The raw `(a, b)` accumulator pair. The batched scan kernel
+    /// advances these out-of-line and writes them back with
+    /// [`RollingWeak::set_parts`]; the window length is untouched.
+    #[inline]
+    #[must_use]
+    pub(crate) fn parts(&self) -> (u32, u32) {
+        (self.a, self.b)
+    }
+
+    /// Replaces the accumulator pair without changing the window length.
+    #[inline]
+    pub(crate) fn set_parts(&mut self, a: u32, b: u32) {
+        self.a = a;
+        self.b = b;
     }
 }
 
@@ -162,6 +192,24 @@ mod tests {
             w.shrink_front(data[i - 1]);
             assert_eq!(w.digest(), weak_of(&data[i..]), "at {i}");
             assert_eq!(w.len() as usize, data.len() - i);
+        }
+    }
+
+    #[test]
+    fn reseed_matches_byte_at_a_time() {
+        // The word-batched reseed must agree with the definitional
+        // byte loop at every length phase around word boundaries.
+        let data: Vec<u8> = (0..1040u32)
+            .map(|i| (i.wrapping_mul(193) >> 2) as u8)
+            .collect();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 1000] {
+            let (mut a, mut b) = (0u32, 0u32);
+            for &x in &data[..len] {
+                a = a.wrapping_add(u32::from(x));
+                b = b.wrapping_add(a);
+            }
+            let w = RollingWeak::seeded(&data[..len]);
+            assert_eq!(w.digest(), (a & 0xffff) | (b << 16), "len {len}");
         }
     }
 

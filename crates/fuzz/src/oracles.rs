@@ -54,7 +54,9 @@ use ipr_delta::codec::{decode, encode, encode_checked, DecodeError, EncodeError,
 use ipr_delta::diff::{
     CorrectingDiffer, Differ, GreedyDiffer, IndexedDiffer, OnePassDiffer, ParallelDiffer,
 };
-use ipr_delta::remote::{generate_delta, generate_delta_bytes, CdcParams, Chunking, Signature};
+use ipr_delta::remote::{
+    generate_delta, generate_delta_bytes, generate_delta_scalar, CdcParams, Chunking, Signature,
+};
 use ipr_delta::{Command, DeltaScript};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -812,7 +814,10 @@ impl std::io::Read for Trickle<'_> {
 ///    commands whether the version arrives one byte or 4 KiB at a time;
 /// 5. **consistency envelope** — matched + literal bytes in the script
 ///    cover the version exactly (no command is lost or duplicated),
-///    enforced implicitly by 1 plus the codec's target-length check.
+///    enforced implicitly by 1 plus the codec's target-length check;
+/// 6. **batched == scalar** — the batched weak-scan generator
+///    ([`generate_delta`]) and its byte-at-a-time reference
+///    ([`generate_delta_scalar`]) emit identical command streams.
 pub fn check_remote_case(case: &FuzzCase, salt: u64) -> CheckResult {
     let version = scratch_apply(case)?;
     let chunking = REMOTE_CHUNKINGS[(salt % REMOTE_CHUNKINGS.len() as u64) as usize];
@@ -877,6 +882,18 @@ pub fn check_remote_case(case: &FuzzCase, salt: u64) -> CheckResult {
         return fail(format!(
             "{tag}: trickle-fed generator emitted different commands than \
              the whole-slice generator"
+        ));
+    }
+
+    // The batched weak-scan kernel must be a pure speedup: the
+    // byte-at-a-time scalar generator emits the identical command
+    // stream on every input, batch-boundary straddles included.
+    let scalar = generate_delta_scalar(&signature, &version[..])
+        .map_err(|e| format!("{tag}: generate_delta_scalar failed: {e}"))?;
+    if scalar.commands() != script.commands() {
+        return fail(format!(
+            "{tag}: batched generator emitted different commands than the \
+             byte-at-a-time scalar generator"
         ));
     }
     Ok(())

@@ -11,7 +11,7 @@ use ipr_delta::compose_chain;
 use ipr_delta::diff::{
     DiffScratch, GreedyDiffer, IndexedDiffer, ParallelDiffer, DEFAULT_CHUNK_BYTES,
 };
-use ipr_delta::remote::{self, Chunking, Signature, SignatureError};
+use ipr_delta::remote::{self, BlockSize, Chunking, Signature, SignatureError};
 use ipr_delta::DeltaScript;
 
 /// Configuration shared by every stage of an [`Engine`].
@@ -36,6 +36,11 @@ pub struct EngineConfig {
     /// Block chunking for [`Engine::sign`] — the remote-differencing
     /// signature path (docs/REMOTE.md).
     pub chunking: Chunking,
+    /// When set, overrides [`chunking`](EngineConfig::chunking) for
+    /// [`Engine::sign`] with a fixed block length resolved per
+    /// reference — [`BlockSize::Auto`] picks the smallest block whose
+    /// wire signature fits the configured byte budget.
+    pub block_size: Option<BlockSize>,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +54,7 @@ impl Default for EngineConfig {
             read_mode: parallel.read_mode,
             serial_wave_bytes: parallel.serial_wave_bytes,
             chunking: Chunking::default(),
+            block_size: None,
         }
     }
 }
@@ -190,14 +196,21 @@ impl<D: IndexedDiffer> Engine<D> {
 
     /// Builds the remote-differencing [`Signature`] of `reference` under
     /// the engine's [`chunking`](EngineConfig::chunking) — the device
-    /// side of the signature/streaming flow (docs/REMOTE.md).
+    /// side of the signature/streaming flow (docs/REMOTE.md). A
+    /// configured [`block_size`](EngineConfig::block_size) takes
+    /// precedence, resolving [`BlockSize::Auto`] against this
+    /// reference's length.
     ///
     /// # Errors
     ///
     /// [`SignatureError::BadChunking`] when the configured chunking
     /// parameters are invalid.
     pub fn sign(&mut self, reference: &[u8]) -> Result<Signature, SignatureError> {
-        Signature::build(reference, self.config.chunking)
+        let chunking = match self.config.block_size {
+            Some(block_size) => block_size.chunking(reference.len() as u64),
+            None => self.config.chunking,
+        };
+        Signature::build(reference, chunking)
     }
 
     /// Stage 1, remote flavour: differences a *streamed* version against
@@ -247,6 +260,21 @@ impl<D: IndexedDiffer> Engine<D> {
         self.schedule_scratch.plan(script)
     }
 
+    /// Encodes a script into a pool-drawn wire buffer, verifying it
+    /// rebuilds `version`. The stage-method twin of the encode inside
+    /// [`Engine::update`]: return the buffer through
+    /// [`Engine::recycle`] and a warm engine re-serves it, so
+    /// steady-state encoding performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Encode`] as [`ipr_delta::codec::encode_checked`].
+    pub fn encode(&mut self, script: &DeltaScript, version: &[u8]) -> Result<Vec<u8>, EngineError> {
+        let mut payload = self.diff_scratch.pool_mut().take_bytes();
+        codec::encode_checked_into(script, self.config.format, version, &mut payload)?;
+        Ok(payload)
+    }
+
     /// Stage 4: applies a converted script to `buf` in place with
     /// wave-parallel execution (schedule planned through the engine's
     /// scratch and discarded).
@@ -286,7 +314,9 @@ impl<D: IndexedDiffer> Engine<D> {
         let _span = ipr_trace::span("engine.update");
         let script = self.diff(reference, version);
         let outcome = self.convert(script, reference)?;
-        let payload = codec::encode_checked(&outcome.script, self.config.format, version)?;
+        // Encode into a pooled buffer: a warm engine's whole update is
+        // then allocation-free (the buffer returns via `recycle`).
+        let payload = self.encode(&outcome.script, version)?;
         if ipr_trace::enabled() {
             ipr_trace::with(|r| {
                 r.add("engine.updates", 1);

@@ -1,0 +1,177 @@
+//! Equivalence proptests for the batched weak-scan kernel: the batched
+//! generator ([`generate_delta`]) must emit a command stream
+//! byte-identical to the byte-at-a-time reference
+//! ([`generate_delta_scalar`]) on every input, and the word-batched
+//! rolling-checksum machinery it rides on must agree with the naive
+//! Adler/Fletcher loop at every window offset.
+//!
+//! The batched kernel advances eight positions per stride with a
+//! closed-form multi-byte roll and consults only the weak presence
+//! filter, so the dangerous inputs are exactly the ones exercised here:
+//! windows shorter than a block (version tails), miss-runs that end
+//! mid-stride, trickle readers that starve the look-ahead, and inputs
+//! dense with real matches where the kernel must stop on the first
+//! candidate position.
+
+use std::io::Read;
+
+use ipr::delta::remote::{
+    generate_delta, generate_delta_scalar, weak_of, CdcParams, Chunking, RollingWeak, Signature,
+};
+use proptest::prelude::*;
+
+/// The obviously-correct Adler/Fletcher pair the rolling forms must
+/// reproduce: two wrapping accumulators over the window, low halves
+/// packed into one digest.
+fn naive_weak(window: &[u8]) -> u32 {
+    let mut a = 0u32;
+    let mut b = 0u32;
+    for &x in window {
+        a = a.wrapping_add(u32::from(x));
+        b = b.wrapping_add(a);
+    }
+    (a & 0xffff) | (b << 16)
+}
+
+/// A reader that yields at most `chunk` bytes per call, forcing the
+/// stream window to refill incrementally and the batched scan to cope
+/// with look-ahead arriving in dribs.
+struct Trickle<'a> {
+    data: &'a [u8],
+    chunk: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.data.len().min(self.chunk).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        Ok(n)
+    }
+}
+
+/// Reference/version pairs in the regime the kernel must get right:
+/// the version interleaves runs copied from the reference (so weak
+/// matches and filter hits occur) with fresh literal runs (so miss-runs
+/// of every length appear), at arbitrary alignments.
+fn correlated_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        proptest::collection::vec(any::<u8>(), 1..2000),
+        proptest::collection::vec(any::<u8>(), 0..200),
+        proptest::collection::vec((any::<u16>(), any::<u8>(), any::<bool>()), 1..12),
+    )
+        .prop_map(|(reference, noise, plan)| {
+            let mut version = Vec::new();
+            for (salt, len_salt, from_reference) in plan {
+                let len = 1 + usize::from(len_salt);
+                if from_reference {
+                    let start = salt as usize % reference.len();
+                    let end = (start + len).min(reference.len());
+                    version.extend_from_slice(&reference[start..end]);
+                } else if !noise.is_empty() {
+                    for i in 0..len {
+                        version.push(noise[(salt as usize + i) % noise.len()]);
+                    }
+                }
+            }
+            (reference, version)
+        })
+}
+
+proptest! {
+    /// The word-batched reseed and the scalar roll agree with the naive
+    /// loop at every offset: seed once, roll across the whole buffer,
+    /// and compare each window's digest against both the naive pair and
+    /// a fresh `weak_of` seed.
+    #[test]
+    fn rolled_digests_match_naive_at_every_offset(
+        data in proptest::collection::vec(any::<u8>(), 1..600),
+        window_salt in any::<u16>(),
+    ) {
+        let window = 1 + window_salt as usize % data.len().min(96);
+        let mut weak = RollingWeak::new();
+        weak.reseed(&data[..window]);
+        for start in 0..=data.len() - window {
+            let expect = naive_weak(&data[start..start + window]);
+            prop_assert_eq!(weak.digest(), expect, "rolled digest at offset {}", start);
+            prop_assert_eq!(weak_of(&data[start..start + window]), expect);
+            if start + window < data.len() {
+                weak.roll(data[start], data[start + window]);
+            }
+        }
+    }
+
+    /// Batched and scalar generators emit identical command streams on
+    /// fixed-block signatures, across block sizes that leave
+    /// shorter-than-block version tails and references with tail blocks.
+    #[test]
+    fn batched_matches_scalar_on_fixed_blocks(
+        (reference, version) in correlated_pair(),
+        block_salt in any::<u8>(),
+    ) {
+        let block_len = [16, 24, 32, 64, 128][block_salt as usize % 5];
+        let signature = Signature::build(&reference, Chunking::Fixed(block_len)).unwrap();
+        let batched = generate_delta(&signature, &version[..]).unwrap();
+        let scalar = generate_delta_scalar(&signature, &version[..]).unwrap();
+        prop_assert_eq!(batched.commands(), scalar.commands());
+        prop_assert_eq!(ipr::delta::apply(&batched, &reference).unwrap(), version);
+    }
+
+    /// Trickle readers — including single-byte reads, reads smaller
+    /// than the eight-lane stride, and reads that straddle it — never
+    /// change the emitted commands relative to a whole-slice read.
+    #[test]
+    fn trickle_reads_match_slice_reads(
+        (reference, version) in correlated_pair(),
+        chunk_salt in any::<u8>(),
+    ) {
+        let chunk = [1, 3, 7, 8, 9, 64][chunk_salt as usize % 6];
+        let signature = Signature::build(&reference, Chunking::Fixed(32)).unwrap();
+        let whole = generate_delta(&signature, &version[..]).unwrap();
+        let trickled = generate_delta(&signature, Trickle { data: &version, chunk }).unwrap();
+        let scalar_trickled =
+            generate_delta_scalar(&signature, Trickle { data: &version, chunk }).unwrap();
+        prop_assert_eq!(whole.commands(), trickled.commands());
+        prop_assert_eq!(whole.commands(), scalar_trickled.commands());
+    }
+
+    /// Content-defined chunking routes around the batched kernel, so
+    /// the two generators must stay equal there too — across every CDC
+    /// preset the suite uses, including the library default.
+    #[test]
+    fn batched_matches_scalar_on_cdc_presets(
+        (reference, version) in correlated_pair(),
+        preset_salt in any::<u8>(),
+    ) {
+        let params = [
+            CdcParams { min: 64, avg: 256, max: 1024 },
+            CdcParams { min: 128, avg: 512, max: 4096 },
+            CdcParams::default(),
+        ][preset_salt as usize % 3];
+        let signature = Signature::build(&reference, Chunking::Cdc(params)).unwrap();
+        let batched = generate_delta(&signature, &version[..]).unwrap();
+        let scalar = generate_delta_scalar(&signature, &version[..]).unwrap();
+        prop_assert_eq!(batched.commands(), scalar.commands());
+        prop_assert_eq!(ipr::delta::apply(&batched, &reference).unwrap(), version);
+    }
+}
+
+/// Deterministic stress along the batch boundary: versions sized to end
+/// exactly at, one before, and one after every multiple of the
+/// eight-lane stride around a block edge, against a reference whose
+/// tail block is short.
+#[test]
+fn batch_boundary_tails_match_scalar() {
+    let reference: Vec<u8> = (0..1000u32)
+        .map(|i| (i.wrapping_mul(193) >> 3) as u8)
+        .collect();
+    let signature = Signature::build(&reference, Chunking::Fixed(64)).unwrap();
+    for end in (56..=80).chain(120..=136) {
+        let mut version = reference[3..3 + end].to_vec();
+        version[end / 2] ^= 0x5a;
+        let batched = generate_delta(&signature, &version[..]).unwrap();
+        let scalar = generate_delta_scalar(&signature, &version[..]).unwrap();
+        assert_eq!(batched.commands(), scalar.commands(), "version len {end}");
+        assert_eq!(ipr::delta::apply(&batched, &reference).unwrap(), version);
+    }
+}
