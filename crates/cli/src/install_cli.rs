@@ -1,0 +1,277 @@
+//! `ipr install` — simulate installing a delta onto a constrained
+//! device over a (lossy) channel, offline or streaming with resume.
+//!
+//! The offline path downloads the whole delta and then applies it; the
+//! `--stream` path drives [`ipr_device::stream_install`]: commands are
+//! applied while chunks arrive, `--kill-at N` simulates a power cut
+//! after N chunk transfers, and the resulting checkpoint plus the
+//! device's flash contents are persisted to the `--state` file so the
+//! next invocation resumes from the cut — re-requesting the wire from
+//! the checkpoint offset, not from byte 0.
+
+use crate::engine_cli::EngineCli;
+use ipr_delta::codec::stream::StreamDecoder;
+use ipr_device::{
+    stream_install, update, Channel, Device, InstallCheckpoint, LossyChannel, StreamProgress,
+};
+use ipr_pipeline::DeltaStream;
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Magic prefix of an install state file (checkpoint + flash snapshot).
+const STATE_MAGIC: [u8; 4] = *b"IPRS";
+
+const USAGE: &str = "usage: ipr install <image> <delta> [--stream] \
+     [--channel dialup|isdn|cellular] [--loss RATE] [--seed S] \
+     [--chunk BYTES] [--mtu BYTES] [--kill-at N] [--state FILE]";
+
+/// Parses a `--channel` preset name.
+fn parse_channel(name: &str) -> Result<Channel, String> {
+    match name {
+        "dialup" => Ok(Channel::dialup()),
+        "isdn" => Ok(Channel::isdn()),
+        "cellular" => Ok(Channel::cellular()),
+        _ => Err(format!("unknown channel `{name}` (dialup|isdn|cellular)")),
+    }
+}
+
+/// Device capacity for a delta: the header names both image sizes, so
+/// peek it off the wire prefix without decoding any command.
+fn peek_needed(payload: &[u8]) -> Result<u64, Box<dyn std::error::Error>> {
+    let mut decoder = StreamDecoder::new();
+    for chunk in payload.chunks(64) {
+        decoder.push(chunk);
+        if let Some(header) = decoder.poll_header()? {
+            return Ok(header.source_len.max(header.target_len));
+        }
+    }
+    Err("delta too short to carry a header".into())
+}
+
+pub fn cmd_install(args: &[String]) -> CliResult {
+    // `--stream` is a boolean flag; extract it before EngineCli's
+    // uniform `--key value` parsing would eat a positional as its value.
+    let mut streaming = false;
+    let mut rest = Vec::with_capacity(args.len());
+    for a in args {
+        if a == "--stream" {
+            streaming = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let mut cli = EngineCli::parse(&rest)?;
+    let channel = cli
+        .take_with("channel", parse_channel)?
+        .unwrap_or_else(Channel::dialup);
+    let loss = cli
+        .take_with("loss", |v| {
+            let rate: f64 = v
+                .parse()
+                .map_err(|_| format!("--loss needs a rate, got `{v}`"))?;
+            if (0.0..1.0).contains(&rate) {
+                Ok(rate)
+            } else {
+                Err(format!("--loss must be in [0, 1), got `{v}`"))
+            }
+        })?
+        .unwrap_or(0.0);
+    let seed = cli
+        .take_with("seed", |v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--seed needs a number, got `{v}`"))
+        })?
+        .unwrap_or(1);
+    let chunk = cli
+        .take_with("chunk", |v| match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("--chunk needs a positive byte count, got `{v}`")),
+        })?
+        .unwrap_or(1024);
+    let mtu = cli
+        .take_with("mtu", |v| match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("--mtu needs a positive byte count, got `{v}`")),
+        })?
+        .unwrap_or(576);
+    let kill_at = cli.take_with("kill-at", |v| {
+        v.parse::<u64>()
+            .map_err(|_| format!("--kill-at needs a chunk count, got `{v}`"))
+    })?;
+    let state_path = cli.take("state");
+    cli.finish_options()?;
+    let [image_path, delta_path] = cli.positional(USAGE)?;
+
+    if !streaming {
+        if kill_at.is_some() || state_path.is_some() {
+            return Err("--kill-at and --state require --stream".into());
+        }
+        return install_offline(image_path, delta_path, channel);
+    }
+    let state_path = state_path.unwrap_or_else(|| format!("{image_path}.state"));
+    install_streaming(
+        image_path,
+        delta_path,
+        LossyChannel::new(channel, loss, seed),
+        chunk,
+        mtu,
+        kill_at,
+        &state_path,
+    )
+}
+
+/// Download-then-apply: the whole delta crosses the wire before the
+/// first flash write.
+fn install_offline(image_path: &str, delta_path: &str, channel: Channel) -> CliResult {
+    let payload = std::fs::read(delta_path)?;
+    let image = std::fs::read(image_path)?;
+    let capacity = peek_needed(&payload)?.max(image.len() as u64);
+    let mut device = Device::new(usize::try_from(capacity).map_err(|_| "image too large")?);
+    device.flash(&image)?;
+    let report = update::install_update(&mut device, &payload, channel)?;
+    std::fs::write(image_path, device.image())?;
+    println!(
+        "installed {} onto {} ({} B image): {} B over {channel} in {:.2}s, {} commands{}",
+        delta_path,
+        image_path,
+        device.image().len(),
+        report.received_bytes,
+        report.transfer_time.as_secs_f64(),
+        report.stats.commands,
+        if report.crc_verified {
+            ", crc ok"
+        } else {
+            ", no crc"
+        }
+    );
+    Ok(())
+}
+
+/// Streaming install with optional simulated power cut and resume.
+fn install_streaming(
+    image_path: &str,
+    delta_path: &str,
+    channel: LossyChannel,
+    chunk: usize,
+    mtu: usize,
+    kill_at: Option<u64>,
+    state_path: &str,
+) -> CliResult {
+    let payload = std::fs::read(delta_path)?;
+    let stream = DeltaStream::from_wire(payload, chunk);
+
+    // A state file from an earlier kill means resume; otherwise fresh.
+    let (mut device, checkpoint) = match std::fs::read(state_path) {
+        Ok(bytes) => {
+            let (checkpoint, storage) = decode_state(&bytes)?;
+            let mut device = Device::new(storage.len());
+            device.flash(storage)?;
+            (device, Some(checkpoint))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let image = std::fs::read(image_path)?;
+            let capacity = peek_needed(stream.payload())?.max(image.len() as u64);
+            let mut device = Device::new(usize::try_from(capacity).map_err(|_| "image too large")?);
+            device.flash(&image)?;
+            (device, None)
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let resumed = checkpoint.is_some();
+
+    match stream_install(
+        &mut device,
+        &stream,
+        channel,
+        mtu,
+        checkpoint.as_ref(),
+        kill_at,
+    )? {
+        StreamProgress::Complete(report) => {
+            std::fs::write(image_path, device.image())?;
+            if resumed {
+                std::fs::remove_file(state_path)?;
+            }
+            println!(
+                "streamed {} onto {} ({} B image): {} chunks / {} B in {:.2}s \
+                 ({} retransmissions), first byte at {:.2}s, {} commands \
+                 ({} pre-EOF), {} resume(s), {} B buffered peak{}",
+                delta_path,
+                image_path,
+                device.image().len(),
+                report.chunks,
+                report.received_bytes,
+                report.transfer_time.as_secs_f64(),
+                report.retransmissions,
+                report.time_to_first_byte.map_or(0.0, |t| t.as_secs_f64()),
+                report.commands_applied,
+                report.commands_pre_eof,
+                report.resumes,
+                report.buffered_high_water,
+                if report.crc_verified {
+                    ", crc ok"
+                } else {
+                    ", no crc"
+                }
+            );
+        }
+        StreamProgress::Killed { checkpoint, report } => match checkpoint {
+            Some(checkpoint) => {
+                std::fs::write(state_path, encode_state(&checkpoint, device.storage()))?;
+                println!(
+                    "killed after {} chunks ({} B, {:.2}s): {} commands applied, \
+                     checkpoint at wire byte {} -> {state_path}; rerun to resume",
+                    report.chunks,
+                    report.received_bytes,
+                    report.transfer_time.as_secs_f64(),
+                    report.commands_applied,
+                    checkpoint.stream_offset()
+                );
+            }
+            None => {
+                println!(
+                    "killed after {} chunks, before the header: nothing to \
+                     checkpoint, rerun restarts from byte 0",
+                    report.chunks
+                );
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Serializes checkpoint + flash snapshot as one state file.
+fn encode_state(checkpoint: &InstallCheckpoint, storage: &[u8]) -> Vec<u8> {
+    let checkpoint = checkpoint.encode();
+    let mut out = Vec::with_capacity(4 + 16 + checkpoint.len() + storage.len());
+    out.extend_from_slice(&STATE_MAGIC);
+    out.extend_from_slice(&(checkpoint.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checkpoint);
+    out.extend_from_slice(&(storage.len() as u64).to_le_bytes());
+    out.extend_from_slice(storage);
+    out
+}
+
+/// Parses a state file written by [`encode_state`].
+fn decode_state(bytes: &[u8]) -> Result<(InstallCheckpoint, &[u8]), Box<dyn std::error::Error>> {
+    let err = || -> Box<dyn std::error::Error> { "malformed install state file".into() };
+    if bytes.len() < 12 || bytes[..4] != STATE_MAGIC {
+        return Err(err());
+    }
+    let mut at = 4usize;
+    let mut read_block = |bytes: &'_ [u8]| -> Option<std::ops::Range<usize>> {
+        let len = u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?);
+        let start = at + 8;
+        let end = start.checked_add(usize::try_from(len).ok()?)?;
+        bytes.get(start..end)?;
+        at = end;
+        Some(start..end)
+    };
+    let checkpoint_range = read_block(bytes).ok_or_else(err)?;
+    let storage_range = read_block(bytes).ok_or_else(err)?;
+    if at != bytes.len() {
+        return Err(err());
+    }
+    let checkpoint = InstallCheckpoint::decode(&bytes[checkpoint_range])?;
+    Ok((checkpoint, &bytes[storage_range]))
+}

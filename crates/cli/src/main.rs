@@ -9,6 +9,8 @@
 //!                    [--threads N] [--read-mode snapshot|zero-copy]
 //! ipr info <delta>                            print header and statistics
 //! ipr verify <delta>                          check Equation 2 safety
+//! ipr install <image> <delta> [--stream]      simulated OTA install with
+//!             [--kill-at N] [--state FILE]    resumable streaming
 //! ipr store <init|put|get|log|compact|fsck>   versioned delta object store
 //! ```
 //!
@@ -23,6 +25,7 @@
 //! scratch state for the duration of the command.
 
 mod engine_cli;
+mod install_cli;
 mod store_cli;
 #[cfg(test)]
 mod tests;
@@ -134,6 +137,7 @@ fn dispatch(args: &[String]) -> CliResult {
         "dump" => cmd_dump(rest),
         "verify" => cmd_verify(rest),
         "fuzz" => cmd_fuzz(rest),
+        "install" => install_cli::cmd_install(rest),
         "store" => store_cli::cmd_store(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -163,8 +167,14 @@ fn print_usage() {
          \x20 stats <delta> [--dot <file>]   (CRWI conflict-graph analysis)\n\
          \x20 dump <delta>           (list every command)\n\
          \x20 verify <delta>\n\
-         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine|remote|store] [--seed S]\n\
-         \x20       [--iters N] [--shrink on|off]  (differential fuzzing; failures print a seed)\n\
+         \x20 fuzz  [--oracle all|codec|convert|crwi|diff|engine|remote|store|streaming]\n\
+         \x20       [--seed S] [--iters N] [--shrink on|off]\n\
+         \x20       (differential fuzzing; failures print a seed)\n\
+         \x20 install <image> <delta>  [--stream] [--channel dialup|isdn|cellular]\n\
+         \x20       [--loss RATE] [--seed S] [--chunk BYTES] [--mtu BYTES]\n\
+         \x20       [--kill-at N] [--state FILE]\n\
+         \x20       (simulated OTA install; --stream applies while downloading and\n\
+         \x20       --kill-at/--state survive a power cut via resumable checkpoints)\n\
          \x20 store <init|put|get|log|compact|fsck> <dir> [...]\n\
          \x20       (versioned delta object store: crash-safe transactions, chain compaction)\n\
          \n\
@@ -554,8 +564,8 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     }
     cli.finish_options()?;
     cli.no_positional(
-        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine|remote|store] [--seed S] \
-         [--iters N] [--shrink on|off] [--max-failures N]",
+        "usage: ipr fuzz [--oracle all|codec|convert|crwi|diff|engine|remote|store|streaming] \
+         [--seed S] [--iters N] [--shrink on|off] [--max-failures N]",
     )?;
     let report = ipr_fuzz::run(&config);
     for violation in &report.violations {

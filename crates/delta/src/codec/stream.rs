@@ -50,14 +50,108 @@ pub struct StreamHeader {
     pub target_crc: Option<u32>,
 }
 
+/// A serializable snapshot of a [`StreamDecoder`] at a command
+/// boundary, from which decoding can restart after a mid-stream cut.
+///
+/// The decoder only advances its consumed offset on whole commands, so
+/// a checkpoint never captures partial-command state: the bytes of a
+/// half-received command are simply re-requested from `byte_offset`.
+/// Together with the parsed header and the format's implicit write
+/// cursor this is the decoder's *entire* state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamCheckpoint {
+    /// Wire bytes fully consumed; the next byte to request on resume.
+    pub byte_offset: u64,
+    /// Commands fully decoded before this checkpoint.
+    pub commands_decoded: u64,
+    /// Implicit write cursor / chain state of the format.
+    pub next_write: u64,
+    /// The stream header (always parsed before the first checkpoint).
+    pub header: StreamHeader,
+}
+
+/// Magic prefix of a serialized [`StreamCheckpoint`].
+const CHECKPOINT_MAGIC: [u8; 4] = *b"IPK1";
+
+impl StreamCheckpoint {
+    /// Serializes the checkpoint (fixed-width little-endian fields).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.push(self.header.format.wire_byte());
+        out.push(u8::from(self.header.target_crc.is_some()));
+        out.extend_from_slice(&self.header.target_crc.unwrap_or(0).to_le_bytes());
+        for v in [
+            self.header.source_len,
+            self.header.target_len,
+            self.header.command_count,
+            self.byte_offset,
+            self.commands_decoded,
+            self.next_write,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a checkpoint written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadMagic`], [`DecodeError::Truncated`], or
+    /// [`DecodeError::UnknownFormat`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = ByteReader::new(bytes);
+        if r.read_bytes(4).map_err(|_| DecodeError::BadMagic)? != CHECKPOINT_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let format_byte = r.read_u8()?;
+        let format =
+            Format::from_wire_byte(format_byte).ok_or(DecodeError::UnknownFormat(format_byte))?;
+        let has_crc = r.read_u8()? != 0;
+        let crc = r.read_u32_le()?;
+        let mut fields = [0u64; 6];
+        for f in &mut fields {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(r.read_bytes(8)?);
+            *f = u64::from_le_bytes(raw);
+        }
+        if r.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(Self {
+            byte_offset: fields[3],
+            commands_decoded: fields[4],
+            next_write: fields[5],
+            header: StreamHeader {
+                format,
+                source_len: fields[0],
+                target_len: fields[1],
+                command_count: fields[2],
+                target_crc: has_crc.then_some(crc),
+            },
+        })
+    }
+}
+
 /// Incremental decoder: push bytes, pull commands.
 ///
-/// Memory use is bounded by the largest single command (an add carries
-/// its literal data) plus unconsumed input.
+/// The internal buffer self-compacts: every [`push`](Self::push) drains
+/// the already-consumed prefix first, so resident memory is bounded by
+/// the largest single command frame (an add carries its literal data)
+/// plus one incoming chunk — never by the stream length.
 #[derive(Clone, Debug, Default)]
 pub struct StreamDecoder {
     buf: Vec<u8>,
     consumed: usize,
+    /// Total wire bytes consumed since the start of the stream
+    /// (survives compaction, which resets `consumed`).
+    offset: u64,
+    /// High-water mark of `buf.len()` — the resident-memory bound.
+    high_water: usize,
     header: Option<StreamHeader>,
     decoded: u64,
     /// Implicit write cursor / chain state, depending on the format.
@@ -71,20 +165,85 @@ impl StreamDecoder {
         Self::default()
     }
 
+    /// Reconstructs a decoder from a checkpoint, positioned to receive
+    /// wire bytes starting at `checkpoint.byte_offset`.
+    #[must_use]
+    pub fn resume(checkpoint: StreamCheckpoint) -> Self {
+        Self {
+            buf: Vec::new(),
+            consumed: 0,
+            offset: checkpoint.byte_offset,
+            high_water: 0,
+            header: Some(checkpoint.header),
+            decoded: checkpoint.commands_decoded,
+            next_write: checkpoint.next_write,
+        }
+    }
+
+    /// Snapshots the decoder at its last command boundary, or `None`
+    /// before the header has been parsed (nothing to resume from yet).
+    ///
+    /// Unconsumed buffered bytes (a partial command) are *not* part of
+    /// the checkpoint; a resumed decoder re-requests them from
+    /// [`byte_offset`](StreamCheckpoint::byte_offset).
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<StreamCheckpoint> {
+        self.header.map(|header| StreamCheckpoint {
+            byte_offset: self.offset,
+            commands_decoded: self.decoded,
+            next_write: self.next_write,
+            header,
+        })
+    }
+
     /// Feeds more wire bytes.
     pub fn push(&mut self, bytes: &[u8]) {
-        // Compact lazily so long streams don't grow the buffer forever.
-        if self.consumed > 4096 && self.consumed * 2 > self.buf.len() {
+        // Eagerly drain the consumed prefix: the residue is at most one
+        // partial command frame, so the buffer stays O(frame + chunk).
+        if self.consumed > 0 {
             self.buf.drain(..self.consumed);
             self.consumed = 0;
         }
         self.buf.extend_from_slice(bytes);
+        self.high_water = self.high_water.max(self.buf.len());
+    }
+
+    /// Unconsumed bytes currently buffered (partial-command residue).
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Largest number of bytes the buffer ever held: at most one
+    /// maximal command frame plus the largest pushed chunk.
+    #[must_use]
+    pub fn buffered_high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total wire bytes consumed since the start of the stream.
+    #[must_use]
+    pub fn stream_offset(&self) -> u64 {
+        self.offset
     }
 
     /// The header, once decodable.
     #[must_use]
     pub fn header(&self) -> Option<&StreamHeader> {
         self.header.as_ref()
+    }
+
+    /// Attempts to parse the header from buffered bytes *without*
+    /// decoding any command; `Ok(None)` means more input is needed.
+    ///
+    /// # Errors
+    ///
+    /// Same wire errors as [`next_command`](Self::next_command).
+    pub fn poll_header(&mut self) -> Result<Option<&StreamHeader>, DecodeError> {
+        if self.header.is_none() && !self.try_parse_header()? {
+            return Ok(None);
+        }
+        Ok(self.header.as_ref())
     }
 
     /// Commands decoded so far.
@@ -136,6 +295,7 @@ impl StreamDecoder {
         match result {
             Ok(cmd) => {
                 self.consumed += r.consumed();
+                self.offset += r.consumed() as u64;
                 self.next_write = next_write;
                 self.decoded += 1;
                 Ok(Some(cmd))
@@ -210,6 +370,7 @@ impl StreamDecoder {
         match parse(&mut r) {
             Ok(header) => {
                 self.consumed += r.consumed();
+                self.offset += r.consumed() as u64;
                 self.header = Some(header);
                 Ok(true)
             }
@@ -628,6 +789,140 @@ mod tests {
         }
         assert_eq!(decoded, script.commands());
         assert_eq!(dec.finish().unwrap().target_crc, Some(crc));
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uncut_decode() {
+        // Cut the stream at every command boundary, serialize the
+        // checkpoint, resume a fresh decoder from it, and replay the
+        // rest of the wire: the combined command list must equal the
+        // uncut decode for every format.
+        let (script, _) = sample();
+        for format in Format::ALL {
+            let wire = encode(&script, format).unwrap();
+
+            // Reference: uncut decode.
+            let mut d = StreamDecoder::new();
+            d.push(&wire);
+            let mut uncut = Vec::new();
+            while let Some(c) = d.next_command().unwrap() {
+                uncut.push(c);
+            }
+            let uncut_header = d.finish().unwrap();
+
+            for cut_after in 0..=uncut.len() {
+                // First power cycle: decode `cut_after` commands.
+                let mut d = StreamDecoder::new();
+                d.push(&wire);
+                for _ in 0..cut_after {
+                    d.next_command().unwrap().unwrap();
+                }
+                if cut_after == 0 {
+                    // Poll once so the header gets parsed (this may
+                    // also decode a command; the checkpoint records
+                    // exactly how many are done).
+                    let _ = d.next_command().unwrap();
+                }
+                let cp = d.checkpoint().expect("header parsed");
+
+                // Serialize + deserialize across the "power cut".
+                let restored = StreamCheckpoint::decode(&cp.encode()).unwrap();
+                assert_eq!(restored, cp, "{format} cut {cut_after}");
+
+                // Second power cycle: re-request from byte_offset.
+                let mut d = StreamDecoder::resume(restored);
+                d.push(&wire[restored.byte_offset as usize..]);
+                let mut rest = Vec::new();
+                while let Some(c) = d.next_command().unwrap() {
+                    rest.push(c);
+                }
+                let header = d.finish().unwrap();
+                assert_eq!(header, uncut_header, "{format} cut {cut_after}");
+
+                let mut combined = uncut[..restored.commands_decoded as usize].to_vec();
+                combined.extend(rest);
+                assert_eq!(combined, uncut, "{format} cut {cut_after}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_malformed() {
+        let cp = StreamCheckpoint {
+            byte_offset: 17,
+            commands_decoded: 2,
+            next_write: 30,
+            header: StreamHeader {
+                format: Format::InPlace,
+                source_len: 100,
+                target_len: 50,
+                command_count: 4,
+                target_crc: Some(0xDEAD_BEEF),
+            },
+        };
+        let bytes = cp.encode();
+        assert_eq!(StreamCheckpoint::decode(&bytes), Ok(cp));
+        assert_eq!(
+            StreamCheckpoint::decode(b"nope"),
+            Err(DecodeError::BadMagic)
+        );
+        assert_eq!(
+            StreamCheckpoint::decode(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            StreamCheckpoint::decode(&trailing),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+        let mut bad_format = bytes;
+        bad_format[4] = 0x77;
+        assert_eq!(
+            StreamCheckpoint::decode(&bad_format),
+            Err(DecodeError::UnknownFormat(0x77))
+        );
+    }
+
+    #[test]
+    fn buffer_stays_bounded_by_frame_plus_chunk() {
+        // A long stream of small commands, fed in small chunks: the
+        // buffer high-water mark must stay near (max frame + chunk),
+        // not grow with the stream.
+        let n = 4000u64;
+        let cmds: Vec<Command> = (0..n).map(|i| Command::copy(i, i, 1)).collect();
+        let script = DeltaScript::new(n, n, cmds).unwrap();
+        let wire = encode(&script, Format::InPlace).unwrap();
+        let chunk = 64;
+        let mut d = StreamDecoder::new();
+        for part in wire.chunks(chunk) {
+            d.push(part);
+            while d.next_command().unwrap().is_some() {}
+            assert!(d.buffered_bytes() < 32, "partial-command residue only");
+        }
+        // Header (< 32 bytes) and every command frame here are tiny, so
+        // the bound is dominated by the chunk size.
+        assert!(
+            d.buffered_high_water() <= chunk + 32,
+            "high water {} exceeds frame+chunk bound",
+            d.buffered_high_water()
+        );
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn stream_offset_tracks_consumed_bytes() {
+        let (script, _) = sample();
+        let wire = encode(&script, Format::InPlace).unwrap();
+        let mut d = StreamDecoder::new();
+        d.push(&wire);
+        while d.next_command().unwrap().is_some() {}
+        assert_eq!(d.stream_offset(), wire.len() as u64);
+        assert_eq!(
+            d.checkpoint().unwrap().byte_offset,
+            wire.len() as u64,
+            "checkpoint offset is the full stream length at EOF"
+        );
     }
 
     #[test]

@@ -158,6 +158,24 @@ impl LossyChannel {
         }
     }
 
+    /// The underlying lossless channel.
+    #[must_use]
+    pub fn base(&self) -> Channel {
+        self.base
+    }
+
+    /// Per-frame loss probability.
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// Seed of the deterministic loss stream.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Simulates delivering `bytes` of payload in `mtu`-byte frames under
     /// stop-and-wait ARQ: each attempt costs one round trip plus frame
     /// serialization; lost frames (deterministically drawn from the seed)

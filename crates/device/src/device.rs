@@ -162,6 +162,15 @@ impl Device {
         &self.storage[..self.image_len]
     }
 
+    /// The raw flash contents, full capacity. During an interrupted
+    /// update this is the durable hybrid of old and new image that a
+    /// resume checkpoint describes — persist it alongside the
+    /// checkpoint to survive a power cycle of the simulator itself.
+    #[must_use]
+    pub fn storage(&self) -> &[u8] {
+        &self.storage
+    }
+
     /// Applies a delta update in place, *with* run-time write-before-read
     /// fault detection.
     ///
@@ -354,6 +363,44 @@ impl Device {
         })
     }
 
+    /// Rebuilds an [`UpdateSession`] from checkpointed progress after a
+    /// power cut mid-streaming-install. The caller (the streaming
+    /// install layer) has already validated the checkpoint; storage is
+    /// expected to hold the partially reconstructed hybrid image, so
+    /// the image length is restored from the declared source length
+    /// rather than checked against it.
+    pub(crate) fn resume_session(
+        &mut self,
+        source_len: u64,
+        target_len: u64,
+        written: &[(u64, u64)],
+        covered: u64,
+        stats: UpdateStats,
+    ) -> Result<UpdateSession<'_>, DeviceError> {
+        if !self.flashed {
+            return Err(DeviceError::NotFlashed);
+        }
+        let needed = source_len.max(target_len);
+        if needed > self.capacity() {
+            return Err(DeviceError::CapacityExceeded {
+                needed,
+                capacity: self.capacity(),
+            });
+        }
+        self.image_len = source_len as usize;
+        let mut map = vec![false; needed as usize];
+        for &(start, end) in written {
+            map[start as usize..end as usize].fill(true);
+        }
+        Ok(UpdateSession {
+            written: map,
+            covered,
+            target_len,
+            stats,
+            device: self,
+        })
+    }
+
     fn apply_inner(
         &mut self,
         script: &DeltaScript,
@@ -492,6 +539,37 @@ impl UpdateSession<'_> {
     #[must_use]
     pub fn commands_applied(&self) -> usize {
         self.stats.commands
+    }
+
+    /// Target bytes covered by the applied commands so far.
+    pub(crate) fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// Running statistics (the commit-time report in progress).
+    pub(crate) fn stats_so_far(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// The written bitmap as coalesced `[start, end)` intervals — the
+    /// serializable form of the session's write-before-read state.
+    pub(crate) fn written_intervals(&self) -> Vec<(u64, u64)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, &w) in self.written.iter().enumerate() {
+            match (w, start) {
+                (true, None) => start = Some(i as u64),
+                (false, Some(s)) => {
+                    runs.push((s, i as u64));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, self.written.len() as u64));
+        }
+        runs
     }
 
     /// Finalizes the update; fails unless the commands exactly covered

@@ -41,7 +41,12 @@ mod channel;
 mod device;
 
 pub mod flash;
+pub mod stream;
 pub mod update;
 
 pub use channel::{Channel, LossyChannel, TransferReport};
 pub use device::{Device, DeviceError, UpdateSession, UpdateStats};
+pub use stream::{
+    stream_install, CheckpointError, InstallCheckpoint, StreamProgress, StreamReport,
+    StreamingInstall,
+};

@@ -1,0 +1,904 @@
+//! Resumable streaming install sessions: one path from lossy channel
+//! to committed flash.
+//!
+//! The paper's device cannot hold two images — and on a slow, lossy
+//! link it should not have to hold two *downloads* either. This module
+//! ties the pieces built in earlier layers into a single session:
+//!
+//! * the incremental [`StreamDecoder`] pulls commands out of wire
+//!   chunks with memory bounded by one command frame;
+//! * each complete command is applied immediately through the
+//!   [`UpdateSession`](crate::UpdateSession) write-before-read
+//!   discipline, so reconstruction overlaps the transfer;
+//! * every chunk boundary is a durable checkpoint: the decoder's
+//!   [`StreamCheckpoint`], the [`Journal`]'s flash progress *and*
+//!   stream offset, and the session's written-interval map serialize
+//!   into one [`InstallCheckpoint`]. Power loss at any chunk boundary
+//!   resumes from the checkpoint — re-requesting the wire from the
+//!   checkpointed offset, not from byte 0.
+//!
+//! The session state machine:
+//!
+//! ```text
+//!            chunks              header parsed
+//! Waiting ───────────► Waiting ───────────────► Installing
+//!   │                                               │  ▲
+//!   │ power cut (no checkpoint yet:                 │  │ resume
+//!   │ restart from byte 0)                power cut │  │ (InstallCheckpoint)
+//!   ▼                                               ▼  │
+//! fresh start                                   checkpointed ──► Committed
+//! ```
+//!
+//! Drive it with [`stream_install`], which pulls chunks from an
+//! [`DeltaStream`] through [`LossyChannel::simulate_transfer`] and can
+//! simulate a power cut after any number of chunks.
+
+use crate::channel::LossyChannel;
+use crate::device::{Device, UpdateStats};
+use crate::update::InstallError;
+use ipr_core::resumable::Journal;
+use ipr_delta::checksum::crc32;
+use ipr_delta::codec::stream::{StreamCheckpoint, StreamDecoder, StreamHeader};
+use ipr_delta::codec::DecodeError;
+use ipr_pipeline::DeltaStream;
+use std::fmt;
+use std::time::Duration;
+
+/// Error deserializing or validating an [`InstallCheckpoint`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The bytes end before the checkpoint record does.
+    Truncated,
+    /// The bytes do not start with the checkpoint magic.
+    BadMagic,
+    /// The CRC-32 seal does not match (torn or corrupted write).
+    Checksum {
+        /// CRC recorded in the checkpoint.
+        expected: u32,
+        /// CRC of the bytes actually read.
+        actual: u32,
+    },
+    /// The embedded decoder checkpoint is malformed.
+    Decoder(DecodeError),
+    /// The embedded journal is malformed.
+    Journal(ipr_core::resumable::JournalDecodeError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "install checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not an install checkpoint"),
+            CheckpointError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "install checkpoint CRC mismatch: {expected:#010x} != {actual:#010x}"
+                )
+            }
+            CheckpointError::Decoder(e) => write!(f, "embedded decoder checkpoint: {e}"),
+            CheckpointError::Journal(e) => write!(f, "embedded journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Magic prefix of a serialized [`InstallCheckpoint`].
+const INSTALL_CHECKPOINT_MAGIC: [u8; 4] = *b"IPC1";
+
+/// Durable snapshot of a [`StreamingInstall`] at a chunk boundary.
+///
+/// Composes the three progress records a mid-stream power cut needs:
+/// the decoder's wire position ([`StreamCheckpoint`]), the journal's
+/// flash progress and stream offset ([`Journal`]), and the update
+/// session's write-before-read state (covered bytes plus the written
+/// bitmap as coalesced intervals). A device persists this (a few dozen
+/// bytes plus the interval list) alongside its storage; resuming
+/// validates the records against each other before touching flash.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstallCheckpoint {
+    /// Decoder state at the last command boundary.
+    pub decoder: StreamCheckpoint,
+    /// Flash progress + stream offset (the durable authority).
+    pub journal: Journal,
+    /// Target bytes covered by the applied commands.
+    pub covered: u64,
+    /// Written regions as coalesced `[start, end)` intervals.
+    pub written: Vec<(u64, u64)>,
+    /// Running update statistics (carried across power cycles).
+    pub stats: UpdateStats,
+    /// Power cycles this install has already survived.
+    pub resumes: u64,
+}
+
+impl InstallCheckpoint {
+    /// Serializes the checkpoint (fixed-width little-endian fields,
+    /// CRC-32 sealed).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&INSTALL_CHECKPOINT_MAGIC);
+        let decoder = self.decoder.encode();
+        out.extend_from_slice(&(decoder.len() as u64).to_le_bytes());
+        out.extend_from_slice(&decoder);
+        let journal = self.journal.encode();
+        out.extend_from_slice(&(journal.len() as u64).to_le_bytes());
+        out.extend_from_slice(&journal);
+        for v in [
+            self.covered,
+            self.stats.commands as u64,
+            self.stats.bytes_written,
+            self.stats.bytes_read,
+            self.stats.scratch_bytes,
+            self.resumes,
+            self.written.len() as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &(start, end) in &self.written {
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&end.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a checkpoint written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on truncation, bad magic, CRC mismatch, or a
+    /// malformed embedded record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < INSTALL_CHECKPOINT_MAGIC.len() + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes[..4] != INSTALL_CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let actual = crc32(body);
+        if expected != actual {
+            return Err(CheckpointError::Checksum { expected, actual });
+        }
+        let mut at = 4usize;
+        let read_u64 = |at: &mut usize| -> Result<u64, CheckpointError> {
+            let end = at.checked_add(8).ok_or(CheckpointError::Truncated)?;
+            let raw = body.get(*at..end).ok_or(CheckpointError::Truncated)?;
+            *at = end;
+            Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+        };
+        let read_block = |at: &mut usize| -> Result<&[u8], CheckpointError> {
+            let len = usize::try_from(read_u64(at)?).map_err(|_| CheckpointError::Truncated)?;
+            let end = at.checked_add(len).ok_or(CheckpointError::Truncated)?;
+            let raw = body.get(*at..end).ok_or(CheckpointError::Truncated)?;
+            *at = end;
+            Ok(raw)
+        };
+        let decoder =
+            StreamCheckpoint::decode(read_block(&mut at)?).map_err(CheckpointError::Decoder)?;
+        let journal = Journal::decode(read_block(&mut at)?).map_err(CheckpointError::Journal)?;
+        let covered = read_u64(&mut at)?;
+        let stats = UpdateStats {
+            commands: read_u64(&mut at)? as usize,
+            bytes_written: read_u64(&mut at)?,
+            bytes_read: read_u64(&mut at)?,
+            scratch_bytes: read_u64(&mut at)?,
+        };
+        let resumes = read_u64(&mut at)?;
+        let intervals = read_u64(&mut at)?;
+        let mut written = Vec::new();
+        for _ in 0..intervals {
+            let start = read_u64(&mut at)?;
+            let end = read_u64(&mut at)?;
+            written.push((start, end));
+        }
+        if at != body.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(Self {
+            decoder,
+            journal,
+            covered,
+            written,
+            stats,
+            resumes,
+        })
+    }
+
+    /// The wire offset a resuming device re-requests from.
+    #[must_use]
+    pub fn stream_offset(&self) -> u64 {
+        self.decoder.byte_offset
+    }
+
+    /// Cross-checks the three progress records against each other;
+    /// returns a human-readable reason if they disagree (corrupted or
+    /// hand-forged checkpoint).
+    fn validate(&self) -> Result<(), String> {
+        if self.journal.has_pending_chunk() {
+            return Err("streaming journal carries a staged chunk".into());
+        }
+        if self.journal.command_index() as u64 != self.decoder.commands_decoded {
+            return Err(format!(
+                "journal has {} commands, decoder checkpoint {}",
+                self.journal.command_index(),
+                self.decoder.commands_decoded
+            ));
+        }
+        if self.journal.stream_offset() != self.decoder.byte_offset {
+            return Err(format!(
+                "journal stream offset {} != decoder byte offset {}",
+                self.journal.stream_offset(),
+                self.decoder.byte_offset
+            ));
+        }
+        let needed = self
+            .decoder
+            .header
+            .source_len
+            .max(self.decoder.header.target_len);
+        let mut previous_end = 0u64;
+        let mut total = 0u64;
+        for &(start, end) in &self.written {
+            if start >= end || end > needed || (previous_end > 0 && start < previous_end) {
+                return Err(format!("bad written interval [{start}, {end})"));
+            }
+            previous_end = end;
+            total += end - start;
+        }
+        if total != self.covered {
+            return Err(format!(
+                "written intervals cover {total} bytes, checkpoint claims {}",
+                self.covered
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// An open streaming install: commands are applied to flash as soon as
+/// they decode, and every state transition is checkpointable.
+///
+/// Created by [`start`](Self::start) (fresh, once the header has been
+/// received) or [`resume`](Self::resume) (after a power cut). The
+/// session exclusively borrows the device — the same borrow discipline
+/// as [`Device::begin_update`] — so nothing else can touch storage
+/// while an install is in flight.
+#[derive(Debug)]
+pub struct StreamingInstall<'a> {
+    session: crate::device::UpdateSession<'a>,
+    decoder: StreamDecoder,
+    journal: Journal,
+    resumes: u64,
+    buffered_high_water: u64,
+}
+
+impl<'a> StreamingInstall<'a> {
+    /// Opens a fresh session over `decoder`, whose header must already
+    /// have been parsed (feed it bytes until
+    /// [`StreamDecoder::poll_header`] returns the header). Any commands
+    /// already buffered in the decoder are applied immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::Decode`] with [`DecodeError::Truncated`] if the
+    /// header has not been parsed yet, plus any device or wire error
+    /// from applying buffered commands.
+    pub fn start(device: &'a mut Device, decoder: StreamDecoder) -> Result<Self, InstallError> {
+        let Some(header) = decoder.header().copied() else {
+            return Err(InstallError::Decode(DecodeError::Truncated));
+        };
+        let session = device.begin_update(header.source_len, header.target_len)?;
+        let mut journal = Journal::new();
+        journal
+            .record_stream_progress(decoder.commands_decoded() as usize, decoder.stream_offset());
+        let mut install = Self {
+            session,
+            decoder,
+            journal,
+            resumes: 0,
+            buffered_high_water: 0,
+        };
+        install.drain()?;
+        Ok(install)
+    }
+
+    /// Reopens a session from a checkpoint after a power cut. The
+    /// device storage must hold the partially reconstructed image the
+    /// checkpoint describes (on real hardware it does — flash is the
+    /// durable medium the checkpoint was taken against).
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::Checkpoint`] if the checkpoint's records
+    /// disagree with each other, or a device error if the declared
+    /// dimensions no longer fit.
+    pub fn resume(
+        device: &'a mut Device,
+        checkpoint: &InstallCheckpoint,
+    ) -> Result<Self, InstallError> {
+        checkpoint.validate().map_err(InstallError::Checkpoint)?;
+        let header = checkpoint.decoder.header;
+        let session = device.resume_session(
+            header.source_len,
+            header.target_len,
+            &checkpoint.written,
+            checkpoint.covered,
+            checkpoint.stats,
+        )?;
+        ipr_trace::add("stream.resumes", 1);
+        Ok(Self {
+            session,
+            decoder: StreamDecoder::resume(checkpoint.decoder),
+            journal: checkpoint.journal.clone(),
+            resumes: checkpoint.resumes + 1,
+            buffered_high_water: 0,
+        })
+    }
+
+    /// Feeds one wire chunk and applies every command that completes,
+    /// returning how many were applied.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors ([`InstallError::Decode`]) or device faults
+    /// ([`InstallError::Device`] — e.g. a write-before-read violation).
+    /// On error the session should be dropped; storage may hold a
+    /// partial image, as on real interrupted hardware.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<u64, InstallError> {
+        self.decoder.push(chunk);
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<u64, InstallError> {
+        let mut applied = 0u64;
+        while let Some(cmd) = self.decoder.next_command()? {
+            self.session.apply_command(&cmd)?;
+            applied += 1;
+        }
+        // Chunk boundary: align the journal with the decoder. Whole
+        // commands only — the decoder checkpoints at command edges.
+        self.journal.record_stream_progress(
+            self.decoder.commands_decoded() as usize,
+            self.decoder.stream_offset(),
+        );
+        self.buffered_high_water = self
+            .buffered_high_water
+            .max(self.decoder.buffered_high_water() as u64);
+        Ok(applied)
+    }
+
+    /// The next wire byte the session needs (all received bytes,
+    /// including buffered partial-command residue).
+    #[must_use]
+    pub fn wire_offset(&self) -> u64 {
+        self.decoder.stream_offset() + self.decoder.buffered_bytes() as u64
+    }
+
+    /// Commands applied to flash so far (across all power cycles).
+    #[must_use]
+    pub fn commands_applied(&self) -> usize {
+        self.session.commands_applied()
+    }
+
+    /// Power cycles this install has survived.
+    #[must_use]
+    pub fn resumes(&self) -> u64 {
+        self.resumes
+    }
+
+    /// High-water mark of the decoder's resident buffer this power
+    /// cycle — the bound asserted by the streaming bench.
+    #[must_use]
+    pub fn buffered_high_water(&self) -> u64 {
+        self.buffered_high_water
+    }
+
+    /// Whether every declared command has been decoded and applied.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.decoder.is_complete()
+    }
+
+    /// Snapshots the session for durable storage. Call at chunk
+    /// boundaries; partial-command bytes are deliberately excluded (the
+    /// resumed session re-requests them).
+    #[must_use]
+    pub fn checkpoint(&self) -> InstallCheckpoint {
+        InstallCheckpoint {
+            decoder: self
+                .decoder
+                .checkpoint()
+                .expect("sessions exist only after the header"),
+            journal: self.journal.clone(),
+            covered: self.session.covered(),
+            written: self.session.written_intervals(),
+            stats: self.session.stats_so_far(),
+            resumes: self.resumes,
+        }
+    }
+
+    /// Commits the install: the stream must be complete (no missing or
+    /// trailing bytes) and the commands must cover the declared target
+    /// exactly. Returns the header and the final statistics; the caller
+    /// verifies the header CRC against the device image (the device
+    /// borrow is released by this call).
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::Decode`] (truncated / trailing wire bytes) or
+    /// [`InstallError::Device`] (incomplete target coverage). The
+    /// device image length is only updated on success.
+    pub fn commit(self) -> Result<(StreamHeader, UpdateStats), InstallError> {
+        let header = self.decoder.finish()?;
+        let stats = self.session.commit()?;
+        Ok((header, stats))
+    }
+}
+
+/// Accounting for one [`stream_install`] power cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Wire bytes received this power cycle.
+    pub received_bytes: u64,
+    /// Simulated channel time this power cycle (includes
+    /// retransmissions).
+    pub transfer_time: Duration,
+    /// Simulated time at which the first target byte was reconstructed
+    /// this cycle, if any command was applied — the streaming path's
+    /// headline metric against download-then-apply.
+    pub time_to_first_byte: Option<Duration>,
+    /// Frames re-sent by the lossy channel this cycle.
+    pub retransmissions: u64,
+    /// Chunks transferred this cycle.
+    pub chunks: u64,
+    /// Commands applied to flash (cumulative across power cycles).
+    pub commands_applied: u64,
+    /// Commands applied while wire bytes were still outstanding —
+    /// "waves applied pre-EOF", the overlap the streaming path buys.
+    pub commands_pre_eof: u64,
+    /// Power cycles survived (cumulative).
+    pub resumes: u64,
+    /// Decoder resident-buffer high water this cycle.
+    pub buffered_high_water: u64,
+    /// Final update statistics; present only on completion.
+    pub stats: Option<UpdateStats>,
+    /// Whether a CRC was present and verified (completion only).
+    pub crc_verified: bool,
+}
+
+/// Outcome of one [`stream_install`] power cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamProgress {
+    /// The update committed (and, if a CRC was embedded, verified).
+    Complete(StreamReport),
+    /// Simulated power cut after the requested number of chunks. The
+    /// checkpoint is `None` when the cut landed before the header
+    /// finished arriving — there is nothing to resume; start over.
+    Killed {
+        /// Snapshot to persist and pass to the next power cycle.
+        checkpoint: Option<InstallCheckpoint>,
+        /// Accounting for this (truncated) cycle.
+        report: StreamReport,
+    },
+}
+
+/// Runs one power cycle of a streaming install: pulls chunks from
+/// `stream` through [`LossyChannel::simulate_transfer`] (frame drops
+/// retransmit inside a chunk; they never restart the stream), applies
+/// commands as they complete, and — if `kill_after_chunks` is set —
+/// simulates a power cut after that many chunk transfers.
+///
+/// Fresh installs pass `resume_from: None`; after a
+/// [`StreamProgress::Killed`] outcome, persist the checkpoint and call
+/// again with it. The resumed cycle re-requests the wire from the
+/// checkpointed offset, not from byte 0.
+///
+/// Emits `stream.install` span plus `stream.chunks`,
+/// `stream.resumes`, `stream.commands_pre_eof` counters and the
+/// `stream.buffered_high_water` gauge.
+///
+/// # Errors
+///
+/// See [`InstallError`]. On error the device image may be partially
+/// updated, exactly as on real interrupted hardware.
+///
+/// # Panics
+///
+/// Panics if `mtu == 0` (the channel model requires a frame size).
+pub fn stream_install(
+    device: &mut Device,
+    stream: &DeltaStream,
+    channel: LossyChannel,
+    mtu: usize,
+    resume_from: Option<&InstallCheckpoint>,
+    kill_after_chunks: Option<u64>,
+) -> Result<StreamProgress, InstallError> {
+    let _span = ipr_trace::span("stream.install");
+    let mut time = Duration::ZERO;
+    let mut retransmissions = 0u64;
+    let mut chunks = 0u64;
+    let mut received = 0u64;
+    let mut time_to_first_byte = None;
+    let mut commands_pre_eof = 0u64;
+
+    let report = |time: Duration,
+                  retransmissions: u64,
+                  chunks: u64,
+                  received: u64,
+                  ttfb: Option<Duration>,
+                  pre_eof: u64,
+                  commands: u64,
+                  resumes: u64,
+                  high_water: u64| StreamReport {
+        received_bytes: received,
+        transfer_time: time,
+        time_to_first_byte: ttfb,
+        retransmissions,
+        chunks,
+        commands_applied: commands,
+        commands_pre_eof: pre_eof,
+        resumes,
+        buffered_high_water: high_water,
+        stats: None,
+        crc_verified: false,
+    };
+
+    let mut install = match resume_from {
+        Some(checkpoint) => StreamingInstall::resume(device, checkpoint)?,
+        None => {
+            // Waiting state: pull chunks until the header parses. No
+            // checkpoint exists yet — a power cut here restarts from
+            // byte 0 (the header is a handful of bytes; nothing of
+            // value is lost).
+            let mut decoder = StreamDecoder::new();
+            loop {
+                let offset = decoder.stream_offset() + decoder.buffered_bytes() as u64;
+                let Some(chunk) = stream.chunk_at(offset) else {
+                    return Err(InstallError::Decode(DecodeError::Truncated));
+                };
+                let frames = channel.simulate_transfer(chunk.len() as u64, mtu);
+                time += frames.time;
+                retransmissions += frames.retransmissions;
+                chunks += 1;
+                received += chunk.len() as u64;
+                decoder.push(chunk);
+                if decoder.poll_header()?.is_some() {
+                    break;
+                }
+                if kill_after_chunks.is_some_and(|k| chunks >= k) {
+                    ipr_trace::add("stream.chunks", chunks);
+                    return Ok(StreamProgress::Killed {
+                        checkpoint: None,
+                        report: report(
+                            time,
+                            retransmissions,
+                            chunks,
+                            received,
+                            None,
+                            0,
+                            0,
+                            0,
+                            decoder.buffered_high_water() as u64,
+                        ),
+                    });
+                }
+            }
+            StreamingInstall::start(device, decoder)?
+        }
+    };
+
+    // Installing state: the loop invariant is that every iteration
+    // boundary is a durable checkpoint (whole commands applied, journal
+    // aligned with the decoder).
+    let wire_len = stream.wire_len();
+    loop {
+        if install.commands_applied() > 0 {
+            if time_to_first_byte.is_none() {
+                time_to_first_byte = Some(time);
+            }
+            if install.wire_offset() < wire_len {
+                commands_pre_eof = install.commands_applied() as u64;
+            }
+        }
+        if install.is_complete() {
+            break;
+        }
+        if kill_after_chunks.is_some_and(|k| chunks >= k) {
+            let checkpoint = install.checkpoint();
+            ipr_trace::with(|r| {
+                r.add("stream.chunks", chunks);
+                r.add("stream.commands_pre_eof", commands_pre_eof);
+                r.gauge("stream.buffered_high_water", install.buffered_high_water());
+            });
+            return Ok(StreamProgress::Killed {
+                report: report(
+                    time,
+                    retransmissions,
+                    chunks,
+                    received,
+                    time_to_first_byte,
+                    commands_pre_eof,
+                    install.commands_applied() as u64,
+                    install.resumes(),
+                    install.buffered_high_water(),
+                ),
+                checkpoint: Some(checkpoint),
+            });
+        }
+        let Some(chunk) = stream.chunk_at(install.wire_offset()) else {
+            // Wire exhausted before the declared command count: let
+            // commit report the truncation.
+            break;
+        };
+        let frames = channel.simulate_transfer(chunk.len() as u64, mtu);
+        time += frames.time;
+        retransmissions += frames.retransmissions;
+        chunks += 1;
+        received += chunk.len() as u64;
+        install.feed(chunk)?;
+    }
+
+    let commands = install.commands_applied() as u64;
+    let resumes = install.resumes();
+    let high_water = install.buffered_high_water();
+    let (header, stats) = install.commit()?;
+    let crc_verified = verify_image_crc(device, &header)?;
+    ipr_trace::with(|r| {
+        r.add("stream.chunks", chunks);
+        r.add("stream.commands_pre_eof", commands_pre_eof);
+        r.gauge("stream.buffered_high_water", high_water);
+    });
+    let mut done = report(
+        time,
+        retransmissions,
+        chunks,
+        received,
+        time_to_first_byte,
+        commands_pre_eof,
+        commands,
+        resumes,
+        high_water,
+    );
+    done.stats = Some(stats);
+    done.crc_verified = crc_verified;
+    Ok(StreamProgress::Complete(done))
+}
+
+/// Verifies the device image against the header's embedded CRC, if any.
+pub(crate) fn verify_image_crc(
+    device: &Device,
+    header: &StreamHeader,
+) -> Result<bool, InstallError> {
+    match header.target_crc {
+        Some(expected) => {
+            let actual = crc32(device.image());
+            if actual != expected {
+                return Err(InstallError::ChecksumMismatch { expected, actual });
+            }
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use ipr_pipeline::Engine;
+
+    fn pair() -> (Vec<u8>, Vec<u8>) {
+        let v1: Vec<u8> = (0..16_384u32).map(|i| (i * 13 % 251) as u8).collect();
+        let mut v2 = v1.clone();
+        v2.rotate_left(2048);
+        for i in (0..v2.len()).step_by(777) {
+            v2[i] ^= 0x5a;
+        }
+        (v1, v2)
+    }
+
+    fn lossy(loss: f64, seed: u64) -> LossyChannel {
+        LossyChannel::new(Channel::dialup(), loss, seed)
+    }
+
+    #[test]
+    fn uninterrupted_stream_install_matches_offline_apply() {
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        let stream = engine.stream_update(&v1, &v2, 1024).unwrap();
+
+        let mut dev = Device::new(v1.len().max(v2.len()));
+        dev.flash(&v1).unwrap();
+        let progress = stream_install(&mut dev, &stream, lossy(0.1, 7), 576, None, None).unwrap();
+        let StreamProgress::Complete(report) = progress else {
+            panic!("no kill requested");
+        };
+        assert_eq!(dev.image(), &v2[..]);
+        assert!(report.crc_verified);
+        assert_eq!(report.received_bytes, stream.wire_len());
+        assert_eq!(report.resumes, 0);
+        // Streaming means work happened before the last byte arrived.
+        assert!(report.commands_pre_eof > 0);
+        let ttfb = report.time_to_first_byte.unwrap();
+        assert!(ttfb < report.transfer_time);
+    }
+
+    #[test]
+    fn kill_and_resume_at_every_chunk_boundary() {
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        let stream = engine.stream_update(&v1, &v2, 64).unwrap();
+        let total_chunks = stream.wire_len().div_ceil(64);
+        assert!(total_chunks > 10, "want a real boundary sweep");
+
+        for kill_at in 1..=total_chunks {
+            let mut dev = Device::new(v1.len().max(v2.len()));
+            dev.flash(&v1).unwrap();
+            let channel = lossy(0.05, kill_at);
+            match stream_install(&mut dev, &stream, channel, 576, None, Some(kill_at)).unwrap() {
+                StreamProgress::Complete(_) => {
+                    assert_eq!(kill_at, total_chunks, "only the last chunk completes");
+                }
+                StreamProgress::Killed { checkpoint, report } => {
+                    assert_eq!(report.chunks, kill_at);
+                    // Round-trip the checkpoint through serialization,
+                    // as a device writing it to flash would.
+                    let restored = checkpoint
+                        .map(|c| InstallCheckpoint::decode(&c.encode()).expect("round trip"));
+                    let resumed =
+                        stream_install(&mut dev, &stream, channel, 576, restored.as_ref(), None)
+                            .unwrap();
+                    let StreamProgress::Complete(done) = resumed else {
+                        panic!("no second kill");
+                    };
+                    if restored.is_some() {
+                        assert_eq!(done.resumes, 1, "kill at {kill_at}");
+                    }
+                    assert!(done.crc_verified);
+                }
+            }
+            assert_eq!(dev.image(), &v2[..], "kill at {kill_at}");
+        }
+    }
+
+    #[test]
+    fn resume_is_idempotent_from_the_same_checkpoint() {
+        // Replaying the same checkpoint against two copies of the same
+        // mid-update storage must converge to identical images.
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        let stream = engine.stream_update(&v1, &v2, 64).unwrap();
+        let mut dev = Device::new(v1.len().max(v2.len()));
+        dev.flash(&v1).unwrap();
+        let StreamProgress::Killed { checkpoint, .. } =
+            stream_install(&mut dev, &stream, lossy(0.0, 1), 576, None, Some(5)).unwrap()
+        else {
+            panic!("killed at chunk 5");
+        };
+        let checkpoint = checkpoint.expect("header fits in five chunks");
+        let mut replica = dev.clone();
+        for d in [&mut dev, &mut replica] {
+            let progress =
+                stream_install(d, &stream, lossy(0.0, 1), 576, Some(&checkpoint), None).unwrap();
+            assert!(matches!(progress, StreamProgress::Complete(_)));
+        }
+        assert_eq!(dev.image(), replica.image());
+        assert_eq!(dev.image(), &v2[..]);
+    }
+
+    #[test]
+    fn forged_checkpoint_rejected() {
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        let stream = engine.stream_update(&v1, &v2, 64).unwrap();
+        let mut dev = Device::new(v1.len().max(v2.len()));
+        dev.flash(&v1).unwrap();
+        let StreamProgress::Killed { checkpoint, .. } =
+            stream_install(&mut dev, &stream, lossy(0.0, 1), 576, None, Some(4)).unwrap()
+        else {
+            panic!("killed at chunk 4");
+        };
+        let good = checkpoint.expect("header arrived");
+
+        let mut wrong_count = good.clone();
+        wrong_count.decoder.commands_decoded += 1;
+        let mut wrong_cover = good.clone();
+        wrong_cover.covered += 1;
+        for bad in [wrong_count, wrong_cover] {
+            let err = stream_install(&mut dev, &stream, lossy(0.0, 1), 576, Some(&bad), None)
+                .unwrap_err();
+            assert!(matches!(err, InstallError::Checkpoint(_)), "{err}");
+        }
+        // Corrupted serialized form is caught by the CRC seal.
+        let mut bytes = good.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            InstallCheckpoint::decode(&bytes),
+            Err(CheckpointError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn kill_before_header_restarts_from_scratch() {
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        // One-byte chunks: the header needs several chunks to arrive.
+        let stream = engine.stream_update(&v1, &v2, 1).unwrap();
+        let mut dev = Device::new(v1.len().max(v2.len()));
+        dev.flash(&v1).unwrap();
+        let StreamProgress::Killed { checkpoint, report } =
+            stream_install(&mut dev, &stream, lossy(0.0, 3), 576, None, Some(2)).unwrap()
+        else {
+            panic!("killed at chunk 2");
+        };
+        assert!(checkpoint.is_none(), "no checkpoint before the header");
+        assert_eq!(report.chunks, 2);
+        assert_eq!(dev.image(), &v1[..], "device untouched");
+        // Restart from byte 0 (resume_from: None) and finish.
+        let progress = stream_install(&mut dev, &stream, lossy(0.0, 3), 576, None, None).unwrap();
+        assert!(matches!(progress, StreamProgress::Complete(_)));
+        assert_eq!(dev.image(), &v2[..]);
+    }
+
+    #[test]
+    fn loss_rate_changes_time_not_bytes() {
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        let stream = engine.stream_update(&v1, &v2, 64).unwrap();
+        let mut times = Vec::new();
+        for loss in [0.0, 0.2, 0.6] {
+            let mut dev = Device::new(v1.len().max(v2.len()));
+            dev.flash(&v1).unwrap();
+            let StreamProgress::Complete(report) =
+                stream_install(&mut dev, &stream, lossy(loss, 11), 16, None, None).unwrap()
+            else {
+                panic!("no kill");
+            };
+            assert_eq!(dev.image(), &v2[..], "loss {loss}");
+            assert_eq!(report.received_bytes, stream.wire_len(), "loss {loss}");
+            times.push(report.transfer_time);
+        }
+        // Same bytes on every run; only the time changes with loss.
+        assert!(times[0] <= times[1] && times[1] <= times[2]);
+        assert!(times[0] < times[2], "{times:?}");
+    }
+
+    #[test]
+    fn decoder_memory_stays_bounded() {
+        let (v1, v2) = pair();
+        let mut engine = Engine::new();
+        let chunk_len = 512usize;
+        let stream = engine.stream_update(&v1, &v2, chunk_len).unwrap();
+        // Largest possible command frame: tag + 3 ten-byte varints +
+        // the largest add literal in the delta.
+        let delta = engine.update(&v1, &v2).unwrap();
+        let max_literal = delta
+            .script
+            .commands()
+            .iter()
+            .map(|c| match c {
+                ipr_delta::Command::Add(a) => a.len(),
+                ipr_delta::Command::Copy(_) => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut dev = Device::new(v1.len().max(v2.len()));
+        dev.flash(&v1).unwrap();
+        let StreamProgress::Complete(report) =
+            stream_install(&mut dev, &stream, lossy(0.0, 1), 576, None, None).unwrap()
+        else {
+            panic!("no kill");
+        };
+        let bound = max_literal + 31 + chunk_len as u64;
+        assert!(
+            report.buffered_high_water <= bound,
+            "high water {} exceeds frame+chunk bound {bound}",
+            report.buffered_high_water
+        );
+    }
+}

@@ -181,6 +181,8 @@ pub enum InstallError {
         /// CRC of the rebuilt image.
         actual: u32,
     },
+    /// A resume checkpoint's records disagree with each other.
+    Checkpoint(String),
 }
 
 impl fmt::Display for InstallError {
@@ -192,6 +194,9 @@ impl fmt::Display for InstallError {
                 f,
                 "rebuilt image crc32 {actual:#010x} != expected {expected:#010x}"
             ),
+            InstallError::Checkpoint(reason) => {
+                write!(f, "invalid install checkpoint: {reason}")
+            }
         }
     }
 }
@@ -201,7 +206,7 @@ impl std::error::Error for InstallError {
         match self {
             InstallError::Decode(e) => Some(e),
             InstallError::Device(e) => Some(e),
-            InstallError::ChecksumMismatch { .. } => None,
+            InstallError::ChecksumMismatch { .. } | InstallError::Checkpoint(_) => None,
         }
     }
 }
@@ -307,68 +312,36 @@ pub fn install_update_streaming<'a>(
     chunks: impl IntoIterator<Item = &'a [u8]>,
     channel: Channel,
 ) -> Result<InstallReport, InstallError> {
+    use crate::stream::StreamingInstall;
     use ipr_delta::codec::stream::StreamDecoder;
 
-    let mut decoder = StreamDecoder::new();
-    let mut session: Option<crate::device::UpdateSession<'_>> = None;
+    let mut chunks = chunks.into_iter();
     let mut received = 0u64;
 
-    // The borrow of `device` inside the session prevents touching the
-    // device directly until the session ends, which is exactly the
-    // discipline a streaming installer needs.
-    let mut stats = None;
-    for chunk in chunks {
+    // Waiting phase: buffer chunks on a bare decoder until the header
+    // parses; the device is untouched until then, so garbage or a
+    // too-short stream rejects before any flash write.
+    let mut decoder = StreamDecoder::new();
+    let mut install = loop {
+        if decoder.poll_header()?.is_some() {
+            break StreamingInstall::start(device, decoder)?;
+        }
+        let Some(chunk) = chunks.next() else {
+            decoder.finish()?;
+            return Err(InstallError::Decode(DecodeError::Truncated));
+        };
         received += chunk.len() as u64;
         decoder.push(chunk);
-        loop {
-            // Open the session as soon as the header is known.
-            if session.is_none() {
-                // Parsing state advances inside next_command; peek first.
-                match decoder.next_command()? {
-                    Some(cmd) => {
-                        let header = *decoder.header().expect("header precedes commands");
-                        let mut s = device.begin_update(header.source_len, header.target_len)?;
-                        s.apply_command(&cmd)?;
-                        session = Some(s);
-                        continue;
-                    }
-                    None => break,
-                }
-            }
-            match decoder.next_command()? {
-                Some(cmd) => {
-                    session
-                        .as_mut()
-                        .expect("session open")
-                        .apply_command(&cmd)?;
-                }
-                None => break,
-            }
-        }
-        if decoder.is_complete() && session.is_some() {
-            stats = Some(session.take().expect("session open").commit()?);
-        }
-    }
-    // Zero-command updates (empty target) never open a session.
-    let header = decoder.finish()?;
-    let stats = match stats {
-        Some(s) => s,
-        None => {
-            let s = device.begin_update(header.source_len, header.target_len)?;
-            s.commit()?
-        }
     };
 
-    let crc_verified = match header.target_crc {
-        Some(expected) => {
-            let actual = crc32(device.image());
-            if actual != expected {
-                return Err(InstallError::ChecksumMismatch { expected, actual });
-            }
-            true
-        }
-        None => false,
-    };
+    // Installing phase: the session holds the device borrow and applies
+    // each command the moment it completes.
+    for chunk in chunks {
+        received += chunk.len() as u64;
+        install.feed(chunk)?;
+    }
+    let (header, stats) = install.commit()?;
+    let crc_verified = crate::stream::verify_image_crc(device, &header)?;
     Ok(InstallReport {
         received_bytes: received,
         transfer_time: channel.transfer_time(received),

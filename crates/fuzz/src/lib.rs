@@ -5,7 +5,7 @@
 //! survives unit tests and dies on adversarial inputs. This crate
 //! generates those inputs — structured delta scripts and hostile wire
 //! bytes — from a single `u64` seed with the vendored [`rand`] crate,
-//! and judges them with seven differential oracles:
+//! and judges them with eight differential oracles:
 //!
 //! * **codec** ([`oracles::check_codec_case`] +
 //!   [`oracles::check_decoder_robustness`]): every format round-trips
@@ -38,7 +38,13 @@
 //!   store — a drifting version history written into a throwaway
 //!   on-disk store reads back byte-identically after every put, after
 //!   compaction under a salt-chosen depth cap, and after a fresh
-//!   reopen, with a full `fsck` sweep clean at every checkpoint.
+//!   reopen, with a full `fsck` sweep clean at every checkpoint;
+//! * **streaming** ([`oracles::check_streaming_case`]): the resumable
+//!   streaming install — over a salt-swept grid of chunk sizes, MTUs,
+//!   loss rates and kill points, a killed-and-resumed install (with the
+//!   checkpoint round-tripped through its wire encoding) reconstructs
+//!   the same bytes as offline apply, and resuming the same checkpoint
+//!   against two copies of the same mid-update flash is idempotent.
 //!
 //! Everything is reproducible: iteration `i` of a run seeded `s` uses
 //! case seed `s + i`, printed with every failure, so
@@ -62,7 +68,7 @@ use std::str::FromStr;
 /// cases within one case seed.
 const HOSTILE_SALT: u64 = 0x686f7374; // "host"
 
-/// One of the seven differential oracles.
+/// One of the eight differential oracles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Oracle {
     /// Codec round-trip + decoder robustness.
@@ -79,11 +85,13 @@ pub enum Oracle {
     Remote,
     /// Versioned object store round-trips, compacts and fscks clean.
     Store,
+    /// Killed-and-resumed streaming installs match offline apply.
+    Streaming,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::Codec,
         Oracle::Convert,
         Oracle::Crwi,
@@ -91,6 +99,7 @@ impl Oracle {
         Oracle::Engine,
         Oracle::Remote,
         Oracle::Store,
+        Oracle::Streaming,
     ];
 
     /// The `ipr-trace` span name covering one iteration of this oracle
@@ -105,6 +114,7 @@ impl Oracle {
             Oracle::Engine => "fuzz.engine",
             Oracle::Remote => "fuzz.remote",
             Oracle::Store => "fuzz.store",
+            Oracle::Streaming => "fuzz.streaming",
         }
     }
 }
@@ -119,6 +129,7 @@ impl fmt::Display for Oracle {
             Oracle::Engine => "engine",
             Oracle::Remote => "remote",
             Oracle::Store => "store",
+            Oracle::Streaming => "streaming",
         })
     }
 }
@@ -135,9 +146,10 @@ impl FromStr for Oracle {
             "engine" => Ok(Oracle::Engine),
             "remote" => Ok(Oracle::Remote),
             "store" => Ok(Oracle::Store),
+            "streaming" => Ok(Oracle::Streaming),
             other => Err(format!(
                 "unknown oracle `{other}` (expected codec, convert, crwi, diff, engine, \
-                 remote, store or all)"
+                 remote, store, streaming or all)"
             )),
         }
     }
@@ -284,6 +296,7 @@ pub fn run_case(oracle: Oracle, seed: u64) -> Result<(), String> {
         Oracle::Engine => oracles::check_engine_case(&case_for(seed), seed),
         Oracle::Remote => oracles::check_remote_case(&case_for(seed), seed),
         Oracle::Store => oracles::check_store_case(&case_for(seed), seed),
+        Oracle::Streaming => oracles::check_streaming_case(&case_for(seed), seed),
     }
 }
 
@@ -361,6 +374,11 @@ fn shrink_failure(oracle: Oracle, seed: u64) -> String {
         }
         Oracle::Store => {
             let check = move |c: &FuzzCase| oracles::check_store_case(c, seed);
+            let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
+            format!("{} — {detail}", describe_case(&small))
+        }
+        Oracle::Streaming => {
+            let check = move |c: &FuzzCase| oracles::check_streaming_case(c, seed);
             let (small, detail) = shrink::shrink_case(&case_for(seed), &check);
             format!("{} — {detail}", describe_case(&small))
         }

@@ -1017,6 +1017,147 @@ pub fn check_store_case(case: &FuzzCase, salt: u64) -> CheckResult {
     result
 }
 
+/// Wire formats swept by the streaming-install oracle (in-place capable).
+const STREAMING_FORMATS: [Format; 3] = [Format::InPlace, Format::Improved, Format::PaperInPlace];
+/// Serving chunk sizes swept by the streaming-install oracle.
+const STREAMING_CHUNKS: [usize; 5] = [1, 7, 64, 250, 1024];
+/// Channel MTUs swept by the streaming-install oracle.
+const STREAMING_MTUS: [usize; 3] = [16, 576, 1400];
+/// Frame loss rates swept by the streaming-install oracle.
+const STREAMING_LOSS: [f64; 4] = [0.0, 0.01, 0.05, 0.3];
+
+/// Checks the resumable streaming-install oracle on one valid case.
+///
+/// Offline scratch apply of the engine-converted delta is ground truth.
+/// Over a salt-chosen (format, chunk size, MTU, loss rate) point:
+///
+/// 1. **uninterrupted** — a streaming install over the lossy channel
+///    reconstructs the offline bytes exactly, with its embedded CRC
+///    verified;
+/// 2. **kill + resume** — the install killed at a salt-chosen chunk
+///    boundary and resumed from its checkpoint (round-tripped through
+///    [`ipr_device::InstallCheckpoint::encode`]) converges to the same
+///    bytes;
+/// 3. **idempotent replay** — resuming the *same* checkpoint against
+///    two copies of the same mid-update flash yields identical images
+///    (the journal contract: replaying a checkpoint is harmless).
+pub fn check_streaming_case(case: &FuzzCase, salt: u64) -> CheckResult {
+    use ipr_device::{stream_install, Channel, Device, InstallCheckpoint, StreamProgress};
+
+    let format = STREAMING_FORMATS[(salt % STREAMING_FORMATS.len() as u64) as usize];
+    let chunk = STREAMING_CHUNKS[(salt / 3 % STREAMING_CHUNKS.len() as u64) as usize];
+    let mtu = STREAMING_MTUS[(salt / 15 % STREAMING_MTUS.len() as u64) as usize];
+    let loss = STREAMING_LOSS[(salt / 45 % STREAMING_LOSS.len() as u64) as usize];
+    let tag = format!("streaming(format={format:?},chunk={chunk},mtu={mtu},loss={loss})");
+    let channel = ipr_device::LossyChannel::new(Channel::dialup(), loss, salt);
+
+    // Ground truth: the target the delta declares, applied offline.
+    let version = scratch_apply(case)?;
+    let mut config = ipr_pipeline::EngineConfig::with_threads(1);
+    config.format = format;
+    config.conversion.cost_format = format;
+    let mut engine = ipr_pipeline::Engine::with_config(config);
+    let stream = engine
+        .stream_update(&case.reference, &version, chunk)
+        .map_err(|e| format!("{tag}: stream_update failed: {e}"))?;
+    let capacity = case.reference.len().max(version.len());
+
+    let fresh_device = || -> Result<Device, String> {
+        let mut device = Device::new(capacity);
+        device
+            .flash(&case.reference)
+            .map_err(|e| format!("{tag}: flash failed: {e}"))?;
+        Ok(device)
+    };
+    let check_image = |device: &Device, leg: &str| -> CheckResult {
+        if device.image() != version {
+            return fail(format!(
+                "{tag}: {leg} image differs from offline apply ({} vs {} bytes)",
+                device.image().len(),
+                version.len()
+            ));
+        }
+        Ok(())
+    };
+
+    // Leg 1: uninterrupted streaming install.
+    let mut device = fresh_device()?;
+    match stream_install(&mut device, &stream, channel, mtu, None, None)
+        .map_err(|e| format!("{tag}: uninterrupted install failed: {e}"))?
+    {
+        StreamProgress::Complete(report) => {
+            if !report.crc_verified {
+                return fail(format!("{tag}: embedded CRC was not verified"));
+            }
+            if report.received_bytes != stream.wire_len() {
+                return fail(format!(
+                    "{tag}: received {} wire bytes, stream has {}",
+                    report.received_bytes,
+                    stream.wire_len()
+                ));
+            }
+        }
+        StreamProgress::Killed { .. } => {
+            return fail(format!("{tag}: install killed without a kill request"));
+        }
+    }
+    check_image(&device, "uninterrupted")?;
+
+    // Leg 2: kill at a salt-chosen chunk boundary, then resume. The cut
+    // may land before the header (tiny chunks): resuming is then a
+    // restart from byte 0 — still expected to converge.
+    let total_chunks = stream.wire_len().div_ceil(chunk as u64).max(1);
+    let kill_at = 1 + salt / 180 % total_chunks;
+    let mut device = fresh_device()?;
+    let first = stream_install(&mut device, &stream, channel, mtu, None, Some(kill_at))
+        .map_err(|e| format!("{tag}: killed install (kill_at={kill_at}) failed: {e}"))?;
+    match first {
+        StreamProgress::Complete(_) => {
+            // The stream finished before the kill point (short streams).
+            check_image(&device, "kill leg (completed early)")?;
+        }
+        StreamProgress::Killed { checkpoint, .. } => {
+            let checkpoint = match checkpoint {
+                Some(cp) => {
+                    let encoded = cp.encode();
+                    let decoded = InstallCheckpoint::decode(&encoded)
+                        .map_err(|e| format!("{tag}: checkpoint wire round-trip failed: {e}"))?;
+                    if decoded != cp {
+                        return fail(format!("{tag}: checkpoint changed across round-trip"));
+                    }
+                    Some(decoded)
+                }
+                None => None, // killed before the header: restart fresh
+            };
+            // Leg 3: the same checkpoint replayed on two copies of the
+            // same mid-update flash must converge identically.
+            let mut replica = device.clone();
+            for (leg, dev) in [("resume", &mut device), ("replay", &mut replica)] {
+                let done = stream_install(dev, &stream, channel, mtu, checkpoint.as_ref(), None)
+                    .map_err(|e| format!("{tag}: {leg} (kill_at={kill_at}) failed: {e}"))?;
+                match done {
+                    StreamProgress::Complete(report) => {
+                        if checkpoint.is_some() && report.resumes != 1 {
+                            return fail(format!(
+                                "{tag}: {leg} reported {} resumes, expected 1",
+                                report.resumes
+                            ));
+                        }
+                    }
+                    StreamProgress::Killed { .. } => {
+                        return fail(format!("{tag}: {leg} killed without a kill request"));
+                    }
+                }
+                check_image(dev, leg)?;
+            }
+            if device.image() != replica.image() {
+                return fail(format!("{tag}: checkpoint replay diverged between devices"));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

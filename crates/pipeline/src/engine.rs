@@ -331,6 +331,34 @@ impl<D: IndexedDiffer> Engine<D> {
         })
     }
 
+    /// Prepares `version` as a resumable chunk stream: the server side
+    /// of a streaming install. The delta is produced exactly as by
+    /// [`Engine::update`] (same bytes), then exposed through
+    /// [`DeltaStream::chunk_at`](crate::DeltaStream::chunk_at) so a
+    /// device can pull it window by window and — after a power cut —
+    /// re-request from its checkpointed wire offset instead of byte 0.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`.
+    pub fn stream_update(
+        &mut self,
+        reference: &[u8],
+        version: &[u8],
+        chunk_len: usize,
+    ) -> Result<crate::DeltaStream, EngineError> {
+        let _span = ipr_trace::span("stream.prepare");
+        let delta = self.update(reference, version)?;
+        let stream = crate::DeltaStream::new(delta.payload, chunk_len, delta.version_len);
+        // The script is not part of the stream; return it to the pool.
+        self.recycle_script(delta.script);
+        Ok(stream)
+    }
+
     /// Batched [`Engine::update`]: one delta per version, each hop diffed
     /// against the previous image (`reference` for the first). All hops
     /// share the engine's arenas.

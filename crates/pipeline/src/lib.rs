@@ -44,6 +44,8 @@
 
 mod engine;
 mod error;
+mod stream;
 
 pub use engine::{ApplyOutcome, Engine, EngineConfig, InPlaceDelta};
 pub use error::EngineError;
+pub use stream::DeltaStream;
